@@ -1,0 +1,94 @@
+// Ablation bench for the design choices DESIGN.md calls out. Each section
+// isolates ONE variable:
+//   1. plan shape  — array expressions inside the scan (BigQuery shape)
+//                    vs CROSS JOIN UNNEST + GROUP BY (Presto shape), both
+//                    reading through the SAME pushdown-enabled reader;
+//   2. struct projection pushdown — the same per-event plan through a
+//                    reader with pushdown on vs off;
+//   3. execution model — columnar expressions vs boxed items for the same
+//                    query (Q1, where plan shape is trivial).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "queries/adl.h"
+#include "queries/builders.h"
+
+using hepq::LaqReader;
+using hepq::ReaderOptions;
+using hepq::queries::BuildAdlEventQuery;
+using hepq::queries::BuildAdlFlatPipeline;
+
+int main() {
+  const int64_t events = hepq::bench::BenchEvents();
+  const std::string path = hepq::bench::BenchDataset(events);
+
+  hepq::bench::PrintHeaderLine(
+      "Ablation 1: plan shape (same reader, pushdown ON)");
+  std::printf("%-6s %18s %18s %14s %18s\n", "Query", "expr-plan cpu[s]",
+              "unnest-plan cpu[s]", "slowdown", "rows materialized");
+  for (int q = 2; q <= 6; ++q) {
+    auto expr_query = BuildAdlEventQuery(q);
+    expr_query.status().Check();
+    auto reader1 = LaqReader::Open(path).ValueOrDie();
+    auto expr_result = expr_query->Execute(reader1.get());
+    expr_result.status().Check();
+
+    auto flat_query = BuildAdlFlatPipeline(q);
+    flat_query.status().Check();
+    auto reader2 = LaqReader::Open(path).ValueOrDie();
+    auto flat_result = flat_query->Execute(reader2.get());
+    flat_result.status().Check();
+
+    std::printf("Q%-5d %18.4f %18.4f %13.1fx %18llu\n", q,
+                expr_result->cpu_seconds, flat_result->cpu_seconds,
+                flat_result->cpu_seconds /
+                    std::max(1e-9, expr_result->cpu_seconds),
+                static_cast<unsigned long long>(
+                    flat_result->rows_materialized));
+  }
+
+  hepq::bench::PrintHeaderLine(
+      "Ablation 2: struct projection pushdown (same per-event plan)");
+  std::printf("%-6s %16s %16s %16s %16s\n", "Query", "on: cpu[s]",
+              "off: cpu[s]", "on: bytes", "off: bytes");
+  for (int q : {1, 4, 5}) {
+    ReaderOptions with;
+    with.struct_projection_pushdown = true;
+    ReaderOptions without;
+    without.struct_projection_pushdown = false;
+    auto query = BuildAdlEventQuery(q);
+    query.status().Check();
+    auto reader_on = LaqReader::Open(path, with).ValueOrDie();
+    auto on = query->Execute(reader_on.get());
+    on.status().Check();
+    auto reader_off = LaqReader::Open(path, without).ValueOrDie();
+    auto off = query->Execute(reader_off.get());
+    off.status().Check();
+    std::printf("Q%-5d %16.4f %16.4f %16llu %16llu\n", q, on->cpu_seconds,
+                off->cpu_seconds,
+                static_cast<unsigned long long>(on->scan.storage_bytes),
+                static_cast<unsigned long long>(off->scan.storage_bytes));
+  }
+
+  hepq::bench::PrintHeaderLine(
+      "Ablation 3: columnar expressions vs boxed items (Q1)");
+  {
+    using hepq::queries::EngineKind;
+    auto columnar =
+        hepq::queries::RunAdlQuery(EngineKind::kBigQueryShape, 1, path);
+    columnar.status().Check();
+    auto boxed = hepq::queries::RunAdlQuery(EngineKind::kDoc, 1, path);
+    boxed.status().Check();
+    std::printf("columnar: %.4f s   boxed: %.4f s   (%.0fx)\n",
+                columnar->cpu_seconds, boxed->cpu_seconds,
+                boxed->cpu_seconds / std::max(1e-9, columnar->cpu_seconds));
+  }
+
+  std::printf(
+      "\nExpected: the unnest plan is slower than the expression plan and\n"
+      "the gap explodes on Q6 (n^3 row materialization); pushdown-off\n"
+      "multiplies bytes read without changing results; boxing costs one\n"
+      "to two orders of magnitude even on the trivial query.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef HEPQUERY_BENCH_BENCH_UTIL_H_
+#define HEPQUERY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cloud/simulator.h"
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+
+namespace hepq::bench {
+
+/// Number of events the benchmark data set holds. The paper's data set has
+/// ~53.4 M events in 128 row groups; benchmarks here default to a scaled
+/// replica (HEPQ_BENCH_EVENTS to override) and extrapolate measured CPU
+/// and IO to the full size when simulating cloud deployments, exactly like
+/// the paper extrapolated its Presto Q6 and Rumble runs (§4.1).
+inline int64_t BenchEvents(int64_t default_events = 20000) {
+  const char* env = std::getenv("HEPQ_BENCH_EVENTS");
+  if (env != nullptr && env[0] != '\0') {
+    const long long v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return default_events;
+}
+
+inline constexpr int64_t kPaperEvents = 53446198;
+inline constexpr int kPaperRowGroups = 128;
+
+/// Generates (or reuses) the benchmark data set and returns its path.
+inline std::string BenchDataset(int64_t events) {
+  DatasetSpec spec;
+  spec.num_events = events;
+  // Keep the paper's geometry: events / row-group ratio such that the
+  // full data set would have ~128 groups, but at least 4 groups locally.
+  spec.row_group_size = std::max<int64_t>(1000, events / 4);
+  auto path = EnsureDataset(DefaultDataDir(), spec);
+  path.status().Check();
+  return *path;
+}
+
+/// Scales a local measurement up to the paper's data-set size so the
+/// cloud simulation sees full-size work (documented in the bench output).
+inline cloud::MeasuredQuery ExtrapolateToPaperSize(
+    const queries::QueryRunOutput& output) {
+  cloud::MeasuredQuery measured;
+  const double scale =
+      static_cast<double>(kPaperEvents) /
+      static_cast<double>(std::max<int64_t>(1, output.events_processed));
+  measured.cpu_seconds = output.cpu_seconds * scale;
+  measured.storage_bytes =
+      static_cast<uint64_t>(output.scan.storage_bytes * scale);
+  measured.logical_bytes_bq =
+      static_cast<uint64_t>(output.scan.logical_bytes_bq * scale);
+  measured.row_groups = kPaperRowGroups;
+  measured.events = kPaperEvents;
+  return measured;
+}
+
+inline void PrintHeaderLine(const char* title) {
+  std::printf("\n%s\n", title);
+  for (const char* p = title; *p != '\0'; ++p) std::printf("=");
+  std::printf("\n");
+}
+
+}  // namespace hepq::bench
+
+#endif  // HEPQUERY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Regenerates Figure 2 of the paper: end-to-end running time as a
+// function of the data-set size (subsets of 1000 * 2^i events). The local
+// engines run for real at each size; the simulated wall time uses the
+// paper's deployment models (m5d.12xlarge for RDataFrame, m5d.24xlarge
+// for the other self-managed systems, elastic for QaaS), so the plateau
+// behaviour produced by row-group-granular parallelism is visible.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cloud/simulator.h"
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+
+using hepq::DatasetSpec;
+using hepq::EnsureDataset;
+using hepq::cloud::CloudSystem;
+using hepq::cloud::CloudSystemName;
+using hepq::cloud::MeasuredQuery;
+using hepq::cloud::SimulateOn;
+using hepq::queries::EngineKind;
+using hepq::queries::RunAdlQuery;
+
+namespace {
+
+/// The paper's row-group geometry: ~400k events per group. Scaled to the
+/// bench data so small subsets stay single-group (the single-threaded
+/// region of Figure 2) and large ones become parallel.
+constexpr int64_t kRowGroupEvents = 4000;
+
+struct SystemUnderTest {
+  CloudSystem system;
+  EngineKind engine;
+  const char* instance;  // "" for QaaS
+};
+
+constexpr SystemUnderTest kSystems[] = {
+    {CloudSystem::kBigQuery, EngineKind::kBigQueryShape, ""},
+    {CloudSystem::kAthenaV1, EngineKind::kPrestoShape, ""},
+    {CloudSystem::kAthenaV2, EngineKind::kPrestoShape, ""},
+    {CloudSystem::kPresto, EngineKind::kPrestoShape, "m5d.24xlarge"},
+    {CloudSystem::kRDataFrame, EngineKind::kRdf, "m5d.12xlarge"},
+    {CloudSystem::kRumble, EngineKind::kDoc, "m5d.24xlarge"},
+};
+
+}  // namespace
+
+int main() {
+  const int64_t max_events = hepq::bench::BenchEvents(32000);
+
+  hepq::bench::PrintHeaderLine(
+      "Figure 2: impact of data size on end-to-end running time "
+      "(simulated deployments driven by measured runs)");
+  std::printf("row group size: %lld events\n\n",
+              static_cast<long long>(kRowGroupEvents));
+  std::printf("%-5s %-12s %12s %10s %14s %12s\n", "Query", "System",
+              "events", "groups", "sim wall [s]", "meas cpu [s]");
+
+  std::vector<int64_t> sizes;
+  for (int64_t n = 1000; n < max_events; n *= 2) sizes.push_back(n);
+  sizes.push_back(max_events);
+
+  // Like the paper, heavy query/system combinations are bounded: the doc
+  // engine (Rumble stand-in) only runs the largest sizes for cheap
+  // queries.
+  const int queries[] = {1, 4, 5, 6};
+  for (int q : queries) {
+    for (const SystemUnderTest& sut : kSystems) {
+      for (int64_t n : sizes) {
+        if (sut.engine == EngineKind::kDoc && q == 6 && n > 8000) {
+          continue;  // paper: Rumble Q6 capped and extrapolated
+        }
+        DatasetSpec spec;
+        spec.num_events = n;
+        spec.row_group_size = std::min<int64_t>(kRowGroupEvents, n);
+        auto path = EnsureDataset(hepq::DefaultDataDir(), spec);
+        path.status().Check();
+        auto result = RunAdlQuery(sut.engine, q, *path);
+        result.status().Check();
+
+        MeasuredQuery measured;
+        measured.cpu_seconds = result->cpu_seconds;
+        measured.storage_bytes = result->scan.storage_bytes;
+        measured.logical_bytes_bq = result->scan.logical_bytes_bq;
+        measured.row_groups = static_cast<int>(
+            (n + spec.row_group_size - 1) / spec.row_group_size);
+        measured.events = n;
+        auto outcome = SimulateOn(sut.system, measured, sut.instance);
+        outcome.status().Check();
+        std::printf("Q%-4d %-12s %12lld %10d %14.4f %12.4f\n", q,
+                    CloudSystemName(sut.system), static_cast<long long>(n),
+                    measured.row_groups, outcome->wall_seconds,
+                    result->cpu_seconds);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "Expected shape (paper Figure 2): running time grows with size while\n"
+      "the data fits one row group (single-threaded region), then\n"
+      "plateaus once parallelization across row groups kicks in; QaaS\n"
+      "systems stay essentially flat; self-managed systems rise again\n"
+      "when there are more row groups than cores; Athena v2 beats v1 on\n"
+      "every query, most visibly on the complex ones (paper: Q6/Q8).\n");
+  return 0;
+}

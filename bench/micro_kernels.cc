@@ -1,0 +1,257 @@
+// Micro-benchmarks (google-benchmark) for the building blocks whose costs
+// explain the end-to-end differences between the engines, plus the
+// ablations called out in DESIGN.md: compression codec choice, struct
+// projection pushdown, and interpreted vs compiled per-event execution.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fourvector.h"
+#include "core/histogram.h"
+#include "core/physics.h"
+#include "core/rng.h"
+#include "datagen/dataset.h"
+#include "doc/convert.h"
+#include "engine/event_query.h"
+#include "fileio/compression.h"
+#include "fileio/crc32.h"
+#include "fileio/encoding.h"
+#include "fileio/reader.h"
+
+namespace hepq {
+namespace {
+
+std::vector<uint8_t> MakeCompressibleBuffer(size_t n) {
+  Rng rng(11);
+  std::vector<uint8_t> data(n);
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t v = static_cast<uint8_t>(rng.NextBelow(16));
+    const size_t run = 1 + rng.NextBelow(24);
+    for (size_t k = 0; k < run && i < n; ++k) data[i++] = v;
+  }
+  return data;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const auto data = MakeCompressibleBuffer(1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32);
+
+void BM_LzCompress(benchmark::State& state) {
+  const auto data = MakeCompressibleBuffer(1 << 20);
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    Compress(Codec::kLz, data.data(), data.size(), &out).Check();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+  state.counters["ratio"] =
+      static_cast<double>(data.size()) / static_cast<double>(out.size());
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const auto data = MakeCompressibleBuffer(1 << 20);
+  std::vector<uint8_t> compressed, out;
+  Compress(Codec::kLz, data.data(), data.size(), &compressed).Check();
+  for (auto _ : state) {
+    Decompress(Codec::kLz, compressed.data(), compressed.size(),
+               data.size(), &out)
+        .Check();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_LzDecompress);
+
+void BM_RleEncodeInt32(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<int32_t> values(1 << 18);
+  for (size_t i = 0; i < values.size();) {
+    const int32_t v = static_cast<int32_t>(rng.NextBelow(5));
+    const size_t run = 1 + rng.NextBelow(50);
+    for (size_t k = 0; k < run && i < values.size(); ++k) values[i++] = v;
+  }
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    EncodeValues(TypeId::kInt32, Encoding::kRleVarint, values.data(),
+                 values.size(), &out)
+        .Check();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size() * 4));
+}
+BENCHMARK(BM_RleEncodeInt32);
+
+void BM_HistogramFill(benchmark::State& state) {
+  Rng rng(17);
+  std::vector<double> values(1 << 16);
+  for (auto& v : values) v = rng.Uniform(-10.0, 210.0);
+  for (auto _ : state) {
+    Histogram1D h({"h", "", 100, 0, 200});
+    for (double v : values) h.Fill(v);
+    benchmark::DoNotOptimize(h.sum_weights());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size()));
+}
+BENCHMARK(BM_HistogramFill);
+
+void BM_InvariantMass3(benchmark::State& state) {
+  Rng rng(19);
+  std::vector<PtEtaPhiM> particles(512);
+  for (auto& p : particles) {
+    p = {rng.Uniform(15, 100), rng.Gaussian(0, 1.5), rng.Uniform(-3, 3),
+         rng.Uniform(0, 10)};
+  }
+  for (auto _ : state) {
+    double sum = 0;
+    for (size_t i = 0; i + 2 < particles.size(); i += 3) {
+      sum += InvariantMass3(particles[i], particles[i + 1],
+                            particles[i + 2]);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(particles.size() / 3));
+}
+BENCHMARK(BM_InvariantMass3);
+
+// ---------------------------------------------------------------------------
+// End-to-end kernel ablations on a shared small data set.
+// ---------------------------------------------------------------------------
+
+const std::string& AblationDataset(Codec codec) {
+  static auto& lz_path = *new std::string;
+  static auto& none_path = *new std::string;
+  std::string& path = codec == Codec::kLz ? lz_path : none_path;
+  if (path.empty()) {
+    DatasetSpec spec;
+    spec.num_events = 8000;
+    spec.row_group_size = 4000;
+    spec.codec = codec;
+    path = EnsureDataset(DefaultDataDir(), spec).ValueOrDie();
+  }
+  return path;
+}
+
+/// Ablation: scan cost with struct projection pushdown on vs off (the
+/// Athena/Presto limitation of Figure 4b).
+void BM_ScanMetPt(benchmark::State& state) {
+  ReaderOptions options;
+  options.struct_projection_pushdown = state.range(0) != 0;
+  const std::string& path = AblationDataset(Codec::kLz);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    auto reader = LaqReader::Open(path, options).ValueOrDie();
+    for (int g = 0; g < reader->num_row_groups(); ++g) {
+      auto batch = reader->ReadRowGroup(g, {"MET.pt"});
+      batch.status().Check();
+      benchmark::DoNotOptimize((*batch)->num_rows());
+    }
+    bytes = reader->scan_stats().storage_bytes;
+  }
+  state.counters["storage_bytes"] = static_cast<double>(bytes);
+  state.SetLabel(options.struct_projection_pushdown ? "pushdown"
+                                                    : "no-pushdown");
+}
+BENCHMARK(BM_ScanMetPt)->Arg(1)->Arg(0);
+
+/// Ablation: codec choice for full-width scans.
+void BM_ScanFullWidth(benchmark::State& state) {
+  const Codec codec = state.range(0) != 0 ? Codec::kLz : Codec::kNone;
+  const std::string& path = AblationDataset(codec);
+  for (auto _ : state) {
+    auto reader = LaqReader::Open(path).ValueOrDie();
+    for (int g = 0; g < reader->num_row_groups(); ++g) {
+      auto batch = reader->ReadRowGroup(g);
+      batch.status().Check();
+      benchmark::DoNotOptimize((*batch)->num_rows());
+    }
+  }
+  state.SetLabel(codec == Codec::kLz ? "lz" : "uncompressed");
+}
+BENCHMARK(BM_ScanFullWidth)->Arg(1)->Arg(0);
+
+/// Ablation: compiled-style native loop vs interpreted expression tree vs
+/// boxed items for the same per-event computation (count jets pt > 40) —
+/// the execution-model spectrum RDataFrame / BigQuery-shape / Rumble.
+void BM_CountJetsNative(benchmark::State& state) {
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch = reader->ReadRowGroup(0, {"Jet.pt"}).ValueOrDie();
+  const auto& list = static_cast<const ListArray&>(*batch->column(0));
+  const auto& pt = static_cast<const Float32Array&>(
+      *static_cast<const StructArray&>(*list.child()).child(0));
+  for (auto _ : state) {
+    int64_t selected = 0;
+    for (int64_t row = 0; row < batch->num_rows(); ++row) {
+      const uint32_t begin = list.list_offset(row);
+      const uint32_t end = begin + list.list_length(row);
+      int n = 0;
+      for (uint32_t i = begin; i < end; ++i) {
+        if (pt.Value(i) > 40.0f) ++n;
+      }
+      if (n >= 2) ++selected;
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch->num_rows());
+}
+BENCHMARK(BM_CountJetsNative);
+
+void BM_CountJetsExprTree(benchmark::State& state) {
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch = reader->ReadRowGroup(0, {"Jet.pt"}).ValueOrDie();
+  engine::EventQuery query("bench");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  query.AddStage(engine::Ge(
+      engine::AggOverList(engine::AggKind::kCount, jets, 0,
+                          engine::Gt(engine::IterMember(jets, 0, 0),
+                                     engine::Lit(40.0)),
+                          nullptr),
+      engine::Lit(2.0)));
+  query.AddHistogram({"h", "", 10, 0, 10}, engine::Lit(1.0));
+  for (auto _ : state) {
+    auto result = query.MakeResult();
+    query.ExecuteBatch(*batch, &result).Check();
+    benchmark::DoNotOptimize(result.events_selected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch->num_rows());
+}
+BENCHMARK(BM_CountJetsExprTree);
+
+void BM_CountJetsBoxedItems(benchmark::State& state) {
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch = reader->ReadRowGroup(0).ValueOrDie();
+  for (auto _ : state) {
+    int64_t selected = 0;
+    for (int64_t row = 0; row < batch->num_rows(); ++row) {
+      const doc::ItemPtr event = doc::EventToItem(*batch, row);
+      const doc::ItemPtr jets = event->Member("Jet");
+      int n = 0;
+      for (const doc::ItemPtr& jet : jets->Elements()) {
+        if (jet->Member("pt")->AsDouble() > 40.0) ++n;
+      }
+      if (n >= 2) ++selected;
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch->num_rows());
+}
+BENCHMARK(BM_CountJetsBoxedItems);
+
+}  // namespace
+}  // namespace hepq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Cost explorer: answer "where should I run this analysis?" for one ADL
+// query. Measures the real engines locally, extrapolates to the paper's
+// full 53.4M-event data set, and prints the simulated wall-clock/cost
+// matrix across cloud deployments — a single-query slice of Figure 1.
+//
+// Usage: cost_explorer [query 1..8]   (default: 5)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cloud/simulator.h"
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+
+using hepq::cloud::CloudSystem;
+using hepq::cloud::CloudSystemName;
+using hepq::cloud::InstanceType;
+using hepq::cloud::IsQaas;
+using hepq::cloud::M5dInstances;
+using hepq::cloud::MeasuredQuery;
+using hepq::cloud::SimulateOn;
+using hepq::queries::EngineKind;
+using hepq::queries::RunAdlQuery;
+
+namespace {
+
+constexpr int64_t kPaperEvents = 53446198;
+constexpr int kPaperRowGroups = 128;
+
+MeasuredQuery Extrapolate(const hepq::queries::QueryRunOutput& output) {
+  MeasuredQuery measured;
+  const double scale = static_cast<double>(kPaperEvents) /
+                       static_cast<double>(output.events_processed);
+  measured.cpu_seconds = output.cpu_seconds * scale;
+  measured.storage_bytes =
+      static_cast<uint64_t>(output.scan.storage_bytes * scale);
+  measured.logical_bytes_bq =
+      static_cast<uint64_t>(output.scan.logical_bytes_bq * scale);
+  measured.row_groups = kPaperRowGroups;
+  measured.events = kPaperEvents;
+  return measured;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int q = argc > 1 ? std::atoi(argv[1]) : 5;
+  if (q < 1 || q > 8) {
+    std::fprintf(stderr, "usage: %s [query 1..8]\n", argv[0]);
+    return 1;
+  }
+
+  hepq::DatasetSpec spec;
+  spec.num_events = 20000;
+  spec.row_group_size = 5000;
+  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  path.status().Check();
+
+  std::printf("Q%d: %s\n", q, hepq::queries::AdlQueryTitle(q));
+  std::printf("measuring engines on %lld local events, extrapolating to "
+              "%lld events...\n\n",
+              static_cast<long long>(spec.num_events),
+              static_cast<long long>(kPaperEvents));
+
+  struct Deployment {
+    CloudSystem system;
+    EngineKind engine;
+  };
+  const Deployment deployments[] = {
+      {CloudSystem::kBigQuery, EngineKind::kBigQueryShape},
+      {CloudSystem::kBigQueryExternal, EngineKind::kBigQueryShape},
+      {CloudSystem::kAthenaV2, EngineKind::kPrestoShape},
+      {CloudSystem::kPresto, EngineKind::kPrestoShape},
+      {CloudSystem::kRDataFrame, EngineKind::kRdf},
+      {CloudSystem::kRumble, EngineKind::kDoc},
+  };
+
+  std::printf("%-14s %-14s %12s %14s\n", "system", "instance", "wall [s]",
+              "cost [USD]");
+  double best_cost = 1e300, best_wall = 1e300;
+  std::string cheapest, fastest;
+  for (const Deployment& deployment : deployments) {
+    auto output = RunAdlQuery(deployment.engine, q, *path);
+    output.status().Check();
+    const MeasuredQuery measured = Extrapolate(*output);
+    if (IsQaas(deployment.system)) {
+      auto outcome = SimulateOn(deployment.system, measured, "");
+      outcome.status().Check();
+      std::printf("%-14s %-14s %12.2f %14.6f\n",
+                  CloudSystemName(deployment.system), "(elastic)",
+                  outcome->wall_seconds, outcome->cost_usd);
+      if (outcome->cost_usd < best_cost) {
+        best_cost = outcome->cost_usd;
+        cheapest = CloudSystemName(deployment.system);
+      }
+      if (outcome->wall_seconds < best_wall) {
+        best_wall = outcome->wall_seconds;
+        fastest = CloudSystemName(deployment.system);
+      }
+      continue;
+    }
+    for (const InstanceType& instance : M5dInstances()) {
+      auto outcome = SimulateOn(deployment.system, measured, instance.name);
+      outcome.status().Check();
+      std::printf("%-14s %-14s %12.2f %14.6f\n",
+                  CloudSystemName(deployment.system), instance.name.c_str(),
+                  outcome->wall_seconds, outcome->cost_usd);
+      if (outcome->cost_usd < best_cost) {
+        best_cost = outcome->cost_usd;
+        cheapest = std::string(CloudSystemName(deployment.system)) + " on " +
+                   instance.name;
+      }
+      if (outcome->wall_seconds < best_wall) {
+        best_wall = outcome->wall_seconds;
+        fastest = std::string(CloudSystemName(deployment.system)) + " on " +
+                  instance.name;
+      }
+    }
+  }
+  std::printf("\nfastest:  %s (%.2f s)\ncheapest: %s (%.6f USD)\n",
+              fastest.c_str(), best_wall, cheapest.c_str(), best_cost);
+  return 0;
+}

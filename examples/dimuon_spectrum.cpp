@@ -1,0 +1,93 @@
+// Dimuon invariant-mass spectrum: the classic "rediscover the Z boson"
+// analysis (the physics behind ADL Q5), expressed as a declarative
+// per-event query plan on the relational engine — the BigQuery-shape
+// execution model — and rendered as an ASCII histogram.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "engine/event_query.h"
+#include "fileio/reader.h"
+
+namespace e = hepq::engine;
+
+namespace {
+
+void RenderAscii(const hepq::Histogram1D& h) {
+  double peak = 1.0;
+  for (int b = 0; b < h.spec().num_bins; ++b) {
+    peak = std::max(peak, h.BinContent(b));
+  }
+  for (int b = 0; b < h.spec().num_bins; b += 2) {
+    const double content = h.BinContent(b) + h.BinContent(b + 1);
+    const int width = static_cast<int>(60.0 * content / (2.0 * peak));
+    std::printf("%7.1f | %-60.*s %6.0f\n", h.BinLowEdge(b), width,
+                "############################################################",
+                content);
+  }
+}
+
+}  // namespace
+
+int main() {
+  hepq::DatasetSpec spec;
+  spec.num_events = 100000;
+  spec.row_group_size = 25000;
+  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  path.status().Check();
+
+  // Declarative plan: per event, find the opposite-charge muon pair whose
+  // invariant mass is closest to the Z mass and histogram that mass (the
+  // "best-candidate" idiom Q6/Q8 use).
+  e::EventQuery query("dimuon");
+  const int muons =
+      query.DeclareList("Muon", {"pt", "eta", "phi", "mass", "charge"});
+  auto kin = [&](int iter) {
+    return std::vector<e::ExprPtr>{
+        e::IterMember(muons, iter, 0), e::IterMember(muons, iter, 1),
+        e::IterMember(muons, iter, 2), e::IterMember(muons, iter, 3)};
+  };
+  auto pair_mass_for = [&](int a, int b) {
+    std::vector<e::ExprPtr> args = kin(a);
+    const auto second = kin(b);
+    args.insert(args.end(), second.begin(), second.end());
+    return e::Call(e::Fn::kInvMass2, args);
+  };
+  const e::ExprPtr pair_mass = pair_mass_for(0, 1);
+
+  // Full spectrum: one entry per opposite-charge pair (the SQL "emit all
+  // qualifying pairs" pattern). Uses iterator slots 2/3 so it cannot
+  // disturb the best-pair binding on slots 0/1.
+  query.AddPerCombinationHistogram(
+      {"m_mumu", "dimuon invariant mass [GeV]", 60, 30.0, 150.0},
+      {{muons, 2}, {muons, 3}},
+      e::Ne(e::IterMember(muons, 2, 4), e::IterMember(muons, 3, 4)),
+      pair_mass_for(2, 3));
+  // Best-candidate spectrum: per event, the pair closest to the Z mass
+  // (the Q6/Q8 idiom), sharpening the peak.
+  query.AddStage(e::BestCombination(
+      {{muons, 0}, {muons, 1}},
+      e::Ne(e::IterMember(muons, 0, 4), e::IterMember(muons, 1, 4)),
+      e::Abs(e::Sub(pair_mass, e::Lit(91.2)))));
+  query.AddHistogram({"m_best", "best-pair invariant mass [GeV]", 60, 30.0,
+                      150.0},
+                     pair_mass);
+
+  auto reader = hepq::LaqReader::Open(*path).ValueOrDie();
+  auto result = query.Execute(reader.get()).ValueOrDie();
+
+  std::printf("events: %lld, with OS dimuon: %lld\n",
+              static_cast<long long>(result.events_processed),
+              static_cast<long long>(result.events_selected));
+  std::printf("\nall-pairs dimuon invariant mass spectrum (Z peak at ~91 "
+              "GeV):\n\n");
+  RenderAscii(result.histograms[0]);
+  std::printf("\nbest-pair entries: %llu (one per selected event)\n",
+              static_cast<unsigned long long>(
+                  result.histograms[1].num_entries()));
+  std::printf("\nmean mass: %.2f GeV, combinations explored/event: %.2f\n",
+              result.histograms[1].mean(),
+              static_cast<double>(result.ops) / result.events_processed);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: generate a synthetic CMS-like data set, write it to the
+// `laq` columnar format, and run a first analysis with the RDataFrame-like
+// interface — the "plot the missing ET of all events" query (ADL Q1).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "rdf/rdf.h"
+
+int main() {
+  using hepq::rdf::EventView;
+  using hepq::rdf::RDataFrame;
+
+  // 1. Materialize a deterministic synthetic data set (cached on disk;
+  //    regenerating yields a bit-identical file).
+  hepq::DatasetSpec spec;
+  spec.num_events = 50000;
+  spec.row_group_size = 10000;
+  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  path.status().Check();
+  std::printf("data set: %s\n", path->c_str());
+
+  // 2. Open it as a data frame and declare the columns we read. Like in
+  //    ROOT's RDataFrame, the physical leaf columns are part of the
+  //    programming model.
+  auto df = RDataFrame::Open(*path).ValueOrDie();
+  const auto met = df->Scalar<float>("MET.pt").ValueOrDie();
+  const auto jet_pt = df->Particles<float>("Jet.pt").ValueOrDie();
+
+  // 3. Book actions on the lazy node graph.
+  auto h_met = df->root().Histo1D(
+      {"met", "E_T^miss of all events", 100, 0.0, 200.0},
+      [met](const EventView& e) { return e.Get(met); });
+  auto dijet = df->root().Filter([jet_pt](const EventView& e) {
+    return e.Get(jet_pt).size() >= 2;
+  });
+  auto n_dijet = dijet.Count();
+
+  // 4. One pass over the data executes everything.
+  df->Run().Check();
+
+  std::printf("%s\n", df->GetHistogram(h_met).ToString(12).c_str());
+  std::printf("events with >= 2 jets: %lld of %lld\n",
+              static_cast<long long>(df->GetCount(n_dijet)),
+              static_cast<long long>(df->run_stats().events_processed));
+  std::printf("bytes read from storage: %llu (projection pushdown: only "
+              "MET.pt and Jet.pt leaves)\n",
+              static_cast<unsigned long long>(
+                  df->run_stats().scan.storage_bytes));
+  return 0;
+}

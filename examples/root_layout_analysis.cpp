@@ -1,0 +1,107 @@
+// ROOT-layout analysis: the paper (§3.1) contrasts ROOT files — which
+// expose particles as decomposed parallel branches (nJet, Jet_pt,
+// Jet_eta, ...) both physically and logically — with the nested
+// list<struct> representation the relational systems use. This example
+// converts the synthetic data set to the ROOT-style flat layout, stores
+// it in the same `laq` format, and runs the identical analysis against
+// both layouts: the physics agrees, only the programming model differs
+// (re-composing particles from parallel branches by index).
+
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "datagen/generator.h"
+#include "datagen/root_layout.h"
+#include "fileio/writer.h"
+#include "rdf/rdf.h"
+
+using hepq::rdf::EventView;
+using hepq::rdf::RDataFrame;
+
+int main() {
+  // Nested data set (list<struct> particles).
+  hepq::DatasetSpec spec;
+  spec.num_events = 30000;
+  spec.row_group_size = 10000;
+  auto nested_path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  nested_path.status().Check();
+
+  // Convert to the ROOT-style flat layout and store alongside.
+  const std::string flat_path =
+      hepq::DefaultDataDir() + "/cms_root_layout_30000ev.laq";
+  {
+    hepq::GeneratorConfig config;
+    hepq::EventGenerator generator(config);
+    auto flat_schema =
+        hepq::RootLayoutSchema(*hepq::EventGenerator::CmsSchema())
+            .ValueOrDie();
+    hepq::WriterOptions options;
+    options.row_group_size = spec.row_group_size;
+    auto writer =
+        hepq::LaqWriter::Open(flat_path, flat_schema, options).ValueOrDie();
+    for (int64_t done = 0; done < spec.num_events;
+         done += spec.row_group_size) {
+      auto nested = generator.GenerateBatch(
+          std::min(spec.row_group_size, spec.num_events - done));
+      writer->WriteBatch(*hepq::ToRootLayout(*nested).ValueOrDie()).Check();
+    }
+    writer->Close().Check();
+  }
+
+  const hepq::HistogramSpec histogram_spec{"q3", "pt of central jets", 100,
+                                           0.0, 200.0};
+
+  // Analysis on the nested layout: one logical Jet column.
+  auto nested_df = RDataFrame::Open(*nested_path).ValueOrDie();
+  auto jet_pt = nested_df->Particles<float>("Jet.pt").ValueOrDie();
+  auto jet_eta = nested_df->Particles<float>("Jet.eta").ValueOrDie();
+  auto h_nested = nested_df->root().Histo1DVec(
+      histogram_spec, [jet_pt, jet_eta](const EventView& e) {
+        const auto pts = e.Get(jet_pt);
+        const auto etas = e.Get(jet_eta);
+        hepq::rdf::RVecD out;
+        for (size_t i = 0; i < pts.size(); ++i) {
+          if (std::abs(etas[i]) < 1.0f) out.push_back(pts[i]);
+        }
+        return out;
+      });
+  nested_df->Run().Check();
+
+  // The same analysis on the ROOT layout: parallel Jet_pt/Jet_eta
+  // branches, re-composed by index — the extra mental step the paper
+  // says the nested representation removes.
+  auto flat_df = RDataFrame::Open(flat_path).ValueOrDie();
+  auto branch_pt = flat_df->Particles<float>("Jet_pt").ValueOrDie();
+  auto branch_eta = flat_df->Particles<float>("Jet_eta").ValueOrDie();
+  auto h_flat = flat_df->root().Histo1DVec(
+      histogram_spec, [branch_pt, branch_eta](const EventView& e) {
+        const auto pts = e.Get(branch_pt);
+        const auto etas = e.Get(branch_eta);
+        hepq::rdf::RVecD out;
+        for (size_t i = 0; i < pts.size(); ++i) {
+          if (std::abs(etas[i]) < 1.0f) out.push_back(pts[i]);
+        }
+        return out;
+      });
+  flat_df->Run().Check();
+
+  const auto& nested_hist = nested_df->GetHistogram(h_nested);
+  const auto& flat_hist = flat_df->GetHistogram(h_flat);
+  std::printf("nested layout: %llu entries, mean %.4f\n",
+              static_cast<unsigned long long>(nested_hist.num_entries()),
+              nested_hist.mean());
+  std::printf("ROOT layout:   %llu entries, mean %.4f\n",
+              static_cast<unsigned long long>(flat_hist.num_entries()),
+              flat_hist.mean());
+  std::printf("identical: %s\n",
+              nested_hist.ApproxEquals(flat_hist) ? "yes" : "NO");
+  std::printf(
+      "\nbytes read  nested: %llu   ROOT layout: %llu\n"
+      "(same physical shredding on disk; the layouts differ only in the\n"
+      "logical schema the query author sees — paper §3.1)\n",
+      static_cast<unsigned long long>(
+          nested_df->run_stats().scan.storage_bytes),
+      static_cast<unsigned long long>(
+          flat_df->run_stats().scan.storage_bytes));
+  return nested_hist.ApproxEquals(flat_hist) ? 0 : 1;
+}

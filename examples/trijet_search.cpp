@@ -1,0 +1,54 @@
+// Trijet top-quark candidate search (ADL Q6), run on all four execution
+// models to show that they agree bit-for-bit on the physics while
+// differing by orders of magnitude in cost — the central observation of
+// the paper.
+
+#include <cstdio>
+
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+
+int main() {
+  using hepq::queries::EngineKind;
+  using hepq::queries::EngineKindName;
+  using hepq::queries::RunAdlQuery;
+
+  hepq::DatasetSpec spec;
+  spec.num_events = 20000;
+  spec.row_group_size = 5000;
+  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  path.status().Check();
+
+  std::printf(
+      "ADL Q6: in events with >= 3 jets, find the trijet whose invariant\n"
+      "mass is closest to the top-quark mass (172.5 GeV); plot the trijet\n"
+      "pt and its maximum b-tag discriminant.\n\n");
+
+  const EngineKind engines[] = {EngineKind::kRdf, EngineKind::kBigQueryShape,
+                                EngineKind::kPrestoShape, EngineKind::kDoc};
+  std::printf("%-16s %12s %12s %14s %14s\n", "engine", "cpu [s]",
+              "entries", "mean pt", "mean max-btag");
+  hepq::Histogram1D reference;
+  bool have_reference = false;
+  for (EngineKind engine : engines) {
+    auto result = RunAdlQuery(engine, 6, *path);
+    result.status().Check();
+    std::printf("%-16s %12.3f %12llu %14.3f %14.4f\n",
+                EngineKindName(engine), result->cpu_seconds,
+                static_cast<unsigned long long>(
+                    result->histograms[0].num_entries()),
+                result->histograms[0].mean(), result->histograms[1].mean());
+    if (!have_reference) {
+      reference = result->histograms[0];
+      have_reference = true;
+    } else if (!reference.ApproxEquals(result->histograms[0], 1e-6)) {
+      std::printf("  ^^ MISMATCH against the RDataFrame reference!\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nAll engines produce identical histograms; the cost spread is the\n"
+      "execution model: compiled event loop vs interpreted expressions vs\n"
+      "flattening plans vs boxed items (paper Figures 1/4, query Q6).\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+#include "cloud/instances.h"
+
+namespace hepq::cloud {
+
+const std::vector<InstanceType>& M5dInstances() {
+  static const auto& instances = *new std::vector<InstanceType>{
+      {"m5d.xlarge", 4, 2, 16.0, 0.252},
+      {"m5d.2xlarge", 8, 4, 32.0, 0.504},
+      {"m5d.4xlarge", 16, 8, 64.0, 1.008},
+      {"m5d.8xlarge", 32, 16, 128.0, 2.016},
+      {"m5d.12xlarge", 48, 24, 192.0, 3.024},
+      {"m5d.16xlarge", 64, 32, 256.0, 4.032},
+      {"m5d.24xlarge", 96, 48, 384.0, 6.048},
+  };
+  return instances;
+}
+
+Result<InstanceType> FindInstance(const std::string& name) {
+  for (const InstanceType& instance : M5dInstances()) {
+    if (instance.name == name) return instance;
+  }
+  return Status::KeyError("unknown instance type '" + name + "'");
+}
+
+}  // namespace hepq::cloud

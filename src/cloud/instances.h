@@ -1,0 +1,33 @@
+#ifndef HEPQUERY_CLOUD_INSTANCES_H_
+#define HEPQUERY_CLOUD_INSTANCES_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hepq::cloud {
+
+/// One cloud VM type. The catalogue mirrors the m5d family used by the
+/// paper's self-managed deployments: the largest size (m5d.24xlarge) has
+/// 48 physical cores / 96 vCPUs and costs 6.048 $/h in eu-west-1; all
+/// smaller sizes are proportional (0.063 $/h per vCPU).
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;        // logical cores (SMT)
+  int physical_cores = 0;
+  double memory_gib = 0.0;
+  double usd_per_hour = 0.0;
+
+  double usd_per_second() const { return usd_per_hour / 3600.0; }
+};
+
+/// The m5d series from xlarge to 24xlarge (paper §4.1).
+const std::vector<InstanceType>& M5dInstances();
+
+/// Lookup by name ("m5d.12xlarge").
+Result<InstanceType> FindInstance(const std::string& name);
+
+}  // namespace hepq::cloud
+
+#endif  // HEPQUERY_CLOUD_INSTANCES_H_

@@ -1,0 +1,185 @@
+#include "cloud/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hepq::cloud {
+
+const char* CloudSystemName(CloudSystem system) {
+  switch (system) {
+    case CloudSystem::kBigQuery:
+      return "BigQuery";
+    case CloudSystem::kBigQueryExternal:
+      return "BigQuery(ext)";
+    case CloudSystem::kAthenaV1:
+      return "Athena v1";
+    case CloudSystem::kAthenaV2:
+      return "Athena v2";
+    case CloudSystem::kPresto:
+      return "Presto";
+    case CloudSystem::kRDataFrame:
+      return "RDataFrame";
+    case CloudSystem::kRumble:
+      return "Rumble";
+  }
+  return "unknown";
+}
+
+bool IsQaas(CloudSystem system) {
+  return system == CloudSystem::kBigQuery ||
+         system == CloudSystem::kBigQueryExternal ||
+         system == CloudSystem::kAthenaV1 ||
+         system == CloudSystem::kAthenaV2;
+}
+
+const char* MeasurementEngineFor(CloudSystem system) {
+  switch (system) {
+    case CloudSystem::kBigQuery:
+    case CloudSystem::kBigQueryExternal:
+      return "bigquery-shape";
+    case CloudSystem::kAthenaV1:
+    case CloudSystem::kAthenaV2:
+    case CloudSystem::kPresto:
+      return "presto-shape";
+    case CloudSystem::kRDataFrame:
+      return "rdataframe";
+    case CloudSystem::kRumble:
+      return "jsoniq-doc";
+  }
+  return "unknown";
+}
+
+SystemModel DefaultModel(CloudSystem system) {
+  SystemModel model;
+  model.system = system;
+  switch (system) {
+    case CloudSystem::kBigQuery:
+      // Pre-loaded native storage is ~2x faster than external tables
+      // (paper §4.1); Dremel's elasticity assigns roughly one worker per
+      // input split.
+      model.startup_seconds = 1.5;
+      model.cpu_factor = 0.5;
+      model.qaas_groups_per_worker = 1.0;
+      break;
+    case CloudSystem::kBigQueryExternal:
+      model.startup_seconds = 1.5;
+      model.cpu_factor = 1.0;
+      model.qaas_groups_per_worker = 1.0;
+      break;
+    case CloudSystem::kAthenaV1:
+      // The previous engine generation: every query runs slower and the
+      // computationally complex ones much slower (paper §4.2); its
+      // scanned-bytes reporting was implausible, so Figure 1 excluded it.
+      model.startup_seconds = 5.0;
+      model.cpu_factor = 2.6;
+      model.qaas_groups_per_worker = 3.0;
+      break;
+    case CloudSystem::kAthenaV2:
+      // Slower dispatch, less elastic resource assignment than BigQuery.
+      model.startup_seconds = 3.0;
+      model.cpu_factor = 1.1;
+      model.qaas_groups_per_worker = 2.0;
+      break;
+    case CloudSystem::kPresto:
+      // JVM + page-at-a-time overhead on top of the measured plan cost;
+      // decent but sub-linear scaling on many cores (paper §4.1).
+      model.startup_seconds = 2.0;
+      model.cpu_factor = 1.6;
+      model.contention_coeff = 0.002;
+      model.contention_knee = 24.0;
+      model.contention_power = 1.2;
+      model.management_cores = 1.0;
+      break;
+    case CloudSystem::kRDataFrame:
+      // Compiled event loop; lock contention on the task scheduler makes
+      // it degrade beyond ~16 threads (ROOT PPP 2021, Forum #44222).
+      model.startup_seconds = 0.3;
+      model.cpu_factor = 1.0;
+      model.contention_coeff = 0.004;
+      model.contention_knee = 16.0;
+      model.contention_power = 1.5;
+      break;
+    case CloudSystem::kRumble:
+      // Spark job submission plus the measured boxed-interpretation cost;
+      // the driver occupies cores, which dominates small instances.
+      model.startup_seconds = 25.0;
+      model.cpu_factor = 1.3;
+      model.contention_coeff = 0.001;
+      model.contention_knee = 32.0;
+      model.contention_power = 1.2;
+      model.management_cores = 2.0;
+      break;
+  }
+  return model;
+}
+
+Result<SimOutcome> Simulate(const SystemModel& model,
+                            const MeasuredQuery& measured,
+                            const InstanceType* instance) {
+  if (measured.row_groups < 1) {
+    return Status::Invalid("measured query needs >= 1 row group");
+  }
+  SimOutcome outcome;
+  const double total_cpu = measured.cpu_seconds * model.cpu_factor;
+  const double per_group_cpu = total_cpu / measured.row_groups;
+
+  if (IsQaas(model.system)) {
+    // Elastic deployment: the provider assigns workers proportional to the
+    // number of input splits; per-query wall time is essentially constant
+    // in the data size once all splits run in parallel (paper Figure 2).
+    const int workers = std::max(
+        1, static_cast<int>(std::ceil(measured.row_groups /
+                                      model.qaas_groups_per_worker)));
+    const int groups_per_worker = static_cast<int>(
+        std::ceil(static_cast<double>(measured.row_groups) / workers));
+    outcome.workers = workers;
+    outcome.wall_seconds =
+        model.startup_seconds + per_group_cpu * groups_per_worker;
+    outcome.billed_bytes = (model.system == CloudSystem::kAthenaV1 ||
+                            model.system == CloudSystem::kAthenaV2)
+                               ? measured.storage_bytes
+                               : measured.logical_bytes_bq;
+    outcome.cost_usd = static_cast<double>(outcome.billed_bytes) * 1e-12 *
+                       model.usd_per_tb;
+    return outcome;
+  }
+
+  if (instance == nullptr) {
+    return Status::Invalid("self-managed systems need an instance type");
+  }
+  // Workers = logical cores minus cluster management share, capped by the
+  // parallelism granularity (row groups).
+  const double usable_cores =
+      std::max(1.0, instance->vcpus - model.management_cores);
+  const int workers = std::max(
+      1, std::min(measured.row_groups, static_cast<int>(usable_cores)));
+  const double contention =
+      1.0 + model.contention_coeff *
+                std::pow(std::max(0.0, static_cast<double>(workers) -
+                                           model.contention_knee),
+                         model.contention_power);
+  // LPT over identical tasks: ceil(groups / workers) groups per worker.
+  const int groups_per_worker = static_cast<int>(std::ceil(
+      static_cast<double>(measured.row_groups) / workers));
+  outcome.workers = workers;
+  outcome.contention_factor = contention;
+  outcome.wall_seconds = model.startup_seconds +
+                         per_group_cpu * groups_per_worker * contention;
+  outcome.cost_usd =
+      outcome.wall_seconds * instance->usd_per_second() * model.price_factor;
+  return outcome;
+}
+
+Result<SimOutcome> SimulateOn(CloudSystem system,
+                              const MeasuredQuery& measured,
+                              const std::string& instance_name) {
+  const SystemModel model = DefaultModel(system);
+  if (IsQaas(system)) {
+    return Simulate(model, measured, nullptr);
+  }
+  InstanceType instance;
+  HEPQ_ASSIGN_OR_RETURN(instance, FindInstance(instance_name));
+  return Simulate(model, measured, &instance);
+}
+
+}  // namespace hepq::cloud

@@ -1,0 +1,16 @@
+#include "columnar/builder.h"
+
+namespace hepq {
+
+Result<ArrayPtr> MakeListOfStructArray(std::vector<Field> leaf_fields,
+                                       std::vector<uint32_t> offsets,
+                                       std::vector<ArrayPtr> leaf_arrays) {
+  std::shared_ptr<StructArray> values;
+  HEPQ_ASSIGN_OR_RETURN(
+      values, StructArray::Make(std::move(leaf_fields), std::move(leaf_arrays)));
+  std::shared_ptr<ListArray> list;
+  HEPQ_ASSIGN_OR_RETURN(list, ListArray::Make(std::move(offsets), values));
+  return ArrayPtr(list);
+}
+
+}  // namespace hepq

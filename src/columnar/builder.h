@@ -1,0 +1,61 @@
+#ifndef HEPQUERY_COLUMNAR_BUILDER_H_
+#define HEPQUERY_COLUMNAR_BUILDER_H_
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "columnar/array.h"
+#include "columnar/types.h"
+
+namespace hepq {
+
+/// Append-only builder for fixed-width primitive columns.
+template <typename T>
+class PrimitiveBuilder {
+ public:
+  explicit PrimitiveBuilder(DataTypePtr type) : type_(std::move(type)) {}
+
+  void Reserve(size_t n) { values_.reserve(n); }
+  void Append(T v) { values_.push_back(v); }
+  void AppendSpan(std::span<const T> vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+  }
+  int64_t length() const { return static_cast<int64_t>(values_.size()); }
+
+  std::shared_ptr<PrimitiveArray<T>> Finish() {
+    return std::make_shared<PrimitiveArray<T>>(type_, std::move(values_));
+  }
+
+ private:
+  DataTypePtr type_;
+  std::vector<T> values_;
+};
+
+inline ArrayPtr MakeFloat32Array(std::vector<float> v) {
+  return std::make_shared<Float32Array>(DataType::Float32(), std::move(v));
+}
+inline ArrayPtr MakeFloat64Array(std::vector<double> v) {
+  return std::make_shared<Float64Array>(DataType::Float64(), std::move(v));
+}
+inline ArrayPtr MakeInt32Array(std::vector<int32_t> v) {
+  return std::make_shared<Int32Array>(DataType::Int32(), std::move(v));
+}
+inline ArrayPtr MakeInt64Array(std::vector<int64_t> v) {
+  return std::make_shared<Int64Array>(DataType::Int64(), std::move(v));
+}
+inline ArrayPtr MakeBoolArray(std::vector<uint8_t> v) {
+  return std::make_shared<BoolArray>(DataType::Bool(), std::move(v));
+}
+
+/// Assembles a list<struct<...>> column — the layout of every particle
+/// collection (Jet, Muon, Electron, ...) — from per-leaf arrays plus shared
+/// list offsets.
+Result<ArrayPtr> MakeListOfStructArray(std::vector<Field> leaf_fields,
+                                       std::vector<uint32_t> offsets,
+                                       std::vector<ArrayPtr> leaf_arrays);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_COLUMNAR_BUILDER_H_

@@ -1,0 +1,148 @@
+#include "columnar/types.h"
+
+namespace hepq {
+
+const char* TypeIdName(TypeId id) {
+  switch (id) {
+    case TypeId::kFloat32:
+      return "float32";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kBool:
+      return "bool";
+    case TypeId::kList:
+      return "list";
+    case TypeId::kStruct:
+      return "struct";
+  }
+  return "unknown";
+}
+
+int PrimitiveWidth(TypeId id) {
+  switch (id) {
+    case TypeId::kFloat32:
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kFloat64:
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kBool:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+bool IsPrimitive(TypeId id) {
+  return id != TypeId::kList && id != TypeId::kStruct;
+}
+
+// The private constructor forces creation through these factories, which
+// lets primitive types be process-wide singletons.
+#define HEPQ_PRIMITIVE_FACTORY(Name, IdValue)                              \
+  DataTypePtr DataType::Name() {                                          \
+    static const auto& instance = *new DataTypePtr(                       \
+        std::shared_ptr<const DataType>(new DataType(IdValue, {})));      \
+    return instance;                                                      \
+  }
+
+HEPQ_PRIMITIVE_FACTORY(Float32, TypeId::kFloat32)
+HEPQ_PRIMITIVE_FACTORY(Float64, TypeId::kFloat64)
+HEPQ_PRIMITIVE_FACTORY(Int32, TypeId::kInt32)
+HEPQ_PRIMITIVE_FACTORY(Int64, TypeId::kInt64)
+HEPQ_PRIMITIVE_FACTORY(Bool, TypeId::kBool)
+
+#undef HEPQ_PRIMITIVE_FACTORY
+
+DataTypePtr DataType::List(DataTypePtr item) {
+  return std::shared_ptr<const DataType>(
+      new DataType(TypeId::kList, {Field{"item", std::move(item)}}));
+}
+
+DataTypePtr DataType::Struct(std::vector<Field> fields) {
+  return std::shared_ptr<const DataType>(
+      new DataType(TypeId::kStruct, std::move(fields)));
+}
+
+int DataType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool DataType::Equals(const DataType& other) const {
+  if (id_ != other.id_) return false;
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (id_ == TypeId::kStruct && fields_[i].name != other.fields_[i].name) {
+      return false;
+    }
+    if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+std::string DataType::ToString() const {
+  if (is_primitive()) return TypeIdName(id_);
+  if (id_ == TypeId::kList) {
+    return "list<" + item_type()->ToString() + ">";
+  }
+  std::string out = "struct<";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name + ": " + fields_[i].type->ToString();
+  }
+  out += ">";
+  return out;
+}
+
+int DataType::NumLeaves() const {
+  if (is_primitive()) return 1;
+  int n = 0;
+  for (const auto& f : fields_) n += f.type->NumLeaves();
+  return n;
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<Field> Schema::FindField(const std::string& name) const {
+  const int i = FieldIndex(name);
+  if (i < 0) return Status::KeyError("no column named '" + name + "'");
+  return fields_[static_cast<size_t>(i)];
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name) return false;
+    if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema {\n";
+  for (const auto& f : fields_) {
+    out += "  " + f.name + ": " + f.type->ToString() + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+int Schema::NumLeaves() const {
+  int n = 0;
+  for (const auto& f : fields_) n += f.type->NumLeaves();
+  return n;
+}
+
+}  // namespace hepq

@@ -1,0 +1,110 @@
+#ifndef HEPQUERY_COLUMNAR_TYPES_H_
+#define HEPQUERY_COLUMNAR_TYPES_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hepq {
+
+/// Physical/logical type tags of the columnar layer. HEP data sets contain
+/// no NULL values (see paper §2.1), so there are no validity bitmaps
+/// anywhere in this library.
+enum class TypeId : uint8_t {
+  kFloat32 = 0,
+  kFloat64 = 1,
+  kInt32 = 2,
+  kInt64 = 3,
+  kBool = 4,
+  kList = 5,    // variable-length list, one child ("item")
+  kStruct = 6,  // record, N named children
+};
+
+const char* TypeIdName(TypeId id);
+
+/// Number of bytes of one element of a primitive type; 1 for bool.
+int PrimitiveWidth(TypeId id);
+bool IsPrimitive(TypeId id);
+
+class DataType;
+using DataTypePtr = std::shared_ptr<const DataType>;
+
+/// A named, typed slot inside a schema or a struct type.
+struct Field {
+  std::string name;
+  DataTypePtr type;
+};
+
+/// Immutable (possibly nested) data type. Lists have exactly one child
+/// (conventionally named "item"); structs have one child per member.
+class DataType {
+ public:
+  static DataTypePtr Float32();
+  static DataTypePtr Float64();
+  static DataTypePtr Int32();
+  static DataTypePtr Int64();
+  static DataTypePtr Bool();
+  static DataTypePtr List(DataTypePtr item);
+  static DataTypePtr Struct(std::vector<Field> fields);
+
+  TypeId id() const { return id_; }
+  bool is_primitive() const { return IsPrimitive(id_); }
+
+  /// Children: empty for primitives, {item} for lists, members for structs.
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+
+  /// For lists: the element type.
+  const DataTypePtr& item_type() const { return fields_[0].type; }
+
+  /// Index of the struct member called `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Structural equality (names and types, recursively).
+  bool Equals(const DataType& other) const;
+
+  /// Human-readable rendering, e.g. "list<struct<pt: float32, ...>>".
+  std::string ToString() const;
+
+  /// Number of primitive leaf columns after Dremel-style shredding.
+  int NumLeaves() const;
+
+ private:
+  DataType(TypeId id, std::vector<Field> fields)
+      : id_(id), fields_(std::move(fields)) {}
+
+  TypeId id_;
+  std::vector<Field> fields_;
+};
+
+/// Ordered collection of named top-level columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+
+  int FieldIndex(const std::string& name) const;
+  Result<Field> FindField(const std::string& name) const;
+
+  bool Equals(const Schema& other) const;
+  std::string ToString() const;
+
+  /// Total number of primitive leaf columns across all fields.
+  int NumLeaves() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_COLUMNAR_TYPES_H_

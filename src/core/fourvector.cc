@@ -1,0 +1,20 @@
+#include "core/fourvector.h"
+
+namespace hepq {
+
+double PxPyPzE::Eta() const {
+  const double pt = Pt();
+  if (pt == 0.0) return pz >= 0.0 ? 1e9 : -1e9;  // beam-axis limit
+  return std::asinh(pz / pt);
+}
+
+PtEtaPhiM PxPyPzE::ToPtEtaPhiM() const {
+  return {Pt(), Eta(), Phi(), Mass()};
+}
+
+PtEtaPhiM AddPtEtaPhiM3(const PtEtaPhiM& a, const PtEtaPhiM& b,
+                        const PtEtaPhiM& c) {
+  return (a.ToPxPyPzE() + b.ToPxPyPzE() + c.ToPxPyPzE()).ToPtEtaPhiM();
+}
+
+}  // namespace hepq

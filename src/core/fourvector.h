@@ -1,0 +1,69 @@
+#ifndef HEPQUERY_CORE_FOURVECTOR_H_
+#define HEPQUERY_CORE_FOURVECTOR_H_
+
+#include <cmath>
+
+namespace hepq {
+
+struct PtEtaPhiM;
+
+/// Relativistic four-momentum in Cartesian representation (px, py, pz, E).
+/// This is the representation in which four-momenta add component-wise; HEP
+/// detectors, however, measure in the cylindrical (pt, eta, phi, m) basis,
+/// so combining particles is convert -> add -> convert back.
+struct PxPyPzE {
+  double px = 0.0;
+  double py = 0.0;
+  double pz = 0.0;
+  double e = 0.0;
+
+  PxPyPzE operator+(const PxPyPzE& o) const {
+    return {px + o.px, py + o.py, pz + o.pz, e + o.e};
+  }
+
+  double Pt() const { return std::hypot(px, py); }
+  double P2() const { return px * px + py * py + pz * pz; }
+
+  /// Invariant mass m = sqrt(E^2 - |p|^2); clamped at 0 for round-off.
+  double Mass() const {
+    const double m2 = e * e - P2();
+    return m2 > 0.0 ? std::sqrt(m2) : 0.0;
+  }
+
+  double Eta() const;
+  double Phi() const { return std::atan2(py, px); }
+
+  PtEtaPhiM ToPtEtaPhiM() const;
+};
+
+/// Four-momentum in the detector-native cylindrical basis:
+/// transverse momentum, pseudorapidity, azimuth, and rest mass.
+struct PtEtaPhiM {
+  double pt = 0.0;
+  double eta = 0.0;
+  double phi = 0.0;
+  double mass = 0.0;
+
+  PxPyPzE ToPxPyPzE() const {
+    const double px = pt * std::cos(phi);
+    const double py = pt * std::sin(phi);
+    const double pz = pt * std::sinh(eta);
+    const double e =
+        std::sqrt(px * px + py * py + pz * pz + mass * mass);
+    return {px, py, pz, e};
+  }
+
+  /// Vector-space transform, piece-wise addition, reverse transform — the
+  /// "pseudo-particle" combination pattern of ADL queries Q5/Q6/Q8.
+  PtEtaPhiM operator+(const PtEtaPhiM& o) const {
+    return (ToPxPyPzE() + o.ToPxPyPzE()).ToPtEtaPhiM();
+  }
+};
+
+/// Sums three four-momenta (the "trijet system" of Q6).
+PtEtaPhiM AddPtEtaPhiM3(const PtEtaPhiM& a, const PtEtaPhiM& b,
+                        const PtEtaPhiM& c);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_FOURVECTOR_H_

@@ -1,0 +1,129 @@
+#include "core/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hepq {
+
+Histogram1D::Histogram1D(HistogramSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_bins < 1) spec_.num_bins = 1;
+  if (!(spec_.hi > spec_.lo)) spec_.hi = spec_.lo + 1.0;
+  bins_.assign(static_cast<size_t>(spec_.num_bins), 0.0);
+}
+
+int Histogram1D::FindBin(double value) const {
+  if (value < spec_.lo) return -1;
+  if (value >= spec_.hi) return spec_.num_bins;
+  const double width = (spec_.hi - spec_.lo) / spec_.num_bins;
+  int bin = static_cast<int>((value - spec_.lo) / width);
+  if (bin >= spec_.num_bins) bin = spec_.num_bins - 1;  // fp edge case
+  return bin;
+}
+
+void Histogram1D::Fill(double value, double weight) {
+  const int bin = FindBin(value);
+  if (bin < 0) {
+    underflow_ += weight;
+  } else if (bin >= spec_.num_bins) {
+    overflow_ += weight;
+  } else {
+    bins_[static_cast<size_t>(bin)] += weight;
+  }
+  ++num_entries_;
+  sum_w_ += weight;
+  sum_wx_ += weight * value;
+  sum_wx2_ += weight * value * value;
+}
+
+double Histogram1D::BinContent(int i) const {
+  if (i < 0 || i >= spec_.num_bins) return 0.0;
+  return bins_[static_cast<size_t>(i)];
+}
+
+double Histogram1D::BinLowEdge(int i) const {
+  const double width = (spec_.hi - spec_.lo) / spec_.num_bins;
+  return spec_.lo + width * i;
+}
+
+double Histogram1D::BinCenter(int i) const {
+  const double width = (spec_.hi - spec_.lo) / spec_.num_bins;
+  return spec_.lo + width * (i + 0.5);
+}
+
+double Histogram1D::mean() const {
+  if (sum_w_ == 0.0) return 0.0;
+  return sum_wx_ / sum_w_;
+}
+
+double Histogram1D::stddev() const {
+  if (sum_w_ == 0.0) return 0.0;
+  const double m = mean();
+  const double var = sum_wx2_ / sum_w_ - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Status Histogram1D::Merge(const Histogram1D& other) {
+  if (!(other.spec_ == spec_)) {
+    return Status::Invalid("cannot merge histograms with different specs: '" +
+                           spec_.name + "' vs '" + other.spec_.name + "'");
+  }
+  for (size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  num_entries_ += other.num_entries_;
+  sum_w_ += other.sum_w_;
+  sum_wx_ += other.sum_wx_;
+  sum_wx2_ += other.sum_wx2_;
+  return Status::OK();
+}
+
+bool Histogram1D::ApproxEquals(const Histogram1D& other,
+                               double tolerance) const {
+  if (spec_.num_bins != other.spec_.num_bins) return false;
+  if (std::abs(spec_.lo - other.spec_.lo) > tolerance) return false;
+  if (std::abs(spec_.hi - other.spec_.hi) > tolerance) return false;
+  if (num_entries_ != other.num_entries_) return false;
+  if (std::abs(underflow_ - other.underflow_) > tolerance) return false;
+  if (std::abs(overflow_ - other.overflow_) > tolerance) return false;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    if (std::abs(bins_[i] - other.bins_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Histogram1D::ToString(int max_rows) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Histogram1D '%s' [%g, %g) x %d | entries=%llu mean=%.4g "
+                "stddev=%.4g under=%g over=%g\n",
+                spec_.name.c_str(), spec_.lo, spec_.hi, spec_.num_bins,
+                static_cast<unsigned long long>(num_entries_), mean(),
+                stddev(), underflow_, overflow_);
+  std::string out = buf;
+  int shown = 0;
+  for (int i = 0; i < spec_.num_bins && shown < max_rows; ++i) {
+    if (bins_[static_cast<size_t>(i)] == 0.0) continue;
+    std::snprintf(buf, sizeof(buf), "  [%8.3g, %8.3g): %g\n", BinLowEdge(i),
+                  BinLowEdge(i + 1), bins_[static_cast<size_t>(i)]);
+    out += buf;
+    ++shown;
+  }
+  return out;
+}
+
+std::string Histogram1D::ToCsv() const {
+  std::string out = "bin_low,bin_high,content\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "-inf,%g,%g\n", spec_.lo, underflow_);
+  out += buf;
+  for (int i = 0; i < spec_.num_bins; ++i) {
+    std::snprintf(buf, sizeof(buf), "%g,%g,%g\n", BinLowEdge(i),
+                  BinLowEdge(i + 1), bins_[static_cast<size_t>(i)]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%g,inf,%g\n", spec_.hi, overflow_);
+  out += buf;
+  return out;
+}
+
+}  // namespace hepq

@@ -1,0 +1,90 @@
+#ifndef HEPQUERY_CORE_HISTOGRAM_H_
+#define HEPQUERY_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hepq {
+
+/// Axis/identity specification of an equi-width 1-D histogram. The ADL
+/// benchmark plots everything as equi-width histograms with 100 bins and
+/// statically chosen bounds, plus dedicated under-/overflow bins.
+struct HistogramSpec {
+  std::string name;
+  std::string title;
+  int num_bins = 100;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool operator==(const HistogramSpec&) const = default;
+};
+
+/// Equi-width 1-D histogram with under-/overflow bins, weighted fills, and
+/// first/second moments. This is the terminal aggregation of every ADL
+/// benchmark query, equivalent to ROOT's TH1D for our purposes.
+class Histogram1D {
+ public:
+  Histogram1D() : Histogram1D(HistogramSpec{}) {}
+  explicit Histogram1D(HistogramSpec spec);
+
+  const HistogramSpec& spec() const { return spec_; }
+
+  /// Adds one entry with the given weight. Out-of-range values land in the
+  /// under-/overflow bins but still contribute to the moments.
+  void Fill(double value, double weight = 1.0);
+
+  /// Index of the regular bin containing `value`, or -1 (underflow) /
+  /// num_bins (overflow).
+  int FindBin(double value) const;
+
+  /// Content of regular bin `i` in [0, num_bins).
+  double BinContent(int i) const;
+  /// Lower edge of regular bin `i`; BinLowEdge(num_bins) is the upper bound.
+  double BinLowEdge(int i) const;
+  /// Center of regular bin `i`.
+  double BinCenter(int i) const;
+
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// Total number of Fill calls (unweighted).
+  uint64_t num_entries() const { return num_entries_; }
+  /// Sum of weights including under-/overflow.
+  double sum_weights() const { return sum_w_; }
+  /// Weighted mean of all filled values (including out-of-range ones).
+  double mean() const;
+  /// Weighted standard deviation of all filled values.
+  double stddev() const;
+
+  /// Adds the contents of `other`; specs must match.
+  Status Merge(const Histogram1D& other);
+
+  /// True if bin contents, flow bins, and entry counts are all within
+  /// `tolerance` of each other. Used by cross-engine result checks.
+  bool ApproxEquals(const Histogram1D& other, double tolerance = 1e-9) const;
+
+  /// Multi-line summary: spec, entries, mean/stddev, non-empty bins.
+  std::string ToString(int max_rows = 8) const;
+
+  /// CSV rendering: header plus one row per bin (including the dedicated
+  /// under-/overflow rows), for feeding the paper's plots into external
+  /// plotting tools.
+  std::string ToCsv() const;
+
+ private:
+  HistogramSpec spec_;
+  std::vector<double> bins_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  uint64_t num_entries_ = 0;
+  double sum_w_ = 0.0;
+  double sum_wx_ = 0.0;
+  double sum_wx2_ = 0.0;
+};
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_HISTOGRAM_H_

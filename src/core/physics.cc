@@ -1,0 +1,34 @@
+#include "core/physics.h"
+
+#include <cmath>
+
+namespace hepq {
+
+double DeltaPhi(double phi1, double phi2) {
+  double d = phi1 - phi2;
+  while (d > M_PI) d -= 2.0 * M_PI;
+  while (d <= -M_PI) d += 2.0 * M_PI;
+  return d;
+}
+
+double DeltaR(double eta1, double phi1, double eta2, double phi2) {
+  const double deta = eta1 - eta2;
+  const double dphi = DeltaPhi(phi1, phi2);
+  return std::sqrt(deta * deta + dphi * dphi);
+}
+
+double InvariantMass2(const PtEtaPhiM& p1, const PtEtaPhiM& p2) {
+  return (p1.ToPxPyPzE() + p2.ToPxPyPzE()).Mass();
+}
+
+double InvariantMass3(const PtEtaPhiM& p1, const PtEtaPhiM& p2,
+                      const PtEtaPhiM& p3) {
+  return (p1.ToPxPyPzE() + p2.ToPxPyPzE() + p3.ToPxPyPzE()).Mass();
+}
+
+double TransverseMass(double pt1, double phi1, double pt2, double phi2) {
+  const double arg = 2.0 * pt1 * pt2 * (1.0 - std::cos(DeltaPhi(phi1, phi2)));
+  return arg > 0.0 ? std::sqrt(arg) : 0.0;
+}
+
+}  // namespace hepq

@@ -1,0 +1,29 @@
+#ifndef HEPQUERY_CORE_PHYSICS_H_
+#define HEPQUERY_CORE_PHYSICS_H_
+
+#include "core/fourvector.h"
+
+namespace hepq {
+
+/// Azimuthal distance wrapped into (-pi, pi].
+double DeltaPhi(double phi1, double phi2);
+
+/// Angular distance dR = sqrt(deta^2 + dphi^2) between two directions.
+/// Q7 vetoes jets within dR < 0.4 of any light lepton.
+double DeltaR(double eta1, double phi1, double eta2, double phi2);
+
+/// Invariant mass of a two-particle system given in the cylindrical basis.
+/// Q5 selects opposite-charge muon pairs with 60 < m < 120 GeV.
+double InvariantMass2(const PtEtaPhiM& p1, const PtEtaPhiM& p2);
+
+/// Invariant mass of a three-particle system (Q6 trijet).
+double InvariantMass3(const PtEtaPhiM& p1, const PtEtaPhiM& p2,
+                      const PtEtaPhiM& p3);
+
+/// Transverse mass of a (lepton, missing-ET) system:
+/// mT = sqrt(2 pt1 pt2 (1 - cos dphi)). Used by Q8.
+double TransverseMass(double pt1, double phi1, double pt2, double phi2);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_PHYSICS_H_

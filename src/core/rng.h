@@ -1,0 +1,57 @@
+#ifndef HEPQUERY_CORE_RNG_H_
+#define HEPQUERY_CORE_RNG_H_
+
+#include <cstdint>
+
+namespace hepq {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded through splitmix64.
+///
+/// The data generator must be reproducible across platforms and standard
+/// library versions, so we implement both the generator and the
+/// distributions ourselves instead of relying on <random> (whose
+/// distributions are not portable across implementations).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Normal with given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with given mean (> 0).
+  double Exponential(double mean);
+
+  /// Poisson-distributed count with given mean; uses Knuth's method for
+  /// small means and a normal approximation above 64.
+  int NextPoisson(double mean);
+
+  /// Bernoulli trial.
+  bool NextBool(double probability_true);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// splitmix64 step, exposed for deriving independent stream seeds.
+uint64_t SplitMix64(uint64_t* state);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_RNG_H_

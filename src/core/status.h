@@ -1,0 +1,143 @@
+#ifndef HEPQUERY_CORE_STATUS_H_
+#define HEPQUERY_CORE_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hepq {
+
+/// Error categories used across the library. Mirrors the coarse taxonomy of
+/// Arrow-style status objects: a code plus a human-readable message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,        // invalid argument or malformed request
+  kIoError,        // filesystem / serialization failure
+  kCorruption,     // checksum or structural mismatch in a data file
+  kNotImplemented, // feature intentionally absent in this build
+  kOutOfRange,     // index or bin out of range
+  kTypeError,      // dynamic type mismatch (engine / doc interpreter)
+  kKeyError,       // missing column, field, or variable
+};
+
+/// Returns a short upper-case label for a status code ("OK", "Invalid", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. Functions that can fail return
+/// `Status` (or `Result<T>` when they also produce a value); callers are
+/// expected to check with `ok()` or propagate via the RETURN_NOT_OK macro.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK.
+  /// Used at the edges (examples, benchmarks) where errors are fatal.
+  void Check() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `Result<T>` either holds a `T` (status is OK) or
+/// an error `Status`. Accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    status_.Check();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    status_.Check();
+    return std::move(*value_);
+  }
+  T& operator*() {
+    status_.Check();
+    return *value_;
+  }
+  const T& operator*() const {
+    status_.Check();
+    return *value_;
+  }
+  T* operator->() {
+    status_.Check();
+    return &*value_;
+  }
+  const T* operator->() const {
+    status_.Check();
+    return &*value_;
+  }
+
+  /// Moves the value into `out` and returns the status (OK on success).
+  Status MoveTo(T* out) {
+    if (!ok()) return status_;
+    *out = std::move(*value_);
+    return Status::OK();
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status from the evaluated expression.
+#define HEPQ_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::hepq::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+// Evaluates a Result<T> expression, assigning the value to `lhs` on success
+// and propagating the error otherwise.
+#define HEPQ_ASSIGN_OR_RETURN(lhs, expr)      \
+  auto HEPQ_CONCAT_(_res_, __LINE__) = (expr);          \
+  if (!HEPQ_CONCAT_(_res_, __LINE__).ok())              \
+    return HEPQ_CONCAT_(_res_, __LINE__).status();      \
+  lhs = std::move(*HEPQ_CONCAT_(_res_, __LINE__))
+
+#define HEPQ_CONCAT_IMPL_(a, b) a##b
+#define HEPQ_CONCAT_(a, b) HEPQ_CONCAT_IMPL_(a, b)
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_STATUS_H_

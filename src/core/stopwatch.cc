@@ -1,0 +1,14 @@
+#include "core/stopwatch.h"
+
+#include <ctime>
+
+namespace hepq {
+
+double ProcessCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace hepq

@@ -1,0 +1,32 @@
+#ifndef HEPQUERY_CORE_STOPWATCH_H_
+#define HEPQUERY_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hepq {
+
+/// Wall-clock stopwatch (steady clock), started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU time in seconds (user + system), as reported by the OS.
+/// Figure 4a of the paper reports CPU time rather than wall time; on this
+/// reproduction's single-core runs the two coincide up to scheduling noise.
+double ProcessCpuSeconds();
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_CORE_STOPWATCH_H_

@@ -1,0 +1,69 @@
+#include "datagen/dataset.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hepq {
+
+std::string DatasetSpec::FileName() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "cms_%lldev_%lldrg_s%llu_%s.laq",
+                static_cast<long long>(num_events),
+                static_cast<long long>(row_group_size),
+                static_cast<unsigned long long>(seed), CodecName(codec));
+  return buf;
+}
+
+std::string DefaultDataDir() {
+  const char* env = std::getenv("HEPQ_DATA_DIR");
+  if (env != nullptr && env[0] != '\0') return env;
+  return "hepq_data";
+}
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+Result<std::string> EnsureDataset(const std::string& directory,
+                                  const DatasetSpec& spec) {
+  if (::mkdir(directory.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create data directory '" + directory +
+                           "'");
+  }
+  const std::string path = directory + "/" + spec.FileName();
+  if (FileExists(path)) return path;
+
+  GeneratorConfig config;
+  config.seed = spec.seed;
+  EventGenerator generator(config);
+  WriterOptions options;
+  options.row_group_size = spec.row_group_size;
+  options.codec = spec.codec;
+
+  // Write to a temporary name first so interrupted runs never leave a
+  // half-written file under the canonical name.
+  const std::string tmp_path = path + ".tmp";
+  std::unique_ptr<LaqWriter> writer;
+  HEPQ_ASSIGN_OR_RETURN(
+      writer, LaqWriter::Open(tmp_path, EventGenerator::CmsSchema(), options));
+  int64_t remaining = spec.num_events;
+  while (remaining > 0) {
+    const int64_t n = std::min(remaining, spec.row_group_size);
+    HEPQ_RETURN_NOT_OK(writer->WriteBatch(*generator.GenerateBatch(n)));
+    remaining -= n;
+  }
+  HEPQ_RETURN_NOT_OK(writer->Close());
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename temporary data set file");
+  }
+  return path;
+}
+
+}  // namespace hepq

@@ -1,0 +1,39 @@
+#ifndef HEPQUERY_DATAGEN_DATASET_H_
+#define HEPQUERY_DATAGEN_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "datagen/generator.h"
+#include "fileio/writer.h"
+
+namespace hepq {
+
+struct DatasetSpec {
+  int64_t num_events = 100000;
+  /// Rows per row group; also the generator batch size, so groups have
+  /// exactly this many events (except the last).
+  int64_t row_group_size = 25000;
+  uint64_t seed = 20120601;
+  Codec codec = Codec::kLz;
+
+  /// Canonical file name, e.g. "cms_100000ev_25000rg.laq".
+  std::string FileName() const;
+};
+
+/// Generates the synthetic CMS data set described by `spec` into
+/// `directory` (created if needed) unless the file already exists.
+/// Returns the file path. Because the generator is deterministic, an
+/// existing file with the same spec is bit-identical to a fresh one.
+Result<std::string> EnsureDataset(const std::string& directory,
+                                  const DatasetSpec& spec);
+
+/// Default scratch directory for generated data sets; honours the
+/// HEPQ_DATA_DIR environment variable, defaulting to "hepq_data" under the
+/// current working directory.
+std::string DefaultDataDir();
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_DATAGEN_DATASET_H_

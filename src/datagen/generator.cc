@@ -1,0 +1,407 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "columnar/builder.h"
+
+namespace hepq {
+
+namespace {
+
+double WrapPhi(double phi) {
+  while (phi > M_PI) phi -= 2.0 * M_PI;
+  while (phi <= -M_PI) phi += 2.0 * M_PI;
+  return phi;
+}
+
+constexpr double kMuonMass = 0.1056584;
+constexpr double kElectronMass = 0.000511;
+constexpr double kZMass = 91.1876;
+constexpr double kZWidth = 2.4952;
+
+/// Leaf accumulator for one particle collection.
+struct ParticleBuilder {
+  std::vector<uint32_t> offsets{0};
+  std::vector<float> pt, eta, phi, mass;
+  std::vector<int32_t> charge;
+  std::vector<float> iso;
+  std::vector<float> btag;
+  std::vector<float> dxy, dz;
+  std::vector<int32_t> id;
+  std::vector<float> area;
+  std::vector<int32_t> ncons;
+
+  void EndEvent() { offsets.push_back(static_cast<uint32_t>(pt.size())); }
+};
+
+double BreitWigner(Rng* rng, double mean, double width) {
+  // Cauchy sampling via tangent; clamp to a physical window.
+  double v;
+  do {
+    const double u = rng->NextDouble();
+    v = mean + 0.5 * width * std::tan(M_PI * (u - 0.5));
+  } while (v < mean - 30.0 || v > mean + 30.0);
+  return v;
+}
+
+}  // namespace
+
+EventGenerator::EventGenerator(GeneratorConfig config)
+    : config_(config), rng_(config.seed) {}
+
+SchemaPtr EventGenerator::CmsSchema() {
+  const auto f32 = DataType::Float32();
+  const auto i32 = DataType::Int32();
+  const auto i64 = DataType::Int64();
+  const auto b = DataType::Bool();
+
+  auto jet = DataType::List(DataType::Struct({
+      {"pt", f32},
+      {"eta", f32},
+      {"phi", f32},
+      {"mass", f32},
+      {"btag", f32},
+      {"jetId", i32},
+      {"area", f32},
+      {"nConstituents", i32},
+  }));
+  auto muon = DataType::List(DataType::Struct({
+      {"pt", f32},
+      {"eta", f32},
+      {"phi", f32},
+      {"mass", f32},
+      {"charge", i32},
+      {"pfRelIso03_all", f32},
+      {"dxy", f32},
+      {"dz", f32},
+      {"tightId", b},
+  }));
+  auto electron = DataType::List(DataType::Struct({
+      {"pt", f32},
+      {"eta", f32},
+      {"phi", f32},
+      {"mass", f32},
+      {"charge", i32},
+      {"pfRelIso03_all", f32},
+      {"dxy", f32},
+      {"dz", f32},
+      {"cutBasedId", i32},
+  }));
+  auto photon = DataType::List(DataType::Struct({
+      {"pt", f32},
+      {"eta", f32},
+      {"phi", f32},
+      {"mass", f32},
+      {"pfRelIso03_all", f32},
+  }));
+  auto tau = DataType::List(DataType::Struct({
+      {"pt", f32},
+      {"eta", f32},
+      {"phi", f32},
+      {"mass", f32},
+      {"charge", i32},
+      {"decayMode", i32},
+      {"relIso_all", f32},
+  }));
+  auto met = DataType::Struct({
+      {"pt", f32},
+      {"phi", f32},
+      {"sumet", f32},
+      {"significance", f32},
+      {"covXX", f32},
+      {"covXY", f32},
+      {"covYY", f32},
+  });
+  auto pv = DataType::Struct({
+      {"npvs", i32},
+      {"x", f32},
+      {"y", f32},
+      {"z", f32},
+  });
+
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"run", i32},
+      {"luminosityBlock", i32},
+      {"event", i64},
+      {"HLT_IsoMu24", b},
+      {"HLT_IsoMu24_eta2p1", b},
+      {"HLT_IsoMu17_eta2p1", b},
+      {"MET", met},
+      {"PV", pv},
+      {"Jet", jet},
+      {"Muon", muon},
+      {"Electron", electron},
+      {"Photon", photon},
+      {"Tau", tau},
+  });
+}
+
+RecordBatchPtr EventGenerator::GenerateBatch(int64_t num_events) {
+  const size_t n = static_cast<size_t>(num_events);
+
+  std::vector<int32_t> run(n, 194533);
+  std::vector<int32_t> lumi(n);
+  std::vector<int64_t> event_id(n);
+  std::vector<uint8_t> hlt24(n), hlt24eta(n), hlt17(n);
+  std::vector<float> met_pt(n), met_phi(n), met_sumet(n), met_sig(n);
+  std::vector<float> met_cxx(n), met_cxy(n), met_cyy(n);
+  std::vector<int32_t> pv_n(n);
+  std::vector<float> pv_x(n), pv_y(n), pv_z(n);
+
+  ParticleBuilder jets, muons, electrons, photons, taus;
+
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t id = next_event_id_++;
+    event_id[i] = id;
+    lumi[i] = static_cast<int32_t>(id / 1000 + 1);
+
+    // --- jets -----------------------------------------------------------
+    int num_jets;
+    const double jet_mix = rng_.NextDouble();
+    if (jet_mix < config_.jet_very_busy_fraction) {
+      num_jets = rng_.NextPoisson(config_.jet_very_busy_mean);
+    } else if (jet_mix <
+               config_.jet_very_busy_fraction + config_.jet_busy_fraction) {
+      num_jets = rng_.NextPoisson(config_.jet_busy_mean);
+    } else {
+      num_jets = rng_.NextPoisson(config_.jet_soft_mean);
+    }
+    double sum_jet_pt = 0.0;
+    for (int j = 0; j < num_jets; ++j) {
+      const double pt =
+          config_.jet_pt_min + rng_.Exponential(config_.jet_pt_scale);
+      sum_jet_pt += pt;
+      jets.pt.push_back(static_cast<float>(pt));
+      jets.eta.push_back(static_cast<float>(
+          std::clamp(rng_.Gaussian(0.0, 1.6), -4.7, 4.7)));
+      jets.phi.push_back(static_cast<float>(rng_.Uniform(-M_PI, M_PI)));
+      jets.mass.push_back(
+          static_cast<float>(pt * 0.05 + rng_.Exponential(3.0)));
+      // b-tag discriminant: light-flavour bulk near 0, b-like tail near 1.
+      const double btag = rng_.NextBool(0.15)
+                              ? 1.0 - std::min(rng_.Exponential(0.1), 1.0)
+                              : std::min(rng_.Exponential(0.08), 1.0);
+      jets.btag.push_back(static_cast<float>(btag));
+      jets.id.push_back(rng_.NextBool(0.97) ? 6 : 2);
+      jets.area.push_back(static_cast<float>(rng_.Gaussian(0.5, 0.05)));
+      jets.ncons.push_back(
+          2 + static_cast<int32_t>(rng_.NextPoisson(pt * 0.4)));
+    }
+    jets.EndEvent();
+
+    // --- muons ----------------------------------------------------------
+    const double mu_u = rng_.NextDouble();
+    int num_muons = 5;
+    for (int c = 0; c < 5; ++c) {
+      if (mu_u < config_.muon_cumprob[c]) {
+        num_muons = c;
+        break;
+      }
+    }
+    const bool z_mumu = rng_.NextBool(config_.z_to_mumu_fraction);
+    auto emit_lepton_pair = [&](ParticleBuilder* out, double lepton_mass) {
+      // Back-to-back decay of a Breit-Wigner Z in the transverse plane,
+      // smeared so the reconstructed pair mass peaks near kZMass.
+      const double m = BreitWigner(&rng_, kZMass, kZWidth);
+      const double phi0 = rng_.Uniform(-M_PI, M_PI);
+      const double eta1 = rng_.Gaussian(0.0, 1.1);
+      const double eta2 = rng_.Gaussian(0.0, 1.1);
+      // Choose pt so that the invariant mass of the two legs matches m:
+      // m^2 ~= 2 pt1 pt2 (cosh(deta) - cos(dphi)); take pt1 = pt2 = pt.
+      const double dphi = M_PI + rng_.Gaussian(0.0, 0.05);
+      const double denom = 2.0 * (std::cosh(eta1 - eta2) - std::cos(dphi));
+      const double pt = std::sqrt(m * m / std::max(denom, 1e-6));
+      const int32_t charge1 = rng_.NextBool(0.5) ? 1 : -1;
+      const double pts[2] = {pt, pt};
+      const double etas[2] = {eta1, eta2};
+      const double phis[2] = {phi0, WrapPhi(phi0 + dphi)};
+      const int32_t charges[2] = {charge1, -charge1};
+      for (int k = 0; k < 2; ++k) {
+        out->pt.push_back(static_cast<float>(pts[k]));
+        out->eta.push_back(static_cast<float>(etas[k]));
+        out->phi.push_back(static_cast<float>(phis[k]));
+        out->mass.push_back(static_cast<float>(lepton_mass));
+        out->charge.push_back(charges[k]);
+        out->iso.push_back(static_cast<float>(rng_.Exponential(0.05)));
+        out->dxy.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.01)));
+        out->dz.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.02)));
+        // tightId for muons, cutBasedId tight (4) for electrons.
+        out->id.push_back(lepton_mass == kMuonMass ? 1 : 4);
+      }
+    };
+    int soft_muons = num_muons;
+    if (z_mumu) {
+      emit_lepton_pair(&muons, kMuonMass);
+      soft_muons = std::max(0, num_muons - 2);
+    }
+    for (int m = 0; m < soft_muons; ++m) {
+      const double pt =
+          config_.lepton_pt_min + rng_.Exponential(config_.lepton_pt_scale);
+      muons.pt.push_back(static_cast<float>(pt));
+      muons.eta.push_back(static_cast<float>(
+          std::clamp(rng_.Gaussian(0.0, 1.2), -2.4, 2.4)));
+      muons.phi.push_back(static_cast<float>(rng_.Uniform(-M_PI, M_PI)));
+      muons.mass.push_back(static_cast<float>(kMuonMass));
+      muons.charge.push_back(rng_.NextBool(0.52) ? 1 : -1);
+      muons.iso.push_back(static_cast<float>(rng_.Exponential(0.15)));
+      muons.dxy.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.01)));
+      muons.dz.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.02)));
+      muons.id.push_back(rng_.NextBool(0.9) ? 1 : 0);
+    }
+    muons.EndEvent();
+
+    // --- electrons ------------------------------------------------------
+    int num_electrons = rng_.NextPoisson(config_.electron_mean);
+    if (rng_.NextBool(config_.z_to_ee_fraction)) {
+      emit_lepton_pair(&electrons, kElectronMass);
+    }
+    for (int e = 0; e < num_electrons; ++e) {
+      const double pt =
+          config_.lepton_pt_min + rng_.Exponential(config_.lepton_pt_scale);
+      electrons.pt.push_back(static_cast<float>(pt));
+      electrons.eta.push_back(static_cast<float>(
+          std::clamp(rng_.Gaussian(0.0, 1.4), -2.5, 2.5)));
+      electrons.phi.push_back(static_cast<float>(rng_.Uniform(-M_PI, M_PI)));
+      electrons.mass.push_back(static_cast<float>(kElectronMass));
+      electrons.charge.push_back(rng_.NextBool(0.5) ? 1 : -1);
+      electrons.iso.push_back(static_cast<float>(rng_.Exponential(0.12)));
+      electrons.dxy.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.01)));
+      electrons.dz.push_back(static_cast<float>(rng_.Gaussian(0.0, 0.02)));
+      electrons.id.push_back(static_cast<int32_t>(rng_.NextBelow(5)));
+    }
+    electrons.EndEvent();
+
+    // --- photons --------------------------------------------------------
+    const int num_photons = rng_.NextPoisson(config_.photon_mean);
+    for (int p = 0; p < num_photons; ++p) {
+      photons.pt.push_back(static_cast<float>(2.0 + rng_.Exponential(9.0)));
+      photons.eta.push_back(static_cast<float>(
+          std::clamp(rng_.Gaussian(0.0, 1.5), -2.5, 2.5)));
+      photons.phi.push_back(static_cast<float>(rng_.Uniform(-M_PI, M_PI)));
+      photons.mass.push_back(0.0f);
+      photons.iso.push_back(static_cast<float>(rng_.Exponential(0.2)));
+    }
+    photons.EndEvent();
+
+    // --- taus -----------------------------------------------------------
+    const int num_taus = rng_.NextPoisson(config_.tau_mean);
+    for (int t = 0; t < num_taus; ++t) {
+      taus.pt.push_back(static_cast<float>(18.0 + rng_.Exponential(14.0)));
+      taus.eta.push_back(static_cast<float>(
+          std::clamp(rng_.Gaussian(0.0, 1.3), -2.3, 2.3)));
+      taus.phi.push_back(static_cast<float>(rng_.Uniform(-M_PI, M_PI)));
+      taus.mass.push_back(1.777f);
+      taus.charge.push_back(rng_.NextBool(0.5) ? 1 : -1);
+      taus.id.push_back(static_cast<int32_t>(rng_.NextBelow(11)));
+      taus.iso.push_back(static_cast<float>(rng_.Exponential(0.3)));
+    }
+    taus.EndEvent();
+
+    // --- event-level ----------------------------------------------------
+    const double met_x = rng_.Gaussian(0.0, config_.met_sigma);
+    const double met_y = rng_.Gaussian(0.0, config_.met_sigma);
+    met_pt[i] = static_cast<float>(std::hypot(met_x, met_y));
+    met_phi[i] = static_cast<float>(std::atan2(met_y, met_x));
+    met_sumet[i] =
+        static_cast<float>(60.0 + rng_.Exponential(110.0) + 0.8 * sum_jet_pt);
+    met_sig[i] = static_cast<float>(met_pt[i] /
+                                    std::sqrt(std::max(1.0f, met_sumet[i])));
+    met_cxx[i] = static_cast<float>(rng_.Gaussian(300.0, 40.0));
+    met_cxy[i] = static_cast<float>(rng_.Gaussian(0.0, 25.0));
+    met_cyy[i] = static_cast<float>(rng_.Gaussian(300.0, 40.0));
+
+    pv_n[i] = 1 + rng_.NextPoisson(12.0);
+    pv_x[i] = static_cast<float>(rng_.Gaussian(0.0, 0.02));
+    pv_y[i] = static_cast<float>(rng_.Gaussian(0.0, 0.02));
+    pv_z[i] = static_cast<float>(rng_.Gaussian(0.0, 5.0));
+
+    const bool has_hard_muon =
+        muons.offsets.back() > muons.offsets[muons.offsets.size() - 2] &&
+        muons.pt[muons.offsets[muons.offsets.size() - 2]] > 24.0f;
+    hlt24[i] = has_hard_muon && rng_.NextBool(0.93) ? 1 : 0;
+    hlt24eta[i] = hlt24[i] != 0 && rng_.NextBool(0.9) ? 1 : 0;
+    hlt17[i] = (has_hard_muon || rng_.NextBool(0.02)) ? 1 : 0;
+  }
+
+  auto make_particles = [](const SchemaPtr& schema, const std::string& name,
+                           ParticleBuilder& b) -> ArrayPtr {
+    const DataType& list_type = *schema->field(schema->FieldIndex(name)).type;
+    const DataType& st = *list_type.item_type();
+    std::vector<Field> fields = st.fields();
+    std::vector<ArrayPtr> leaves;
+    for (const Field& f : fields) {
+      if (f.name == "pt") {
+        leaves.push_back(MakeFloat32Array(std::move(b.pt)));
+      } else if (f.name == "eta") {
+        leaves.push_back(MakeFloat32Array(std::move(b.eta)));
+      } else if (f.name == "phi") {
+        leaves.push_back(MakeFloat32Array(std::move(b.phi)));
+      } else if (f.name == "mass") {
+        leaves.push_back(MakeFloat32Array(std::move(b.mass)));
+      } else if (f.name == "charge") {
+        leaves.push_back(MakeInt32Array(std::move(b.charge)));
+      } else if (f.name == "btag") {
+        leaves.push_back(MakeFloat32Array(std::move(b.btag)));
+      } else if (f.name == "jetId" || f.name == "cutBasedId" ||
+                 f.name == "decayMode") {
+        leaves.push_back(MakeInt32Array(std::move(b.id)));
+      } else if (f.name == "tightId") {
+        std::vector<uint8_t> bits(b.id.size());
+        for (size_t k = 0; k < b.id.size(); ++k) {
+          bits[k] = b.id[k] != 0 ? 1 : 0;
+        }
+        leaves.push_back(MakeBoolArray(std::move(bits)));
+      } else if (f.name == "pfRelIso03_all" || f.name == "relIso_all") {
+        leaves.push_back(MakeFloat32Array(std::move(b.iso)));
+      } else if (f.name == "dxy") {
+        leaves.push_back(MakeFloat32Array(std::move(b.dxy)));
+      } else if (f.name == "dz") {
+        leaves.push_back(MakeFloat32Array(std::move(b.dz)));
+      } else if (f.name == "area") {
+        leaves.push_back(MakeFloat32Array(std::move(b.area)));
+      } else if (f.name == "nConstituents") {
+        leaves.push_back(MakeInt32Array(std::move(b.ncons)));
+      }
+    }
+    return MakeListOfStructArray(fields, std::move(b.offsets),
+                                 std::move(leaves))
+        .ValueOrDie();
+  };
+
+  const SchemaPtr schema = CmsSchema();
+  std::vector<ArrayPtr> columns;
+  columns.push_back(MakeInt32Array(std::move(run)));
+  columns.push_back(MakeInt32Array(std::move(lumi)));
+  columns.push_back(MakeInt64Array(std::move(event_id)));
+  columns.push_back(MakeBoolArray(std::move(hlt24)));
+  columns.push_back(MakeBoolArray(std::move(hlt24eta)));
+  columns.push_back(MakeBoolArray(std::move(hlt17)));
+  columns.push_back(
+      StructArray::Make(
+          schema->field(schema->FieldIndex("MET")).type->fields(),
+          {MakeFloat32Array(std::move(met_pt)),
+           MakeFloat32Array(std::move(met_phi)),
+           MakeFloat32Array(std::move(met_sumet)),
+           MakeFloat32Array(std::move(met_sig)),
+           MakeFloat32Array(std::move(met_cxx)),
+           MakeFloat32Array(std::move(met_cxy)),
+           MakeFloat32Array(std::move(met_cyy))})
+          .ValueOrDie());
+  columns.push_back(
+      StructArray::Make(schema->field(schema->FieldIndex("PV")).type->fields(),
+                        {MakeInt32Array(std::move(pv_n)),
+                         MakeFloat32Array(std::move(pv_x)),
+                         MakeFloat32Array(std::move(pv_y)),
+                         MakeFloat32Array(std::move(pv_z))})
+          .ValueOrDie());
+  columns.push_back(make_particles(schema, "Jet", jets));
+  columns.push_back(make_particles(schema, "Muon", muons));
+  columns.push_back(make_particles(schema, "Electron", electrons));
+  columns.push_back(make_particles(schema, "Photon", photons));
+  columns.push_back(make_particles(schema, "Tau", taus));
+
+  return RecordBatch::Make(schema, std::move(columns)).ValueOrDie();
+}
+
+}  // namespace hepq

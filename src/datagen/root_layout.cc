@@ -1,0 +1,197 @@
+#include "datagen/root_layout.h"
+
+namespace hepq {
+
+Result<SchemaPtr> RootLayoutSchema(const Schema& nested) {
+  std::vector<Field> fields;
+  for (const Field& field : nested.fields()) {
+    const DataType& type = *field.type;
+    if (type.is_primitive()) {
+      fields.push_back(field);
+      continue;
+    }
+    if (type.id() == TypeId::kStruct) {
+      for (const Field& member : type.fields()) {
+        if (!member.type->is_primitive()) {
+          return Status::NotImplemented("nested struct member in " +
+                                        field.name);
+        }
+        fields.push_back(Field{field.name + "_" + member.name, member.type});
+      }
+      continue;
+    }
+    // List column.
+    const DataType& item = *type.item_type();
+    fields.push_back(Field{"n" + field.name, DataType::Int32()});
+    if (item.is_primitive()) {
+      fields.push_back(Field{field.name, DataType::List(type.item_type())});
+      continue;
+    }
+    if (item.id() != TypeId::kStruct) {
+      return Status::NotImplemented("list of " + item.ToString());
+    }
+    for (const Field& member : item.fields()) {
+      if (!member.type->is_primitive()) {
+        return Status::NotImplemented("nested struct member in " +
+                                      field.name);
+      }
+      fields.push_back(Field{field.name + "_" + member.name,
+                             DataType::List(member.type)});
+    }
+  }
+  return SchemaPtr(std::make_shared<Schema>(std::move(fields)));
+}
+
+Result<RecordBatchPtr> ToRootLayout(const RecordBatch& nested) {
+  SchemaPtr flat_schema;
+  HEPQ_ASSIGN_OR_RETURN(flat_schema, RootLayoutSchema(*nested.schema()));
+  std::vector<ArrayPtr> columns;
+  for (int c = 0; c < nested.num_columns(); ++c) {
+    const ArrayPtr& column = nested.column(c);
+    const DataType& type = *column->type();
+    if (type.is_primitive()) {
+      columns.push_back(column);
+      continue;
+    }
+    if (type.id() == TypeId::kStruct) {
+      const auto& st = static_cast<const StructArray&>(*column);
+      for (const ArrayPtr& child : st.children()) {
+        columns.push_back(child);
+      }
+      continue;
+    }
+    const auto& list = static_cast<const ListArray&>(*column);
+    std::vector<int32_t> counts(static_cast<size_t>(list.length()));
+    for (int64_t i = 0; i < list.length(); ++i) {
+      counts[static_cast<size_t>(i)] = list.list_length(i);
+    }
+    columns.push_back(std::make_shared<Int32Array>(DataType::Int32(),
+                                                   std::move(counts)));
+    const std::vector<uint32_t> offsets(list.offsets().begin(),
+                                        list.offsets().end());
+    if (list.child()->type()->is_primitive()) {
+      std::shared_ptr<ListArray> branch;
+      HEPQ_ASSIGN_OR_RETURN(branch, ListArray::Make(offsets, list.child()));
+      columns.push_back(std::move(branch));
+      continue;
+    }
+    const auto& st = static_cast<const StructArray&>(*list.child());
+    for (const ArrayPtr& child : st.children()) {
+      std::shared_ptr<ListArray> branch;
+      HEPQ_ASSIGN_OR_RETURN(branch, ListArray::Make(offsets, child));
+      columns.push_back(std::move(branch));
+    }
+  }
+  std::shared_ptr<RecordBatch> batch;
+  HEPQ_ASSIGN_OR_RETURN(batch,
+                        RecordBatch::Make(flat_schema, std::move(columns)));
+  return RecordBatchPtr(batch);
+}
+
+Result<RecordBatchPtr> FromRootLayout(const RecordBatch& flat,
+                                      const SchemaPtr& nested_schema) {
+  std::vector<ArrayPtr> columns;
+  for (const Field& field : nested_schema->fields()) {
+    const DataType& type = *field.type;
+    if (type.is_primitive()) {
+      ArrayPtr column = flat.ColumnByName(field.name);
+      if (column == nullptr) {
+        return Status::KeyError("flat batch is missing '" + field.name +
+                                "'");
+      }
+      columns.push_back(std::move(column));
+      continue;
+    }
+    if (type.id() == TypeId::kStruct) {
+      std::vector<ArrayPtr> children;
+      for (const Field& member : type.fields()) {
+        ArrayPtr child = flat.ColumnByName(field.name + "_" + member.name);
+        if (child == nullptr) {
+          return Status::KeyError("flat batch is missing '" + field.name +
+                                  "_" + member.name + "'");
+        }
+        children.push_back(std::move(child));
+      }
+      std::shared_ptr<StructArray> st;
+      HEPQ_ASSIGN_OR_RETURN(
+          st, StructArray::Make(type.fields(), std::move(children)));
+      columns.push_back(std::move(st));
+      continue;
+    }
+    // Particle column: validate the count branch against every member
+    // branch, then share one offsets vector.
+    ArrayPtr count_column = flat.ColumnByName("n" + field.name);
+    if (count_column == nullptr ||
+        count_column->type()->id() != TypeId::kInt32) {
+      return Status::KeyError("flat batch is missing count branch 'n" +
+                              field.name + "'");
+    }
+    const auto& counts = static_cast<const Int32Array&>(*count_column);
+    std::vector<uint32_t> offsets(static_cast<size_t>(counts.length()) + 1,
+                                  0);
+    for (int64_t i = 0; i < counts.length(); ++i) {
+      if (counts.Value(i) < 0) {
+        return Status::Corruption("negative particle count in n" +
+                                  field.name);
+      }
+      offsets[static_cast<size_t>(i) + 1] =
+          offsets[static_cast<size_t>(i)] +
+          static_cast<uint32_t>(counts.Value(i));
+    }
+
+    auto check_branch = [&](const ListArray& branch,
+                            const std::string& name) -> Status {
+      for (int64_t i = 0; i < branch.length(); ++i) {
+        if (branch.list_length(i) != counts.Value(i)) {
+          return Status::Corruption(
+              "branch '" + name + "' disagrees with n" + field.name +
+              " at event " + std::to_string(i) +
+              " — the de-normalized ROOT layout lost consistency");
+        }
+      }
+      return Status::OK();
+    };
+
+    const DataType& item = *type.item_type();
+    if (item.is_primitive()) {
+      ArrayPtr branch_column = flat.ColumnByName(field.name);
+      if (branch_column == nullptr ||
+          branch_column->type()->id() != TypeId::kList) {
+        return Status::KeyError("flat batch is missing branch '" +
+                                field.name + "'");
+      }
+      const auto& branch = static_cast<const ListArray&>(*branch_column);
+      HEPQ_RETURN_NOT_OK(check_branch(branch, field.name));
+      std::shared_ptr<ListArray> list;
+      HEPQ_ASSIGN_OR_RETURN(list,
+                            ListArray::Make(offsets, branch.child()));
+      columns.push_back(std::move(list));
+      continue;
+    }
+    std::vector<ArrayPtr> children;
+    for (const Field& member : item.fields()) {
+      const std::string branch_name = field.name + "_" + member.name;
+      ArrayPtr branch_column = flat.ColumnByName(branch_name);
+      if (branch_column == nullptr ||
+          branch_column->type()->id() != TypeId::kList) {
+        return Status::KeyError("flat batch is missing branch '" +
+                                branch_name + "'");
+      }
+      const auto& branch = static_cast<const ListArray&>(*branch_column);
+      HEPQ_RETURN_NOT_OK(check_branch(branch, branch_name));
+      children.push_back(branch.child());
+    }
+    std::shared_ptr<StructArray> st;
+    HEPQ_ASSIGN_OR_RETURN(
+        st, StructArray::Make(item.fields(), std::move(children)));
+    std::shared_ptr<ListArray> list;
+    HEPQ_ASSIGN_OR_RETURN(list, ListArray::Make(std::move(offsets), st));
+    columns.push_back(std::move(list));
+  }
+  std::shared_ptr<RecordBatch> batch;
+  HEPQ_ASSIGN_OR_RETURN(batch, RecordBatch::Make(nested_schema,
+                                                 std::move(columns)));
+  return RecordBatchPtr(batch);
+}
+
+}  // namespace hepq

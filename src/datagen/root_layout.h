@@ -1,0 +1,37 @@
+#ifndef HEPQUERY_DATAGEN_ROOT_LAYOUT_H_
+#define HEPQUERY_DATAGEN_ROOT_LAYOUT_H_
+
+#include "columnar/array.h"
+#include "columnar/types.h"
+#include "core/status.h"
+
+namespace hepq {
+
+// The paper's §3.1 "Data Format" discussion: original ROOT files decompose
+// structured attributes into distinct top-level branches both physically
+// AND logically — an event has `nJet`, `Jet_pt`, `Jet_eta`, ... instead of
+// one `Jet: list<struct<...>>` attribute — and queries must re-compose
+// particles from those parallel branches. This module converts between
+// the two logical representations so the difference can be studied (the
+// physical shredding on disk is identical; only the exposed schema
+// changes).
+
+/// Flat (ROOT-style) schema for a nested event schema: primitives stay;
+/// a struct column `X {a, b}` becomes `X_a`, `X_b`; a particle column
+/// `Y: list<struct<a, b>>` becomes `nY: int32` plus per-member branches
+/// `Y_a: list<a>`, `Y_b: list<b>` (each with its own offsets, the
+/// redundancy physicists' files carry).
+Result<SchemaPtr> RootLayoutSchema(const Schema& nested);
+
+/// Converts a nested batch to the ROOT-style flat layout.
+Result<RecordBatchPtr> ToRootLayout(const RecordBatch& nested);
+
+/// Re-composes a flat (ROOT-style) batch into `nested_schema`. Validates
+/// that the `nY` counts and every member branch's lengths agree —
+/// the foreign-key-like consistency a nested layout gets for free.
+Result<RecordBatchPtr> FromRootLayout(const RecordBatch& flat,
+                                      const SchemaPtr& nested_schema);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_DATAGEN_ROOT_LAYOUT_H_

@@ -1,0 +1,69 @@
+#include "doc/convert.h"
+
+namespace hepq::doc {
+
+namespace {
+
+ItemPtr PrimitiveToItem(const Array& array, int64_t index) {
+  switch (array.type()->id()) {
+    case TypeId::kFloat32:
+      return Item::Number(
+          static_cast<const Float32Array&>(array).Value(index));
+    case TypeId::kFloat64:
+      return Item::Number(
+          static_cast<const Float64Array&>(array).Value(index));
+    case TypeId::kInt32:
+      return Item::Number(static_cast<const Int32Array&>(array).Value(index));
+    case TypeId::kInt64:
+      return Item::Number(static_cast<double>(
+          static_cast<const Int64Array&>(array).Value(index)));
+    case TypeId::kBool:
+      return Item::Bool(static_cast<const BoolArray&>(array).Value(index) !=
+                        0);
+    default:
+      return Item::Null();
+  }
+}
+
+ItemPtr StructRowToItem(const StructArray& array, int64_t index) {
+  std::vector<std::pair<std::string, ItemPtr>> members;
+  const auto& fields = array.type()->fields();
+  members.reserve(fields.size());
+  for (size_t m = 0; m < fields.size(); ++m) {
+    members.emplace_back(
+        fields[m].name,
+        PrimitiveToItem(*array.child(static_cast<int>(m)), index));
+  }
+  return Item::Object(std::move(members));
+}
+
+ItemPtr ValueToItem(const Array& array, int64_t index) {
+  if (array.type()->is_primitive()) return PrimitiveToItem(array, index);
+  if (array.type()->id() == TypeId::kStruct) {
+    return StructRowToItem(static_cast<const StructArray&>(array), index);
+  }
+  const auto& list = static_cast<const ListArray&>(array);
+  const uint32_t begin = list.list_offset(index);
+  const uint32_t end = begin + static_cast<uint32_t>(list.list_length(index));
+  Sequence elements;
+  elements.reserve(end - begin);
+  const Array& child = *list.child();
+  for (uint32_t i = begin; i < end; ++i) {
+    elements.push_back(ValueToItem(child, static_cast<int64_t>(i)));
+  }
+  return Item::Array(std::move(elements));
+}
+
+}  // namespace
+
+ItemPtr EventToItem(const RecordBatch& batch, int64_t row) {
+  std::vector<std::pair<std::string, ItemPtr>> members;
+  members.reserve(static_cast<size_t>(batch.num_columns()));
+  for (int c = 0; c < batch.num_columns(); ++c) {
+    members.emplace_back(batch.schema()->field(c).name,
+                         ValueToItem(*batch.column(c), row));
+  }
+  return Item::Object(std::move(members));
+}
+
+}  // namespace hepq::doc

@@ -1,0 +1,18 @@
+#ifndef HEPQUERY_DOC_CONVERT_H_
+#define HEPQUERY_DOC_CONVERT_H_
+
+#include "columnar/array.h"
+#include "doc/item.h"
+
+namespace hepq::doc {
+
+/// Materializes one event of a columnar batch as a fully boxed JSON-like
+/// item tree: {"run": ..., "MET": {...}, "Jet": [{...}, ...], ...}.
+/// This conversion — performed for every event regardless of which fields
+/// the query touches — models the document-engine ingestion cost that
+/// dominates Rumble's runtime in the paper.
+ItemPtr EventToItem(const RecordBatch& batch, int64_t row);
+
+}  // namespace hepq::doc
+
+#endif  // HEPQUERY_DOC_CONVERT_H_

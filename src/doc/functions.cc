@@ -1,0 +1,187 @@
+#include "doc/functions.h"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "core/physics.h"
+#include "doc/ast.h"
+
+namespace hepq::doc {
+
+namespace {
+
+Result<PtEtaPhiM> ParticleFromItem(const Sequence& seq) {
+  if (seq.size() != 1 || !seq.front()->IsObject()) {
+    return Status::TypeError("expected a particle object argument");
+  }
+  const Item& obj = *seq.front();
+  PtEtaPhiM p;
+  const ItemPtr pt = obj.Member("pt");
+  const ItemPtr eta = obj.Member("eta");
+  const ItemPtr phi = obj.Member("phi");
+  const ItemPtr mass = obj.Member("mass");
+  if (pt == nullptr || eta == nullptr || phi == nullptr || mass == nullptr) {
+    return Status::KeyError(
+        "particle object needs pt/eta/phi/mass members");
+  }
+  p.pt = pt->AsDouble();
+  p.eta = eta->AsDouble();
+  p.phi = phi->AsDouble();
+  p.mass = mass->AsDouble();
+  return p;
+}
+
+ItemPtr ParticleToItem(const PtEtaPhiM& p) {
+  return Item::Object({{"pt", Item::Number(p.pt)},
+                       {"eta", Item::Number(p.eta)},
+                       {"phi", Item::Number(p.phi)},
+                       {"mass", Item::Number(p.mass)}});
+}
+
+Status ExpectArgs(const std::vector<Sequence>& args, size_t n,
+                  const char* name) {
+  if (args.size() != n) {
+    return Status::Invalid(std::string(name) + "() expects " +
+                           std::to_string(n) + " arguments");
+  }
+  return Status::OK();
+}
+
+void RegisterAll() {
+  RegisterDocFunction("count", [](const std::vector<Sequence>& args)
+                                   -> Result<Sequence> {
+    HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "count"));
+    return Sequence{Item::Number(static_cast<double>(args[0].size()))};
+  });
+  RegisterDocFunction(
+      "exists", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "exists"));
+        return Sequence{Item::Bool(!args[0].empty())};
+      });
+  RegisterDocFunction(
+      "empty", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "empty"));
+        return Sequence{Item::Bool(args[0].empty())};
+      });
+  RegisterDocFunction(
+      "not", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "not"));
+        return Sequence{Item::Bool(!EffectiveBooleanValue(args[0]))};
+      });
+  RegisterDocFunction(
+      "sum", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "sum"));
+        double total = 0.0;
+        for (const ItemPtr& item : args[0]) total += item->AsDouble();
+        return Sequence{Item::Number(total)};
+      });
+  RegisterDocFunction(
+      "min", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "min"));
+        if (args[0].empty()) return Sequence{};
+        double best = std::numeric_limits<double>::infinity();
+        for (const ItemPtr& item : args[0]) {
+          best = std::min(best, item->AsDouble());
+        }
+        return Sequence{Item::Number(best)};
+      });
+  RegisterDocFunction(
+      "max", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "max"));
+        if (args[0].empty()) return Sequence{};
+        double best = -std::numeric_limits<double>::infinity();
+        for (const ItemPtr& item : args[0]) {
+          best = std::max(best, item->AsDouble());
+        }
+        return Sequence{Item::Number(best)};
+      });
+  RegisterDocFunction(
+      "abs", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "abs"));
+        if (args[0].empty()) return Sequence{};
+        return Sequence{Item::Number(std::abs(args[0].front()->AsDouble()))};
+      });
+  RegisterDocFunction(
+      "sqrt", [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 1, "sqrt"));
+        if (args[0].empty()) return Sequence{};
+        return Sequence{Item::Number(std::sqrt(args[0].front()->AsDouble()))};
+      });
+
+  RegisterDocFunction(
+      "hep:add-pt-eta-phi-m2",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 2, "hep:add-pt-eta-phi-m2"));
+        PtEtaPhiM p1, p2;
+        HEPQ_ASSIGN_OR_RETURN(p1, ParticleFromItem(args[0]));
+        HEPQ_ASSIGN_OR_RETURN(p2, ParticleFromItem(args[1]));
+        return Sequence{ParticleToItem(p1 + p2)};
+      });
+  RegisterDocFunction(
+      "hep:add-pt-eta-phi-m3",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 3, "hep:add-pt-eta-phi-m3"));
+        PtEtaPhiM p1, p2, p3;
+        HEPQ_ASSIGN_OR_RETURN(p1, ParticleFromItem(args[0]));
+        HEPQ_ASSIGN_OR_RETURN(p2, ParticleFromItem(args[1]));
+        HEPQ_ASSIGN_OR_RETURN(p3, ParticleFromItem(args[2]));
+        return Sequence{ParticleToItem(AddPtEtaPhiM3(p1, p2, p3))};
+      });
+  RegisterDocFunction(
+      "hep:invariant-mass2",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 2, "hep:invariant-mass2"));
+        PtEtaPhiM p1, p2;
+        HEPQ_ASSIGN_OR_RETURN(p1, ParticleFromItem(args[0]));
+        HEPQ_ASSIGN_OR_RETURN(p2, ParticleFromItem(args[1]));
+        return Sequence{Item::Number(InvariantMass2(p1, p2))};
+      });
+  RegisterDocFunction(
+      "hep:invariant-mass3",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 3, "hep:invariant-mass3"));
+        PtEtaPhiM p1, p2, p3;
+        HEPQ_ASSIGN_OR_RETURN(p1, ParticleFromItem(args[0]));
+        HEPQ_ASSIGN_OR_RETURN(p2, ParticleFromItem(args[1]));
+        HEPQ_ASSIGN_OR_RETURN(p3, ParticleFromItem(args[2]));
+        return Sequence{Item::Number(InvariantMass3(p1, p2, p3))};
+      });
+  RegisterDocFunction(
+      "hep:delta-r",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 2, "hep:delta-r"));
+        PtEtaPhiM p1, p2;
+        HEPQ_ASSIGN_OR_RETURN(p1, ParticleFromItem(args[0]));
+        HEPQ_ASSIGN_OR_RETURN(p2, ParticleFromItem(args[1]));
+        return Sequence{Item::Number(DeltaR(p1.eta, p1.phi, p2.eta, p2.phi))};
+      });
+  RegisterDocFunction(
+      "hep:delta-phi",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 2, "hep:delta-phi"));
+        if (args[0].empty() || args[1].empty()) return Sequence{};
+        return Sequence{Item::Number(DeltaPhi(args[0].front()->AsDouble(),
+                                              args[1].front()->AsDouble()))};
+      });
+  RegisterDocFunction(
+      "hep:transverse-mass",
+      [](const std::vector<Sequence>& args) -> Result<Sequence> {
+        HEPQ_RETURN_NOT_OK(ExpectArgs(args, 4, "hep:transverse-mass"));
+        for (const Sequence& arg : args) {
+          if (arg.empty()) return Sequence{};
+        }
+        return Sequence{Item::Number(TransverseMass(
+            args[0].front()->AsDouble(), args[1].front()->AsDouble(),
+            args[2].front()->AsDouble(), args[3].front()->AsDouble()))};
+      });
+}
+
+}  // namespace
+
+void EnsureDocFunctionsRegistered() {
+  static std::once_flag once;
+  std::call_once(once, RegisterAll);
+}
+
+}  // namespace hepq::doc

@@ -1,0 +1,68 @@
+#include "doc/runner.h"
+
+#include "core/stopwatch.h"
+#include "doc/convert.h"
+#include "doc/functions.h"
+
+namespace hepq::doc {
+
+Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
+  EnsureDocFunctionsRegistered();
+  DocQueryResult result;
+  for (const auto& [spec, expr] : query.fills) {
+    result.histograms.emplace_back(spec);
+  }
+  reader->ResetScanStats();
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  for (int g = 0; g < reader->num_row_groups(); ++g) {
+    // Full-width read unless the query carries a projection (Rumble only
+    // pushes projections for the simplest queries, paper Figure 4b).
+    RecordBatchPtr batch;
+    if (query.projection.empty()) {
+      HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g));
+    } else {
+      HEPQ_ASSIGN_OR_RETURN(batch,
+                            reader->ReadRowGroup(g, query.projection));
+    }
+    const int64_t rows = batch->num_rows();
+    for (int64_t row = 0; row < rows; ++row) {
+      DocContext ctx;
+      ctx.Push("event", Sequence{EventToItem(*batch, row)});
+      size_t pushed = 1;
+      for (const auto& [name, expr] : query.lets) {
+        auto value = expr->Eval(&ctx);
+        if (!value.ok()) return value.status();
+        ctx.Push(name, std::move(*value));
+        ++pushed;
+      }
+      bool selected = true;
+      if (query.guard != nullptr) {
+        Sequence cond;
+        HEPQ_ASSIGN_OR_RETURN(cond, query.guard->Eval(&ctx));
+        selected = EffectiveBooleanValue(cond);
+      }
+      if (selected) {
+        ++result.events_selected;
+        for (size_t f = 0; f < query.fills.size(); ++f) {
+          Sequence values;
+          HEPQ_ASSIGN_OR_RETURN(values, query.fills[f].second->Eval(&ctx));
+          for (const ItemPtr& item : values) {
+            result.histograms[f].Fill(item->AsDouble());
+          }
+        }
+      }
+      result.interpreter_steps += ctx.steps;
+      for (size_t p = 0; p < pushed; ++p) ctx.Pop();
+    }
+    result.events_processed += rows;
+  }
+
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  result.scan = reader->scan_stats();
+  return result;
+}
+
+}  // namespace hepq::doc

@@ -1,0 +1,249 @@
+#include "engine/event_query.h"
+
+#include <algorithm>
+
+#include "core/stopwatch.h"
+
+namespace hepq::engine {
+
+int EventQuery::DeclareList(const std::string& column,
+                            std::vector<std::string> members) {
+  lists_.push_back(ListDecl{column, std::move(members), {}});
+  return static_cast<int>(lists_.size()) - 1;
+}
+
+int EventQuery::DeclareUnionList(const std::string& name,
+                                 std::vector<std::string> members,
+                                 std::vector<UnionSource> sources) {
+  lists_.push_back(ListDecl{name, std::move(members), std::move(sources)});
+  return static_cast<int>(lists_.size()) - 1;
+}
+
+int EventQuery::DeclareScalar(const std::string& leaf_path) {
+  scalars_.push_back(ScalarDecl{leaf_path});
+  return static_cast<int>(scalars_.size()) - 1;
+}
+
+void EventQuery::AddStage(ExprPtr guard) {
+  stages_.push_back(std::move(guard));
+}
+
+int EventQuery::AddHistogram(HistogramSpec spec, ExprPtr value) {
+  FillSpec fill;
+  fill.spec = std::move(spec);
+  fill.scalar = std::move(value);
+  fills_.push_back(std::move(fill));
+  return static_cast<int>(fills_.size()) - 1;
+}
+
+int EventQuery::AddPerElementHistogram(HistogramSpec spec, int list_slot,
+                                       int iter_slot, ExprPtr filter,
+                                       ExprPtr value) {
+  FillSpec fill;
+  fill.spec = std::move(spec);
+  fill.per_element = true;
+  fill.element =
+      PerElementFill{list_slot, iter_slot, std::move(filter),
+                     std::move(value)};
+  fills_.push_back(std::move(fill));
+  return static_cast<int>(fills_.size()) - 1;
+}
+
+int EventQuery::AddPerCombinationHistogram(HistogramSpec spec,
+                                            std::vector<ComboLoop> loops,
+                                            ExprPtr filter, ExprPtr value) {
+  FillSpec fill;
+  fill.spec = std::move(spec);
+  fill.per_combination = true;
+  fill.combo_loops = std::move(loops);
+  fill.element.filter = std::move(filter);
+  fill.element.value = std::move(value);
+  fills_.push_back(std::move(fill));
+  return static_cast<int>(fills_.size()) - 1;
+}
+
+namespace {
+
+/// Iterates the (symmetric-deduplicated) Cartesian product of `loops`,
+/// calling `visit` with the iterators bound — shared by the
+/// per-combination fill; mirrors the recursion inside BestCombination.
+template <typename Visit>
+void ForEachCombination(const std::vector<ComboLoop>& loops,
+                        EvalContext* ctx, size_t depth, const Visit& visit) {
+  if (depth == loops.size()) {
+    ++ctx->ops;
+    visit();
+    return;
+  }
+  const ComboLoop& loop = loops[depth];
+  const ListBinding& list = ctx->bindings->list(loop.list_slot);
+  uint32_t begin = list.begin(ctx->row);
+  const uint32_t end = list.end(ctx->row);
+  for (size_t d = 0; d < depth; ++d) {
+    if (loops[d].list_slot == loop.list_slot) {
+      begin = std::max(begin, ctx->iter_index[loops[d].iter_slot] + 1);
+    }
+  }
+  for (uint32_t i = begin; i < end; ++i) {
+    ctx->iter_index[loop.iter_slot] = i;
+    ForEachCombination(loops, ctx, depth + 1, visit);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> EventQuery::Projection() const {
+  std::vector<std::string> projection;
+  for (const ListDecl& list : lists_) {
+    if (!list.union_sources.empty()) {
+      // Derived lists read their sources' leaves from storage.
+      for (const UnionSource& source : list.union_sources) {
+        for (const std::string& member : source.members) {
+          projection.push_back(source.column + "." + member);
+        }
+      }
+      continue;
+    }
+    for (const std::string& member : list.members) {
+      projection.push_back(list.column + "." + member);
+    }
+    if (list.members.empty()) projection.push_back(list.column);
+  }
+  for (const ScalarDecl& scalar : scalars_) {
+    projection.push_back(scalar.leaf_path);
+  }
+  return projection;
+}
+
+std::string EventQuery::Explain() const {
+  std::string out = "EventQuery " + name_ + " (per-event expression plan)\n";
+  for (size_t l = 0; l < lists_.size(); ++l) {
+    out += "  list" + std::to_string(l) + " = " + lists_[l].column;
+    if (!lists_[l].union_sources.empty()) {
+      out += " (union of";
+      for (const UnionSource& source : lists_[l].union_sources) {
+        out += " " + source.column;
+      }
+      out += ")";
+    }
+    out += " {";
+    for (size_t m = 0; m < lists_[l].members.size(); ++m) {
+      if (m > 0) out += ", ";
+      out += "m" + std::to_string(m) + "=" + lists_[l].members[m];
+    }
+    out += "}\n";
+  }
+  for (size_t c = 0; c < scalars_.size(); ++c) {
+    out += "  scalar" + std::to_string(c) + " = " + scalars_[c].leaf_path +
+           "\n";
+  }
+  for (size_t stage = 0; stage < stages_.size(); ++stage) {
+    out += "  stage " + std::to_string(stage) + ": " +
+           stages_[stage]->ToString() + "\n";
+  }
+  for (size_t f = 0; f < fills_.size(); ++f) {
+    out += "  fill '" + fills_[f].spec.name + "': ";
+    if (fills_[f].per_combination) {
+      out += "per-combination";
+      if (fills_[f].element.filter != nullptr) {
+        out += " where " + fills_[f].element.filter->ToString();
+      }
+      out += " <- " + fills_[f].element.value->ToString();
+    } else if (fills_[f].per_element) {
+      out += "per-element(list" +
+             std::to_string(fills_[f].element.list_slot) + ")";
+      if (fills_[f].element.filter != nullptr) {
+        out += " where " + fills_[f].element.filter->ToString();
+      }
+      out += " <- " + fills_[f].element.value->ToString();
+    } else {
+      out += fills_[f].scalar->ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+EventQueryResult EventQuery::MakeResult() const {
+  EventQueryResult result;
+  result.histograms.reserve(fills_.size());
+  for (const FillSpec& fill : fills_) {
+    result.histograms.emplace_back(fill.spec);
+  }
+  return result;
+}
+
+Status EventQuery::ExecuteBatch(const RecordBatch& batch,
+                                EventQueryResult* result) const {
+  BatchBindings bindings;
+  HEPQ_ASSIGN_OR_RETURN(bindings,
+                        BatchBindings::Bind(batch, lists_, scalars_));
+  EvalContext ctx;
+  ctx.bindings = &bindings;
+  const int64_t rows = batch.num_rows();
+  for (int64_t row = 0; row < rows; ++row) {
+    ctx.row = static_cast<uint32_t>(row);
+    ++ctx.ops;  // the per-event base record access (Table 2's "+1")
+    bool pass = true;
+    for (const ExprPtr& stage : stages_) {
+      if (!stage->EvalBool(&ctx)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ++result->events_selected;
+    for (size_t f = 0; f < fills_.size(); ++f) {
+      const FillSpec& fill = fills_[f];
+      Histogram1D& hist = result->histograms[f];
+      if (fill.per_combination) {
+        ForEachCombination(fill.combo_loops, &ctx, 0, [&] {
+          if (fill.element.filter != nullptr &&
+              !fill.element.filter->EvalBool(&ctx)) {
+            return;
+          }
+          hist.Fill(fill.element.value->Eval(&ctx));
+        });
+        continue;
+      }
+      if (!fill.per_element) {
+        hist.Fill(fill.scalar->Eval(&ctx));
+        continue;
+      }
+      const ListBinding& list = bindings.list(fill.element.list_slot);
+      const uint32_t begin = list.begin(ctx.row);
+      const uint32_t end = list.end(ctx.row);
+      for (uint32_t i = begin; i < end; ++i) {
+        ctx.iter_index[fill.element.iter_slot] = i;
+        ++ctx.ops;
+        if (fill.element.filter != nullptr &&
+            !fill.element.filter->EvalBool(&ctx)) {
+          continue;
+        }
+        hist.Fill(fill.element.value->Eval(&ctx));
+      }
+    }
+  }
+  result->events_processed += rows;
+  result->ops += ctx.ops;
+  return Status::OK();
+}
+
+Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
+  EventQueryResult result = MakeResult();
+  const std::vector<std::string> projection = Projection();
+  reader->ResetScanStats();
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+  for (int g = 0; g < reader->num_row_groups(); ++g) {
+    RecordBatchPtr batch;
+    HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g, projection));
+    HEPQ_RETURN_NOT_OK(ExecuteBatch(*batch, &result));
+  }
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  result.scan = reader->scan_stats();
+  return result;
+}
+
+}  // namespace hepq::engine

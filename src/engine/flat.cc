@@ -1,0 +1,588 @@
+#include "engine/flat.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "core/physics.h"
+#include "core/stopwatch.h"
+
+namespace hepq::engine {
+
+int FlatBatch::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void FlatBatch::Clear() {
+  num_rows = 0;
+  for (auto& column : columns) column.clear();
+}
+
+namespace {
+
+class FlatLitExpr final : public FlatExpr {
+ public:
+  explicit FlatLitExpr(double v) : value_(v) {}
+  double Eval(const FlatBatch&, size_t) const override { return value_; }
+  Status Resolve(const FlatBatch&) override { return Status::OK(); }
+
+ private:
+  double value_;
+};
+
+class FlatColExpr final : public FlatExpr {
+ public:
+  explicit FlatColExpr(std::string name) : name_(std::move(name)) {}
+  double Eval(const FlatBatch& batch, size_t row) const override {
+    return batch.columns[static_cast<size_t>(index_)][row];
+  }
+  Status Resolve(const FlatBatch& batch) override {
+    index_ = batch.ColumnIndex(name_);
+    if (index_ < 0) {
+      return Status::KeyError("flat pipeline has no column '" + name_ + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string name_;
+  int index_ = -1;
+};
+
+class FlatBinExpr final : public FlatExpr {
+ public:
+  FlatBinExpr(BinOp op, FlatExprPtr lhs, FlatExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  double Eval(const FlatBatch& batch, size_t row) const override {
+    if (op_ == BinOp::kAnd) {
+      return lhs_->EvalBool(batch, row) && rhs_->EvalBool(batch, row) ? 1.0
+                                                                      : 0.0;
+    }
+    if (op_ == BinOp::kOr) {
+      return lhs_->EvalBool(batch, row) || rhs_->EvalBool(batch, row) ? 1.0
+                                                                      : 0.0;
+    }
+    const double a = lhs_->Eval(batch, row);
+    const double b = rhs_->Eval(batch, row);
+    switch (op_) {
+      case BinOp::kAdd:
+        return a + b;
+      case BinOp::kSub:
+        return a - b;
+      case BinOp::kMul:
+        return a * b;
+      case BinOp::kDiv:
+        return a / b;
+      case BinOp::kLt:
+        return a < b ? 1.0 : 0.0;
+      case BinOp::kLe:
+        return a <= b ? 1.0 : 0.0;
+      case BinOp::kGt:
+        return a > b ? 1.0 : 0.0;
+      case BinOp::kGe:
+        return a >= b ? 1.0 : 0.0;
+      case BinOp::kEq:
+        return a == b ? 1.0 : 0.0;
+      case BinOp::kNe:
+        return a != b ? 1.0 : 0.0;
+      default:
+        return 0.0;
+    }
+  }
+  Status Resolve(const FlatBatch& batch) override {
+    HEPQ_RETURN_NOT_OK(lhs_->Resolve(batch));
+    return rhs_->Resolve(batch);
+  }
+
+ private:
+  BinOp op_;
+  FlatExprPtr lhs_;
+  FlatExprPtr rhs_;
+};
+
+class FlatCallExpr final : public FlatExpr {
+ public:
+  FlatCallExpr(Fn fn, std::vector<FlatExprPtr> args)
+      : fn_(fn), args_(std::move(args)) {}
+  double Eval(const FlatBatch& batch, size_t row) const override {
+    double v[12];
+    for (size_t i = 0; i < args_.size(); ++i) {
+      v[i] = args_[i]->Eval(batch, row);
+    }
+    switch (fn_) {
+      case Fn::kAbs:
+        return std::abs(v[0]);
+      case Fn::kSqrt:
+        return std::sqrt(v[0]);
+      case Fn::kNot:
+        return v[0] != 0.0 ? 0.0 : 1.0;
+      case Fn::kMin2:
+        return std::min(v[0], v[1]);
+      case Fn::kMax2:
+        return std::max(v[0], v[1]);
+      case Fn::kDeltaPhi:
+        return DeltaPhi(v[0], v[1]);
+      case Fn::kDeltaR:
+        return DeltaR(v[0], v[1], v[2], v[3]);
+      case Fn::kInvMass2:
+        return InvariantMass2({v[0], v[1], v[2], v[3]},
+                              {v[4], v[5], v[6], v[7]});
+      case Fn::kInvMass3:
+        return InvariantMass3({v[0], v[1], v[2], v[3]},
+                              {v[4], v[5], v[6], v[7]},
+                              {v[8], v[9], v[10], v[11]});
+      case Fn::kSumPt3:
+        return AddPtEtaPhiM3({v[0], v[1], v[2], v[3]},
+                             {v[4], v[5], v[6], v[7]},
+                             {v[8], v[9], v[10], v[11]})
+            .pt;
+      case Fn::kTransverseMass:
+        return TransverseMass(v[0], v[1], v[2], v[3]);
+    }
+    return 0.0;
+  }
+  Status Resolve(const FlatBatch& batch) override {
+    for (auto& arg : args_) HEPQ_RETURN_NOT_OK(arg->Resolve(batch));
+    return Status::OK();
+  }
+
+ private:
+  Fn fn_;
+  std::vector<FlatExprPtr> args_;
+};
+
+/// Hash aggregation state, keyed by the __event column.
+class EventAggregator {
+ public:
+  explicit EventAggregator(const std::vector<FlatAggSpec>& specs)
+      : specs_(specs) {
+    state_offsets_.reserve(specs.size());
+    int offset = 0;
+    for (const FlatAggSpec& spec : specs) {
+      state_offsets_.push_back(offset);
+      offset += spec.kind == FlatAggKind::kMinBy ? 2 : 1;
+    }
+    state_width_ = offset;
+  }
+
+  Status Resolve(const FlatBatch& layout) {
+    input_cols_.assign(specs_.size(), -1);
+    key_cols_.assign(specs_.size(), -1);
+    for (size_t a = 0; a < specs_.size(); ++a) {
+      const FlatAggSpec& spec = specs_[a];
+      if (spec.kind != FlatAggKind::kCount) {
+        input_cols_[a] = layout.ColumnIndex(spec.input);
+        if (input_cols_[a] < 0) {
+          return Status::KeyError("aggregate input column '" + spec.input +
+                                  "' not found");
+        }
+      }
+      if (spec.kind == FlatAggKind::kMinBy) {
+        key_cols_[a] = layout.ColumnIndex(spec.key);
+        if (key_cols_[a] < 0) {
+          return Status::KeyError("aggregate key column '" + spec.key +
+                                  "' not found");
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  void Consume(const FlatBatch& batch, int event_col) {
+    const auto& event_ids =
+        batch.columns[static_cast<size_t>(event_col)];
+    for (size_t row = 0; row < batch.num_rows; ++row) {
+      const int64_t key = static_cast<int64_t>(event_ids[row]);
+      auto [it, inserted] = groups_.try_emplace(key, states_.size());
+      if (inserted) {
+        keys_.push_back(key);
+        states_.resize(states_.size() + static_cast<size_t>(state_width_));
+        InitState(&states_[it->second]);
+      }
+      double* state = &states_[it->second];
+      for (size_t a = 0; a < specs_.size(); ++a) {
+        double* s = state + state_offsets_[a];
+        const FlatAggSpec& spec = specs_[a];
+        const double v =
+            spec.kind == FlatAggKind::kCount
+                ? 1.0
+                : batch.columns[static_cast<size_t>(input_cols_[a])][row];
+        switch (spec.kind) {
+          case FlatAggKind::kCount:
+          case FlatAggKind::kSum:
+            s[0] += v;
+            break;
+          case FlatAggKind::kMin:
+            s[0] = std::min(s[0], v);
+            break;
+          case FlatAggKind::kMax:
+            s[0] = std::max(s[0], v);
+            break;
+          case FlatAggKind::kFirst:
+            if (std::isnan(s[0])) s[0] = v;
+            break;
+          case FlatAggKind::kMinBy: {
+            const double k =
+                batch.columns[static_cast<size_t>(key_cols_[a])][row];
+            if (k < s[0]) {
+              s[0] = k;
+              s[1] = v;
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  /// Emits one row per group: "__event" plus one column per aggregate.
+  FlatBatch Finish() const {
+    FlatBatch out;
+    out.names.push_back("__event");
+    for (const FlatAggSpec& spec : specs_) out.names.push_back(spec.output);
+    out.columns.resize(out.names.size());
+    out.num_rows = keys_.size();
+    for (size_t g = 0; g < keys_.size(); ++g) {
+      out.columns[0].push_back(static_cast<double>(keys_[g]));
+      const double* state = &states_[g * static_cast<size_t>(state_width_)];
+      for (size_t a = 0; a < specs_.size(); ++a) {
+        const double* s = state + state_offsets_[a];
+        const double v =
+            specs_[a].kind == FlatAggKind::kMinBy ? s[1] : s[0];
+        out.columns[a + 1].push_back(v);
+      }
+    }
+    return out;
+  }
+
+  size_t num_groups() const { return keys_.size(); }
+
+ private:
+  void InitState(double* state) {
+    for (size_t a = 0; a < specs_.size(); ++a) {
+      double* s = state + state_offsets_[a];
+      switch (specs_[a].kind) {
+        case FlatAggKind::kCount:
+        case FlatAggKind::kSum:
+          s[0] = 0.0;
+          break;
+        case FlatAggKind::kMin:
+          s[0] = std::numeric_limits<double>::infinity();
+          break;
+        case FlatAggKind::kMax:
+          s[0] = -std::numeric_limits<double>::infinity();
+          break;
+        case FlatAggKind::kFirst:
+          s[0] = std::numeric_limits<double>::quiet_NaN();
+          break;
+        case FlatAggKind::kMinBy:
+          s[0] = std::numeric_limits<double>::infinity();
+          s[1] = 0.0;
+          break;
+      }
+    }
+  }
+
+  const std::vector<FlatAggSpec>& specs_;
+  std::vector<int> state_offsets_;
+  int state_width_ = 0;
+  std::unordered_map<int64_t, size_t> groups_;  // key -> state offset
+  std::vector<int64_t> keys_;                   // insertion order
+  std::vector<double> states_;
+  std::vector<int> input_cols_;
+  std::vector<int> key_cols_;
+};
+
+constexpr size_t kChunkRows = 32768;
+
+}  // namespace
+
+FlatExprPtr FlatLit(double value) {
+  return std::make_shared<FlatLitExpr>(value);
+}
+FlatExprPtr FlatCol(std::string name) {
+  return std::make_shared<FlatColExpr>(std::move(name));
+}
+FlatExprPtr FlatBin(BinOp op, FlatExprPtr lhs, FlatExprPtr rhs) {
+  return std::make_shared<FlatBinExpr>(op, std::move(lhs), std::move(rhs));
+}
+FlatExprPtr FlatCall(Fn fn, std::vector<FlatExprPtr> args) {
+  return std::make_shared<FlatCallExpr>(fn, std::move(args));
+}
+
+void FlatPipeline::AddUnnest(UnnestList list) {
+  unnests_.push_back(std::move(list));
+}
+void FlatPipeline::AddKeepScalar(const std::string& leaf_path) {
+  keep_scalars_.push_back(leaf_path);
+}
+void FlatPipeline::AddFilter(FlatExprPtr predicate) {
+  Step step;
+  step.is_filter = true;
+  step.expr = std::move(predicate);
+  steps_.push_back(std::move(step));
+}
+void FlatPipeline::AddProject(std::string name, FlatExprPtr value) {
+  Step step;
+  step.name = std::move(name);
+  step.expr = std::move(value);
+  steps_.push_back(std::move(step));
+}
+void FlatPipeline::AddAggregate(FlatAggSpec spec) {
+  aggregates_.push_back(std::move(spec));
+}
+void FlatPipeline::AddHaving(FlatExprPtr predicate) {
+  having_.push_back(std::move(predicate));
+}
+int FlatPipeline::AddHistogram(HistogramSpec spec, FlatExprPtr value) {
+  fills_.emplace_back(std::move(spec), std::move(value));
+  return static_cast<int>(fills_.size()) - 1;
+}
+
+std::vector<std::string> FlatPipeline::Projection() const {
+  std::vector<std::string> projection;
+  for (const UnnestList& u : unnests_) {
+    for (const std::string& member : u.members) {
+      projection.push_back(u.column + "." + member);
+    }
+    if (u.members.empty()) projection.push_back(u.column);
+  }
+  for (const std::string& scalar : keep_scalars_) {
+    projection.push_back(scalar);
+  }
+  if (projection.empty()) projection.push_back("event");
+  return projection;
+}
+
+std::string FlatPipeline::Explain() const {
+  std::string out = "FlatPipeline " + name_ + " (unnest + regroup plan)\n";
+  for (const UnnestList& u : unnests_) {
+    out += "  CROSS JOIN UNNEST(" + u.column + ") AS " + u.alias + " {";
+    for (size_t m = 0; m < u.members.size(); ++m) {
+      if (m > 0) out += ", ";
+      out += u.members[m];
+    }
+    out += "} WITH ORDINALITY\n";
+  }
+  for (const std::string& scalar : keep_scalars_) {
+    out += "  keep " + scalar + "\n";
+  }
+  for (const Step& step : steps_) {
+    out += step.is_filter ? "  WHERE <predicate>\n"
+                          : "  PROJECT " + step.name + "\n";
+  }
+  if (!aggregates_.empty()) {
+    out += "  GROUP BY event:";
+    for (const FlatAggSpec& spec : aggregates_) {
+      out += " " + spec.output;
+    }
+    out += "\n";
+  }
+  for (size_t h = 0; h < having_.size(); ++h) {
+    out += "  HAVING <predicate>\n";
+  }
+  for (const auto& [spec, expr] : fills_) {
+    out += "  fill '" + spec.name + "'\n";
+  }
+  return out;
+}
+
+Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
+  FlatQueryResult result;
+  for (const auto& [spec, expr] : fills_) {
+    result.histograms.emplace_back(spec);
+  }
+  reader->ResetScanStats();
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  // ---- layout of the flat chunk ----
+  FlatBatch chunk;
+  chunk.names.push_back("__event");
+  for (const UnnestList& u : unnests_) {
+    chunk.names.push_back(u.alias + ".idx");
+    for (const std::string& member : u.members) {
+      chunk.names.push_back(u.alias + "." + member);
+    }
+  }
+  for (const std::string& scalar : keep_scalars_) {
+    chunk.names.push_back(scalar);
+  }
+  const size_t base_columns = chunk.names.size();
+  // Projections extend the layout in step order.
+  for (const Step& step : steps_) {
+    if (!step.is_filter) chunk.names.push_back(step.name);
+  }
+  chunk.columns.resize(chunk.names.size());
+
+  // Resolve all flat-row expressions against the final layout.
+  for (const Step& step : steps_) {
+    HEPQ_RETURN_NOT_OK(step.expr->Resolve(chunk));
+  }
+  const bool grouped = !aggregates_.empty();
+  EventAggregator aggregator(aggregates_);
+  if (grouped) {
+    HEPQ_RETURN_NOT_OK(aggregator.Resolve(chunk));
+  }
+
+  // HAVING and fills run over the aggregate output when grouped.
+  FlatBatch agg_layout;
+  if (grouped) {
+    agg_layout.names.push_back("__event");
+    for (const FlatAggSpec& spec : aggregates_) {
+      agg_layout.names.push_back(spec.output);
+    }
+    agg_layout.columns.resize(agg_layout.names.size());
+  }
+  const FlatBatch& sink_layout = grouped ? agg_layout : chunk;
+  for (const FlatExprPtr& predicate : having_) {
+    HEPQ_RETURN_NOT_OK(predicate->Resolve(sink_layout));
+  }
+  for (const auto& [spec, expr] : fills_) {
+    HEPQ_RETURN_NOT_OK(expr->Resolve(sink_layout));
+  }
+  if (!grouped && !having_.empty()) {
+    return Status::Invalid("HAVING requires aggregates");
+  }
+
+  // ---- declarations for the storage bindings ----
+  std::vector<ListDecl> list_decls;
+  for (const UnnestList& u : unnests_) {
+    list_decls.push_back(ListDecl{u.column, u.members, {}});
+  }
+  std::vector<ScalarDecl> scalar_decls;
+  for (const std::string& s : keep_scalars_) {
+    scalar_decls.push_back(ScalarDecl{s});
+  }
+
+  auto flush_chunk = [&]() -> Status {
+    if (chunk.num_rows == 0) return Status::OK();
+    // Apply projections and filters in order. Filters compact all columns
+    // materialized so far — the real cost of filtering flat data.
+    size_t live_columns = base_columns;
+    for (const Step& step : steps_) {
+      if (!step.is_filter) {
+        auto& out = chunk.columns[live_columns];
+        out.resize(chunk.num_rows);
+        for (size_t row = 0; row < chunk.num_rows; ++row) {
+          out[row] = step.expr->Eval(chunk, row);
+        }
+        ++live_columns;
+        continue;
+      }
+      size_t kept = 0;
+      for (size_t row = 0; row < chunk.num_rows; ++row) {
+        if (!step.expr->EvalBool(chunk, row)) continue;
+        if (kept != row) {
+          for (size_t c = 0; c < live_columns; ++c) {
+            chunk.columns[c][kept] = chunk.columns[c][row];
+          }
+        }
+        ++kept;
+      }
+      chunk.num_rows = kept;
+      for (size_t c = 0; c < live_columns; ++c) {
+        chunk.columns[c].resize(kept);
+      }
+    }
+    if (grouped) {
+      aggregator.Consume(chunk, /*event_col=*/0);
+    } else {
+      for (size_t f = 0; f < fills_.size(); ++f) {
+        for (size_t row = 0; row < chunk.num_rows; ++row) {
+          result.histograms[f].Fill(fills_[f].second->Eval(chunk, row));
+        }
+      }
+    }
+    chunk.Clear();
+    return Status::OK();
+  };
+
+  // ---- scan ----
+  const std::vector<std::string> projection = Projection();
+  int64_t event_base = 0;
+  for (int g = 0; g < reader->num_row_groups(); ++g) {
+    RecordBatchPtr batch;
+    HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g, projection));
+    BatchBindings bindings;
+    HEPQ_ASSIGN_OR_RETURN(
+        bindings, BatchBindings::Bind(*batch, list_decls, scalar_decls));
+
+    const int64_t rows = batch->num_rows();
+    std::vector<uint32_t> cursor(unnests_.size());
+    for (int64_t row = 0; row < rows; ++row) {
+      const double event_id = static_cast<double>(event_base + row);
+      // Full Cartesian product of the unnest lists, exactly like chained
+      // CROSS JOIN UNNEST; symmetric dedup (idx1 < idx2) happens in WHERE.
+      std::function<Status(size_t)> emit = [&](size_t depth) -> Status {
+        if (depth == unnests_.size()) {
+          size_t c = 0;
+          chunk.columns[c++].push_back(event_id);
+          for (size_t u = 0; u < unnests_.size(); ++u) {
+            const ListBinding& list = bindings.list(static_cast<int>(u));
+            const uint32_t i = cursor[u];
+            chunk.columns[c++].push_back(
+                static_cast<double>(i - list.begin(static_cast<uint32_t>(row))));
+            for (size_t m = 0; m < unnests_[u].members.size(); ++m) {
+              chunk.columns[c++].push_back(list.members[m].Get(i));
+            }
+          }
+          for (size_t s = 0; s < keep_scalars_.size(); ++s) {
+            chunk.columns[c++].push_back(
+                bindings.scalar(static_cast<int>(s))
+                    .Get(static_cast<uint32_t>(row)));
+          }
+          ++chunk.num_rows;
+          ++result.rows_materialized;
+          result.cells_materialized += base_columns;
+          if (chunk.num_rows >= kChunkRows) {
+            HEPQ_RETURN_NOT_OK(flush_chunk());
+          }
+          return Status::OK();
+        }
+        const ListBinding& list =
+            bindings.list(static_cast<int>(depth));
+        const uint32_t begin = list.begin(static_cast<uint32_t>(row));
+        const uint32_t end = list.end(static_cast<uint32_t>(row));
+        for (uint32_t i = begin; i < end; ++i) {
+          cursor[depth] = i;
+          HEPQ_RETURN_NOT_OK(emit(depth + 1));
+        }
+        return Status::OK();
+      };
+      HEPQ_RETURN_NOT_OK(emit(0));
+    }
+    event_base += rows;
+    result.events_processed += rows;
+  }
+  HEPQ_RETURN_NOT_OK(flush_chunk());
+
+  if (grouped) {
+    FlatBatch groups = aggregator.Finish();
+    result.groups = static_cast<int64_t>(groups.num_rows);
+    for (size_t row = 0; row < groups.num_rows; ++row) {
+      bool pass = true;
+      for (const FlatExprPtr& predicate : having_) {
+        if (!predicate->EvalBool(groups, row)) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      for (size_t f = 0; f < fills_.size(); ++f) {
+        result.histograms[f].Fill(fills_[f].second->Eval(groups, row));
+      }
+    }
+  }
+
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  result.scan = reader->scan_stats();
+  return result;
+}
+
+}  // namespace hepq::engine

@@ -1,0 +1,36 @@
+#ifndef HEPQUERY_FILEIO_COMPRESSION_H_
+#define HEPQUERY_FILEIO_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hepq {
+
+/// Block compression codecs for column chunks. kLz is a from-scratch
+/// byte-oriented LZ77 codec in the LZ4-block family: greedy hash-table
+/// matching, 64 KiB window, token = 4-bit literal length + 4-bit match
+/// length with extension bytes and 2-byte little-endian match offsets.
+/// It trades ratio for speed, like the snappy/lz4 codecs used with Parquet
+/// in the paper's setup.
+enum class Codec : uint8_t {
+  kNone = 0,
+  kLz = 1,
+};
+
+const char* CodecName(Codec codec);
+
+/// Compresses `input` with `codec`, appending to `out` (which is cleared).
+/// For kLz the output is self-delimiting given its size.
+Status Compress(Codec codec, const uint8_t* input, size_t input_size,
+                std::vector<uint8_t>* out);
+
+/// Decompresses exactly `decompressed_size` bytes into `out`.
+/// Fails with Corruption on malformed streams.
+Status Decompress(Codec codec, const uint8_t* input, size_t input_size,
+                  size_t decompressed_size, std::vector<uint8_t>* out);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_FILEIO_COMPRESSION_H_

@@ -1,0 +1,32 @@
+#include "fileio/crc32.h"
+
+namespace hepq {
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t length, uint32_t seed) {
+  static const Crc32Table& table = *new Crc32Table();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < length; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace hepq

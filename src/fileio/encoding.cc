@@ -1,0 +1,235 @@
+#include "fileio/encoding.h"
+
+#include <cstring>
+
+#include "fileio/varint.h"
+
+namespace hepq {
+
+const char* EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kRleVarint:
+      return "rle";
+    case Encoding::kBitPack:
+      return "bitpack";
+    case Encoding::kDeltaVarint:
+      return "delta";
+  }
+  return "unknown";
+}
+
+namespace {
+
+template <typename T>
+void EncodeRle(const T* values, size_t count, std::vector<uint8_t>* out) {
+  size_t i = 0;
+  while (i < count) {
+    size_t run = 1;
+    while (i + run < count && values[i + run] == values[i]) ++run;
+    PutVarint(out, run);
+    PutSignedVarint(out, static_cast<int64_t>(values[i]));
+    i += run;
+  }
+}
+
+template <typename T>
+Status DecodeRle(const uint8_t* data, size_t size, size_t count, T* out) {
+  ByteReader reader(data, size);
+  size_t produced = 0;
+  while (produced < count) {
+    uint64_t run = 0;
+    int64_t value = 0;
+    HEPQ_RETURN_NOT_OK(reader.GetVarint(&run));
+    HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&value));
+    if (run == 0 || produced + run > count) {
+      return Status::Corruption("rle: run overflows value count");
+    }
+    for (uint64_t k = 0; k < run; ++k) {
+      out[produced++] = static_cast<T>(value);
+    }
+  }
+  if (!reader.AtEnd()) return Status::Corruption("rle: trailing bytes");
+  return Status::OK();
+}
+
+template <typename T>
+void EncodeDelta(const T* values, size_t count, std::vector<uint8_t>* out) {
+  int64_t previous = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t v = static_cast<int64_t>(values[i]);
+    PutSignedVarint(out, v - previous);
+    previous = v;
+  }
+}
+
+template <typename T>
+Status DecodeDelta(const uint8_t* data, size_t size, size_t count, T* out) {
+  ByteReader reader(data, size);
+  int64_t previous = 0;
+  for (size_t i = 0; i < count; ++i) {
+    int64_t delta = 0;
+    HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&delta));
+    previous += delta;
+    out[i] = static_cast<T>(previous);
+  }
+  if (!reader.AtEnd()) return Status::Corruption("delta: trailing bytes");
+  return Status::OK();
+}
+
+void EncodeBitPack(const uint8_t* values, size_t count,
+                   std::vector<uint8_t>* out) {
+  out->resize((count + 7) / 8, 0);
+  for (size_t i = 0; i < count; ++i) {
+    if (values[i]) (*out)[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+}
+
+Status DecodeBitPack(const uint8_t* data, size_t size, size_t count,
+                     uint8_t* out) {
+  if (size != (count + 7) / 8) {
+    return Status::Corruption("bitpack: size mismatch");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = (data[i / 8] >> (i % 8)) & 1u;
+  }
+  return Status::OK();
+}
+
+/// Values whose delta from the predecessor fits one zig-zag varint byte.
+template <typename T>
+size_t CountSmallDeltas(const T* values, size_t count) {
+  if (count == 0) return 0;
+  size_t small = 1;
+  for (size_t i = 1; i < count; ++i) {
+    const int64_t delta =
+        static_cast<int64_t>(values[i]) - static_cast<int64_t>(values[i - 1]);
+    if (delta >= -64 && delta < 64) ++small;
+  }
+  return small;
+}
+
+template <typename T>
+size_t CountRuns(const T* values, size_t count) {
+  if (count == 0) return 0;
+  size_t runs = 1;
+  for (size_t i = 1; i < count; ++i) {
+    if (values[i] != values[i - 1]) ++runs;
+  }
+  return runs;
+}
+
+}  // namespace
+
+Status EncodeValues(TypeId type, Encoding encoding, const void* data,
+                    size_t count, std::vector<uint8_t>* out) {
+  out->clear();
+  const int width = PrimitiveWidth(type);
+  if (width == 0) return Status::Invalid("cannot encode nested type");
+  switch (encoding) {
+    case Encoding::kPlain: {
+      const size_t n = count * static_cast<size_t>(width);
+      out->resize(n);
+      std::memcpy(out->data(), data, n);
+      return Status::OK();
+    }
+    case Encoding::kRleVarint:
+      switch (type) {
+        case TypeId::kInt32:
+          EncodeRle(static_cast<const int32_t*>(data), count, out);
+          return Status::OK();
+        case TypeId::kInt64:
+          EncodeRle(static_cast<const int64_t*>(data), count, out);
+          return Status::OK();
+        default:
+          return Status::Invalid("rle encoding requires an integer type");
+      }
+    case Encoding::kBitPack:
+      if (type != TypeId::kBool) {
+        return Status::Invalid("bitpack encoding requires bool");
+      }
+      EncodeBitPack(static_cast<const uint8_t*>(data), count, out);
+      return Status::OK();
+    case Encoding::kDeltaVarint:
+      switch (type) {
+        case TypeId::kInt32:
+          EncodeDelta(static_cast<const int32_t*>(data), count, out);
+          return Status::OK();
+        case TypeId::kInt64:
+          EncodeDelta(static_cast<const int64_t*>(data), count, out);
+          return Status::OK();
+        default:
+          return Status::Invalid("delta encoding requires an integer type");
+      }
+  }
+  return Status::Invalid("unknown encoding");
+}
+
+Status DecodeValues(TypeId type, Encoding encoding, const uint8_t* data,
+                    size_t size, size_t count, void* out) {
+  const int width = PrimitiveWidth(type);
+  if (width == 0) return Status::Invalid("cannot decode nested type");
+  switch (encoding) {
+    case Encoding::kPlain: {
+      const size_t n = count * static_cast<size_t>(width);
+      if (size != n) return Status::Corruption("plain: size mismatch");
+      std::memcpy(out, data, n);
+      return Status::OK();
+    }
+    case Encoding::kRleVarint:
+      switch (type) {
+        case TypeId::kInt32:
+          return DecodeRle(data, size, count, static_cast<int32_t*>(out));
+        case TypeId::kInt64:
+          return DecodeRle(data, size, count, static_cast<int64_t*>(out));
+        default:
+          return Status::Invalid("rle decoding requires an integer type");
+      }
+    case Encoding::kBitPack:
+      if (type != TypeId::kBool) {
+        return Status::Invalid("bitpack decoding requires bool");
+      }
+      return DecodeBitPack(data, size, count, static_cast<uint8_t*>(out));
+    case Encoding::kDeltaVarint:
+      switch (type) {
+        case TypeId::kInt32:
+          return DecodeDelta(data, size, count, static_cast<int32_t*>(out));
+        case TypeId::kInt64:
+          return DecodeDelta(data, size, count, static_cast<int64_t*>(out));
+        default:
+          return Status::Invalid("delta decoding requires an integer type");
+      }
+  }
+  return Status::Invalid("unknown encoding");
+}
+
+Encoding ChooseEncoding(TypeId type, const void* data, size_t count) {
+  if (type == TypeId::kBool) return Encoding::kBitPack;
+  if (type == TypeId::kInt32 || type == TypeId::kInt64) {
+    if (count == 0) return Encoding::kPlain;
+    const bool is32 = type == TypeId::kInt32;
+    const size_t runs =
+        is32 ? CountRuns(static_cast<const int32_t*>(data), count)
+             : CountRuns(static_cast<const int64_t*>(data), count);
+    // Estimated sizes: ~4 bytes per RLE run (varint count + zig-zag
+    // value); ~1.3 bytes per value for delta when nearly all deltas fit a
+    // single byte (near-monotonic event ids), unusable otherwise. Ties go
+    // to plain, which decodes fastest.
+    const size_t plain_size = count * static_cast<size_t>(PrimitiveWidth(type));
+    const size_t rle_estimate = runs * 4;
+    const size_t small_deltas =
+        is32 ? CountSmallDeltas(static_cast<const int32_t*>(data), count)
+             : CountSmallDeltas(static_cast<const int64_t*>(data), count);
+    const bool delta_viable = small_deltas >= count - count / 8;
+    const size_t delta_estimate =
+        delta_viable ? count + count / 3 + 16 : plain_size;
+    if (delta_estimate < plain_size && delta_estimate <= rle_estimate) {
+      return Encoding::kDeltaVarint;
+    }
+    if (rle_estimate < plain_size) return Encoding::kRleVarint;
+  }
+  return Encoding::kPlain;
+}
+
+}  // namespace hepq

@@ -1,0 +1,44 @@
+#ifndef HEPQUERY_FILEIO_ENCODING_H_
+#define HEPQUERY_FILEIO_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columnar/types.h"
+#include "core/status.h"
+
+namespace hepq {
+
+/// Per-chunk value encodings, applied before block compression:
+///   kPlain     — raw little-endian values (the only choice for floats,
+///                which rarely repeat; matches Parquet PLAIN).
+///   kRleVarint — (varint run-length, zig-zag varint value) pairs; chosen
+///                for integer leaves with long runs (charges, counts).
+///   kBitPack   — 8 booleans per byte.
+///   kDeltaVarint — zig-zag varint of successive differences; chosen for
+///                near-monotonic integer leaves (event ids, luminosity
+///                blocks), where deltas are tiny.
+enum class Encoding : uint8_t {
+  kPlain = 0,
+  kRleVarint = 1,
+  kBitPack = 2,
+  kDeltaVarint = 3,
+};
+
+const char* EncodingName(Encoding encoding);
+
+/// Serializes `count` values of primitive type `type` from `data`.
+Status EncodeValues(TypeId type, Encoding encoding, const void* data,
+                    size_t count, std::vector<uint8_t>* out);
+
+/// Inverse of EncodeValues. `out` must have room for `count` values.
+Status DecodeValues(TypeId type, Encoding encoding, const uint8_t* data,
+                    size_t size, size_t count, void* out);
+
+/// Picks an encoding for a chunk: bit-packing for bools, RLE for integer
+/// data whose run structure makes it smaller than plain, plain otherwise.
+Encoding ChooseEncoding(TypeId type, const void* data, size_t count);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_FILEIO_ENCODING_H_

@@ -1,0 +1,221 @@
+#include "fileio/format.h"
+
+#include "fileio/varint.h"
+
+namespace hepq {
+
+namespace {
+
+Status AppendStructLeaves(const std::string& prefix, const DataType& type,
+                          int field_index, std::vector<LeafDesc>* out) {
+  for (int m = 0; m < type.num_fields(); ++m) {
+    const Field& member = type.fields()[static_cast<size_t>(m)];
+    if (!member.type->is_primitive()) {
+      return Status::NotImplemented(
+          "nested type inside struct not supported: " + prefix + "." +
+          member.name);
+    }
+    out->push_back(LeafDesc{prefix + "." + member.name, member.type->id(),
+                            field_index, m, false});
+  }
+  return Status::OK();
+}
+
+void SerializeType(const DataType& type, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(type.id()));
+  if (type.is_primitive()) return;
+  PutVarint(out, static_cast<uint64_t>(type.num_fields()));
+  for (const Field& f : type.fields()) {
+    PutString(out, f.name);
+    SerializeType(*f.type, out);
+  }
+}
+
+Status ParseType(ByteReader* reader, DataTypePtr* out, int depth = 0) {
+  if (depth > 8) return Status::Corruption("type nesting too deep");
+  uint8_t id_byte = 0;
+  HEPQ_RETURN_NOT_OK(reader->GetBytes(&id_byte, 1));
+  if (id_byte > static_cast<uint8_t>(TypeId::kStruct)) {
+    return Status::Corruption("invalid type id");
+  }
+  const TypeId id = static_cast<TypeId>(id_byte);
+  switch (id) {
+    case TypeId::kFloat32:
+      *out = DataType::Float32();
+      return Status::OK();
+    case TypeId::kFloat64:
+      *out = DataType::Float64();
+      return Status::OK();
+    case TypeId::kInt32:
+      *out = DataType::Int32();
+      return Status::OK();
+    case TypeId::kInt64:
+      *out = DataType::Int64();
+      return Status::OK();
+    case TypeId::kBool:
+      *out = DataType::Bool();
+      return Status::OK();
+    case TypeId::kList:
+    case TypeId::kStruct: {
+      uint64_t n = 0;
+      HEPQ_RETURN_NOT_OK(reader->GetVarint(&n));
+      if (n == 0 || n > 4096) return Status::Corruption("bad child count");
+      std::vector<Field> fields;
+      fields.reserve(static_cast<size_t>(n));
+      for (uint64_t i = 0; i < n; ++i) {
+        Field f;
+        HEPQ_RETURN_NOT_OK(reader->GetString(&f.name));
+        HEPQ_RETURN_NOT_OK(ParseType(reader, &f.type, depth + 1));
+        fields.push_back(std::move(f));
+      }
+      if (id == TypeId::kList) {
+        if (fields.size() != 1) {
+          return Status::Corruption("list type must have one child");
+        }
+        *out = DataType::List(fields[0].type);
+      } else {
+        *out = DataType::Struct(std::move(fields));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unreachable type id");
+}
+
+}  // namespace
+
+Result<std::vector<LeafDesc>> ComputeLeafLayout(const Schema& schema) {
+  std::vector<LeafDesc> out;
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    const DataType& type = *field.type;
+    if (type.is_primitive()) {
+      out.push_back(LeafDesc{field.name, type.id(), i, -1, false});
+    } else if (type.id() == TypeId::kStruct) {
+      HEPQ_RETURN_NOT_OK(AppendStructLeaves(field.name, type, i, &out));
+    } else {  // list
+      const DataType& item = *type.item_type();
+      out.push_back(
+          LeafDesc{field.name + "#lengths", TypeId::kInt32, i, -1, true});
+      if (item.is_primitive()) {
+        out.push_back(LeafDesc{field.name + ".item", item.id(), i, -1, false});
+      } else if (item.id() == TypeId::kStruct) {
+        HEPQ_RETURN_NOT_OK(AppendStructLeaves(field.name, item, i, &out));
+      } else {
+        return Status::NotImplemented("list of " + item.ToString() +
+                                      " not supported");
+      }
+    }
+  }
+  return out;
+}
+
+int FileMetadata::LeafIndex(const std::string& path) const {
+  for (size_t i = 0; i < layout.size(); ++i) {
+    if (layout[i].path == path) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SerializeFileMetadata(const FileMetadata& meta,
+                           std::vector<uint8_t>* out) {
+  out->clear();
+  PutFixed32(out, meta.version);
+  PutVarint(out, static_cast<uint64_t>(meta.schema.num_fields()));
+  for (const Field& f : meta.schema.fields()) {
+    PutString(out, f.name);
+    SerializeType(*f.type, out);
+  }
+  PutVarint(out, static_cast<uint64_t>(meta.total_rows));
+  PutVarint(out, meta.row_groups.size());
+  for (const RowGroupMeta& rg : meta.row_groups) {
+    PutVarint(out, static_cast<uint64_t>(rg.num_rows));
+    PutVarint(out, rg.chunks.size());
+    for (const ChunkMeta& c : rg.chunks) {
+      PutVarint(out, c.file_offset);
+      PutVarint(out, c.compressed_size);
+      PutVarint(out, c.encoded_size);
+      PutVarint(out, c.num_values);
+      out->push_back(static_cast<uint8_t>(c.encoding));
+      out->push_back(static_cast<uint8_t>(c.codec));
+      PutFixed32(out, c.crc32);
+      out->push_back(c.has_stats ? 1 : 0);
+      if (c.has_stats) {
+        PutDouble(out, c.min_value);
+        PutDouble(out, c.max_value);
+      }
+    }
+  }
+}
+
+Status ParseFileMetadata(const uint8_t* data, size_t size,
+                         FileMetadata* out) {
+  ByteReader reader(data, size);
+  HEPQ_RETURN_NOT_OK(reader.GetFixed32(&out->version));
+  if (out->version != kLaqVersion) {
+    return Status::Corruption("unsupported laq version");
+  }
+  uint64_t num_fields = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetVarint(&num_fields));
+  if (num_fields > 65536) return Status::Corruption("bad field count");
+  std::vector<Field> fields;
+  fields.reserve(static_cast<size_t>(num_fields));
+  for (uint64_t i = 0; i < num_fields; ++i) {
+    Field f;
+    HEPQ_RETURN_NOT_OK(reader.GetString(&f.name));
+    HEPQ_RETURN_NOT_OK(ParseType(&reader, &f.type));
+    fields.push_back(std::move(f));
+  }
+  out->schema = Schema(std::move(fields));
+  HEPQ_ASSIGN_OR_RETURN(out->layout, ComputeLeafLayout(out->schema));
+
+  uint64_t total_rows = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetVarint(&total_rows));
+  out->total_rows = static_cast<int64_t>(total_rows);
+
+  uint64_t num_groups = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetVarint(&num_groups));
+  if (num_groups > (1u << 24)) return Status::Corruption("bad group count");
+  out->row_groups.clear();
+  out->row_groups.reserve(static_cast<size_t>(num_groups));
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    RowGroupMeta rg;
+    uint64_t rows = 0, num_chunks = 0;
+    HEPQ_RETURN_NOT_OK(reader.GetVarint(&rows));
+    rg.num_rows = static_cast<int64_t>(rows);
+    HEPQ_RETURN_NOT_OK(reader.GetVarint(&num_chunks));
+    if (num_chunks != out->layout.size()) {
+      return Status::Corruption("chunk count does not match leaf layout");
+    }
+    rg.chunks.reserve(static_cast<size_t>(num_chunks));
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      ChunkMeta cm;
+      HEPQ_RETURN_NOT_OK(reader.GetVarint(&cm.file_offset));
+      HEPQ_RETURN_NOT_OK(reader.GetVarint(&cm.compressed_size));
+      HEPQ_RETURN_NOT_OK(reader.GetVarint(&cm.encoded_size));
+      HEPQ_RETURN_NOT_OK(reader.GetVarint(&cm.num_values));
+      uint8_t enc = 0, codec = 0, has_stats = 0;
+      HEPQ_RETURN_NOT_OK(reader.GetBytes(&enc, 1));
+      HEPQ_RETURN_NOT_OK(reader.GetBytes(&codec, 1));
+      if (enc > static_cast<uint8_t>(Encoding::kDeltaVarint) ||
+          codec > static_cast<uint8_t>(Codec::kLz)) {
+        return Status::Corruption("invalid encoding or codec id");
+      }
+      cm.encoding = static_cast<Encoding>(enc);
+      cm.codec = static_cast<Codec>(codec);
+      HEPQ_RETURN_NOT_OK(reader.GetFixed32(&cm.crc32));
+      HEPQ_RETURN_NOT_OK(reader.GetBytes(&has_stats, 1));
+      cm.has_stats = has_stats != 0;
+      if (cm.has_stats) {
+        HEPQ_RETURN_NOT_OK(reader.GetDouble(&cm.min_value));
+        HEPQ_RETURN_NOT_OK(reader.GetDouble(&cm.max_value));
+      }
+      rg.chunks.push_back(cm);
+    }
+    out->row_groups.push_back(std::move(rg));
+  }
+  if (!reader.AtEnd()) return Status::Corruption("trailing footer bytes");
+  return Status::OK();
+}
+
+}  // namespace hepq

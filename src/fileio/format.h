@@ -1,0 +1,88 @@
+#ifndef HEPQUERY_FILEIO_FORMAT_H_
+#define HEPQUERY_FILEIO_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columnar/types.h"
+#include "core/status.h"
+#include "fileio/compression.h"
+#include "fileio/encoding.h"
+
+namespace hepq {
+
+// On-disk layout of a .laq file ("lightweight analytics query" format, the
+// repository's Parquet stand-in):
+//
+//   [4-byte magic "LAQ1"]
+//   [column chunks, row group by row group, leaf by leaf]
+//   [footer: serialized FileMetadata]
+//   [fixed32 footer size][fixed32 footer crc][4-byte magic "LAQ1"]
+//
+// Nested columns are shredded Dremel-style into primitive leaves. The HEP
+// event schema only needs nesting depth <= 1 (lists of structs of
+// primitives), so instead of general repetition/definition levels each list
+// column stores one "#lengths" leaf (int32 per row, RLE-friendly) plus one
+// values leaf per struct member.
+
+inline constexpr char kLaqMagic[4] = {'L', 'A', 'Q', '1'};
+inline constexpr uint32_t kLaqVersion = 1;
+
+/// One primitive leaf of the shredded schema.
+struct LeafDesc {
+  std::string path;      // "MET", "MET.phi", "Jet#lengths", "Jet.pt", ...
+  TypeId physical;       // physical element type of the leaf
+  int field_index = -1;  // top-level column this leaf belongs to
+  int member_index = -1; // struct member index inside the column, or -1
+  bool is_lengths = false;  // true for a list's per-row lengths leaf
+};
+
+/// Shreds a schema into its leaf layout. Supported column shapes:
+/// primitive; struct of primitives; list of primitive; list of struct of
+/// primitives. Deeper nesting returns NotImplemented (HEP events never
+/// need it).
+Result<std::vector<LeafDesc>> ComputeLeafLayout(const Schema& schema);
+
+/// Location + properties of one leaf chunk within a row group.
+struct ChunkMeta {
+  uint64_t file_offset = 0;
+  uint64_t compressed_size = 0;  // bytes on storage
+  uint64_t encoded_size = 0;     // bytes after encoding, before compression
+  uint64_t num_values = 0;
+  Encoding encoding = Encoding::kPlain;
+  Codec codec = Codec::kNone;
+  uint32_t crc32 = 0;  // over the compressed bytes
+  bool has_stats = false;
+  double min_value = 0.0;  // numeric min/max for row-group pruning
+  double max_value = 0.0;
+};
+
+struct RowGroupMeta {
+  int64_t num_rows = 0;
+  std::vector<ChunkMeta> chunks;  // one per leaf, in layout order
+};
+
+struct FileMetadata {
+  uint32_t version = kLaqVersion;
+  Schema schema;
+  std::vector<LeafDesc> layout;
+  std::vector<RowGroupMeta> row_groups;
+  int64_t total_rows = 0;
+
+  int num_leaves() const { return static_cast<int>(layout.size()); }
+  /// Index of the leaf with the given path, or -1.
+  int LeafIndex(const std::string& path) const;
+};
+
+/// Serializes the footer payload (excluding trailing size/crc/magic).
+void SerializeFileMetadata(const FileMetadata& meta,
+                           std::vector<uint8_t>* out);
+
+/// Parses a footer payload produced by SerializeFileMetadata.
+Status ParseFileMetadata(const uint8_t* data, size_t size,
+                         FileMetadata* out);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_FILEIO_FORMAT_H_

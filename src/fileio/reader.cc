@@ -1,0 +1,438 @@
+#include "fileio/reader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "fileio/crc32.h"
+#include "fileio/varint.h"
+
+namespace hepq {
+
+namespace {
+
+Result<ArrayPtr> BuildPrimitiveArray(TypeId type,
+                                     const std::vector<uint8_t>& bytes,
+                                     size_t count) {
+  switch (type) {
+    case TypeId::kFloat32: {
+      std::vector<float> v(count);
+      std::memcpy(v.data(), bytes.data(), count * sizeof(float));
+      return ArrayPtr(std::make_shared<Float32Array>(DataType::Float32(),
+                                                     std::move(v)));
+    }
+    case TypeId::kFloat64: {
+      std::vector<double> v(count);
+      std::memcpy(v.data(), bytes.data(), count * sizeof(double));
+      return ArrayPtr(std::make_shared<Float64Array>(DataType::Float64(),
+                                                     std::move(v)));
+    }
+    case TypeId::kInt32: {
+      std::vector<int32_t> v(count);
+      std::memcpy(v.data(), bytes.data(), count * sizeof(int32_t));
+      return ArrayPtr(
+          std::make_shared<Int32Array>(DataType::Int32(), std::move(v)));
+    }
+    case TypeId::kInt64: {
+      std::vector<int64_t> v(count);
+      std::memcpy(v.data(), bytes.data(), count * sizeof(int64_t));
+      return ArrayPtr(
+          std::make_shared<Int64Array>(DataType::Int64(), std::move(v)));
+    }
+    case TypeId::kBool: {
+      std::vector<uint8_t> v(count);
+      std::memcpy(v.data(), bytes.data(), count);
+      return ArrayPtr(
+          std::make_shared<BoolArray>(DataType::Bool(), std::move(v)));
+    }
+    default:
+      return Status::Invalid("not a primitive leaf type");
+  }
+}
+
+}  // namespace
+
+LaqReader::~LaqReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
+                                                   ReaderOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for reading");
+  }
+  // RAII guard until ownership is transferred to the reader.
+  auto guard = std::unique_ptr<std::FILE, int (*)(std::FILE*)>(file,
+                                                               &std::fclose);
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed");
+  }
+  const long file_size = std::ftell(file);
+  if (file_size < 16) return Status::Corruption("file too small to be laq");
+
+  uint8_t trailer[12];
+  if (std::fseek(file, file_size - 12, SEEK_SET) != 0 ||
+      std::fread(trailer, 1, 12, file) != 12) {
+    return Status::IoError("cannot read trailer");
+  }
+  if (std::memcmp(trailer + 8, kLaqMagic, 4) != 0) {
+    return Status::Corruption("bad trailing magic (not a laq file?)");
+  }
+  uint32_t footer_size = 0, footer_crc = 0;
+  std::memcpy(&footer_size, trailer, 4);
+  std::memcpy(&footer_crc, trailer + 4, 4);
+  if (static_cast<long>(footer_size) + 16 > file_size) {
+    return Status::Corruption("footer size exceeds file size");
+  }
+  std::vector<uint8_t> footer(footer_size);
+  if (std::fseek(file, file_size - 12 - static_cast<long>(footer_size),
+                 SEEK_SET) != 0 ||
+      std::fread(footer.data(), 1, footer_size, file) != footer_size) {
+    return Status::IoError("cannot read footer");
+  }
+  if (Crc32(footer.data(), footer.size()) != footer_crc) {
+    return Status::Corruption("footer checksum mismatch");
+  }
+  FileMetadata metadata;
+  HEPQ_RETURN_NOT_OK(ParseFileMetadata(footer.data(), footer.size(),
+                                       &metadata));
+  guard.release();
+  return std::unique_ptr<LaqReader>(
+      new LaqReader(file, std::move(metadata), options));
+}
+
+Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
+                           std::vector<uint8_t>* out_values) {
+  const RowGroupMeta& rg = metadata_.row_groups[static_cast<size_t>(group)];
+  const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(leaf_index)];
+  const LeafDesc& leaf = metadata_.layout[static_cast<size_t>(leaf_index)];
+
+  std::vector<uint8_t> compressed(chunk.compressed_size);
+  if (std::fseek(file_, static_cast<long>(chunk.file_offset), SEEK_SET) != 0) {
+    return Status::IoError("seek to chunk failed");
+  }
+  if (!compressed.empty() &&
+      std::fread(compressed.data(), 1, compressed.size(), file_) !=
+          compressed.size()) {
+    return Status::IoError("short read of chunk " + leaf.path);
+  }
+  if (options_.validate_checksums &&
+      Crc32(compressed.data(), compressed.size()) != chunk.crc32) {
+    return Status::Corruption("checksum mismatch in chunk " + leaf.path);
+  }
+  std::vector<uint8_t> encoded;
+  HEPQ_RETURN_NOT_OK(Decompress(chunk.codec, compressed.data(),
+                                compressed.size(), chunk.encoded_size,
+                                &encoded));
+  const size_t count = static_cast<size_t>(chunk.num_values);
+  out_values->resize(count *
+                     static_cast<size_t>(PrimitiveWidth(leaf.physical)));
+  HEPQ_RETURN_NOT_OK(DecodeValues(leaf.physical, chunk.encoding,
+                                  encoded.data(), encoded.size(), count,
+                                  out_values->data()));
+
+  stats_.storage_bytes += chunk.compressed_size;
+  stats_.encoded_bytes += chunk.encoded_size;
+  stats_.chunks_read += 1;
+  stats_.values_read += chunk.num_values;
+  if (billed) {
+    if (leaf.is_lengths) {
+      // Offsets are physically read but not billed by BigQuery's
+      // logical-column accounting; they do count toward the ideal bytes a
+      // C++ Parquet reader must fetch.
+      stats_.ideal_bytes += chunk.num_values * 4;
+    } else {
+      stats_.logical_bytes_bq += chunk.num_values * 8;
+      stats_.ideal_bytes +=
+          chunk.num_values *
+          static_cast<uint64_t>(PrimitiveWidth(leaf.physical));
+    }
+  }
+  return Status::OK();
+}
+
+Status LaqReader::ResolveProjection(
+    const std::vector<std::string>& projection,
+    std::vector<ResolvedColumn>* out) const {
+  const Schema& schema = metadata_.schema;
+  std::map<int, ResolvedColumn> by_field;
+  for (const std::string& entry : projection) {
+    const size_t dot = entry.find('.');
+    const std::string column_name =
+        dot == std::string::npos ? entry : entry.substr(0, dot);
+    const int field_index = schema.FieldIndex(column_name);
+    if (field_index < 0) {
+      return Status::KeyError("projection references unknown column '" +
+                              column_name + "'");
+    }
+    ResolvedColumn& rc =
+        by_field.emplace(field_index, ResolvedColumn{field_index, {}, false})
+            .first->second;
+    if (dot == std::string::npos) {
+      rc.whole_column = true;
+      continue;
+    }
+    const std::string member_name = entry.substr(dot + 1);
+    const DataType& type = *schema.field(field_index).type;
+    const DataType* struct_type = nullptr;
+    if (type.id() == TypeId::kStruct) {
+      struct_type = &type;
+    } else if (type.id() == TypeId::kList &&
+               type.item_type()->id() == TypeId::kStruct) {
+      struct_type = type.item_type().get();
+    } else {
+      return Status::Invalid("column '" + column_name +
+                             "' has no member '" + member_name + "'");
+    }
+    const int member = struct_type->FieldIndex(member_name);
+    if (member < 0) {
+      return Status::KeyError("no member '" + member_name + "' in column '" +
+                              column_name + "'");
+    }
+    if (std::find(rc.member_indices.begin(), rc.member_indices.end(),
+                  member) == rc.member_indices.end()) {
+      rc.member_indices.push_back(member);
+    }
+  }
+  out->clear();
+  for (auto& [field_index, rc] : by_field) {
+    std::sort(rc.member_indices.begin(), rc.member_indices.end());
+    out->push_back(std::move(rc));
+  }
+  return Status::OK();
+}
+
+Result<RecordBatchPtr> LaqReader::ReadRowGroup(
+    int group_index, const std::vector<std::string>& projection) {
+  if (group_index < 0 || group_index >= num_row_groups()) {
+    return Status::OutOfRange("row group index out of range");
+  }
+  std::vector<ResolvedColumn> resolved;
+  HEPQ_RETURN_NOT_OK(ResolveProjection(projection, &resolved));
+  if (resolved.empty()) {
+    return Status::Invalid("empty projection");
+  }
+  const Schema& schema = metadata_.schema;
+  const int64_t rows =
+      metadata_.row_groups[static_cast<size_t>(group_index)].num_rows;
+
+  std::vector<Field> out_fields;
+  std::vector<ArrayPtr> out_columns;
+
+  for (const ResolvedColumn& rc : resolved) {
+    const Field& field = schema.field(rc.field_index);
+    const DataType& type = *field.type;
+
+    // Determine which struct members to materialize and which the storage
+    // layer is forced to read anyway.
+    const DataType* struct_type = nullptr;
+    if (type.id() == TypeId::kStruct) {
+      struct_type = &type;
+    } else if (type.id() == TypeId::kList &&
+               type.item_type()->id() == TypeId::kStruct) {
+      struct_type = type.item_type().get();
+    }
+
+    std::vector<int> selected = rc.member_indices;
+    if (rc.whole_column && struct_type != nullptr) {
+      selected.clear();
+      for (int m = 0; m < struct_type->num_fields(); ++m) {
+        selected.push_back(m);
+      }
+    }
+
+    if (struct_type == nullptr) {
+      // Primitive or list-of-primitive column: read its value leaf (and
+      // lengths leaf for lists).
+      if (type.is_primitive()) {
+        const int leaf = metadata_.LeafIndex(field.name);
+        std::vector<uint8_t> bytes;
+        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/true,
+                                    &bytes));
+        ArrayPtr array;
+        HEPQ_ASSIGN_OR_RETURN(
+            array, BuildPrimitiveArray(type.id(), bytes,
+                                       static_cast<size_t>(rows)));
+        out_fields.push_back(field);
+        out_columns.push_back(std::move(array));
+      } else {
+        const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
+        const int values_leaf = metadata_.LeafIndex(field.name + ".item");
+        std::vector<uint8_t> lengths_bytes;
+        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf,
+                                    /*billed=*/true, &lengths_bytes));
+        std::vector<uint32_t> offsets(static_cast<size_t>(rows) + 1, 0);
+        const auto* lengths =
+            reinterpret_cast<const int32_t*>(lengths_bytes.data());
+        for (int64_t i = 0; i < rows; ++i) {
+          offsets[static_cast<size_t>(i) + 1] =
+              offsets[static_cast<size_t>(i)] +
+              static_cast<uint32_t>(lengths[i]);
+        }
+        const size_t num_items = offsets.back();
+        std::vector<uint8_t> bytes;
+        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, values_leaf,
+                                    /*billed=*/true, &bytes));
+        ArrayPtr child;
+        HEPQ_ASSIGN_OR_RETURN(
+            child, BuildPrimitiveArray(type.item_type()->id(), bytes,
+                                       num_items));
+        std::shared_ptr<ListArray> list;
+        HEPQ_ASSIGN_OR_RETURN(list,
+                              ListArray::Make(std::move(offsets), child));
+        out_fields.push_back(field);
+        out_columns.push_back(std::move(list));
+      }
+      continue;
+    }
+
+    // Struct-bearing column. Without struct projection pushdown the storage
+    // layer reads every member leaf; only the selected ones are returned.
+    std::vector<int> to_read = selected;
+    if (!options_.struct_projection_pushdown) {
+      to_read.clear();
+      for (int m = 0; m < struct_type->num_fields(); ++m) {
+        to_read.push_back(m);
+      }
+    }
+
+    // Lengths/offsets for list columns.
+    std::vector<uint32_t> offsets;
+    size_t num_items = static_cast<size_t>(rows);
+    if (type.id() == TypeId::kList) {
+      const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
+      std::vector<uint8_t> lengths_bytes;
+      HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf, /*billed=*/true,
+                                  &lengths_bytes));
+      offsets.assign(static_cast<size_t>(rows) + 1, 0);
+      const auto* lengths =
+          reinterpret_cast<const int32_t*>(lengths_bytes.data());
+      for (int64_t i = 0; i < rows; ++i) {
+        offsets[static_cast<size_t>(i) + 1] =
+            offsets[static_cast<size_t>(i)] + static_cast<uint32_t>(lengths[i]);
+      }
+      num_items = offsets.back();
+    }
+
+    std::vector<Field> member_fields;
+    std::vector<ArrayPtr> member_arrays;
+    for (int m : to_read) {
+      const Field& member = struct_type->fields()[static_cast<size_t>(m)];
+      const int leaf = metadata_.LeafIndex(field.name + "." + member.name);
+      if (leaf < 0) {
+        return Status::Corruption("missing leaf for " + field.name + "." +
+                                  member.name);
+      }
+      const bool wanted =
+          std::find(selected.begin(), selected.end(), m) != selected.end();
+      std::vector<uint8_t> bytes;
+      HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/wanted,
+                                  &bytes));
+      if (!wanted) continue;  // physically read, logically discarded
+      ArrayPtr array;
+      HEPQ_ASSIGN_OR_RETURN(
+          array, BuildPrimitiveArray(member.type->id(), bytes, num_items));
+      member_fields.push_back(member);
+      member_arrays.push_back(std::move(array));
+    }
+    std::shared_ptr<StructArray> struct_array;
+    HEPQ_ASSIGN_OR_RETURN(struct_array,
+                          StructArray::Make(std::move(member_fields),
+                                            std::move(member_arrays)));
+    if (type.id() == TypeId::kList) {
+      std::shared_ptr<ListArray> list;
+      HEPQ_ASSIGN_OR_RETURN(
+          list, ListArray::Make(std::move(offsets), struct_array));
+      out_fields.push_back(Field{field.name, list->type()});
+      out_columns.push_back(std::move(list));
+    } else {
+      out_fields.push_back(Field{field.name, struct_array->type()});
+      out_columns.push_back(std::move(struct_array));
+    }
+  }
+
+  auto out_schema = std::make_shared<Schema>(std::move(out_fields));
+  std::shared_ptr<RecordBatch> batch;
+  HEPQ_ASSIGN_OR_RETURN(batch,
+                        RecordBatch::Make(out_schema, std::move(out_columns)));
+  return RecordBatchPtr(batch);
+}
+
+Result<RecordBatchPtr> LaqReader::ReadRowGroup(int group_index) {
+  std::vector<std::string> all;
+  for (const Field& f : metadata_.schema.fields()) all.push_back(f.name);
+  return ReadRowGroup(group_index, all);
+}
+
+Result<std::vector<int>> LaqReader::SelectRowGroups(
+    const std::string& leaf_path, double min_value,
+    double max_value) const {
+  const int leaf = metadata_.LeafIndex(leaf_path);
+  if (leaf < 0) {
+    return Status::KeyError("no leaf column '" + leaf_path + "'");
+  }
+  if (min_value > max_value) {
+    return Status::Invalid("empty statistics range");
+  }
+  std::vector<int> groups;
+  for (int g = 0; g < num_row_groups(); ++g) {
+    const ChunkMeta& chunk =
+        metadata_.row_groups[static_cast<size_t>(g)]
+            .chunks[static_cast<size_t>(leaf)];
+    if (!chunk.has_stats || (chunk.min_value <= max_value &&
+                             chunk.max_value >= min_value)) {
+      groups.push_back(g);
+    }
+  }
+  return groups;
+}
+
+Result<uint64_t> LaqReader::IdealBytesForProjection(
+    const std::vector<std::string>& projection) const {
+  std::vector<ResolvedColumn> resolved;
+  HEPQ_RETURN_NOT_OK(ResolveProjection(projection, &resolved));
+  uint64_t total = 0;
+  for (const RowGroupMeta& rg : metadata_.row_groups) {
+    for (const ResolvedColumn& rc : resolved) {
+      const Field& field = metadata_.schema.field(rc.field_index);
+      const DataType& type = *field.type;
+      auto leaf_bytes = [&](const std::string& path) -> uint64_t {
+        const int leaf = metadata_.LeafIndex(path);
+        if (leaf < 0) return 0;
+        const ChunkMeta& c = rg.chunks[static_cast<size_t>(leaf)];
+        const LeafDesc& d = metadata_.layout[static_cast<size_t>(leaf)];
+        return c.num_values * static_cast<uint64_t>(PrimitiveWidth(d.physical));
+      };
+      if (type.is_primitive()) {
+        total += leaf_bytes(field.name);
+        continue;
+      }
+      const DataType* struct_type = nullptr;
+      if (type.id() == TypeId::kStruct) {
+        struct_type = &type;
+      } else {
+        total += leaf_bytes(field.name + "#lengths");
+        if (type.item_type()->is_primitive()) {
+          total += leaf_bytes(field.name + ".item");
+          continue;
+        }
+        struct_type = type.item_type().get();
+      }
+      std::vector<int> selected = rc.member_indices;
+      if (rc.whole_column) {
+        selected.clear();
+        for (int m = 0; m < struct_type->num_fields(); ++m) {
+          selected.push_back(m);
+        }
+      }
+      for (int m : selected) {
+        total += leaf_bytes(field.name + "." +
+                            struct_type->fields()[static_cast<size_t>(m)].name);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace hepq

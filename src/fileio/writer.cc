@@ -1,0 +1,256 @@
+#include "fileio/writer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fileio/crc32.h"
+#include "fileio/varint.h"
+
+namespace hepq {
+
+namespace {
+
+/// Collects the raw values of one leaf across a set of buffered batches
+/// into a contiguous byte vector of `physical` elements. Returns the value
+/// count. For lengths leaves, emits one int32 list length per row.
+struct LeafValues {
+  std::vector<uint8_t> bytes;
+  size_t count = 0;
+  bool has_stats = false;
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
+template <typename T>
+void AppendTyped(const std::vector<T>& src, LeafValues* out) {
+  const size_t old = out->bytes.size();
+  out->bytes.resize(old + src.size() * sizeof(T));
+  std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  out->count += src.size();
+  for (const T& v : src) {
+    const double d = static_cast<double>(v);
+    if (!out->has_stats) {
+      out->has_stats = true;
+      out->min_value = out->max_value = d;
+    } else {
+      out->min_value = std::min(out->min_value, d);
+      out->max_value = std::max(out->max_value, d);
+    }
+  }
+}
+
+template <typename T>
+void AppendSpanTyped(std::span<const T> src, LeafValues* out) {
+  const size_t old = out->bytes.size();
+  out->bytes.resize(old + src.size() * sizeof(T));
+  std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  out->count += src.size();
+  for (const T& v : src) {
+    const double d = static_cast<double>(v);
+    if (!out->has_stats) {
+      out->has_stats = true;
+      out->min_value = out->max_value = d;
+    } else {
+      out->min_value = std::min(out->min_value, d);
+      out->max_value = std::max(out->max_value, d);
+    }
+  }
+}
+
+Status AppendPrimitive(const Array& array, LeafValues* out) {
+  switch (array.type()->id()) {
+    case TypeId::kFloat32:
+      AppendSpanTyped(static_cast<const Float32Array&>(array).values(), out);
+      return Status::OK();
+    case TypeId::kFloat64:
+      AppendSpanTyped(static_cast<const Float64Array&>(array).values(), out);
+      return Status::OK();
+    case TypeId::kInt32:
+      AppendSpanTyped(static_cast<const Int32Array&>(array).values(), out);
+      return Status::OK();
+    case TypeId::kInt64:
+      AppendSpanTyped(static_cast<const Int64Array&>(array).values(), out);
+      return Status::OK();
+    case TypeId::kBool:
+      AppendSpanTyped(static_cast<const BoolArray&>(array).values(), out);
+      return Status::OK();
+    default:
+      return Status::Invalid("leaf is not primitive");
+  }
+}
+
+/// Resolves the array a leaf's values live in, within one batch.
+Status AppendLeafFromBatch(const LeafDesc& leaf, const RecordBatch& batch,
+                           LeafValues* out) {
+  const ArrayPtr& column = batch.column(leaf.field_index);
+  const DataType& type = *column->type();
+  if (leaf.is_lengths) {
+    const auto& list = static_cast<const ListArray&>(*column);
+    std::vector<int32_t> lengths(static_cast<size_t>(list.length()));
+    for (int64_t i = 0; i < list.length(); ++i) {
+      lengths[static_cast<size_t>(i)] = list.list_length(i);
+    }
+    AppendTyped(lengths, out);
+    return Status::OK();
+  }
+  if (type.is_primitive()) {
+    return AppendPrimitive(*column, out);
+  }
+  if (type.id() == TypeId::kStruct) {
+    const auto& st = static_cast<const StructArray&>(*column);
+    return AppendPrimitive(*st.child(leaf.member_index), out);
+  }
+  // List column: values live in the child.
+  const auto& list = static_cast<const ListArray&>(*column);
+  const Array& child = *list.child();
+  if (child.type()->is_primitive()) {
+    return AppendPrimitive(child, out);
+  }
+  const auto& st = static_cast<const StructArray&>(child);
+  return AppendPrimitive(*st.child(leaf.member_index), out);
+}
+
+}  // namespace
+
+LaqWriter::LaqWriter(std::FILE* file, SchemaPtr schema,
+                     std::vector<LeafDesc> layout, WriterOptions options)
+    : file_(file),
+      schema_(std::move(schema)),
+      layout_(std::move(layout)),
+      options_(options) {
+  metadata_.schema = *schema_;
+  metadata_.layout = layout_;
+}
+
+LaqWriter::~LaqWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<LaqWriter>> LaqWriter::Open(const std::string& path,
+                                                   SchemaPtr schema,
+                                                   WriterOptions options) {
+  std::vector<LeafDesc> layout;
+  HEPQ_ASSIGN_OR_RETURN(layout, ComputeLeafLayout(*schema));
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  auto writer = std::unique_ptr<LaqWriter>(
+      new LaqWriter(file, std::move(schema), std::move(layout), options));
+  if (std::fwrite(kLaqMagic, 1, 4, file) != 4) {
+    return Status::IoError("failed to write magic");
+  }
+  writer->file_pos_ = 4;
+  return writer;
+}
+
+Status LaqWriter::WriteBatch(const RecordBatch& batch) {
+  if (closed_) return Status::Invalid("writer already closed");
+  if (!batch.schema()->Equals(*schema_)) {
+    return Status::Invalid("batch schema does not match writer schema");
+  }
+  buffered_.push_back(std::make_shared<RecordBatch>(batch));
+  buffered_rows_ += batch.num_rows();
+  if (buffered_rows_ >= options_.row_group_size) {
+    HEPQ_RETURN_NOT_OK(FlushRowGroup());
+  }
+  return Status::OK();
+}
+
+Status LaqWriter::WriteChunk(const LeafDesc& leaf, TypeId physical,
+                             const void* data, size_t count,
+                             ChunkMeta* meta) {
+  const Encoding encoding = ChooseEncoding(physical, data, count);
+  std::vector<uint8_t> encoded;
+  HEPQ_RETURN_NOT_OK(EncodeValues(physical, encoding, data, count, &encoded));
+  std::vector<uint8_t> compressed;
+  Codec codec = options_.codec;
+  HEPQ_RETURN_NOT_OK(
+      Compress(codec, encoded.data(), encoded.size(), &compressed));
+  if (compressed.size() >= encoded.size()) {
+    // Incompressible chunk (common for float columns, as the paper notes):
+    // store plain to avoid paying decompression for nothing.
+    codec = Codec::kNone;
+    compressed = encoded;
+  }
+  meta->file_offset = file_pos_;
+  meta->compressed_size = compressed.size();
+  meta->encoded_size = encoded.size();
+  meta->num_values = count;
+  meta->encoding = encoding;
+  meta->codec = codec;
+  meta->crc32 = Crc32(compressed.data(), compressed.size());
+  if (!compressed.empty() &&
+      std::fwrite(compressed.data(), 1, compressed.size(), file_) !=
+          compressed.size()) {
+    return Status::IoError("failed to write chunk for leaf " + leaf.path);
+  }
+  file_pos_ += compressed.size();
+  return Status::OK();
+}
+
+Status LaqWriter::FlushRowGroup() {
+  if (buffered_rows_ == 0) return Status::OK();
+  RowGroupMeta rg;
+  rg.num_rows = buffered_rows_;
+  rg.chunks.resize(layout_.size());
+  for (size_t l = 0; l < layout_.size(); ++l) {
+    const LeafDesc& leaf = layout_[l];
+    LeafValues values;
+    for (const RecordBatchPtr& batch : buffered_) {
+      HEPQ_RETURN_NOT_OK(AppendLeafFromBatch(leaf, *batch, &values));
+    }
+    ChunkMeta* meta = &rg.chunks[l];
+    HEPQ_RETURN_NOT_OK(WriteChunk(leaf, leaf.physical, values.bytes.data(),
+                                  values.count, meta));
+    if (options_.write_statistics && values.has_stats) {
+      meta->has_stats = true;
+      meta->min_value = values.min_value;
+      meta->max_value = values.max_value;
+    }
+  }
+  metadata_.row_groups.push_back(std::move(rg));
+  rows_written_ += buffered_rows_;
+  buffered_.clear();
+  buffered_rows_ = 0;
+  return Status::OK();
+}
+
+Status LaqWriter::Close() {
+  if (closed_) return Status::Invalid("writer already closed");
+  HEPQ_RETURN_NOT_OK(FlushRowGroup());
+  metadata_.total_rows = rows_written_;
+  std::vector<uint8_t> footer;
+  SerializeFileMetadata(metadata_, &footer);
+  if (std::fwrite(footer.data(), 1, footer.size(), file_) != footer.size()) {
+    return Status::IoError("failed to write footer");
+  }
+  std::vector<uint8_t> trailer;
+  PutFixed32(&trailer, static_cast<uint32_t>(footer.size()));
+  PutFixed32(&trailer, Crc32(footer.data(), footer.size()));
+  trailer.insert(trailer.end(), kLaqMagic, kLaqMagic + 4);
+  if (std::fwrite(trailer.data(), 1, trailer.size(), file_) !=
+      trailer.size()) {
+    return Status::IoError("failed to write trailer");
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::IoError("failed to close file");
+  }
+  file_ = nullptr;
+  closed_ = true;
+  return Status::OK();
+}
+
+Status WriteLaqFile(const std::string& path, SchemaPtr schema,
+                    const std::vector<RecordBatchPtr>& batches,
+                    WriterOptions options) {
+  std::unique_ptr<LaqWriter> writer;
+  HEPQ_ASSIGN_OR_RETURN(writer, LaqWriter::Open(path, schema, options));
+  for (const RecordBatchPtr& batch : batches) {
+    HEPQ_RETURN_NOT_OK(writer->WriteBatch(*batch));
+  }
+  return writer->Close();
+}
+
+}  // namespace hepq

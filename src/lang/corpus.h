@@ -1,0 +1,44 @@
+#ifndef HEPQUERY_LANG_CORPUS_H_
+#define HEPQUERY_LANG_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace hepq::lang {
+
+/// The five language dialects of Table 1.
+enum class Dialect {
+  kAthena,
+  kBigQuery,
+  kPresto,
+  kJsoniq,
+  kRDataFrame,
+};
+
+inline constexpr Dialect kAllDialects[] = {
+    Dialect::kAthena, Dialect::kBigQuery, Dialect::kPresto, Dialect::kJsoniq,
+    Dialect::kRDataFrame};
+
+const char* DialectName(Dialect dialect);
+
+/// The full text of ADL query `q` (1..8) in `dialect`, modelled on the
+/// paper's public implementations (github.com/RumbleDB/
+/// hep-iris-benchmark-scripts). These texts are the corpus over which the
+/// Table 1 conciseness metrics are computed; the executable counterparts
+/// live in src/queries.
+Result<std::string> QueryText(Dialect dialect, int q);
+
+/// Athena's texts are assembled from inlined formula fragments (no UDFs);
+/// exposed for the corpus tests.
+Result<std::string> AthenaQueryText(int q);
+
+/// Shared helper code that a dialect needs once for the whole benchmark
+/// (UDF/library definitions); included in the corpus totals, as in the
+/// paper.
+std::string SharedPrelude(Dialect dialect);
+
+}  // namespace hepq::lang
+
+#endif  // HEPQUERY_LANG_CORPUS_H_

@@ -1,0 +1,75 @@
+#include "lang/features.h"
+
+namespace hepq::lang {
+
+std::string SupportToString(Support support) {
+  switch (support) {
+    case Support::kNone:
+      return "-";
+    case Support::kOneStar:
+      return "*";
+    case Support::kTwoStars:
+      return "**";
+    case Support::kThreeStars:
+      return "***";
+    case Support::kParen:
+      return "(**)";
+  }
+  return "?";
+}
+
+Support FeatureRow::ForDialect(Dialect dialect) const {
+  switch (dialect) {
+    case Dialect::kAthena:
+      return athena;
+    case Dialect::kBigQuery:
+      return bigquery;
+    case Dialect::kPresto:
+      return presto;
+    case Dialect::kJsoniq:
+      return jsoniq;
+    case Dialect::kRDataFrame:
+      return rdataframe;
+  }
+  return Support::kNone;
+}
+
+const std::vector<FeatureRow>& FeatureMatrix() {
+  using S = Support;
+  // Transcribed from Table 1 of the paper (§3.7).
+  static const auto& matrix = *new std::vector<FeatureRow>{
+      {"R1.1", "unnest arrays", S::kTwoStars, S::kTwoStars, S::kOneStar,
+       S::kThreeStars, S::kTwoStars},
+      {"R1.2", "asymmetric combinations", S::kThreeStars, S::kThreeStars,
+       S::kTwoStars, S::kThreeStars, S::kTwoStars},
+      {"R1.3", "symmetric combinations", S::kThreeStars, S::kThreeStars,
+       S::kTwoStars, S::kThreeStars, S::kTwoStars},
+      {"R1.4", "UDFs", S::kNone, S::kTwoStars, S::kParen, S::kThreeStars,
+       S::kThreeStars},
+      {"R2.1", "structured types", S::kTwoStars, S::kThreeStars,
+       S::kTwoStars, S::kThreeStars, S::kNone},
+      {"R2.2", "nested sub-query", S::kNone, S::kThreeStars, S::kNone,
+       S::kThreeStars, S::kThreeStars},
+      {"R2.3", "variables", S::kNone, S::kNone, S::kNone, S::kThreeStars,
+       S::kThreeStars},
+      {"R2.4", "group by variable", S::kNone, S::kThreeStars, S::kNone,
+       S::kThreeStars, S::kThreeStars},
+      {"R2.5", "struct params in UDFs", S::kOneStar, S::kOneStar,
+       S::kOneStar, S::kThreeStars, S::kThreeStars},
+      {"R2.6", "tables in UDFs", S::kNone, S::kNone, S::kNone,
+       S::kThreeStars, S::kThreeStars},
+      {"R3.1", "inline struct types", S::kNone, S::kThreeStars, S::kNone,
+       S::kThreeStars, S::kNone},
+      {"R3.2", "anonymous structs", S::kTwoStars, S::kThreeStars,
+       S::kThreeStars, S::kNone, S::kThreeStars},
+      {"R3.3", "array functions", S::kTwoStars, S::kTwoStars,
+       S::kThreeStars, S::kTwoStars, S::kThreeStars},
+      {"R3.4", "array construction", S::kNone, S::kTwoStars, S::kNone,
+       S::kThreeStars, S::kThreeStars},
+      {"R3.5", "unnest whole structs", S::kThreeStars, S::kThreeStars,
+       S::kNone, S::kThreeStars, S::kNone},
+  };
+  return matrix;
+}
+
+}  // namespace hepq::lang

@@ -1,0 +1,42 @@
+#ifndef HEPQUERY_LANG_FEATURES_H_
+#define HEPQUERY_LANG_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/corpus.h"
+
+namespace hepq::lang {
+
+/// Support level of a language feature in one system (Table 1, top block):
+/// kNone = "-", and one to three stars for increasingly good support.
+/// kParen mirrors the paper's "(**)" for Presto's experimental UDFs.
+enum class Support {
+  kNone = 0,
+  kOneStar = 1,
+  kTwoStars = 2,
+  kThreeStars = 3,
+  kParen = 4,  // experimental / preview ("(**)")
+};
+
+std::string SupportToString(Support support);
+
+/// One functional requirement from the paper's §3 analysis.
+struct FeatureRow {
+  std::string id;     // "R1.1"
+  std::string label;  // "unnest arrays"
+  Support athena;
+  Support bigquery;
+  Support presto;
+  Support jsoniq;
+  Support rdataframe;
+
+  Support ForDialect(Dialect dialect) const;
+};
+
+/// The full R1.1–R3.5 feature matrix of Table 1.
+const std::vector<FeatureRow>& FeatureMatrix();
+
+}  // namespace hepq::lang
+
+#endif  // HEPQUERY_LANG_FEATURES_H_

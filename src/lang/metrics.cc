@@ -1,0 +1,185 @@
+#include "lang/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace hepq::lang {
+
+namespace {
+
+bool IsSql(Dialect dialect) {
+  return dialect == Dialect::kAthena || dialect == Dialect::kBigQuery ||
+         dialect == Dialect::kPresto;
+}
+
+/// Strips line comments ("--" for SQL, "//" for C++, "(: :)" for JSONiq).
+std::string StripComments(Dialect dialect, const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (IsSql(dialect) && text.compare(i, 2, "--") == 0) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (dialect == Dialect::kRDataFrame && text.compare(i, 2, "//") == 0) {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (dialect == Dialect::kJsoniq && text.compare(i, 2, "(:") == 0) {
+      const size_t end = text.find(":)", i + 2);
+      i = end == std::string::npos ? text.size() : end + 2;
+      continue;
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+const std::set<std::string>& SqlKeywords() {
+  static const auto& keywords = *new std::set<std::string>{
+      "select", "from",    "where",   "group",   "by",       "having",
+      "order",  "cross",   "join",    "unnest",  "with",     "as",
+      "and",    "or",      "not",     "between", "exists",   "in",
+      "union",  "all",     "limit",   "offset",  "ordinality",
+      "case",   "when",    "then",    "else",    "end",      "asc",
+      "desc",   "distinct", "create", "temp",    "function", "returns",
+      "return", "is",      "null",
+  };
+  return keywords;
+}
+
+const std::set<std::string>& JsoniqKeywords() {
+  static const auto& keywords = *new std::set<std::string>{
+      "for",    "let",   "where",   "return", "order",  "by",
+      "group",  "at",    "in",      "if",     "then",   "else",
+      "declare", "function", "and", "or",     "not",    "eq",
+      "ne",     "lt",    "le",      "gt",     "ge",     "descending",
+      "ascending", "mod", "div",    "satisfies", "some", "every",
+  };
+  return keywords;
+}
+
+const std::set<std::string>& CppKeywords() {
+  static const auto& keywords = *new std::set<std::string>{
+      "for", "if", "else", "return", "while", "continue", "break",
+      "auto", "const", "struct",
+  };
+  return keywords;
+}
+
+const std::set<std::string>& Keywords(Dialect dialect) {
+  if (IsSql(dialect)) return SqlKeywords();
+  if (dialect == Dialect::kJsoniq) return JsoniqKeywords();
+  return CppKeywords();
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> ClauseTokens(Dialect dialect,
+                                      const std::string& raw_text) {
+  const std::string text = StripComments(dialect, raw_text);
+  const std::set<std::string>& keywords = Keywords(dialect);
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (!(std::isalpha(c) || c == '_' || c == '$')) {
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < text.size()) {
+      const unsigned char d = static_cast<unsigned char>(text[j]);
+      // ':' and '.' keep namespaced/method identifiers together
+      // (hep:delta-r, ROOT::VecOps::Sum, .Histo1D).
+      if (std::isalnum(d) || d == '_' || d == '$' || d == ':' ||
+          (dialect == Dialect::kJsoniq && d == '-' && j + 1 < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[j + 1])))) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    std::string word = text.substr(i, j - i);
+    const bool is_call = j < text.size() && text[j] == '(';
+    std::string lowered = IsSql(dialect) ? ToLower(word) : word;
+    if (keywords.count(IsSql(dialect) ? lowered
+                                      : (dialect == Dialect::kJsoniq
+                                             ? word
+                                             : word)) > 0) {
+      tokens.push_back(IsSql(dialect) ? lowered : word);
+    } else if (is_call) {
+      // Built-in / library / user-defined function call.
+      tokens.push_back(IsSql(dialect) ? lowered : word);
+    }
+    i = j;
+  }
+  return tokens;
+}
+
+ConcisenessMetrics AnalyzeQuery(Dialect dialect, const std::string& raw) {
+  const std::string text = StripComments(dialect, raw);
+  ConcisenessMetrics m;
+  bool line_has_content = false;
+  for (char c : text) {
+    if (c == '\n') {
+      if (line_has_content) ++m.lines;
+      line_has_content = false;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      ++m.characters;
+      line_has_content = true;
+    }
+  }
+  if (line_has_content) ++m.lines;
+  const std::vector<std::string> tokens = ClauseTokens(dialect, raw);
+  m.clauses = static_cast<int>(tokens.size());
+  m.unique_clauses = static_cast<int>(
+      std::set<std::string>(tokens.begin(), tokens.end()).size());
+  return m;
+}
+
+Result<DialectSummary> SummarizeDialect(Dialect dialect) {
+  DialectSummary summary;
+  summary.dialect = dialect;
+  std::set<std::string> all_unique;
+  int unique_sum = 0;
+  for (int q = 1; q <= 8; ++q) {
+    std::string text;
+    HEPQ_ASSIGN_OR_RETURN(text, QueryText(dialect, q));
+    const ConcisenessMetrics m = AnalyzeQuery(dialect, text);
+    summary.characters += m.characters;
+    summary.lines += m.lines;
+    summary.clauses += m.clauses;
+    unique_sum += m.unique_clauses;
+    for (const std::string& t : ClauseTokens(dialect, text)) {
+      all_unique.insert(t);
+    }
+  }
+  const std::string prelude = SharedPrelude(dialect);
+  if (!prelude.empty()) {
+    const ConcisenessMetrics m = AnalyzeQuery(dialect, prelude);
+    summary.characters += m.characters;
+    summary.lines += m.lines;
+    summary.clauses += m.clauses;
+    for (const std::string& t : ClauseTokens(dialect, prelude)) {
+      all_unique.insert(t);
+    }
+  }
+  summary.avg_clauses_per_query = summary.clauses / 8.0;
+  summary.unique_clauses = static_cast<int>(all_unique.size());
+  summary.avg_unique_clauses_per_query = unique_sum / 8.0;
+  return summary;
+}
+
+}  // namespace hepq::lang

@@ -1,0 +1,52 @@
+#ifndef HEPQUERY_LANG_METRICS_H_
+#define HEPQUERY_LANG_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/corpus.h"
+
+namespace hepq::lang {
+
+/// Conciseness metrics of one query text (Table 1, bottom block):
+/// characters exclude whitespace; lines exclude blank lines and comments;
+/// clauses count language-construct keywords plus calls to built-in or
+/// user-defined functions.
+struct ConcisenessMetrics {
+  int characters = 0;
+  int lines = 0;
+  int clauses = 0;
+  int unique_clauses = 0;
+
+  void Add(const ConcisenessMetrics& o) {
+    characters += o.characters;
+    lines += o.lines;
+    clauses += o.clauses;
+    // unique_clauses is not additive; aggregate via AnalyzeDialect.
+  }
+};
+
+/// Analyzes one query text.
+ConcisenessMetrics AnalyzeQuery(Dialect dialect, const std::string& text);
+
+/// The distinct clause/construct tokens found in `text` (for the
+/// unique-clause metrics).
+std::vector<std::string> ClauseTokens(Dialect dialect,
+                                      const std::string& text);
+
+/// Aggregate over all eight queries plus the dialect's shared prelude.
+struct DialectSummary {
+  Dialect dialect = Dialect::kBigQuery;
+  int characters = 0;
+  int lines = 0;
+  int clauses = 0;
+  double avg_clauses_per_query = 0.0;
+  int unique_clauses = 0;  // distinct constructs across the whole corpus
+  double avg_unique_clauses_per_query = 0.0;
+};
+
+Result<DialectSummary> SummarizeDialect(Dialect dialect);
+
+}  // namespace hepq::lang
+
+#endif  // HEPQUERY_LANG_METRICS_H_

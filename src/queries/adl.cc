@@ -1,0 +1,90 @@
+#include "queries/adl.h"
+
+namespace hepq::queries {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kRdf:
+      return "rdataframe";
+    case EngineKind::kBigQueryShape:
+      return "bigquery-shape";
+    case EngineKind::kPrestoShape:
+      return "presto-shape";
+    case EngineKind::kDoc:
+      return "jsoniq-doc";
+  }
+  return "unknown";
+}
+
+std::vector<HistogramSpec> AdlHistogramSpecs(int q) {
+  switch (q) {
+    case 1:
+      return {{"q1_met", "E_T^miss of all events", 100, 0.0, 200.0}};
+    case 2:
+      return {{"q2_jet_pt", "p_T of all jets", 100, 0.0, 200.0}};
+    case 3:
+      return {{"q3_jet_pt", "p_T of jets with |eta| < 1", 100, 0.0, 200.0}};
+    case 4:
+      return {{"q4_met", "E_T^miss, events with >=2 jets pt>40", 100, 0.0,
+               200.0}};
+    case 5:
+      return {{"q5_met", "E_T^miss, events with OS dimuon 60<m<120", 100,
+               0.0, 200.0}};
+    case 6:
+      return {{"q6a_trijet_pt", "p_T of trijet closest to 172.5", 100, 0.0,
+               300.0},
+              {"q6b_max_btag", "max b-tag in best trijet", 100, 0.0, 1.0}};
+    case 7:
+      return {{"q7_sum_pt", "scalar sum p_T of isolated jets pt>30", 100,
+               0.0, 500.0}};
+    case 8:
+      return {{"q8_mt", "transverse mass of MET + best other lepton", 100,
+               0.0, 250.0}};
+    default:
+      return {};
+  }
+}
+
+const char* AdlQueryTitle(int q) {
+  switch (q) {
+    case 1:
+      return "MET of all events";
+    case 2:
+      return "pt of all jets";
+    case 3:
+      return "pt of jets with |eta| < 1";
+    case 4:
+      return "MET of events with >=2 jets with pt > 40 GeV";
+    case 5:
+      return "MET of events with an opposite-charge dimuon, 60 < m < 120";
+    case 6:
+      return "trijet with mass closest to 172.5 GeV: pt and max b-tag";
+    case 7:
+      return "sum pt of jets (pt>30) isolated from light leptons (pt>10)";
+    case 8:
+      return "transverse mass of MET + hardest lepton outside best Z pair";
+    default:
+      return "unknown query";
+  }
+}
+
+Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
+                                   const std::string& path,
+                                   const RunOptions& options) {
+  if (q < 1 || q > kNumAdlQueries) {
+    return Status::Invalid("ADL query id must be in 1..8");
+  }
+  switch (engine) {
+    case EngineKind::kRdf:
+      return RunAdlQueryRdf(q, path, options);
+    case EngineKind::kBigQueryShape:
+      return RunAdlQueryBq(q, path, options);
+    case EngineKind::kPrestoShape:
+      return RunAdlQueryPresto(q, path, options);
+    case EngineKind::kDoc:
+      return RunAdlQueryDoc(q, path, options);
+  }
+  return Status::Invalid("unknown engine kind");
+}
+
+}  // namespace hepq::queries

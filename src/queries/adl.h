@@ -1,0 +1,81 @@
+#ifndef HEPQUERY_QUERIES_ADL_H_
+#define HEPQUERY_QUERIES_ADL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+#include "fileio/reader.h"
+
+namespace hepq::queries {
+
+/// The execution stacks under test, mirroring the paper's systems:
+///   kRdf          — RDataFrame-style compiled event loop (the baseline).
+///   kBigQueryShape— columnar scan with array expressions / nested
+///                   subqueries inside the scan; struct projection
+///                   pushdown enabled (BigQuery).
+///   kPrestoShape  — CROSS JOIN UNNEST + GROUP BY plans where idiomatic,
+///                   array-function fallbacks otherwise; struct projection
+///                   pushdown disabled (Presto and Athena, which share a
+///                   code base in the paper).
+///   kDoc          — boxed item-at-a-time FLWOR interpretation with
+///                   full-file scans (Rumble/JSONiq).
+enum class EngineKind {
+  kRdf,
+  kBigQueryShape,
+  kPrestoShape,
+  kDoc,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// ADL benchmark query ids. Q6 produces two histograms (Q6a, Q6b) from one
+/// pass, as in the paper.
+inline constexpr int kNumAdlQueries = 8;
+
+/// Histogram axes used by every engine for query `q` (1-based); Q6 returns
+/// two specs, all others one.
+std::vector<HistogramSpec> AdlHistogramSpecs(int q);
+
+/// Short description of query `q` for reports.
+const char* AdlQueryTitle(int q);
+
+struct QueryRunOutput {
+  std::vector<Histogram1D> histograms;
+  int64_t events_processed = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+  /// Records/record-combinations explored per the engine's own counter
+  /// (Table 2); 0 when the engine does not instrument this.
+  uint64_t ops = 0;
+  ScanStats scan;
+};
+
+struct RunOptions {
+  /// Reader behaviour is forced per engine (pushdown on for BigQuery/RDF,
+  /// off for Presto shape, full scans for Doc); checksum validation and
+  /// threads are caller-controlled.
+  int rdf_threads = 1;
+  bool validate_checksums = true;
+};
+
+/// Runs ADL query `q` (1..8) with the given engine over the data set at
+/// `path`. All engines produce identical histograms up to floating-point
+/// noise; the integration suite asserts this.
+Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
+                                   const std::string& path,
+                                   const RunOptions& options = {});
+
+// Per-engine entry points (used by RunAdlQuery and by targeted tests).
+Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
+                                      const RunOptions& options);
+Result<QueryRunOutput> RunAdlQueryBq(int q, const std::string& path,
+                                     const RunOptions& options);
+Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
+                                         const RunOptions& options);
+Result<QueryRunOutput> RunAdlQueryDoc(int q, const std::string& path,
+                                      const RunOptions& options);
+
+}  // namespace hepq::queries
+
+#endif  // HEPQUERY_QUERIES_ADL_H_

@@ -1,0 +1,451 @@
+#include "rdf/rdf.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/stopwatch.h"
+
+namespace hepq::rdf {
+
+double EventView::Get(DefineHandle handle) const {
+  const size_t i = static_cast<size_t>(handle.index);
+  if (!cache_->scalar_ready[i]) {
+    cache_->scalar_values[i] = (*defines_)[i].fn(*this);
+    cache_->scalar_ready[i] = 1;
+  }
+  return cache_->scalar_values[i];
+}
+
+const RVecD& EventView::Get(VecDefineHandle handle) const {
+  const size_t i = static_cast<size_t>(handle.index);
+  if (!cache_->vec_ready[i]) {
+    cache_->vec_values[i] = (*vec_defines_)[i].fn(*this);
+    cache_->vec_ready[i] = 1;
+  }
+  return cache_->vec_values[i];
+}
+
+RNode RNode::Filter(std::function<bool(const EventView&)> predicate,
+                    std::string label) {
+  RDataFrame::Node node;
+  node.parent = node_;
+  node.predicate = std::move(predicate);
+  node.label = std::move(label);
+  df_->nodes_.push_back(std::move(node));
+  return RNode(df_, static_cast<int>(df_->nodes_.size()) - 1);
+}
+
+HistoHandle RNode::Histo1D(HistogramSpec spec,
+                           std::function<double(const EventView&)> value) {
+  RDataFrame::Booking booking;
+  booking.node = node_;
+  booking.scalar_value = std::move(value);
+  booking.spec = std::move(spec);
+  df_->bookings_.push_back(std::move(booking));
+  return HistoHandle{static_cast<int>(df_->bookings_.size()) - 1};
+}
+
+HistoHandle RNode::Histo1DVec(HistogramSpec spec,
+                              std::function<RVecD(const EventView&)> values) {
+  RDataFrame::Booking booking;
+  booking.node = node_;
+  booking.vec_value = std::move(values);
+  booking.spec = std::move(spec);
+  df_->bookings_.push_back(std::move(booking));
+  return HistoHandle{static_cast<int>(df_->bookings_.size()) - 1};
+}
+
+CountHandle RNode::Count() {
+  RDataFrame::Booking booking;
+  booking.node = node_;
+  booking.is_count = true;
+  df_->bookings_.push_back(std::move(booking));
+  return CountHandle{static_cast<int>(df_->bookings_.size()) - 1};
+}
+
+HistoHandle RNode::WeightedHisto1D(
+    HistogramSpec spec, std::function<double(const EventView&)> value,
+    std::function<double(const EventView&)> weight) {
+  RDataFrame::Booking booking;
+  booking.node = node_;
+  booking.scalar_value = std::move(value);
+  booking.weight = std::move(weight);
+  booking.spec = std::move(spec);
+  df_->bookings_.push_back(std::move(booking));
+  return HistoHandle{static_cast<int>(df_->bookings_.size()) - 1};
+}
+
+SumHandle RNode::Sum(std::function<double(const EventView&)> value) {
+  RDataFrame::Booking booking;
+  booking.node = node_;
+  booking.is_sum = true;
+  booking.scalar_value = std::move(value);
+  df_->bookings_.push_back(std::move(booking));
+  return SumHandle{static_cast<int>(df_->bookings_.size()) - 1};
+}
+
+Result<std::unique_ptr<RDataFrame>> RDataFrame::Open(const std::string& path,
+                                                     RdfOptions options) {
+  std::unique_ptr<LaqReader> reader;
+  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, options.reader));
+  auto df = std::unique_ptr<RDataFrame>(
+      new RDataFrame(std::move(reader), options));
+  df->path_ = path;
+  return df;
+}
+
+Status RDataFrame::DeclareLeaf(const std::string& leaf_path, bool particle,
+                               TypeId expected, int* slot) {
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    if (leaves_[i].path == leaf_path) {
+      if (leaves_[i].particle != particle) {
+        return Status::Invalid("leaf '" + leaf_path +
+                               "' declared as both scalar and particle");
+      }
+      if (leaves_[i].physical != expected) {
+        return Status::TypeError("leaf '" + leaf_path +
+                                 "' declared with two different types");
+      }
+      *slot = static_cast<int>(i);
+      return Status::OK();
+    }
+  }
+  const Schema& schema = reader_->schema();
+  const size_t dot = leaf_path.find('.');
+  const std::string column = dot == std::string::npos
+                                 ? leaf_path
+                                 : leaf_path.substr(0, dot);
+  Field field;
+  HEPQ_ASSIGN_OR_RETURN(field, schema.FindField(column));
+  const DataType& type = *field.type;
+  TypeId physical;
+  if (dot == std::string::npos) {
+    if (type.id() == TypeId::kList && type.item_type()->is_primitive()) {
+      // ROOT-layout branch (e.g. "Jet_pt": list<float32>).
+      if (!particle) {
+        return Status::Invalid("list column '" + column +
+                               "' must be declared as a particle leaf");
+      }
+      physical = type.item_type()->id();
+    } else if (!type.is_primitive()) {
+      return Status::Invalid("column '" + column +
+                             "' is nested; name a member leaf");
+    } else if (particle) {
+      return Status::Invalid("scalar column '" + column +
+                             "' declared as particle leaf");
+    } else {
+      physical = type.id();
+    }
+  } else {
+    const std::string member = leaf_path.substr(dot + 1);
+    const DataType* struct_type = nullptr;
+    bool is_list = false;
+    if (type.id() == TypeId::kStruct) {
+      struct_type = &type;
+    } else if (type.id() == TypeId::kList) {
+      is_list = true;
+      if (type.item_type()->id() != TypeId::kStruct) {
+        return Status::Invalid("list column '" + column +
+                               "' does not contain structs");
+      }
+      struct_type = type.item_type().get();
+    } else {
+      return Status::Invalid("column '" + column + "' has no members");
+    }
+    if (particle != is_list) {
+      return Status::Invalid("leaf '" + leaf_path + "' is " +
+                             (is_list ? "per-particle" : "per-event") +
+                             " but was declared otherwise");
+    }
+    const int m = struct_type->FieldIndex(member);
+    if (m < 0) {
+      return Status::KeyError("no member '" + member + "' in column '" +
+                              column + "'");
+    }
+    physical = struct_type->fields()[static_cast<size_t>(m)].type->id();
+  }
+  if (physical != expected) {
+    return Status::TypeError("leaf '" + leaf_path + "' has type " +
+                             TypeIdName(physical) + ", requested " +
+                             TypeIdName(expected));
+  }
+  leaves_.push_back(DeclaredLeaf{leaf_path, particle, physical});
+  *slot = static_cast<int>(leaves_.size()) - 1;
+  return Status::OK();
+}
+
+DefineHandle RDataFrame::Define(std::string name,
+                                std::function<double(const EventView&)> fn) {
+  defines_.push_back(internal::DefineSlot{std::move(name), std::move(fn)});
+  return DefineHandle{static_cast<int>(defines_.size()) - 1};
+}
+
+VecDefineHandle RDataFrame::DefineVec(
+    std::string name, std::function<RVecD(const EventView&)> fn) {
+  vec_defines_.push_back(
+      internal::VecDefineSlot{std::move(name), std::move(fn)});
+  return VecDefineHandle{static_cast<int>(vec_defines_.size()) - 1};
+}
+
+Status RDataFrame::ResolveBatch(const RecordBatch& batch,
+                                std::vector<internal::LeafRef>* out) const {
+  out->resize(leaves_.size());
+  for (size_t i = 0; i < leaves_.size(); ++i) {
+    const DeclaredLeaf& leaf = leaves_[i];
+    const size_t dot = leaf.path.find('.');
+    const std::string column =
+        dot == std::string::npos ? leaf.path : leaf.path.substr(0, dot);
+    ArrayPtr array = batch.ColumnByName(column);
+    if (array == nullptr) {
+      return Status::KeyError("batch is missing column '" + column + "'");
+    }
+    internal::LeafRef ref;
+    const Array* values = array.get();
+    if (array->type()->id() == TypeId::kList) {
+      const auto& list = static_cast<const ListArray&>(*array);
+      ref.offsets = list.offsets().data();
+      values = list.child().get();
+    }
+    if (dot != std::string::npos && values->type()->id() == TypeId::kStruct) {
+      const std::string member = leaf.path.substr(dot + 1);
+      const auto& st = static_cast<const StructArray&>(*values);
+      ArrayPtr child = st.ChildByName(member);
+      if (child == nullptr) {
+        return Status::KeyError("batch is missing leaf '" + leaf.path + "'");
+      }
+      values = child.get();
+    }
+    switch (leaf.physical) {
+      case TypeId::kFloat32:
+        ref.data = static_cast<const Float32Array*>(values)->raw();
+        break;
+      case TypeId::kFloat64:
+        ref.data = static_cast<const Float64Array*>(values)->raw();
+        break;
+      case TypeId::kInt32:
+        ref.data = static_cast<const Int32Array*>(values)->raw();
+        break;
+      case TypeId::kInt64:
+        ref.data = static_cast<const Int64Array*>(values)->raw();
+        break;
+      case TypeId::kBool:
+        ref.data = static_cast<const BoolArray*>(values)->raw();
+        break;
+      default:
+        return Status::TypeError("unexpected leaf type");
+    }
+    (*out)[i] = ref;
+  }
+  return Status::OK();
+}
+
+Status RDataFrame::ProcessRowGroup(
+    const RecordBatch& batch, std::vector<Histogram1D>* histograms,
+    std::vector<int64_t>* counts, std::vector<double>* sums,
+    std::vector<NodeCounters>* node_counters) const {
+  std::vector<internal::LeafRef> leaves;
+  HEPQ_RETURN_NOT_OK(ResolveBatch(batch, &leaves));
+
+  internal::DefineCache cache;
+  cache.scalar_ready.assign(defines_.size(), 0);
+  cache.scalar_values.assign(defines_.size(), 0.0);
+  cache.vec_ready.assign(vec_defines_.size(), 0);
+  cache.vec_values.assign(vec_defines_.size(), RVecD{});
+
+  // -1 unknown, 0 fail, 1 pass; reset per event.
+  std::vector<int8_t> node_state(nodes_.size());
+
+  const int64_t rows = batch.num_rows();
+  for (int64_t row = 0; row < rows; ++row) {
+    std::fill(cache.scalar_ready.begin(), cache.scalar_ready.end(), 0);
+    std::fill(cache.vec_ready.begin(), cache.vec_ready.end(), 0);
+    std::fill(node_state.begin(), node_state.end(), -1);
+    node_state[0] = 1;
+
+    EventView view(leaves, static_cast<size_t>(row), &defines_,
+                   &vec_defines_, &cache);
+
+    // Lazily evaluates whether the event reaches node `n`.
+    auto reaches = [&](int n) {
+      // Walk up to the closest decided ancestor, then back down.
+      int cursor = n;
+      std::vector<int> pending;
+      while (node_state[static_cast<size_t>(cursor)] == -1) {
+        pending.push_back(cursor);
+        cursor = nodes_[static_cast<size_t>(cursor)].parent;
+      }
+      bool pass = node_state[static_cast<size_t>(cursor)] == 1;
+      for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+        if (pass) {
+          NodeCounters& counters = (*node_counters)[static_cast<size_t>(*it)];
+          ++counters.examined;
+          pass = nodes_[static_cast<size_t>(*it)].predicate(view);
+          if (pass) ++counters.passed;
+        }
+        node_state[static_cast<size_t>(*it)] = pass ? 1 : 0;
+      }
+      return pass;
+    };
+
+    for (size_t b = 0; b < bookings_.size(); ++b) {
+      const Booking& booking = bookings_[b];
+      if (!reaches(booking.node)) continue;
+      if (booking.is_count) {
+        ++(*counts)[b];
+      } else if (booking.is_sum) {
+        (*sums)[b] += booking.scalar_value(view);
+      } else if (booking.scalar_value) {
+        const double weight =
+            booking.weight ? booking.weight(view) : 1.0;
+        (*histograms)[b].Fill(booking.scalar_value(view), weight);
+      } else {
+        for (double v : booking.vec_value(view)) {
+          (*histograms)[b].Fill(v);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RDataFrame::Run() {
+  if (ran_) return Status::Invalid("RDataFrame::Run called twice");
+  ran_ = true;
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  std::vector<std::string> projection;
+  for (const DeclaredLeaf& leaf : leaves_) projection.push_back(leaf.path);
+  if (projection.empty()) {
+    // Actions that touch no columns (e.g. a bare Count) still need a scan
+    // driver; read the cheapest scalar column.
+    projection.push_back(reader_->schema().field(0).name);
+  }
+
+  results_.assign(bookings_.size(), Histogram1D{});
+  count_results_.assign(bookings_.size(), 0);
+  sum_results_.assign(bookings_.size(), 0.0);
+  node_counters_.assign(nodes_.size(), NodeCounters{});
+  for (size_t b = 0; b < bookings_.size(); ++b) {
+    if (!bookings_[b].is_count && !bookings_[b].is_sum) {
+      results_[b] = Histogram1D(bookings_[b].spec);
+    }
+  }
+
+  const int num_groups = reader_->num_row_groups();
+  const int num_threads =
+      std::max(1, std::min(options_.num_threads, num_groups));
+
+  if (num_threads == 1) {
+    for (int g = 0; g < num_groups; ++g) {
+      RecordBatchPtr batch;
+      HEPQ_ASSIGN_OR_RETURN(batch, reader_->ReadRowGroup(g, projection));
+      HEPQ_RETURN_NOT_OK(ProcessRowGroup(*batch, &results_, &count_results_,
+                                         &sum_results_, &node_counters_));
+      run_stats_.events_processed += batch->num_rows();
+    }
+    run_stats_.scan = reader_->scan_stats();
+  } else {
+    // Row groups are the scheduling unit, as in ROOT's implicit MT. Each
+    // worker opens its own reader (file handles are not shared).
+    std::atomic<int> next_group{0};
+    std::vector<Status> worker_status(static_cast<size_t>(num_threads));
+    std::vector<std::vector<Histogram1D>> worker_histos(
+        static_cast<size_t>(num_threads), results_);
+    std::vector<std::vector<int64_t>> worker_counts(
+        static_cast<size_t>(num_threads), count_results_);
+    std::vector<std::vector<double>> worker_sums(
+        static_cast<size_t>(num_threads), sum_results_);
+    std::vector<std::vector<NodeCounters>> worker_nodes(
+        static_cast<size_t>(num_threads), node_counters_);
+    std::vector<ScanStats> worker_scans(static_cast<size_t>(num_threads));
+    std::vector<int64_t> worker_events(static_cast<size_t>(num_threads), 0);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        auto reader_result = LaqReader::Open(path_, options_.reader);
+        if (!reader_result.ok()) {
+          worker_status[static_cast<size_t>(t)] = reader_result.status();
+          return;
+        }
+        auto reader = std::move(*reader_result);
+        while (true) {
+          const int g = next_group.fetch_add(1);
+          if (g >= num_groups) break;
+          auto batch_result = reader->ReadRowGroup(g, projection);
+          if (!batch_result.ok()) {
+            worker_status[static_cast<size_t>(t)] = batch_result.status();
+            return;
+          }
+          const Status st = ProcessRowGroup(
+              **batch_result, &worker_histos[static_cast<size_t>(t)],
+              &worker_counts[static_cast<size_t>(t)],
+              &worker_sums[static_cast<size_t>(t)],
+              &worker_nodes[static_cast<size_t>(t)]);
+          if (!st.ok()) {
+            worker_status[static_cast<size_t>(t)] = st;
+            return;
+          }
+          worker_events[static_cast<size_t>(t)] += (*batch_result)->num_rows();
+        }
+        worker_scans[static_cast<size_t>(t)] = reader->scan_stats();
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (int t = 0; t < num_threads; ++t) {
+      HEPQ_RETURN_NOT_OK(worker_status[static_cast<size_t>(t)]);
+      for (size_t b = 0; b < bookings_.size(); ++b) {
+        if (bookings_[b].is_count) {
+          count_results_[b] += worker_counts[static_cast<size_t>(t)][b];
+        } else if (bookings_[b].is_sum) {
+          sum_results_[b] += worker_sums[static_cast<size_t>(t)][b];
+        } else {
+          HEPQ_RETURN_NOT_OK(results_[b].Merge(
+              worker_histos[static_cast<size_t>(t)][b]));
+        }
+      }
+      for (size_t n = 0; n < nodes_.size(); ++n) {
+        node_counters_[n].examined +=
+            worker_nodes[static_cast<size_t>(t)][n].examined;
+        node_counters_[n].passed +=
+            worker_nodes[static_cast<size_t>(t)][n].passed;
+      }
+      run_stats_.scan.Add(worker_scans[static_cast<size_t>(t)]);
+      run_stats_.events_processed += worker_events[static_cast<size_t>(t)];
+    }
+  }
+
+  run_stats_.wall_seconds = wall.Seconds();
+  run_stats_.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  run_stats_.row_groups = num_groups;
+  return Status::OK();
+}
+
+const Histogram1D& RDataFrame::GetHistogram(HistoHandle handle) const {
+  return results_[static_cast<size_t>(handle.index)];
+}
+
+int64_t RDataFrame::GetCount(CountHandle handle) const {
+  return count_results_[static_cast<size_t>(handle.index)];
+}
+
+double RDataFrame::GetSum(SumHandle handle) const {
+  return sum_results_[static_cast<size_t>(handle.index)];
+}
+
+std::vector<FilterReport> RDataFrame::Report() const {
+  std::vector<FilterReport> report;
+  for (size_t n = 1; n < nodes_.size(); ++n) {  // skip the root
+    FilterReport entry;
+    entry.label = nodes_[n].label.empty()
+                      ? "filter_" + std::to_string(n)
+                      : nodes_[n].label;
+    entry.examined = node_counters_[n].examined;
+    entry.passed = node_counters_[n].passed;
+    report.push_back(std::move(entry));
+  }
+  return report;
+}
+
+}  // namespace hepq::rdf

@@ -1,0 +1,43 @@
+#ifndef HEPQUERY_RDF_RVEC_H_
+#define HEPQUERY_RDF_RVEC_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hepq::rdf {
+
+/// Dynamic numeric vector used by vector-valued Define nodes, modelled on
+/// ROOT's ROOT::RVec<double>.
+using RVecD = std::vector<double>;
+
+/// Index of the minimum element, or -1 if empty. Mirrors ROOT's VecOps
+/// ArgMin, which HEP analyses use for "closest-to" searches (Q6, Q8).
+inline long ArgMin(const RVecD& v) {
+  if (v.empty()) return -1;
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[best]) best = i;
+  }
+  return static_cast<long>(best);
+}
+
+/// Index of the maximum element, or -1 if empty.
+inline long ArgMax(const RVecD& v) {
+  if (v.empty()) return -1;
+  size_t best = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[best]) best = i;
+  }
+  return static_cast<long>(best);
+}
+
+/// Sum of elements.
+inline double Sum(const RVecD& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace hepq::rdf
+
+#endif  // HEPQUERY_RDF_RVEC_H_

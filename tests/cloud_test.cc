@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "cloud/instances.h"
+#include "cloud/simulator.h"
+
+namespace hepq::cloud {
+namespace {
+
+TEST(InstancesTest, CataloguePricesAreProportional) {
+  const auto& instances = M5dInstances();
+  ASSERT_EQ(instances.size(), 7u);
+  EXPECT_EQ(instances.front().name, "m5d.xlarge");
+  EXPECT_EQ(instances.back().name, "m5d.24xlarge");
+  EXPECT_EQ(instances.back().vcpus, 96);
+  EXPECT_EQ(instances.back().physical_cores, 48);
+  EXPECT_DOUBLE_EQ(instances.back().usd_per_hour, 6.048);  // paper §4.1
+  for (const InstanceType& i : instances) {
+    EXPECT_NEAR(i.usd_per_hour / i.vcpus, 0.063, 1e-9) << i.name;
+  }
+}
+
+TEST(InstancesTest, Lookup) {
+  EXPECT_TRUE(FindInstance("m5d.12xlarge").ok());
+  EXPECT_EQ(FindInstance("t2.micro").status().code(),
+            StatusCode::kKeyError);
+}
+
+MeasuredQuery TypicalQuery() {
+  MeasuredQuery measured;
+  measured.cpu_seconds = 120.0;
+  measured.storage_bytes = 2ull << 30;     // 2 GiB compressed
+  measured.logical_bytes_bq = 5ull << 30;  // logical 8-B accounting
+  measured.row_groups = 128;               // as in the paper's data set
+  measured.events = 53000000;
+  return measured;
+}
+
+TEST(SimulatorTest, QaasWallTimeIndependentOfInstance) {
+  auto outcome =
+      SimulateOn(CloudSystem::kBigQuery, TypicalQuery(), "ignored");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->wall_seconds, 0.0);
+  // Fully elastic: one worker per row group.
+  EXPECT_EQ(outcome->workers, 128);
+}
+
+TEST(SimulatorTest, QaasBillingModels) {
+  const MeasuredQuery measured = TypicalQuery();
+  auto bq = SimulateOn(CloudSystem::kBigQuery, measured, "");
+  auto athena = SimulateOn(CloudSystem::kAthenaV2, measured, "");
+  ASSERT_TRUE(bq.ok());
+  ASSERT_TRUE(athena.ok());
+  // BigQuery bills logical bytes, Athena the (compressed) storage bytes.
+  EXPECT_EQ(bq->billed_bytes, measured.logical_bytes_bq);
+  EXPECT_EQ(athena->billed_bytes, measured.storage_bytes);
+  // $5/TB.
+  EXPECT_NEAR(bq->cost_usd,
+              static_cast<double>(measured.logical_bytes_bq) * 5e-12, 1e-9);
+}
+
+TEST(SimulatorTest, AthenaV2FasterThanV1) {
+  // Paper §4.2: all queries run faster in the newer engine version.
+  const MeasuredQuery measured = TypicalQuery();
+  auto v1 = SimulateOn(CloudSystem::kAthenaV1, measured, "");
+  auto v2 = SimulateOn(CloudSystem::kAthenaV2, measured, "");
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(v1->wall_seconds, v2->wall_seconds);
+  // Both bill physical storage bytes.
+  EXPECT_EQ(v1->billed_bytes, v2->billed_bytes);
+}
+
+TEST(SimulatorTest, PreloadedBigQueryFasterThanExternal) {
+  const MeasuredQuery measured = TypicalQuery();
+  auto native = SimulateOn(CloudSystem::kBigQuery, measured, "");
+  auto external = SimulateOn(CloudSystem::kBigQueryExternal, measured, "");
+  ASSERT_TRUE(native.ok());
+  ASSERT_TRUE(external.ok());
+  EXPECT_LT(native->wall_seconds, external->wall_seconds);
+}
+
+TEST(SimulatorTest, SelfManagedCostGrowsWithWallAndPrice) {
+  const MeasuredQuery measured = TypicalQuery();
+  auto small = SimulateOn(CloudSystem::kPresto, measured, "m5d.xlarge");
+  auto large = SimulateOn(CloudSystem::kPresto, measured, "m5d.24xlarge");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(small->wall_seconds, large->wall_seconds);
+  const InstanceType xl = FindInstance("m5d.xlarge").ValueOrDie();
+  EXPECT_NEAR(small->cost_usd, small->wall_seconds * xl.usd_per_second(),
+              1e-12);
+}
+
+TEST(SimulatorTest, RdfContentionDegradesBeyondKnee) {
+  // The paper's key RDataFrame finding: bigger instances eventually get
+  // SLOWER due to lock contention (ROOT-Forum #44222).
+  const MeasuredQuery measured = TypicalQuery();
+  double best_wall = 1e300;
+  std::string best_instance;
+  std::vector<double> walls;
+  for (const InstanceType& instance : M5dInstances()) {
+    auto outcome =
+        SimulateOn(CloudSystem::kRDataFrame, measured, instance.name);
+    ASSERT_TRUE(outcome.ok());
+    walls.push_back(outcome->wall_seconds);
+    if (outcome->wall_seconds < best_wall) {
+      best_wall = outcome->wall_seconds;
+      best_instance = instance.name;
+    }
+  }
+  // Optimum is an intermediate size, not the largest...
+  EXPECT_NE(best_instance, "m5d.24xlarge");
+  EXPECT_NE(best_instance, "m5d.xlarge");
+  // ... and the largest instance is slower than the optimum.
+  EXPECT_GT(walls.back(), best_wall * 1.05);
+}
+
+TEST(SimulatorTest, PrestoScalesBetterThanRdfAtLargeSizes) {
+  const MeasuredQuery measured = TypicalQuery();
+  auto rdf24 = SimulateOn(CloudSystem::kRDataFrame, measured,
+                          "m5d.24xlarge");
+  auto rdf12 = SimulateOn(CloudSystem::kRDataFrame, measured,
+                          "m5d.12xlarge");
+  auto presto24 = SimulateOn(CloudSystem::kPresto, measured,
+                             "m5d.24xlarge");
+  auto presto12 = SimulateOn(CloudSystem::kPresto, measured,
+                             "m5d.12xlarge");
+  ASSERT_TRUE(rdf24.ok() && rdf12.ok() && presto24.ok() && presto12.ok());
+  const double rdf_gain = rdf12->wall_seconds / rdf24->wall_seconds;
+  const double presto_gain = presto12->wall_seconds / presto24->wall_seconds;
+  EXPECT_GT(presto_gain, rdf_gain);
+}
+
+TEST(SimulatorTest, RowGroupGranularityBoundsParallelism) {
+  MeasuredQuery measured = TypicalQuery();
+  measured.row_groups = 2;  // tiny data set: at most 2-way parallel
+  auto outcome =
+      SimulateOn(CloudSystem::kPresto, measured, "m5d.24xlarge");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->workers, 2);
+}
+
+TEST(SimulatorTest, RumbleHasLargeFixedOverhead) {
+  MeasuredQuery tiny;
+  tiny.cpu_seconds = 0.1;
+  tiny.row_groups = 1;
+  auto outcome = SimulateOn(CloudSystem::kRumble, tiny, "m5d.xlarge");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->wall_seconds, 20.0);  // Spark submission dominates
+}
+
+TEST(SimulatorTest, InputValidation) {
+  MeasuredQuery bad;
+  bad.row_groups = 0;
+  EXPECT_FALSE(SimulateOn(CloudSystem::kPresto, bad, "m5d.xlarge").ok());
+  MeasuredQuery good = TypicalQuery();
+  EXPECT_FALSE(SimulateOn(CloudSystem::kPresto, good, "nope").ok());
+  const SystemModel model = DefaultModel(CloudSystem::kPresto);
+  EXPECT_FALSE(Simulate(model, good, nullptr).ok());
+}
+
+TEST(SimulatorTest, NamesAndMeasurementEngines) {
+  EXPECT_STREQ(CloudSystemName(CloudSystem::kRumble), "Rumble");
+  EXPECT_TRUE(IsQaas(CloudSystem::kAthenaV2));
+  EXPECT_FALSE(IsQaas(CloudSystem::kRDataFrame));
+  EXPECT_STREQ(MeasurementEngineFor(CloudSystem::kBigQuery),
+               "bigquery-shape");
+  EXPECT_STREQ(MeasurementEngineFor(CloudSystem::kAthenaV2),
+               "presto-shape");
+  EXPECT_STREQ(MeasurementEngineFor(CloudSystem::kRumble), "jsoniq-doc");
+}
+
+}  // namespace
+}  // namespace hepq::cloud

@@ -1,0 +1,179 @@
+// Edge cases across the stack: empty data sets, particle-free events,
+// degenerate inputs — the situations interactive exploration hits first.
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "datagen/generator.h"
+#include "fileio/reader.h"
+#include "fileio/writer.h"
+#include "queries/adl.h"
+#include "queries/builders.h"
+#include "rdf/rdf.h"
+
+namespace hepq {
+namespace {
+
+/// A file whose events all have zero particles.
+std::string EmptyParticlesFile() {
+  const std::string path = ::testing::TempDir() + "/empty_particles.laq";
+  GeneratorConfig config;
+  config.jet_soft_mean = 0.0;
+  config.jet_busy_fraction = 0.0;
+  config.jet_very_busy_fraction = 0.0;
+  config.muon_cumprob[0] = 1.0;  // always zero muons
+  config.muon_cumprob[1] = 1.0;
+  config.muon_cumprob[2] = 1.0;
+  config.muon_cumprob[3] = 1.0;
+  config.muon_cumprob[4] = 1.0;
+  config.electron_mean = 0.0;
+  config.photon_mean = 0.0;
+  config.tau_mean = 0.0;
+  config.z_to_mumu_fraction = 0.0;
+  config.z_to_ee_fraction = 0.0;
+  EventGenerator generator(config);
+  WriteLaqFile(path, EventGenerator::CmsSchema(),
+               {generator.GenerateBatch(500)})
+      .Check();
+  return path;
+}
+
+TEST(EdgeTest, ParticleFreeEventsAcrossAllEnginesAndQueries) {
+  const std::string path = EmptyParticlesFile();
+  for (int q = 1; q <= 8; ++q) {
+    for (queries::EngineKind engine :
+         {queries::EngineKind::kRdf, queries::EngineKind::kBigQueryShape,
+          queries::EngineKind::kPrestoShape, queries::EngineKind::kDoc}) {
+      auto result = queries::RunAdlQuery(engine, q, path);
+      ASSERT_TRUE(result.ok())
+          << "Q" << q << " on " << queries::EngineKindName(engine) << ": "
+          << result.status().ToString();
+      // Q1 sees every event; Q7 fills a zero sum per event; everything
+      // else selects nothing.
+      if (q == 1 || q == 7) {
+        EXPECT_EQ(result->histograms[0].num_entries(), 500u);
+      } else {
+        EXPECT_EQ(result->histograms[0].num_entries(), 0u)
+            << "Q" << q << " on " << queries::EngineKindName(engine);
+      }
+    }
+  }
+}
+
+TEST(EdgeTest, SingleEventFile) {
+  const std::string path = ::testing::TempDir() + "/one_event.laq";
+  EventGenerator generator;
+  WriteLaqFile(path, EventGenerator::CmsSchema(),
+               {generator.GenerateBatch(1)})
+      .Check();
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->total_rows(), 1);
+  auto result =
+      queries::RunAdlQuery(queries::EngineKind::kBigQueryShape, 1, path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->histograms[0].num_entries(), 1u);
+}
+
+TEST(EdgeTest, EmptyFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/zero_events.laq";
+  auto writer = LaqWriter::Open(path, EventGenerator::CmsSchema());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->total_rows(), 0);
+  EXPECT_EQ((*reader)->num_row_groups(), 0);
+  // Every engine handles a file with no row groups.
+  auto result = queries::RunAdlQuery(queries::EngineKind::kRdf, 1, path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->histograms[0].num_entries(), 0u);
+  result = queries::RunAdlQuery(queries::EngineKind::kPrestoShape, 6, path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->histograms[0].num_entries(), 0u);
+  result = queries::RunAdlQuery(queries::EngineKind::kDoc, 8, path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->histograms[0].num_entries(), 0u);
+}
+
+TEST(EdgeTest, RdfMoreThreadsThanRowGroups) {
+  const std::string path = ::testing::TempDir() + "/one_event.laq";
+  EventGenerator generator;
+  WriteLaqFile(path, EventGenerator::CmsSchema(),
+               {generator.GenerateBatch(10)})
+      .Check();
+  rdf::RdfOptions options;
+  options.num_threads = 16;  // clamped to the single row group
+  auto df = rdf::RDataFrame::Open(path, options).ValueOrDie();
+  auto count = df->root().Count();
+  ASSERT_TRUE(df->Run().ok());
+  EXPECT_EQ(df->GetCount(count), 10);
+}
+
+TEST(EdgeTest, ExtremeKinematicValuesSurviveRoundTrip) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+      {"Jet",
+       DataType::List(DataType::Struct({{"pt", DataType::Float32()}}))},
+  });
+  const float huge = 3.0e38f;
+  const float tiny = 1.0e-38f;
+  auto met = StructArray::Make({{"pt", DataType::Float32()}},
+                               {MakeFloat32Array({huge, tiny, 0.0f})})
+                 .ValueOrDie();
+  auto jets = MakeListOfStructArray({{"pt", DataType::Float32()}},
+                                    {0, 1, 2, 3},
+                                    {MakeFloat32Array({huge, tiny, -1.0f})})
+                  .ValueOrDie();
+  auto batch = RecordBatch::Make(schema, {met, jets}).ValueOrDie();
+  const std::string path = ::testing::TempDir() + "/extreme.laq";
+  ASSERT_TRUE(WriteLaqFile(path, schema, {RecordBatchPtr(batch)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto back = (*reader)->ReadRowGroup(0);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->Equals(*batch));
+  // Statistics cover the extremes.
+  const FileMetadata& meta = (*reader)->metadata();
+  const int leaf = meta.LeafIndex("MET.pt");
+  EXPECT_FLOAT_EQ(
+      static_cast<float>(
+          meta.row_groups[0].chunks[static_cast<size_t>(leaf)].max_value),
+      huge);
+}
+
+TEST(EdgeTest, HistogramHandlesNonFiniteFills) {
+  Histogram1D h({"h", "", 10, 0.0, 10.0});
+  h.Fill(std::numeric_limits<double>::infinity());
+  h.Fill(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_EQ(h.num_entries(), 2u);
+}
+
+TEST(EdgeTest, GeneratorZeroEventsBatch) {
+  EventGenerator generator;
+  auto batch = generator.GenerateBatch(0);
+  EXPECT_EQ(batch->num_rows(), 0);
+  EXPECT_EQ(generator.events_generated(), 0);
+}
+
+TEST(EdgeTest, Q6NeedsExactlyThreeJetsBoundary) {
+  // An event with exactly 3 jets has exactly one trijet combination.
+  auto query = queries::BuildAdlEventQuery(6).ValueOrDie();
+  auto schema = EventGenerator::CmsSchema();
+  GeneratorConfig config;
+  config.jet_soft_mean = 3.0;
+  EventGenerator generator(config);
+  auto batch = generator.GenerateBatch(200);
+  auto result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*batch, &result).ok());
+  // Every selected event contributes exactly one entry to both plots.
+  EXPECT_EQ(result.histograms[0].num_entries(),
+            static_cast<uint64_t>(result.events_selected));
+  EXPECT_EQ(result.histograms[1].num_entries(),
+            static_cast<uint64_t>(result.events_selected));
+}
+
+}  // namespace
+}  // namespace hepq

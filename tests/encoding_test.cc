@@ -1,0 +1,359 @@
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "fileio/compression.h"
+#include "fileio/crc32.h"
+#include "fileio/encoding.h"
+#include "fileio/varint.h"
+
+namespace hepq {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE reference vector).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32("", 0), 0u); }
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(1024);
+  Rng rng(3);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  const uint32_t crc = Crc32(data.data(), data.size());
+  data[517] ^= 0x10;
+  EXPECT_NE(Crc32(data.data(), data.size()), crc);
+}
+
+// ---------------------------------------------------------------------------
+// Varint
+// ---------------------------------------------------------------------------
+
+TEST(VarintTest, RoundTripUnsigned) {
+  std::vector<uint8_t> buf;
+  const uint64_t values[] = {0, 1, 127, 128, 300, 1u << 20, ~0ull};
+  for (uint64_t v : values) PutVarint(&buf, v);
+  ByteReader reader(buf.data(), buf.size());
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(reader.GetVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, RoundTripSigned) {
+  std::vector<uint8_t> buf;
+  const int64_t values[] = {0, -1, 1, -64, 64, -1000000, 1000000,
+                            INT64_MIN, INT64_MAX};
+  for (int64_t v : values) PutSignedVarint(&buf, v);
+  ByteReader reader(buf.data(), buf.size());
+  for (int64_t v : values) {
+    int64_t out = 0;
+    ASSERT_TRUE(reader.GetSignedVarint(&out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  std::vector<uint8_t> buf;
+  PutVarint(&buf, 1u << 30);
+  ByteReader reader(buf.data(), buf.size() - 1);
+  uint64_t out;
+  EXPECT_EQ(reader.GetVarint(&out).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, StringsAndFixed) {
+  std::vector<uint8_t> buf;
+  PutString(&buf, "hello");
+  PutFixed32(&buf, 0xdeadbeef);
+  PutDouble(&buf, 3.25);
+  ByteReader reader(buf.data(), buf.size());
+  std::string s;
+  uint32_t u;
+  double d;
+  ASSERT_TRUE(reader.GetString(&s).ok());
+  ASSERT_TRUE(reader.GetFixed32(&u).ok());
+  ASSERT_TRUE(reader.GetDouble(&d).ok());
+  EXPECT_EQ(s, "hello");
+  EXPECT_EQ(u, 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(d, 3.25);
+}
+
+// ---------------------------------------------------------------------------
+// Value encodings
+// ---------------------------------------------------------------------------
+
+TEST(EncodingTest, PlainFloatRoundTrip) {
+  const std::vector<float> values = {1.5f, -2.25f, 0.0f, 1e30f};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kFloat32, Encoding::kPlain,
+                           values.data(), values.size(), &encoded)
+                  .ok());
+  EXPECT_EQ(encoded.size(), values.size() * 4);
+  std::vector<float> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kFloat32, Encoding::kPlain,
+                           encoded.data(), encoded.size(), values.size(),
+                           decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, RleCompressesRuns) {
+  std::vector<int32_t> values(10000, 7);
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kRleVarint,
+                           values.data(), values.size(), &encoded)
+                  .ok());
+  EXPECT_LT(encoded.size(), 16u);
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kRleVarint,
+                           encoded.data(), encoded.size(), values.size(),
+                           decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, RleRejectsFloat) {
+  const float v = 1.0f;
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(
+      EncodeValues(TypeId::kFloat32, Encoding::kRleVarint, &v, 1, &out).ok());
+}
+
+TEST(EncodingTest, BitPackBools) {
+  std::vector<uint8_t> values = {1, 0, 1, 1, 0, 0, 0, 1, 1};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kBool, Encoding::kBitPack, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  EXPECT_EQ(encoded.size(), 2u);
+  std::vector<uint8_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kBool, Encoding::kBitPack, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DecodeRleDetectsOverrun) {
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 100);       // run of 100 ...
+  PutSignedVarint(&encoded, 42);  // ... but we only ask for 5 values
+  int32_t out[5];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kRleVarint,
+                         encoded.data(), encoded.size(), 5, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DeltaCompressesMonotonicIds) {
+  std::vector<int64_t> ids(10000);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = 1000000 + static_cast<int64_t>(i);
+  }
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt64, Encoding::kDeltaVarint,
+                           ids.data(), ids.size(), &encoded)
+                  .ok());
+  // First value is a multi-byte varint; every delta is one byte.
+  EXPECT_LT(encoded.size(), ids.size() + 8);
+  std::vector<int64_t> decoded(ids.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt64, Encoding::kDeltaVarint,
+                           encoded.data(), encoded.size(), ids.size(),
+                           decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, ids);
+}
+
+TEST(EncodingTest, DeltaRoundTripsNegativeJumps) {
+  const std::vector<int32_t> values = {5, -1000000, 5, 0, INT32_MAX,
+                                       INT32_MIN, 7};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kDeltaVarint,
+                           values.data(), values.size(), &encoded)
+                  .ok());
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kDeltaVarint,
+                           encoded.data(), encoded.size(), values.size(),
+                           decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DeltaRejectsFloats) {
+  const float v = 1.0f;
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(
+      EncodeValues(TypeId::kFloat32, Encoding::kDeltaVarint, &v, 1, &out)
+          .ok());
+}
+
+TEST(EncodingTest, ChooseEncodingPicksDeltaForMonotonicData) {
+  std::vector<int64_t> ids(4096);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int64_t>(i);
+  }
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt64, ids.data(), ids.size()),
+            Encoding::kDeltaVarint);
+}
+
+TEST(EncodingTest, ChooseEncodingHeuristics) {
+  std::vector<int32_t> runs(1000, -1);
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, runs.data(), runs.size()),
+            Encoding::kRleVarint);
+  std::vector<int32_t> distinct(1000);
+  for (int i = 0; i < 1000; ++i) {
+    // Scattered values: no runs, large deltas -> plain is best.
+    distinct[static_cast<size_t>(i)] =
+        static_cast<int32_t>(static_cast<uint32_t>(i) * 2654435761u);
+  }
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, distinct.data(), distinct.size()),
+            Encoding::kPlain);
+  const float f = 0.0f;
+  EXPECT_EQ(ChooseEncoding(TypeId::kFloat32, &f, 1), Encoding::kPlain);
+  const uint8_t b = 1;
+  EXPECT_EQ(ChooseEncoding(TypeId::kBool, &b, 1), Encoding::kBitPack);
+}
+
+/// Property sweep: RLE round-trips arbitrary int sequences with varying
+/// run structure.
+class RleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RleProperty, RoundTripRandomRuns) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<int64_t> values;
+  while (values.size() < 5000) {
+    const int64_t v = static_cast<int64_t>(rng.NextU64() % 1000) - 500;
+    const uint64_t run = 1 + rng.NextBelow(20);
+    for (uint64_t k = 0; k < run; ++k) values.push_back(v);
+  }
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt64, Encoding::kRleVarint,
+                           values.data(), values.size(), &encoded)
+                  .ok());
+  std::vector<int64_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt64, Encoding::kRleVarint,
+                           encoded.data(), encoded.size(), values.size(),
+                           decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RleProperty, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// LZ compression
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> RoundTrip(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> compressed;
+  EXPECT_TRUE(
+      Compress(Codec::kLz, input.data(), input.size(), &compressed).ok());
+  std::vector<uint8_t> output;
+  EXPECT_TRUE(Decompress(Codec::kLz, compressed.data(), compressed.size(),
+                         input.size(), &output)
+                  .ok());
+  return output;
+}
+
+TEST(LzTest, EmptyInput) {
+  EXPECT_TRUE(RoundTrip({}).empty());
+}
+
+TEST(LzTest, ShortLiteralOnly) {
+  const std::vector<uint8_t> input = {1, 2, 3};
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, RepetitiveDataCompresses) {
+  std::vector<uint8_t> input;
+  for (int i = 0; i < 1000; ++i) {
+    input.insert(input.end(), {'a', 'b', 'c', 'd', 'e', 'f'});
+  }
+  std::vector<uint8_t> compressed;
+  ASSERT_TRUE(
+      Compress(Codec::kLz, input.data(), input.size(), &compressed).ok());
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, OverlappingMatch) {
+  // A run of a single byte forces self-overlapping match copies.
+  std::vector<uint8_t> input(5000, 'x');
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, IncompressibleRandomData) {
+  Rng rng(61);
+  std::vector<uint8_t> input(65536);
+  for (auto& b : input) b = static_cast<uint8_t>(rng.NextU64());
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+TEST(LzTest, DecompressRejectsWrongSize) {
+  const std::vector<uint8_t> input = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<uint8_t> compressed;
+  ASSERT_TRUE(
+      Compress(Codec::kLz, input.data(), input.size(), &compressed).ok());
+  std::vector<uint8_t> output;
+  EXPECT_FALSE(Decompress(Codec::kLz, compressed.data(), compressed.size(),
+                          input.size() + 1, &output)
+                   .ok());
+}
+
+TEST(LzTest, DecompressRejectsGarbage) {
+  // Token demanding a match with offset 0xffff into an empty window.
+  const std::vector<uint8_t> garbage = {0x0f, 0xff, 0xff};
+  std::vector<uint8_t> output;
+  EXPECT_EQ(
+      Decompress(Codec::kLz, garbage.data(), garbage.size(), 100, &output)
+          .code(),
+      StatusCode::kCorruption);
+}
+
+TEST(CodecTest, NoneCodecPassesThrough) {
+  const std::vector<uint8_t> input = {9, 8, 7};
+  std::vector<uint8_t> compressed, output;
+  ASSERT_TRUE(
+      Compress(Codec::kNone, input.data(), input.size(), &compressed).ok());
+  EXPECT_EQ(compressed, input);
+  ASSERT_TRUE(Decompress(Codec::kNone, compressed.data(), compressed.size(),
+                         input.size(), &output)
+                  .ok());
+  EXPECT_EQ(output, input);
+  EXPECT_FALSE(Decompress(Codec::kNone, compressed.data(),
+                          compressed.size(), 2, &output)
+                   .ok());
+}
+
+/// Property sweep over sizes: round-trip structured float-like data (the
+/// realistic column content).
+class LzSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LzSizeProperty, RoundTrip) {
+  const size_t n = static_cast<size_t>(GetParam());
+  Rng rng(71 + n);
+  std::vector<uint8_t> input(n);
+  // Mix of runs and noise, like encoded int columns.
+  size_t i = 0;
+  while (i < n) {
+    const uint8_t v = static_cast<uint8_t>(rng.NextBelow(8));
+    const size_t run = 1 + rng.NextBelow(32);
+    for (size_t k = 0; k < run && i < n; ++k) input[i++] = v;
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzSizeProperty,
+                         ::testing::Values(1, 2, 4, 15, 16, 17, 255, 256,
+                                           1000, 65535, 65536, 300000));
+
+}  // namespace
+}  // namespace hepq

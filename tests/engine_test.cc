@@ -1,0 +1,373 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "engine/event_query.h"
+#include "engine/flat.h"
+
+namespace hepq::engine {
+namespace {
+
+/// Two-event batch:
+///   event 0: MET.pt = 25; jets (pt, q): (50, 1), (10, -1), (45, 1)
+///   event 1: MET.pt = 60; jets: (20, -1)
+RecordBatchPtr TinyBatch() {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+      {"Jet", DataType::List(DataType::Struct(
+                  {{"pt", DataType::Float32()},
+                   {"charge", DataType::Int32()}}))},
+  });
+  auto met = StructArray::Make({{"pt", DataType::Float32()}},
+                               {MakeFloat32Array({25.0f, 60.0f})})
+                 .ValueOrDie();
+  auto jets = MakeListOfStructArray(
+                  {{"pt", DataType::Float32()},
+                   {"charge", DataType::Int32()}},
+                  {0, 3, 4},
+                  {MakeFloat32Array({50, 10, 45, 20}),
+                   MakeInt32Array({1, -1, 1, -1})})
+                  .ValueOrDie();
+  return RecordBatch::Make(schema, {met, jets}).ValueOrDie();
+}
+
+class ExprTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    batch_ = TinyBatch();
+    bindings_ = std::make_unique<BatchBindings>(
+        BatchBindings::Bind(*batch_, {{"Jet", {"pt", "charge"}, {}}},
+                            {{"MET.pt"}})
+            .ValueOrDie());
+    ctx_.bindings = bindings_.get();
+  }
+
+  double Eval(const ExprPtr& e, uint32_t row) {
+    ctx_.row = row;
+    return e->Eval(&ctx_);
+  }
+
+  RecordBatchPtr batch_;
+  std::unique_ptr<BatchBindings> bindings_;
+  EvalContext ctx_;
+};
+
+TEST_F(ExprTest, LiteralsAndScalars) {
+  EXPECT_DOUBLE_EQ(Eval(Lit(3.5), 0), 3.5);
+  EXPECT_DOUBLE_EQ(Eval(ScalarRef(0), 0), 25.0);
+  EXPECT_DOUBLE_EQ(Eval(ScalarRef(0), 1), 60.0);
+}
+
+TEST_F(ExprTest, BinaryOperators) {
+  EXPECT_DOUBLE_EQ(Eval(Add(Lit(2), Lit(3)), 0), 5.0);
+  EXPECT_DOUBLE_EQ(Eval(Sub(Lit(2), Lit(3)), 0), -1.0);
+  EXPECT_DOUBLE_EQ(Eval(Mul(Lit(2), Lit(3)), 0), 6.0);
+  EXPECT_DOUBLE_EQ(Eval(Bin(BinOp::kDiv, Lit(3), Lit(2)), 0), 1.5);
+  EXPECT_DOUBLE_EQ(Eval(Lt(Lit(1), Lit(2)), 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval(Ge(Lit(2), Lit(2)), 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval(Eq(Lit(2), Lit(3)), 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval(And(Lit(1), Lit(0)), 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval(Or(Lit(1), Lit(0)), 0), 1.0);
+  EXPECT_DOUBLE_EQ(Eval(Not(Lit(0)), 0), 1.0);
+}
+
+TEST_F(ExprTest, ListSizeAndAggregates) {
+  EXPECT_DOUBLE_EQ(Eval(ListSize(0), 0), 3.0);
+  EXPECT_DOUBLE_EQ(Eval(ListSize(0), 1), 1.0);
+  // count jets with pt > 40
+  const ExprPtr count = AggOverList(
+      AggKind::kCount, 0, 0, Gt(IterMember(0, 0, 0), Lit(40.0)), nullptr);
+  EXPECT_DOUBLE_EQ(Eval(count, 0), 2.0);
+  EXPECT_DOUBLE_EQ(Eval(count, 1), 0.0);
+  // sum of all pts
+  const ExprPtr sum =
+      AggOverList(AggKind::kSum, 0, 0, nullptr, IterMember(0, 0, 0));
+  EXPECT_DOUBLE_EQ(Eval(sum, 0), 105.0);
+  // min / max
+  EXPECT_DOUBLE_EQ(
+      Eval(AggOverList(AggKind::kMin, 0, 0, nullptr, IterMember(0, 0, 0)),
+           0),
+      10.0);
+  EXPECT_DOUBLE_EQ(
+      Eval(AggOverList(AggKind::kMax, 0, 0, nullptr, IterMember(0, 0, 0)),
+           0),
+      50.0);
+  // any with negative charge
+  EXPECT_DOUBLE_EQ(
+      Eval(AggOverList(AggKind::kAny, 0, 0,
+                       Lt(IterMember(0, 0, 1), Lit(0.0)), nullptr),
+           0),
+      1.0);
+}
+
+TEST_F(ExprTest, OpsCounterCountsElementVisits) {
+  ctx_.ops = 0;
+  Eval(AggOverList(AggKind::kCount, 0, 0, nullptr, nullptr), 0);
+  EXPECT_EQ(ctx_.ops, 3u);
+}
+
+TEST_F(ExprTest, AnyCombinationFindsOppositeChargePair) {
+  // Pair of jets with opposite charge and both pt > 15.
+  const ExprPtr any = AnyCombination(
+      {{0, 0}, {0, 1}},
+      And(Ne(IterMember(0, 0, 1), IterMember(0, 1, 1)),
+          And(Gt(IterMember(0, 0, 0), Lit(15.0)),
+              Gt(IterMember(0, 1, 0), Lit(15.0)))));
+  // Event 0 pairs: (50,10) q opp but 10<15; (50,45) same q; (10,45) opp but
+  // 10 < 15 -> no match.
+  EXPECT_DOUBLE_EQ(Eval(any, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Eval(any, 1), 0.0);  // single jet, no pair
+}
+
+TEST_F(ExprTest, SymmetricCombinationCount) {
+  ctx_.ops = 0;
+  ctx_.row = 0;
+  const ExprPtr all_pairs = AnyCombination({{0, 0}, {0, 1}}, Lit(0.0));
+  EXPECT_DOUBLE_EQ(all_pairs->Eval(&ctx_), 0.0);
+  EXPECT_EQ(ctx_.ops, 3u);  // C(3,2) pairs explored
+}
+
+TEST_F(ExprTest, BestCombinationBindsWinningPair) {
+  // Pair with the largest pt sum: maximize = minimize negated sum.
+  const ExprPtr best = BestCombination(
+      {{0, 0}, {0, 1}}, nullptr,
+      Sub(Lit(0.0), Add(IterMember(0, 0, 0), IterMember(0, 1, 0))));
+  ctx_.row = 0;
+  ASSERT_DOUBLE_EQ(best->Eval(&ctx_), 1.0);
+  // Winners: jets 0 (pt 50) and 2 (pt 45).
+  EXPECT_DOUBLE_EQ(IterMember(0, 0, 0)->Eval(&ctx_), 50.0);
+  EXPECT_DOUBLE_EQ(IterMember(0, 1, 0)->Eval(&ctx_), 45.0);
+  EXPECT_DOUBLE_EQ(IterOrdinal(0, 0)->Eval(&ctx_), 0.0);
+  EXPECT_DOUBLE_EQ(IterOrdinal(0, 1)->Eval(&ctx_), 2.0);
+}
+
+TEST_F(ExprTest, BestCombinationRespectsFilter) {
+  const ExprPtr best =
+      BestCombination({{0, 0}, {0, 1}}, Lit(0.0), Lit(1.0));
+  ctx_.row = 0;
+  EXPECT_DOUBLE_EQ(best->Eval(&ctx_), 0.0);  // filter rejects everything
+}
+
+TEST_F(ExprTest, BestElementPicksExtremum) {
+  const ExprPtr best =
+      BestElement(0, 2, nullptr, Sub(Lit(0.0), IterMember(0, 2, 0)));
+  ctx_.row = 0;
+  ASSERT_DOUBLE_EQ(best->Eval(&ctx_), 1.0);
+  EXPECT_DOUBLE_EQ(IterMember(0, 2, 0)->Eval(&ctx_), 50.0);
+}
+
+TEST_F(ExprTest, PhysicsFunctions) {
+  EXPECT_NEAR(Eval(Call(Fn::kDeltaPhi, {Lit(0.5), Lit(0.2)}), 0), 0.3,
+              1e-12);
+  EXPECT_NEAR(Eval(Call(Fn::kInvMass2,
+                        {Lit(40), Lit(0), Lit(0), Lit(0), Lit(40), Lit(0),
+                         Lit(M_PI), Lit(0)}),
+                   0),
+              80.0, 1e-9);
+  EXPECT_NEAR(Eval(Call(Fn::kTransverseMass,
+                        {Lit(25), Lit(0), Lit(25), Lit(M_PI)}),
+                   0),
+              50.0, 1e-9);
+}
+
+TEST(BindingsTest, ErrorsOnUnknownColumnsAndMembers) {
+  auto batch = TinyBatch();
+  EXPECT_FALSE(BatchBindings::Bind(*batch, {{"Nope", {"pt"}, {}}}, {}).ok());
+  EXPECT_FALSE(
+      BatchBindings::Bind(*batch, {{"Jet", {"nope"}, {}}}, {}).ok());
+  EXPECT_FALSE(BatchBindings::Bind(*batch, {{"MET", {"pt"}, {}}}, {}).ok());
+  EXPECT_FALSE(BatchBindings::Bind(*batch, {}, {{"nope"}}).ok());
+  EXPECT_FALSE(BatchBindings::Bind(*batch, {}, {{"MET.nope"}}).ok());
+}
+
+TEST(BindingsTest, UnionListConcatenatesSources) {
+  auto batch = TinyBatch();
+  // Union of Jet with itself, tagging the copies 0 / 1.
+  auto bindings =
+      BatchBindings::Bind(*batch,
+                          {{"Both",
+                            {"pt", "tag"},
+                            {UnionSource{"Jet", {"pt"}, 0.0},
+                             UnionSource{"Jet", {"pt"}, 1.0}}}},
+                          {})
+          .ValueOrDie();
+  const ListBinding& both = bindings.list(0);
+  EXPECT_EQ(both.size(0), 6u);
+  EXPECT_EQ(both.size(1), 2u);
+  // First three from copy 0, next three from copy 1.
+  EXPECT_DOUBLE_EQ(both.members[0].Get(0), 50.0);
+  EXPECT_DOUBLE_EQ(both.members[1].Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(both.members[0].Get(3), 50.0);
+  EXPECT_DOUBLE_EQ(both.members[1].Get(3), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// EventQuery
+// ---------------------------------------------------------------------------
+
+TEST(EventQueryTest, GuardAndScalarFill) {
+  EventQuery query("test");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  const int met = query.DeclareScalar("MET.pt");
+  query.AddStage(Ge(ListSize(jets), Lit(2.0)));
+  query.AddHistogram({"met", "", 10, 0, 100}, ScalarRef(met));
+  EventQueryResult result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*TinyBatch(), &result).ok());
+  EXPECT_EQ(result.events_processed, 2);
+  EXPECT_EQ(result.events_selected, 1);  // only event 0 has >= 2 jets
+  EXPECT_EQ(result.histograms[0].num_entries(), 1u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 25.0);
+}
+
+TEST(EventQueryTest, PerElementFill) {
+  EventQuery query("test");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  query.AddPerElementHistogram({"pt", "", 10, 0, 100}, jets, 0,
+                               Gt(IterMember(jets, 0, 0), Lit(15.0)),
+                               IterMember(jets, 0, 0));
+  EventQueryResult result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*TinyBatch(), &result).ok());
+  EXPECT_EQ(result.histograms[0].num_entries(), 3u);  // 50, 45, 20
+}
+
+TEST(EventQueryTest, PerCombinationFill) {
+  EventQuery query("pairs");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  // One entry per unordered jet pair, value = pt sum, no filter.
+  query.AddPerCombinationHistogram(
+      {"pairs", "", 10, 0, 200}, {{jets, 0}, {jets, 1}},
+      /*filter=*/nullptr,
+      Add(IterMember(jets, 0, 0), IterMember(jets, 1, 0)));
+  EventQueryResult result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*TinyBatch(), &result).ok());
+  // Event 0: C(3,2) = 3 pairs (60, 95, 55); event 1: single jet, none.
+  EXPECT_EQ(result.histograms[0].num_entries(), 3u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 70.0);
+}
+
+TEST(EventQueryTest, PerCombinationFillRespectsFilter) {
+  EventQuery query("pairs");
+  const int jets = query.DeclareList("Jet", {"pt", "charge"});
+  query.AddPerCombinationHistogram(
+      {"os", "", 10, 0, 200}, {{jets, 0}, {jets, 1}},
+      Ne(IterMember(jets, 0, 1), IterMember(jets, 1, 1)),
+      Add(IterMember(jets, 0, 0), IterMember(jets, 1, 0)));
+  EventQueryResult result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*TinyBatch(), &result).ok());
+  // Opposite-charge pairs in event 0: (50,10) and (10,45) -> 2 entries.
+  EXPECT_EQ(result.histograms[0].num_entries(), 2u);
+}
+
+TEST(EventQueryTest, PerCombinationFillCountsOps) {
+  EventQuery query("pairs");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  query.AddPerCombinationHistogram(
+      {"pairs", "", 10, 0, 200}, {{jets, 0}, {jets, 1}}, nullptr,
+      IterMember(jets, 0, 0));
+  EventQueryResult result = query.MakeResult();
+  ASSERT_TRUE(query.ExecuteBatch(*TinyBatch(), &result).ok());
+  // 2 base accesses + 3 pair evaluations (event 1 has no pair).
+  EXPECT_EQ(result.ops, 5u);
+}
+
+TEST(EventQueryTest, ProjectionListsDeclaredLeaves) {
+  EventQuery query("test");
+  query.DeclareList("Jet", {"pt", "eta"});
+  query.DeclareScalar("MET.pt");
+  EXPECT_EQ(query.Projection(),
+            (std::vector<std::string>{"Jet.pt", "Jet.eta", "MET.pt"}));
+}
+
+TEST(EventQueryTest, UnionProjectionListsSourceLeaves) {
+  EventQuery query("test");
+  query.DeclareUnionList("Lepton", {"pt", "flavor"},
+                         {UnionSource{"Electron", {"pt"}, 0.0},
+                          UnionSource{"Muon", {"pt"}, 1.0}});
+  EXPECT_EQ(query.Projection(),
+            (std::vector<std::string>{"Electron.pt", "Muon.pt"}));
+}
+
+TEST(ExplainTest, ExprToStringRendersTree) {
+  EXPECT_EQ(Lit(2.5)->ToString(), "2.5");
+  EXPECT_EQ(ScalarRef(1)->ToString(), "scalar1");
+  EXPECT_EQ(IterMember(0, 2, 3)->ToString(), "it2.m3");
+  EXPECT_EQ(Add(Lit(1), Lit(2))->ToString(), "(1 + 2)");
+  EXPECT_EQ(And(Lit(1), Lit(0))->ToString(), "(1 AND 0)");
+  EXPECT_EQ(Abs(Lit(-3))->ToString(), "abs(-3)");
+  EXPECT_EQ(ListSize(0)->ToString(), "cardinality(list0)");
+  EXPECT_EQ(IterOrdinal(0, 1)->ToString(), "ordinal(it1)");
+  EXPECT_EQ(AggOverList(AggKind::kCount, 0, 0,
+                        Gt(IterMember(0, 0, 0), Lit(40.0)), nullptr)
+                ->ToString(),
+            "count(list0@it0 where (it0.m0 > 40))");
+  EXPECT_EQ(BestCombination({{0, 0}, {0, 1}}, nullptr, Lit(1.0))->ToString(),
+            "best_combination(list0@it0, list0@it1 minimize 1)");
+  EXPECT_EQ(AnyCombination({{0, 0}}, Lit(1.0))->ToString(),
+            "any_combination(list0@it0 where 1)");
+}
+
+TEST(ExplainTest, EventQueryExplainListsPlan) {
+  EventQuery query("demo");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  const int met = query.DeclareScalar("MET.pt");
+  query.AddStage(Ge(ListSize(jets), Lit(2.0)));
+  query.AddHistogram({"met", "", 10, 0, 100}, ScalarRef(met));
+  const std::string plan = query.Explain();
+  EXPECT_NE(plan.find("EventQuery demo"), std::string::npos);
+  EXPECT_NE(plan.find("list0 = Jet"), std::string::npos);
+  EXPECT_NE(plan.find("scalar0 = MET.pt"), std::string::npos);
+  EXPECT_NE(plan.find("stage 0: (cardinality(list0) >= 2)"),
+            std::string::npos);
+  EXPECT_NE(plan.find("fill 'met': scalar0"), std::string::npos);
+}
+
+TEST(ExplainTest, FlatPipelineExplainListsPlan) {
+  FlatPipeline pipeline("demo");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddFilter(FlatGt(FlatCol("j.pt"), FlatLit(40.0)));
+  pipeline.AddAggregate(
+      engine::FlatAggSpec{FlatAggKind::kCount, "", "", "n"});
+  pipeline.AddHaving(FlatGe(FlatCol("n"), FlatLit(2.0)));
+  pipeline.AddHistogram({"met", "", 10, 0, 100}, FlatCol("MET.pt"));
+  const std::string plan = pipeline.Explain();
+  EXPECT_NE(plan.find("CROSS JOIN UNNEST(Jet) AS j"), std::string::npos);
+  EXPECT_NE(plan.find("keep MET.pt"), std::string::npos);
+  EXPECT_NE(plan.find("WHERE"), std::string::npos);
+  EXPECT_NE(plan.find("GROUP BY event: n"), std::string::npos);
+  EXPECT_NE(plan.find("HAVING"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FlatBatch / FlatExpr
+// ---------------------------------------------------------------------------
+
+TEST(FlatBatchTest, ColumnLookupAndClear) {
+  FlatBatch batch;
+  batch.names = {"a", "b"};
+  batch.columns = {{1, 2}, {3, 4}};
+  batch.num_rows = 2;
+  EXPECT_EQ(batch.ColumnIndex("b"), 1);
+  EXPECT_EQ(batch.ColumnIndex("z"), -1);
+  EXPECT_EQ(batch.NumCells(), 4u);
+  batch.Clear();
+  EXPECT_EQ(batch.num_rows, 0u);
+  EXPECT_TRUE(batch.columns[0].empty());
+}
+
+TEST(FlatExprTest, ResolveAndEval) {
+  FlatBatch batch;
+  batch.names = {"x", "y"};
+  batch.columns = {{1, 2, 3}, {10, 20, 30}};
+  batch.num_rows = 3;
+  auto expr = FlatBin(BinOp::kAdd, FlatCol("x"),
+                      FlatBin(BinOp::kMul, FlatCol("y"), FlatLit(2.0)));
+  ASSERT_TRUE(expr->Resolve(batch).ok());
+  EXPECT_DOUBLE_EQ(expr->Eval(batch, 1), 42.0);
+  auto bad = FlatCol("zz");
+  EXPECT_FALSE(bad->Resolve(batch).ok());
+}
+
+}  // namespace
+}  // namespace hepq::engine

@@ -1,0 +1,338 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "fileio/reader.h"
+#include "fileio/writer.h"
+
+namespace hepq {
+namespace {
+
+/// Builds a small two-row-capable schema exercising every column shape:
+/// primitive, struct, list<struct>, list<primitive>.
+SchemaPtr TestSchema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"event", DataType::Int64()},
+      {"trigger", DataType::Bool()},
+      {"MET", DataType::Struct({{"pt", DataType::Float32()},
+                                {"phi", DataType::Float32()}})},
+      {"Jet", DataType::List(DataType::Struct(
+                  {{"pt", DataType::Float32()},
+                   {"charge", DataType::Int32()}}))},
+      {"weights", DataType::List(DataType::Float64())},
+  });
+}
+
+RecordBatchPtr TestBatch(int64_t base) {
+  auto schema = TestSchema();
+  auto met = StructArray::Make(
+                 {{"pt", DataType::Float32()}, {"phi", DataType::Float32()}},
+                 {MakeFloat32Array({10.5f + base, 20.5f + base, 30.5f + base}),
+                  MakeFloat32Array({0.1f, 0.2f, 0.3f})})
+                 .ValueOrDie();
+  auto jets =
+      MakeListOfStructArray({{"pt", DataType::Float32()},
+                             {"charge", DataType::Int32()}},
+                            {0, 2, 2, 5},
+                            {MakeFloat32Array({1, 2, 3, 4, 5}),
+                             MakeInt32Array({1, -1, 1, -1, 1})})
+          .ValueOrDie();
+  auto weights =
+      ListArray::Make({0, 1, 3, 3}, MakeFloat64Array({0.5, 1.5, 2.5}))
+          .ValueOrDie();
+  return RecordBatch::Make(
+             schema,
+             {MakeInt64Array({base, base + 1, base + 2}),
+              MakeBoolArray({1, 0, 1}), met, ArrayPtr(jets),
+              ArrayPtr(weights)})
+      .ValueOrDie();
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(LeafLayoutTest, ShredsAllShapes) {
+  auto layout = ComputeLeafLayout(*TestSchema());
+  ASSERT_TRUE(layout.ok());
+  std::vector<std::string> paths;
+  for (const LeafDesc& leaf : *layout) paths.push_back(leaf.path);
+  EXPECT_EQ(paths,
+            (std::vector<std::string>{"event", "trigger", "MET.pt",
+                                      "MET.phi", "Jet#lengths", "Jet.pt",
+                                      "Jet.charge", "weights#lengths",
+                                      "weights.item"}));
+}
+
+TEST(LeafLayoutTest, RejectsDeepNesting) {
+  Schema bad({{"x", DataType::List(DataType::List(DataType::Float32()))}});
+  EXPECT_EQ(ComputeLeafLayout(bad).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(MetadataTest, SerializationRoundTrip) {
+  FileMetadata meta;
+  meta.schema = *TestSchema();
+  meta.layout = ComputeLeafLayout(meta.schema).ValueOrDie();
+  meta.total_rows = 6;
+  RowGroupMeta rg;
+  rg.num_rows = 3;
+  for (size_t i = 0; i < meta.layout.size(); ++i) {
+    ChunkMeta c;
+    c.file_offset = 4 + i * 100;
+    c.compressed_size = 90;
+    c.encoded_size = 100;
+    c.num_values = 3;
+    c.encoding = Encoding::kPlain;
+    c.codec = Codec::kLz;
+    c.crc32 = 0x1234;
+    c.has_stats = true;
+    c.min_value = -1.0;
+    c.max_value = static_cast<double>(i);
+    rg.chunks.push_back(c);
+  }
+  meta.row_groups = {rg, rg};
+
+  std::vector<uint8_t> buf;
+  SerializeFileMetadata(meta, &buf);
+  FileMetadata parsed;
+  ASSERT_TRUE(ParseFileMetadata(buf.data(), buf.size(), &parsed).ok());
+  EXPECT_TRUE(parsed.schema.Equals(meta.schema));
+  EXPECT_EQ(parsed.total_rows, 6);
+  ASSERT_EQ(parsed.row_groups.size(), 2u);
+  EXPECT_EQ(parsed.row_groups[0].chunks[2].max_value, 2.0);
+  EXPECT_EQ(parsed.row_groups[1].chunks[0].codec, Codec::kLz);
+}
+
+TEST(MetadataTest, ParseRejectsTruncation) {
+  FileMetadata meta;
+  meta.schema = *TestSchema();
+  meta.layout = ComputeLeafLayout(meta.schema).ValueOrDie();
+  std::vector<uint8_t> buf;
+  SerializeFileMetadata(meta, &buf);
+  FileMetadata parsed;
+  EXPECT_FALSE(
+      ParseFileMetadata(buf.data(), buf.size() / 2, &parsed).ok());
+}
+
+TEST(WriterReaderTest, RoundTripAllColumnShapes) {
+  const std::string path = TempPath("roundtrip.laq");
+  WriterOptions options;
+  options.row_group_size = 3;
+  ASSERT_TRUE(
+      WriteLaqFile(path, TestSchema(), {TestBatch(0), TestBatch(100)},
+                   options)
+          .ok());
+
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->total_rows(), 6);
+  EXPECT_EQ((*reader)->num_row_groups(), 2);
+  EXPECT_TRUE((*reader)->schema().Equals(*TestSchema()));
+
+  auto batch = (*reader)->ReadRowGroup(1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE((*batch)->Equals(*TestBatch(100)));
+}
+
+TEST(WriterReaderTest, ProjectionReturnsOnlyRequested) {
+  const std::string path = TempPath("projection.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  auto batch = (*reader)->ReadRowGroup(0, {"MET.pt", "Jet.pt"});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ((*batch)->num_columns(), 2);
+  // MET keeps only the pt member.
+  const auto& met = static_cast<const StructArray&>(
+      *(*batch)->ColumnByName("MET"));
+  EXPECT_EQ(met.type()->num_fields(), 1);
+  EXPECT_NE(met.ChildByName("pt"), nullptr);
+  // Jet keeps only pt (plus the offsets needed for list structure).
+  const auto& jets = static_cast<const ListArray&>(
+      *(*batch)->ColumnByName("Jet"));
+  EXPECT_EQ(jets.child()->type()->num_fields(), 1);
+}
+
+TEST(WriterReaderTest, ProjectionErrors) {
+  const std::string path = TempPath("projection_err.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->ReadRowGroup(0, {"nope"}).status().code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ((*reader)->ReadRowGroup(0, {"MET.nope"}).status().code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ((*reader)->ReadRowGroup(0, {"event.pt"}).status().code(),
+            StatusCode::kInvalid);
+  EXPECT_EQ((*reader)->ReadRowGroup(0, {}).status().code(),
+            StatusCode::kInvalid);
+  EXPECT_EQ((*reader)->ReadRowGroup(7, {"event"}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(WriterReaderTest, StructPushdownAccounting) {
+  const std::string path = TempPath("pushdown.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+
+  ReaderOptions with;
+  with.struct_projection_pushdown = true;
+  auto reader1 = LaqReader::Open(path, with);
+  ASSERT_TRUE(reader1.ok());
+  ASSERT_TRUE((*reader1)->ReadRowGroup(0, {"MET.pt"}).ok());
+  const uint64_t pushdown_bytes = (*reader1)->scan_stats().storage_bytes;
+  const uint64_t pushdown_chunks = (*reader1)->scan_stats().chunks_read;
+
+  ReaderOptions without;
+  without.struct_projection_pushdown = false;
+  auto reader2 = LaqReader::Open(path, without);
+  ASSERT_TRUE(reader2.ok());
+  auto batch = (*reader2)->ReadRowGroup(0, {"MET.pt"});
+  ASSERT_TRUE(batch.ok());
+  // Returned data identical...
+  EXPECT_EQ((*batch)->num_columns(), 1);
+  EXPECT_EQ(static_cast<const StructArray&>(*(*batch)->column(0))
+                .type()
+                ->num_fields(),
+            1);
+  // ... but more was read from storage (both MET members).
+  EXPECT_GT((*reader2)->scan_stats().storage_bytes, pushdown_bytes);
+  EXPECT_EQ((*reader2)->scan_stats().chunks_read, pushdown_chunks + 1);
+  // Billed/logical bytes unchanged: the query only wanted MET.pt.
+  EXPECT_EQ((*reader2)->scan_stats().logical_bytes_bq,
+            (*reader1)->scan_stats().logical_bytes_bq);
+}
+
+TEST(WriterReaderTest, BigQueryAccountingIs8BytesPerEntry) {
+  const std::string path = TempPath("bq_bytes.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE((*reader)->ReadRowGroup(0, {"MET.pt"}).ok());
+  // 3 rows x 8 B, although the file stores float32.
+  EXPECT_EQ((*reader)->scan_stats().logical_bytes_bq, 24u);
+  EXPECT_EQ((*reader)->scan_stats().ideal_bytes, 12u);
+}
+
+TEST(WriterReaderTest, IdealBytesForProjection) {
+  const std::string path = TempPath("ideal.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  // MET.pt: 3 * 4. Jet.pt: lengths 3*4 + values 5*4.
+  EXPECT_EQ((*reader)->IdealBytesForProjection({"MET.pt"}).ValueOrDie(),
+            12u);
+  EXPECT_EQ((*reader)->IdealBytesForProjection({"Jet.pt"}).ValueOrDie(),
+            32u);
+}
+
+TEST(WriterReaderTest, StatisticsAreRecorded) {
+  const std::string path = TempPath("stats.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const FileMetadata& meta = (*reader)->metadata();
+  const int met_pt = meta.LeafIndex("MET.pt");
+  ASSERT_GE(met_pt, 0);
+  const ChunkMeta& chunk =
+      meta.row_groups[0].chunks[static_cast<size_t>(met_pt)];
+  EXPECT_TRUE(chunk.has_stats);
+  EXPECT_FLOAT_EQ(static_cast<float>(chunk.min_value), 10.5f);
+  EXPECT_FLOAT_EQ(static_cast<float>(chunk.max_value), 30.5f);
+}
+
+TEST(WriterReaderTest, RowGroupSplitting) {
+  const std::string path = TempPath("groups.laq");
+  WriterOptions options;
+  options.row_group_size = 3;
+  std::vector<RecordBatchPtr> batches = {TestBatch(0), TestBatch(10),
+                                         TestBatch(20)};
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), batches, options).ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_row_groups(), 3);
+  EXPECT_EQ((*reader)->total_rows(), 9);
+}
+
+TEST(WriterReaderTest, BatchesCoalesceIntoOneGroup) {
+  const std::string path = TempPath("coalesce.laq");
+  WriterOptions options;
+  options.row_group_size = 100;  // larger than both batches together
+  ASSERT_TRUE(
+      WriteLaqFile(path, TestSchema(), {TestBatch(0), TestBatch(10)},
+                   options)
+          .ok());
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->num_row_groups(), 1);
+  EXPECT_EQ((*reader)->metadata().row_groups[0].num_rows, 6);
+}
+
+TEST(WriterTest, RejectsSchemaMismatch) {
+  const std::string path = TempPath("mismatch.laq");
+  auto writer = LaqWriter::Open(path, TestSchema());
+  ASSERT_TRUE(writer.ok());
+  auto other_schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::Int32()}});
+  auto batch =
+      RecordBatch::Make(other_schema, {MakeInt32Array({1})}).ValueOrDie();
+  EXPECT_FALSE((*writer)->WriteBatch(*batch).ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_FALSE((*writer)->Close().ok());  // double close
+}
+
+TEST(ReaderTest, DetectsCorruptChunk) {
+  const std::string path = TempPath("corrupt.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  // Flip one byte inside the first chunk (offset 4 = just past the magic).
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 5, SEEK_SET);
+  const int c = std::fgetc(f);
+  std::fseek(f, 5, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());  // footer is intact
+  bool saw_corruption = false;
+  for (int g = 0; g < (*reader)->num_row_groups(); ++g) {
+    auto batch = (*reader)->ReadRowGroup(g);
+    if (!batch.ok() && batch.status().code() == StatusCode::kCorruption) {
+      saw_corruption = true;
+    }
+  }
+  EXPECT_TRUE(saw_corruption);
+}
+
+TEST(ReaderTest, DetectsCorruptFooter) {
+  const std::string path = TempPath("corrupt_footer.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -20, SEEK_END);
+  std::fputc(0x5a, f);
+  std::fclose(f);
+  auto reader = LaqReader::Open(path);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReaderTest, RejectsNonLaqFile) {
+  const std::string path = TempPath("not_laq.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (int i = 0; i < 100; ++i) std::fputc(i, f);
+  std::fclose(f);
+  EXPECT_FALSE(LaqReader::Open(path).ok());
+}
+
+TEST(ReaderTest, MissingFile) {
+  EXPECT_EQ(LaqReader::Open(TempPath("does_not_exist.laq")).status().code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace hepq

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "engine/flat.h"
+#include "fileio/writer.h"
+
+namespace hepq::engine {
+namespace {
+
+/// Writes a three-event file:
+///   event 0: MET 10; jets (pt): 50, 10, 45
+///   event 1: MET 20; jets: 20
+///   event 2: MET 30; jets: (none)
+const std::string& TinyFile() {
+  static const auto& path = *new std::string([] {
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+        {"Jet", DataType::List(DataType::Struct(
+                    {{"pt", DataType::Float32()},
+                     {"eta", DataType::Float32()}}))},
+    });
+    auto met = StructArray::Make({{"pt", DataType::Float32()}},
+                                 {MakeFloat32Array({10, 20, 30})})
+                   .ValueOrDie();
+    auto jets = MakeListOfStructArray(
+                    {{"pt", DataType::Float32()},
+                     {"eta", DataType::Float32()}},
+                    {0, 3, 4, 4},
+                    {MakeFloat32Array({50, 10, 45, 20}),
+                     MakeFloat32Array({0.5f, -2.0f, 1.5f, 0.0f})})
+                    .ValueOrDie();
+    auto batch = RecordBatch::Make(schema, {met, jets}).ValueOrDie();
+    const std::string file = ::testing::TempDir() + "/flat_tiny.laq";
+    WriteLaqFile(file, schema, {RecordBatchPtr(batch)}).Check();
+    return file;
+  }());
+  return path;
+}
+
+TEST(FlatPipelineTest, NoUnnestFillsPerEvent) {
+  FlatPipeline pipeline("q1");
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddHistogram({"met", "", 10, 0, 100}, FlatCol("MET.pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  EXPECT_EQ(result.events_processed, 3);
+  EXPECT_EQ(result.rows_materialized, 3u);
+  EXPECT_EQ(result.histograms[0].num_entries(), 3u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 20.0);
+}
+
+TEST(FlatPipelineTest, UnnestDropsParticleFreeEvents) {
+  FlatPipeline pipeline("unnest");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddHistogram({"pt", "", 10, 0, 100}, FlatCol("j.pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  // Inner-join semantics of CROSS JOIN UNNEST: event 2 vanishes.
+  EXPECT_EQ(result.rows_materialized, 4u);
+  EXPECT_EQ(result.histograms[0].num_entries(), 4u);
+}
+
+TEST(FlatPipelineTest, FilterThenProjectInRegistrationOrder) {
+  FlatPipeline pipeline("chain");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddFilter(FlatGt(FlatCol("j.pt"), FlatLit(15.0)));
+  pipeline.AddProject("double_pt",
+                      FlatBin(BinOp::kMul, FlatCol("j.pt"), FlatLit(2.0)));
+  pipeline.AddFilter(FlatLt(FlatCol("double_pt"), FlatLit(95.0)));
+  pipeline.AddHistogram({"pt", "", 10, 0, 200}, FlatCol("double_pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  // 50, 45, 20 pass the first filter; doubled: 100, 90, 40; < 95: 90, 40.
+  EXPECT_EQ(result.histograms[0].num_entries(), 2u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 65.0);
+}
+
+TEST(FlatPipelineTest, GroupByEventAggregates) {
+  FlatPipeline pipeline("agg");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kCount, "", "", "n"});
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kSum, "j.pt", "", "sum"});
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kMin, "j.pt", "", "lo"});
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kMax, "j.pt", "", "hi"});
+  pipeline.AddAggregate(
+      FlatAggSpec{FlatAggKind::kFirst, "MET.pt", "", "met"});
+  pipeline.AddAggregate(
+      FlatAggSpec{FlatAggKind::kMinBy, "j.pt", "j.idx", "first_jet_pt"});
+  // One histogram per aggregate output to observe each value.
+  pipeline.AddHistogram({"n", "", 10, 0, 10}, FlatCol("n"));
+  pipeline.AddHistogram({"sum", "", 10, 0, 200}, FlatCol("sum"));
+  pipeline.AddHistogram({"met", "", 10, 0, 100}, FlatCol("met"));
+  pipeline.AddHistogram({"fj", "", 10, 0, 100}, FlatCol("first_jet_pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  EXPECT_EQ(result.groups, 2);  // events 0 and 1
+  // n: {3, 1} -> mean 2; sum: {105, 20}; met: {10, 20};
+  // min_by idx -> first jet pt {50, 20}.
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 2.0);
+  EXPECT_DOUBLE_EQ(result.histograms[1].mean(), 62.5);
+  EXPECT_DOUBLE_EQ(result.histograms[2].mean(), 15.0);
+  EXPECT_DOUBLE_EQ(result.histograms[3].mean(), 35.0);
+}
+
+TEST(FlatPipelineTest, HavingFiltersGroups) {
+  FlatPipeline pipeline("having");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kCount, "", "", "n"});
+  pipeline.AddAggregate(
+      FlatAggSpec{FlatAggKind::kFirst, "MET.pt", "", "met"});
+  pipeline.AddHaving(FlatGe(FlatCol("n"), FlatLit(2.0)));
+  pipeline.AddHistogram({"met", "", 10, 0, 100}, FlatCol("met"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  EXPECT_EQ(result.histograms[0].num_entries(), 1u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 10.0);
+}
+
+TEST(FlatPipelineTest, SelfJoinProducesFullProduct) {
+  FlatPipeline pipeline("pairs");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "a"});
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "b"});
+  pipeline.AddHistogram({"x", "", 10, 0, 200},
+                        FlatBin(BinOp::kAdd, FlatCol("a.pt"),
+                                FlatCol("b.pt")));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  // Full Cartesian product per event: 3*3 + 1*1 = 10 rows (the plan-shape
+  // cost the WHERE idx filter would then cut down).
+  EXPECT_EQ(result.rows_materialized, 10u);
+}
+
+TEST(FlatPipelineTest, OrdinalsAreZeroBasedPerEvent) {
+  FlatPipeline pipeline("ord");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddFilter(FlatBin(BinOp::kEq, FlatCol("j.idx"), FlatLit(0.0)));
+  pipeline.AddHistogram({"lead", "", 10, 0, 100}, FlatCol("j.pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  auto result = pipeline.Execute(reader.get()).ValueOrDie();
+  // Leading jets: 50 (event 0) and 20 (event 1).
+  EXPECT_EQ(result.histograms[0].num_entries(), 2u);
+  EXPECT_DOUBLE_EQ(result.histograms[0].mean(), 35.0);
+}
+
+TEST(FlatPipelineTest, UnknownColumnFailsAtPreparation) {
+  FlatPipeline pipeline("bad");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddHistogram({"x", "", 10, 0, 1}, FlatCol("j.nope"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  EXPECT_EQ(pipeline.Execute(reader.get()).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(FlatPipelineTest, HavingWithoutAggregatesIsInvalid) {
+  FlatPipeline pipeline("bad");
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddHaving(FlatGt(FlatCol("MET.pt"), FlatLit(0.0)));
+  pipeline.AddHistogram({"x", "", 10, 0, 1}, FlatCol("MET.pt"));
+  auto reader = LaqReader::Open(TinyFile()).ValueOrDie();
+  EXPECT_EQ(pipeline.Execute(reader.get()).status().code(),
+            StatusCode::kInvalid);
+}
+
+TEST(FlatPipelineTest, ProjectionCoversUnnestsAndScalars) {
+  FlatPipeline pipeline("proj");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt", "eta"}, "j"});
+  pipeline.AddKeepScalar("MET.pt");
+  EXPECT_EQ(pipeline.Projection(),
+            (std::vector<std::string>{"Jet.pt", "Jet.eta", "MET.pt"}));
+}
+
+}  // namespace
+}  // namespace hepq::engine

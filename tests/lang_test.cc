@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "lang/corpus.h"
+#include "lang/features.h"
+#include "lang/metrics.h"
+
+namespace hepq::lang {
+namespace {
+
+TEST(CorpusTest, AllDialectsCoverAllQueries) {
+  for (Dialect dialect : kAllDialects) {
+    for (int q = 1; q <= 8; ++q) {
+      auto text = QueryText(dialect, q);
+      ASSERT_TRUE(text.ok()) << DialectName(dialect) << " Q" << q;
+      EXPECT_GT(text->size(), 40u) << DialectName(dialect) << " Q" << q;
+    }
+    EXPECT_FALSE(QueryText(dialect, 0).ok());
+    EXPECT_FALSE(QueryText(dialect, 9).ok());
+  }
+}
+
+TEST(CorpusTest, AthenaInlinesPhysicsFormulae) {
+  // No UDFs: the invariant-mass formula appears spelled out.
+  const std::string q5 = QueryText(Dialect::kAthena, 5).ValueOrDie();
+  EXPECT_NE(q5.find("COSH"), std::string::npos);
+  EXPECT_NE(q5.find("GREATEST"), std::string::npos);
+  EXPECT_TRUE(SharedPrelude(Dialect::kAthena).empty());
+  // Presto moves the same formula into UDFs.
+  const std::string presto_q5 = QueryText(Dialect::kPresto, 5).ValueOrDie();
+  EXPECT_NE(presto_q5.find("inv_mass2"), std::string::npos);
+  EXPECT_NE(SharedPrelude(Dialect::kPresto).find("CREATE FUNCTION"),
+            std::string::npos);
+}
+
+TEST(CorpusTest, BigQueryUsesNestedSubqueries) {
+  const std::string q4 = QueryText(Dialect::kBigQuery, 4).ValueOrDie();
+  EXPECT_NE(q4.find("(SELECT COUNT(*) FROM UNNEST"), std::string::npos);
+  // Presto cannot: it unnests and regroups.
+  const std::string presto_q4 = QueryText(Dialect::kPresto, 4).ValueOrDie();
+  EXPECT_NE(presto_q4.find("CROSS JOIN UNNEST"), std::string::npos);
+  EXPECT_NE(presto_q4.find("GROUP BY"), std::string::npos);
+  EXPECT_NE(presto_q4.find("HAVING"), std::string::npos);
+}
+
+TEST(CorpusTest, JsoniqUsesFlwor) {
+  const std::string q8 = QueryText(Dialect::kJsoniq, 8).ValueOrDie();
+  EXPECT_NE(q8.find("for $"), std::string::npos);
+  EXPECT_NE(q8.find("let $"), std::string::npos);
+  EXPECT_NE(q8.find("order by"), std::string::npos);
+}
+
+TEST(MetricsTest, CountsCharactersAndLines) {
+  const ConcisenessMetrics m =
+      AnalyzeQuery(Dialect::kJsoniq, "for $x in $v\n\nreturn $x\n");
+  EXPECT_EQ(m.lines, 2);
+  EXPECT_EQ(m.characters, 17);  // whitespace excluded
+  EXPECT_GE(m.clauses, 2);      // for, return
+}
+
+TEST(MetricsTest, CommentsAreIgnored) {
+  const ConcisenessMetrics with_comment = AnalyzeQuery(
+      Dialect::kPresto, "SELECT a -- this comment vanishes\nFROM t\n");
+  const ConcisenessMetrics without =
+      AnalyzeQuery(Dialect::kPresto, "SELECT a\nFROM t\n");
+  EXPECT_EQ(with_comment.characters, without.characters);
+  EXPECT_EQ(with_comment.lines, without.lines);
+  EXPECT_EQ(with_comment.clauses, without.clauses);
+}
+
+TEST(MetricsTest, ClausesIncludeFunctionCalls) {
+  const auto tokens =
+      ClauseTokens(Dialect::kPresto, "SELECT SQRT(x) FROM t");
+  // select, sqrt (call), from.
+  EXPECT_EQ(tokens.size(), 3u);
+}
+
+TEST(MetricsTest, UniqueClausesDeduplicate) {
+  const ConcisenessMetrics m = AnalyzeQuery(
+      Dialect::kPresto, "SELECT a FROM t WHERE x AND y AND z");
+  EXPECT_EQ(m.unique_clauses, 4);  // select, from, where, and
+  EXPECT_EQ(m.clauses, 5);
+}
+
+TEST(MetricsTest, SummariesReproduceTable1Ordering) {
+  DialectSummary athena = SummarizeDialect(Dialect::kAthena).ValueOrDie();
+  DialectSummary bigquery =
+      SummarizeDialect(Dialect::kBigQuery).ValueOrDie();
+  DialectSummary presto = SummarizeDialect(Dialect::kPresto).ValueOrDie();
+  DialectSummary jsoniq = SummarizeDialect(Dialect::kJsoniq).ValueOrDie();
+  DialectSummary rdf = SummarizeDialect(Dialect::kRDataFrame).ValueOrDie();
+
+  // Table 1's qualitative ordering:
+  // BigQuery and JSONiq are the most concise dialects.
+  EXPECT_LT(bigquery.characters, presto.characters);
+  EXPECT_LT(bigquery.characters, athena.characters);
+  EXPECT_LT(jsoniq.characters, presto.characters);
+  EXPECT_LT(jsoniq.characters, athena.characters);
+  // RDataFrame needs the most characters of all.
+  EXPECT_GT(rdf.characters, athena.characters);
+  EXPECT_GT(rdf.characters, bigquery.characters);
+  // JSONiq uses the fewest lines and the fewest clauses per query.
+  EXPECT_LT(jsoniq.lines, bigquery.lines);
+  EXPECT_LT(jsoniq.avg_clauses_per_query, bigquery.avg_clauses_per_query);
+  EXPECT_LT(jsoniq.avg_clauses_per_query, presto.avg_clauses_per_query);
+  // All metrics are positive and sane.
+  for (const DialectSummary& s : {athena, bigquery, presto, jsoniq, rdf}) {
+    EXPECT_GT(s.characters, 500);
+    EXPECT_GT(s.lines, 20);
+    EXPECT_GT(s.clauses, 20);
+    EXPECT_GT(s.unique_clauses, 5);
+    EXPECT_GT(s.avg_unique_clauses_per_query, 1.0);
+  }
+}
+
+TEST(FeaturesTest, MatrixMatchesTable1) {
+  const auto& matrix = FeatureMatrix();
+  ASSERT_EQ(matrix.size(), 15u);  // R1.1 .. R3.5
+  EXPECT_EQ(matrix.front().id, "R1.1");
+  EXPECT_EQ(matrix.back().id, "R3.5");
+  // Spot checks against the paper's Table 1.
+  const FeatureRow& udfs = matrix[3];
+  ASSERT_EQ(udfs.id, "R1.4");
+  EXPECT_EQ(udfs.athena, Support::kNone);
+  EXPECT_EQ(udfs.presto, Support::kParen);
+  EXPECT_EQ(udfs.jsoniq, Support::kThreeStars);
+  const FeatureRow& variables = matrix[6];
+  ASSERT_EQ(variables.id, "R2.3");
+  EXPECT_EQ(variables.athena, Support::kNone);
+  EXPECT_EQ(variables.bigquery, Support::kNone);
+  EXPECT_EQ(variables.jsoniq, Support::kThreeStars);
+  EXPECT_EQ(variables.rdataframe, Support::kThreeStars);
+}
+
+TEST(FeaturesTest, SupportRendering) {
+  EXPECT_EQ(SupportToString(Support::kNone), "-");
+  EXPECT_EQ(SupportToString(Support::kThreeStars), "***");
+  EXPECT_EQ(SupportToString(Support::kParen), "(**)");
+}
+
+TEST(FeaturesTest, ForDialectAccessor) {
+  const FeatureRow& row = FeatureMatrix()[0];
+  EXPECT_EQ(row.ForDialect(Dialect::kJsoniq), Support::kThreeStars);
+  EXPECT_EQ(row.ForDialect(Dialect::kPresto), Support::kOneStar);
+}
+
+}  // namespace
+}  // namespace hepq::lang

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+#include "queries/builders.h"
+
+namespace hepq::queries {
+namespace {
+
+/// Shared small data set for the integration tests.
+const std::string& TestDataset() {
+  static const auto& path = *new std::string([] {
+    DatasetSpec spec;
+    spec.num_events = 6000;
+    spec.row_group_size = 2000;
+    return EnsureDataset(::testing::TempDir() + "/hepq_queries", spec)
+        .ValueOrDie();
+  }());
+  return path;
+}
+
+TEST(AdlSpecTest, EveryQueryHasSpecs) {
+  for (int q = 1; q <= kNumAdlQueries; ++q) {
+    const auto specs = AdlHistogramSpecs(q);
+    ASSERT_FALSE(specs.empty()) << "Q" << q;
+    EXPECT_EQ(specs.size(), q == 6 ? 2u : 1u);
+    for (const HistogramSpec& spec : specs) {
+      EXPECT_EQ(spec.num_bins, 100);  // paper: 100 bins is typical
+      EXPECT_LT(spec.lo, spec.hi);
+    }
+    EXPECT_STRNE(AdlQueryTitle(q), "unknown query");
+  }
+}
+
+TEST(AdlSpecTest, InvalidQueryIdsRejected) {
+  EXPECT_FALSE(RunAdlQuery(EngineKind::kRdf, 0, TestDataset()).ok());
+  EXPECT_FALSE(RunAdlQuery(EngineKind::kRdf, 9, TestDataset()).ok());
+  EXPECT_TRUE(AdlHistogramSpecs(0).empty());
+}
+
+/// The core integration property: all four engines produce identical
+/// histograms for every benchmark query.
+class CrossEngineAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossEngineAgreement, AllEnginesMatchRdf) {
+  const int q = GetParam();
+  const auto reference =
+      RunAdlQuery(EngineKind::kRdf, q, TestDataset());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_FALSE(reference->histograms.empty());
+  EXPECT_EQ(reference->events_processed, 6000);
+
+  for (EngineKind engine :
+       {EngineKind::kBigQueryShape, EngineKind::kPrestoShape,
+        EngineKind::kDoc}) {
+    const auto result = RunAdlQuery(engine, q, TestDataset());
+    ASSERT_TRUE(result.ok())
+        << EngineKindName(engine) << ": " << result.status().ToString();
+    ASSERT_EQ(result->histograms.size(), reference->histograms.size());
+    for (size_t h = 0; h < result->histograms.size(); ++h) {
+      EXPECT_TRUE(result->histograms[h].ApproxEquals(
+          reference->histograms[h], 1e-6))
+          << "Q" << q << " histogram " << h << " differs on "
+          << EngineKindName(engine) << "\nreference:\n"
+          << reference->histograms[h].ToString() << "\ngot:\n"
+          << result->histograms[h].ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, CrossEngineAgreement,
+                         ::testing::Range(1, 9));
+
+/// Property sweep: engine agreement is not an artefact of one particular
+/// data set — it holds across generator seeds (and hence across particle
+/// multiplicity patterns, Z-decay placements, edge events, ...).
+class SeededAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededAgreement, EnginesAgreeOnHardQueries) {
+  DatasetSpec spec;
+  spec.num_events = 1500;
+  spec.row_group_size = 500;
+  spec.seed = GetParam();
+  const std::string path =
+      EnsureDataset(::testing::TempDir() + "/hepq_seeds", spec)
+          .ValueOrDie();
+  // Q6 and Q8 exercise every engine feature (combinations, argmin,
+  // unions, ordinals); Q5 adds the existence pattern.
+  for (int q : {5, 6, 8}) {
+    const auto reference = RunAdlQuery(EngineKind::kRdf, q, path);
+    ASSERT_TRUE(reference.ok());
+    for (EngineKind engine :
+         {EngineKind::kBigQueryShape, EngineKind::kPrestoShape,
+          EngineKind::kDoc}) {
+      const auto result = RunAdlQuery(engine, q, path);
+      ASSERT_TRUE(result.ok());
+      for (size_t h = 0; h < result->histograms.size(); ++h) {
+        EXPECT_TRUE(result->histograms[h].ApproxEquals(
+            reference->histograms[h], 1e-6))
+            << "seed " << GetParam() << " Q" << q << " on "
+            << EngineKindName(engine);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededAgreement,
+                         ::testing::Values(7, 42, 271828, 3141592,
+                                           20120601, 99999999));
+
+TEST(QueriesTest, OpsCountersTrackComplexity) {
+  // Q6 must explore far more combinations per event than Q2 (Table 2).
+  const auto q2 =
+      RunAdlQuery(EngineKind::kBigQueryShape, 2, TestDataset());
+  const auto q6 =
+      RunAdlQuery(EngineKind::kBigQueryShape, 6, TestDataset());
+  ASSERT_TRUE(q2.ok());
+  ASSERT_TRUE(q6.ok());
+  const double q2_ops =
+      static_cast<double>(q2->ops) / q2->events_processed;
+  const double q6_ops =
+      static_cast<double>(q6->ops) / q6->events_processed;
+  EXPECT_GT(q6_ops, 5.0 * q2_ops);
+}
+
+TEST(QueriesTest, PrestoShapeReadsMoreBytesThanBigQueryShape) {
+  // No struct projection pushdown: Q1 touches one MET member, Presto
+  // must read all seven (paper Figure 4b).
+  const auto bq = RunAdlQuery(EngineKind::kBigQueryShape, 1, TestDataset());
+  const auto presto =
+      RunAdlQuery(EngineKind::kPrestoShape, 1, TestDataset());
+  ASSERT_TRUE(bq.ok());
+  ASSERT_TRUE(presto.ok());
+  EXPECT_GT(presto->scan.storage_bytes, bq->scan.storage_bytes);
+  EXPECT_EQ(presto->scan.logical_bytes_bq, bq->scan.logical_bytes_bq);
+}
+
+TEST(QueriesTest, DocEngineScansWholeFileOnComplexQueries) {
+  // Rumble pushes projections only for the simplest queries (Fig. 4b):
+  // Q1 reads little, Q5 reads the full file.
+  const auto doc_q1 = RunAdlQuery(EngineKind::kDoc, 1, TestDataset());
+  const auto doc_q5 = RunAdlQuery(EngineKind::kDoc, 5, TestDataset());
+  const auto bq_q5 =
+      RunAdlQuery(EngineKind::kBigQueryShape, 5, TestDataset());
+  ASSERT_TRUE(doc_q1.ok());
+  ASSERT_TRUE(doc_q5.ok());
+  ASSERT_TRUE(bq_q5.ok());
+  EXPECT_GT(doc_q5->scan.storage_bytes, 5 * bq_q5->scan.storage_bytes);
+  EXPECT_LT(doc_q1->scan.storage_bytes, doc_q5->scan.storage_bytes / 5);
+}
+
+TEST(QueriesTest, FlatPipelineOnlyForUnnestFriendlyQueries) {
+  for (int q = 1; q <= 6; ++q) {
+    EXPECT_TRUE(BuildAdlFlatPipeline(q).ok()) << "Q" << q;
+  }
+  EXPECT_EQ(BuildAdlFlatPipeline(7).status().code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(BuildAdlFlatPipeline(8).status().code(),
+            StatusCode::kNotImplemented);
+}
+
+TEST(QueriesTest, EventQueryBuildersForAllQueries) {
+  for (int q = 1; q <= 8; ++q) {
+    EXPECT_TRUE(BuildAdlEventQuery(q).ok()) << "Q" << q;
+    EXPECT_TRUE(BuildAdlDocQuery(q).ok()) << "Q" << q;
+  }
+  EXPECT_FALSE(BuildAdlEventQuery(0).ok());
+  EXPECT_FALSE(BuildAdlDocQuery(9).ok());
+}
+
+TEST(QueriesTest, Q4SelectsSubsetOfEvents) {
+  const auto q1 = RunAdlQuery(EngineKind::kRdf, 1, TestDataset());
+  const auto q4 = RunAdlQuery(EngineKind::kRdf, 4, TestDataset());
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q4.ok());
+  EXPECT_LT(q4->histograms[0].num_entries(),
+            q1->histograms[0].num_entries());
+  EXPECT_GT(q4->histograms[0].num_entries(), 0u);
+}
+
+TEST(QueriesTest, Q5FindsZCandidates) {
+  const auto q5 = RunAdlQuery(EngineKind::kRdf, 5, TestDataset());
+  ASSERT_TRUE(q5.ok());
+  // The generator injects Z -> mumu decays in ~15% of events; with soft
+  // dimuons as combinatorial background the yield must be substantial.
+  EXPECT_GT(q5->histograms[0].num_entries(), 300u);
+}
+
+TEST(QueriesTest, Q6ProducesTwoHistogramsFromOnePass) {
+  const auto q6 = RunAdlQuery(EngineKind::kRdf, 6, TestDataset());
+  ASSERT_TRUE(q6.ok());
+  ASSERT_EQ(q6->histograms.size(), 2u);
+  // Same events feed both plots.
+  EXPECT_EQ(q6->histograms[0].num_entries(),
+            q6->histograms[1].num_entries());
+  // b-tag discriminant lives in [0, 1].
+  EXPECT_DOUBLE_EQ(q6->histograms[1].underflow(), 0.0);
+  EXPECT_DOUBLE_EQ(q6->histograms[1].overflow(), 0.0);
+}
+
+TEST(QueriesTest, Q7SumIncludesZeroEvents) {
+  const auto q7 = RunAdlQuery(EngineKind::kRdf, 7, TestDataset());
+  ASSERT_TRUE(q7.ok());
+  // Every event gets a (possibly zero) scalar sum.
+  EXPECT_EQ(q7->histograms[0].num_entries(), 6000u);
+}
+
+TEST(QueriesTest, Q8RequiresThreeLeptons) {
+  const auto q8 = RunAdlQuery(EngineKind::kRdf, 8, TestDataset());
+  ASSERT_TRUE(q8.ok());
+  EXPECT_GT(q8->histograms[0].num_entries(), 0u);
+  EXPECT_LT(q8->histograms[0].num_entries(), 6000u);
+}
+
+}  // namespace
+}  // namespace hepq::queries

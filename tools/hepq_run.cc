@@ -1,0 +1,108 @@
+// hepq_run: run one ADL benchmark query on a chosen engine and print the
+// resulting histogram plus execution statistics.
+//
+// Usage: hepq_run <query 1..8> [engine] [events]
+//   engine: rdf (default) | bigquery | presto | doc | all | explain
+//   events: data-set size to generate/reuse (default 20000)
+//   "explain" prints the relational plans instead of executing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "datagen/dataset.h"
+#include "queries/adl.h"
+#include "queries/builders.h"
+
+using hepq::queries::EngineKind;
+using hepq::queries::EngineKindName;
+using hepq::queries::RunAdlQuery;
+
+namespace {
+
+void RunOne(EngineKind engine, int q, const std::string& path) {
+  auto result = RunAdlQuery(engine, q, path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("--- %s ---\n", EngineKindName(engine));
+  std::printf(
+      "events: %lld   cpu: %.4f s   wall: %.4f s   storage bytes: %llu\n",
+      static_cast<long long>(result->events_processed),
+      result->cpu_seconds, result->wall_seconds,
+      static_cast<unsigned long long>(result->scan.storage_bytes));
+  if (result->ops > 0) {
+    std::printf("ops/event: %.2f\n",
+                static_cast<double>(result->ops) /
+                    static_cast<double>(result->events_processed));
+  }
+  for (const hepq::Histogram1D& h : result->histograms) {
+    std::printf("%s\n", h.ToString(10).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
+                         " [events]\n",
+                 argv[0]);
+    return 2;
+  }
+  const int q = std::atoi(argv[1]);
+  if (q < 1 || q > 8) {
+    std::fprintf(stderr, "query id must be 1..8\n");
+    return 2;
+  }
+  const std::string engine_name = argc > 2 ? argv[2] : "rdf";
+  const int64_t events = argc > 3 ? std::atoll(argv[3]) : 20000;
+
+  hepq::DatasetSpec spec;
+  spec.num_events = events;
+  spec.row_group_size = std::max<int64_t>(1000, events / 4);
+  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+  path.status().Check();
+
+  std::printf("Q%d: %s\ndata: %s\n\n", q, hepq::queries::AdlQueryTitle(q),
+              path->c_str());
+
+  if (engine_name == "explain") {
+    auto expr_plan = hepq::queries::BuildAdlEventQuery(q);
+    expr_plan.status().Check();
+    std::printf("%s\n", expr_plan->Explain().c_str());
+    auto flat_plan = hepq::queries::BuildAdlFlatPipeline(q);
+    if (flat_plan.ok()) {
+      std::printf("%s", flat_plan->Explain().c_str());
+    } else {
+      std::printf("FlatPipeline: %s\n",
+                  flat_plan.status().ToString().c_str());
+    }
+    return 0;
+  }
+  if (engine_name == "all") {
+    for (EngineKind engine :
+         {EngineKind::kRdf, EngineKind::kBigQueryShape,
+          EngineKind::kPrestoShape, EngineKind::kDoc}) {
+      RunOne(engine, q, *path);
+    }
+    return 0;
+  }
+  EngineKind engine;
+  if (engine_name == "rdf") {
+    engine = EngineKind::kRdf;
+  } else if (engine_name == "bigquery") {
+    engine = EngineKind::kBigQueryShape;
+  } else if (engine_name == "presto") {
+    engine = EngineKind::kPrestoShape;
+  } else if (engine_name == "doc") {
+    engine = EngineKind::kDoc;
+  } else {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+    return 2;
+  }
+  RunOne(engine, q, *path);
+  return 0;
+}

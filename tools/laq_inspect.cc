@@ -1,0 +1,78 @@
+// laq_inspect: dump the metadata of a .laq columnar file — schema, row
+// groups, per-chunk encodings/codecs/sizes/statistics. The moral
+// equivalent of parquet-tools for this repository's format.
+//
+// Usage: laq_inspect <file.laq> [--chunks]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "fileio/reader.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.laq> [--chunks]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool show_chunks = argc > 2 && std::strcmp(argv[2], "--chunks") == 0;
+
+  auto reader_result = hepq::LaqReader::Open(path);
+  if (!reader_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 reader_result.status().ToString().c_str());
+    return 1;
+  }
+  auto reader = std::move(*reader_result);
+  const hepq::FileMetadata& meta = reader->metadata();
+
+  std::printf("file:        %s\n", path.c_str());
+  std::printf("version:     %u\n", meta.version);
+  std::printf("rows:        %lld\n",
+              static_cast<long long>(meta.total_rows));
+  std::printf("row groups:  %d\n", reader->num_row_groups());
+  std::printf("leaf columns: %d\n\n", meta.num_leaves());
+  std::printf("%s\n\n", meta.schema.ToString().c_str());
+
+  uint64_t total_compressed = 0, total_encoded = 0;
+  for (const hepq::RowGroupMeta& rg : meta.row_groups) {
+    for (const hepq::ChunkMeta& chunk : rg.chunks) {
+      total_compressed += chunk.compressed_size;
+      total_encoded += chunk.encoded_size;
+    }
+  }
+  std::printf("data bytes:  %llu on storage, %llu encoded (ratio %.2fx)\n",
+              static_cast<unsigned long long>(total_compressed),
+              static_cast<unsigned long long>(total_encoded),
+              total_compressed > 0
+                  ? static_cast<double>(total_encoded) / total_compressed
+                  : 0.0);
+
+  for (int g = 0; g < reader->num_row_groups(); ++g) {
+    const hepq::RowGroupMeta& rg =
+        meta.row_groups[static_cast<size_t>(g)];
+    std::printf("\nrow group %d: %lld rows\n", g,
+                static_cast<long long>(rg.num_rows));
+    if (!show_chunks) continue;
+    std::printf("  %-24s %10s %10s %8s %8s %10s %22s\n", "leaf", "stored",
+                "encoded", "enc", "codec", "values", "min..max");
+    for (size_t c = 0; c < rg.chunks.size(); ++c) {
+      const hepq::ChunkMeta& chunk = rg.chunks[c];
+      const hepq::LeafDesc& leaf = meta.layout[c];
+      char stats[64] = "-";
+      if (chunk.has_stats) {
+        std::snprintf(stats, sizeof(stats), "%.4g..%.4g", chunk.min_value,
+                      chunk.max_value);
+      }
+      std::printf("  %-24s %10llu %10llu %8s %8s %10llu %22s\n",
+                  leaf.path.c_str(),
+                  static_cast<unsigned long long>(chunk.compressed_size),
+                  static_cast<unsigned long long>(chunk.encoded_size),
+                  EncodingName(chunk.encoding), CodecName(chunk.codec),
+                  static_cast<unsigned long long>(chunk.num_values),
+                  stats);
+    }
+  }
+  return 0;
+}
