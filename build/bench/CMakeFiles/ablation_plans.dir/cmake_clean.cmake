@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_plans.dir/ablation_plans.cc.o"
+  "CMakeFiles/ablation_plans.dir/ablation_plans.cc.o.d"
+  "ablation_plans"
+  "ablation_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_tradeoff.dir/fig1_tradeoff.cc.o"
+  "CMakeFiles/fig1_tradeoff.dir/fig1_tradeoff.cc.o.d"
+  "fig1_tradeoff"
+  "fig1_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

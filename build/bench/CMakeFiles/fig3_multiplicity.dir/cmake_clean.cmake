@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_multiplicity.dir/fig3_multiplicity.cc.o"
+  "CMakeFiles/fig3_multiplicity.dir/fig3_multiplicity.cc.o.d"
+  "fig3_multiplicity"
+  "fig3_multiplicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_multiplicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_compute_io.dir/fig4_compute_io.cc.o"
+  "CMakeFiles/fig4_compute_io.dir/fig4_compute_io.cc.o.d"
+  "fig4_compute_io"
+  "fig4_compute_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_compute_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_language.dir/table1_language.cc.o"
+  "CMakeFiles/table1_language.dir/table1_language.cc.o.d"
+  "table1_language"
+  "table1_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dimuon_spectrum.dir/dimuon_spectrum.cpp.o"
+  "CMakeFiles/dimuon_spectrum.dir/dimuon_spectrum.cpp.o.d"
+  "dimuon_spectrum"
+  "dimuon_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dimuon_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/queries/CMakeFiles/hepq_queries.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/hepq_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/hepq_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hepq_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/hepq_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/hepq_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fileio/CMakeFiles/hepq_fileio.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/hepq_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

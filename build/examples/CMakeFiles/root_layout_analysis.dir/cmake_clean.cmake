@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_layout_analysis.dir/root_layout_analysis.cpp.o"
+  "CMakeFiles/root_layout_analysis.dir/root_layout_analysis.cpp.o.d"
+  "root_layout_analysis"
+  "root_layout_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_layout_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trijet_search.dir/trijet_search.cpp.o"
+  "CMakeFiles/trijet_search.dir/trijet_search.cpp.o.d"
+  "trijet_search"
+  "trijet_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trijet_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_cloud.dir/instances.cc.o"
+  "CMakeFiles/hepq_cloud.dir/instances.cc.o.d"
+  "CMakeFiles/hepq_cloud.dir/simulator.cc.o"
+  "CMakeFiles/hepq_cloud.dir/simulator.cc.o.d"
+  "libhepq_cloud.a"
+  "libhepq_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/columnar/array.cc" "src/columnar/CMakeFiles/hepq_columnar.dir/array.cc.o" "gcc" "src/columnar/CMakeFiles/hepq_columnar.dir/array.cc.o.d"
+  "/root/repo/src/columnar/builder.cc" "src/columnar/CMakeFiles/hepq_columnar.dir/builder.cc.o" "gcc" "src/columnar/CMakeFiles/hepq_columnar.dir/builder.cc.o.d"
+  "/root/repo/src/columnar/types.cc" "src/columnar/CMakeFiles/hepq_columnar.dir/types.cc.o" "gcc" "src/columnar/CMakeFiles/hepq_columnar.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

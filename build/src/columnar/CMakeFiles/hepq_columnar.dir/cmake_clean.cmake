@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_columnar.dir/array.cc.o"
+  "CMakeFiles/hepq_columnar.dir/array.cc.o.d"
+  "CMakeFiles/hepq_columnar.dir/builder.cc.o"
+  "CMakeFiles/hepq_columnar.dir/builder.cc.o.d"
+  "CMakeFiles/hepq_columnar.dir/types.cc.o"
+  "CMakeFiles/hepq_columnar.dir/types.cc.o.d"
+  "libhepq_columnar.a"
+  "libhepq_columnar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_columnar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fourvector.cc" "src/core/CMakeFiles/hepq_core.dir/fourvector.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/fourvector.cc.o.d"
+  "/root/repo/src/core/histogram.cc" "src/core/CMakeFiles/hepq_core.dir/histogram.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/histogram.cc.o.d"
+  "/root/repo/src/core/physics.cc" "src/core/CMakeFiles/hepq_core.dir/physics.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/physics.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/hepq_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/hepq_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/status.cc.o.d"
+  "/root/repo/src/core/stopwatch.cc" "src/core/CMakeFiles/hepq_core.dir/stopwatch.cc.o" "gcc" "src/core/CMakeFiles/hepq_core.dir/stopwatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_core.dir/fourvector.cc.o"
+  "CMakeFiles/hepq_core.dir/fourvector.cc.o.d"
+  "CMakeFiles/hepq_core.dir/histogram.cc.o"
+  "CMakeFiles/hepq_core.dir/histogram.cc.o.d"
+  "CMakeFiles/hepq_core.dir/physics.cc.o"
+  "CMakeFiles/hepq_core.dir/physics.cc.o.d"
+  "CMakeFiles/hepq_core.dir/rng.cc.o"
+  "CMakeFiles/hepq_core.dir/rng.cc.o.d"
+  "CMakeFiles/hepq_core.dir/status.cc.o"
+  "CMakeFiles/hepq_core.dir/status.cc.o.d"
+  "CMakeFiles/hepq_core.dir/stopwatch.cc.o"
+  "CMakeFiles/hepq_core.dir/stopwatch.cc.o.d"
+  "libhepq_core.a"
+  "libhepq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

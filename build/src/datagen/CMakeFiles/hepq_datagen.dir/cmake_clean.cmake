@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_datagen.dir/dataset.cc.o"
+  "CMakeFiles/hepq_datagen.dir/dataset.cc.o.d"
+  "CMakeFiles/hepq_datagen.dir/generator.cc.o"
+  "CMakeFiles/hepq_datagen.dir/generator.cc.o.d"
+  "CMakeFiles/hepq_datagen.dir/root_layout.cc.o"
+  "CMakeFiles/hepq_datagen.dir/root_layout.cc.o.d"
+  "libhepq_datagen.a"
+  "libhepq_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doc/ast.cc" "src/doc/CMakeFiles/hepq_doc.dir/ast.cc.o" "gcc" "src/doc/CMakeFiles/hepq_doc.dir/ast.cc.o.d"
+  "/root/repo/src/doc/convert.cc" "src/doc/CMakeFiles/hepq_doc.dir/convert.cc.o" "gcc" "src/doc/CMakeFiles/hepq_doc.dir/convert.cc.o.d"
+  "/root/repo/src/doc/functions.cc" "src/doc/CMakeFiles/hepq_doc.dir/functions.cc.o" "gcc" "src/doc/CMakeFiles/hepq_doc.dir/functions.cc.o.d"
+  "/root/repo/src/doc/item.cc" "src/doc/CMakeFiles/hepq_doc.dir/item.cc.o" "gcc" "src/doc/CMakeFiles/hepq_doc.dir/item.cc.o.d"
+  "/root/repo/src/doc/runner.cc" "src/doc/CMakeFiles/hepq_doc.dir/runner.cc.o" "gcc" "src/doc/CMakeFiles/hepq_doc.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fileio/CMakeFiles/hepq_fileio.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/hepq_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

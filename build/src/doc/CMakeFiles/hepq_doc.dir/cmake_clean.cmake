@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_doc.dir/ast.cc.o"
+  "CMakeFiles/hepq_doc.dir/ast.cc.o.d"
+  "CMakeFiles/hepq_doc.dir/convert.cc.o"
+  "CMakeFiles/hepq_doc.dir/convert.cc.o.d"
+  "CMakeFiles/hepq_doc.dir/functions.cc.o"
+  "CMakeFiles/hepq_doc.dir/functions.cc.o.d"
+  "CMakeFiles/hepq_doc.dir/item.cc.o"
+  "CMakeFiles/hepq_doc.dir/item.cc.o.d"
+  "CMakeFiles/hepq_doc.dir/runner.cc.o"
+  "CMakeFiles/hepq_doc.dir/runner.cc.o.d"
+  "libhepq_doc.a"
+  "libhepq_doc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_doc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/context.cc" "src/engine/CMakeFiles/hepq_engine.dir/context.cc.o" "gcc" "src/engine/CMakeFiles/hepq_engine.dir/context.cc.o.d"
+  "/root/repo/src/engine/event_query.cc" "src/engine/CMakeFiles/hepq_engine.dir/event_query.cc.o" "gcc" "src/engine/CMakeFiles/hepq_engine.dir/event_query.cc.o.d"
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/hepq_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/hepq_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/flat.cc" "src/engine/CMakeFiles/hepq_engine.dir/flat.cc.o" "gcc" "src/engine/CMakeFiles/hepq_engine.dir/flat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fileio/CMakeFiles/hepq_fileio.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/hepq_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

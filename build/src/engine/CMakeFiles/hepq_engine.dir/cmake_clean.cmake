@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_engine.dir/context.cc.o"
+  "CMakeFiles/hepq_engine.dir/context.cc.o.d"
+  "CMakeFiles/hepq_engine.dir/event_query.cc.o"
+  "CMakeFiles/hepq_engine.dir/event_query.cc.o.d"
+  "CMakeFiles/hepq_engine.dir/expr.cc.o"
+  "CMakeFiles/hepq_engine.dir/expr.cc.o.d"
+  "CMakeFiles/hepq_engine.dir/flat.cc.o"
+  "CMakeFiles/hepq_engine.dir/flat.cc.o.d"
+  "libhepq_engine.a"
+  "libhepq_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

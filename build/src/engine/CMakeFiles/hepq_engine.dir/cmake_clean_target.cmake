@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhepq_engine.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fileio/compression.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/compression.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/compression.cc.o.d"
+  "/root/repo/src/fileio/crc32.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/crc32.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/crc32.cc.o.d"
+  "/root/repo/src/fileio/dataset_reader.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/dataset_reader.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/dataset_reader.cc.o.d"
+  "/root/repo/src/fileio/encoding.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/encoding.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/encoding.cc.o.d"
+  "/root/repo/src/fileio/format.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/format.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/format.cc.o.d"
+  "/root/repo/src/fileio/reader.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/reader.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/reader.cc.o.d"
+  "/root/repo/src/fileio/varint.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/varint.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/varint.cc.o.d"
+  "/root/repo/src/fileio/writer.cc" "src/fileio/CMakeFiles/hepq_fileio.dir/writer.cc.o" "gcc" "src/fileio/CMakeFiles/hepq_fileio.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/columnar/CMakeFiles/hepq_columnar.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

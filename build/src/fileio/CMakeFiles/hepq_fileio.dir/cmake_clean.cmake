@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_fileio.dir/compression.cc.o"
+  "CMakeFiles/hepq_fileio.dir/compression.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/crc32.cc.o"
+  "CMakeFiles/hepq_fileio.dir/crc32.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/dataset_reader.cc.o"
+  "CMakeFiles/hepq_fileio.dir/dataset_reader.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/encoding.cc.o"
+  "CMakeFiles/hepq_fileio.dir/encoding.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/format.cc.o"
+  "CMakeFiles/hepq_fileio.dir/format.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/reader.cc.o"
+  "CMakeFiles/hepq_fileio.dir/reader.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/varint.cc.o"
+  "CMakeFiles/hepq_fileio.dir/varint.cc.o.d"
+  "CMakeFiles/hepq_fileio.dir/writer.cc.o"
+  "CMakeFiles/hepq_fileio.dir/writer.cc.o.d"
+  "libhepq_fileio.a"
+  "libhepq_fileio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_fileio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/corpus.cc" "src/lang/CMakeFiles/hepq_lang.dir/corpus.cc.o" "gcc" "src/lang/CMakeFiles/hepq_lang.dir/corpus.cc.o.d"
+  "/root/repo/src/lang/corpus_athena.cc" "src/lang/CMakeFiles/hepq_lang.dir/corpus_athena.cc.o" "gcc" "src/lang/CMakeFiles/hepq_lang.dir/corpus_athena.cc.o.d"
+  "/root/repo/src/lang/features.cc" "src/lang/CMakeFiles/hepq_lang.dir/features.cc.o" "gcc" "src/lang/CMakeFiles/hepq_lang.dir/features.cc.o.d"
+  "/root/repo/src/lang/metrics.cc" "src/lang/CMakeFiles/hepq_lang.dir/metrics.cc.o" "gcc" "src/lang/CMakeFiles/hepq_lang.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

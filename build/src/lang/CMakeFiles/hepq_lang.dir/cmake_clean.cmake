@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_lang.dir/corpus.cc.o"
+  "CMakeFiles/hepq_lang.dir/corpus.cc.o.d"
+  "CMakeFiles/hepq_lang.dir/corpus_athena.cc.o"
+  "CMakeFiles/hepq_lang.dir/corpus_athena.cc.o.d"
+  "CMakeFiles/hepq_lang.dir/features.cc.o"
+  "CMakeFiles/hepq_lang.dir/features.cc.o.d"
+  "CMakeFiles/hepq_lang.dir/metrics.cc.o"
+  "CMakeFiles/hepq_lang.dir/metrics.cc.o.d"
+  "libhepq_lang.a"
+  "libhepq_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

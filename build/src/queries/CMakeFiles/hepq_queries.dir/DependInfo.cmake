@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queries/adl.cc" "src/queries/CMakeFiles/hepq_queries.dir/adl.cc.o" "gcc" "src/queries/CMakeFiles/hepq_queries.dir/adl.cc.o.d"
+  "/root/repo/src/queries/bq_queries.cc" "src/queries/CMakeFiles/hepq_queries.dir/bq_queries.cc.o" "gcc" "src/queries/CMakeFiles/hepq_queries.dir/bq_queries.cc.o.d"
+  "/root/repo/src/queries/doc_queries.cc" "src/queries/CMakeFiles/hepq_queries.dir/doc_queries.cc.o" "gcc" "src/queries/CMakeFiles/hepq_queries.dir/doc_queries.cc.o.d"
+  "/root/repo/src/queries/presto_queries.cc" "src/queries/CMakeFiles/hepq_queries.dir/presto_queries.cc.o" "gcc" "src/queries/CMakeFiles/hepq_queries.dir/presto_queries.cc.o.d"
+  "/root/repo/src/queries/rdf_queries.cc" "src/queries/CMakeFiles/hepq_queries.dir/rdf_queries.cc.o" "gcc" "src/queries/CMakeFiles/hepq_queries.dir/rdf_queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/hepq_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hepq_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/doc/CMakeFiles/hepq_doc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fileio/CMakeFiles/hepq_fileio.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hepq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/columnar/CMakeFiles/hepq_columnar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

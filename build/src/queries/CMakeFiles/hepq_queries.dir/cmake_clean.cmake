@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_queries.dir/adl.cc.o"
+  "CMakeFiles/hepq_queries.dir/adl.cc.o.d"
+  "CMakeFiles/hepq_queries.dir/bq_queries.cc.o"
+  "CMakeFiles/hepq_queries.dir/bq_queries.cc.o.d"
+  "CMakeFiles/hepq_queries.dir/doc_queries.cc.o"
+  "CMakeFiles/hepq_queries.dir/doc_queries.cc.o.d"
+  "CMakeFiles/hepq_queries.dir/presto_queries.cc.o"
+  "CMakeFiles/hepq_queries.dir/presto_queries.cc.o.d"
+  "CMakeFiles/hepq_queries.dir/rdf_queries.cc.o"
+  "CMakeFiles/hepq_queries.dir/rdf_queries.cc.o.d"
+  "libhepq_queries.a"
+  "libhepq_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

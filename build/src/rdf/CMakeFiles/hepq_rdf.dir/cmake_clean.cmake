@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_rdf.dir/rdf.cc.o"
+  "CMakeFiles/hepq_rdf.dir/rdf.cc.o.d"
+  "libhepq_rdf.a"
+  "libhepq_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

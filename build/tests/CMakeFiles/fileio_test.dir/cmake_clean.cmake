@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fileio_test.dir/fileio_test.cc.o"
+  "CMakeFiles/fileio_test.dir/fileio_test.cc.o.d"
+  "fileio_test"
+  "fileio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fileio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

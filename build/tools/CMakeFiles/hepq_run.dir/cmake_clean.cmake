@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepq_run.dir/hepq_run.cc.o"
+  "CMakeFiles/hepq_run.dir/hepq_run.cc.o.d"
+  "hepq_run"
+  "hepq_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepq_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

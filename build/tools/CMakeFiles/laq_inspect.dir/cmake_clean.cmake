@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laq_inspect.dir/laq_inspect.cc.o"
+  "CMakeFiles/laq_inspect.dir/laq_inspect.cc.o.d"
+  "laq_inspect"
+  "laq_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laq_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
