@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "cloud/simulator.h"
@@ -56,6 +57,23 @@ inline cloud::MeasuredQuery ExtrapolateToPaperSize(
   measured.row_groups = kPaperRowGroups;
   measured.events = kPaperEvents;
   return measured;
+}
+
+/// Parses `--threads=N` from the command line (default 1). Engine runs
+/// then scan row groups with N workers of the shared pool. On the 1-core
+/// bench host this exercises the parallel runtime's correctness and
+/// scheduling, not speedup; multi-core wall times for the figures still
+/// come from the cloud simulator's scaling model, which `--threads` lets
+/// you cross-check against real multi-core runs on bigger hosts.
+inline int ParseThreadsFlag(int argc, char** argv, int default_threads = 1) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const int v = std::atoi(arg + 10);
+      if (v > 0) return v;
+    }
+  }
+  return default_threads;
 }
 
 inline void PrintHeaderLine(const char* title) {

@@ -14,18 +14,26 @@ using hepq::queries::EngineKindName;
 using hepq::queries::QueryRunOutput;
 using hepq::queries::RunAdlQuery;
 
-int main() {
+int main(int argc, char** argv) {
+  const int threads = hepq::bench::ParseThreadsFlag(argc, argv);
   const int64_t events = hepq::bench::BenchEvents();
   const std::string path = hepq::bench::BenchDataset(events);
 
   const EngineKind engines[] = {EngineKind::kRdf, EngineKind::kBigQueryShape,
                                 EngineKind::kPrestoShape, EngineKind::kDoc};
 
+  std::printf(
+      "measured with --threads=%d (CPU totals are summed across workers; "
+      "histograms are bit-identical for any thread count)\n",
+      threads);
+
   // Measure everything once.
+  hepq::queries::RunOptions run_options;
+  run_options.num_threads = threads;
   QueryRunOutput results[9][4];
   for (int q = 1; q <= 8; ++q) {
     for (int e = 0; e < 4; ++e) {
-      auto result = RunAdlQuery(engines[e], q, path);
+      auto result = RunAdlQuery(engines[e], q, path, run_options);
       result.status().Check();
       results[q][e] = std::move(*result);
     }

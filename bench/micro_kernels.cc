@@ -5,6 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
 #include "core/fourvector.h"
 #include "core/histogram.h"
 #include "core/physics.h"
@@ -12,13 +17,49 @@
 #include "datagen/dataset.h"
 #include "doc/convert.h"
 #include "engine/event_query.h"
+#include "exec/exec.h"
 #include "fileio/compression.h"
 #include "fileio/crc32.h"
 #include "fileio/encoding.h"
 #include "fileio/reader.h"
 
+// ---------------------------------------------------------------------------
+// Allocation-counting hook: every global operator new bumps a counter, so
+// benchmarks can report heap allocations per unit of work. The pooled
+// decode path (BM_DecodeRowGroupScratch below) must show zero per row
+// group in steady state.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+// The replacement pair below intentionally backs operator new with malloc
+// and operator delete with free; GCC cannot see that they match once it
+// inlines them into callers and warns spuriously.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
 namespace hepq {
 namespace {
+
+/// Worker count for the parallel-runtime benchmark; set by --threads=N
+/// (stripped from argv in main, google-benchmark rejects unknown flags).
+int g_bench_threads = 1;
 
 std::vector<uint8_t> MakeCompressibleBuffer(size_t n) {
   Rng rng(11);
@@ -90,6 +131,59 @@ void BM_RleEncodeInt32(benchmark::State& state) {
                           static_cast<int64_t>(values.size() * 4));
 }
 BENCHMARK(BM_RleEncodeInt32);
+
+/// Decode side of RLE: long runs hit the std::fill_n fast path (one wide
+/// fill per run instead of a per-element store loop).
+void BM_RleDecodeInt32(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<int32_t> values(1 << 18);
+  for (size_t i = 0; i < values.size();) {
+    const int32_t v = static_cast<int32_t>(rng.NextBelow(5));
+    const size_t run = 1 + rng.NextBelow(50);
+    for (size_t k = 0; k < run && i < values.size(); ++k) values[i++] = v;
+  }
+  std::vector<uint8_t> encoded;
+  EncodeValues(TypeId::kInt32, Encoding::kRleVarint, values.data(),
+               values.size(), &encoded)
+      .Check();
+  std::vector<int32_t> out(values.size());
+  for (auto _ : state) {
+    DecodeValues(TypeId::kInt32, Encoding::kRleVarint, encoded.data(),
+                 encoded.size(), values.size(), out.data())
+        .Check();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size() * 4));
+}
+BENCHMARK(BM_RleDecodeInt32);
+
+/// Decode side of delta-varint on near-monotonic event ids — the case the
+/// writer picks delta for. Exercises the hoisted-bounds-check fast path
+/// (per-byte truncation checks only in the final 10 bytes of the buffer).
+void BM_DeltaDecodeInt64(benchmark::State& state) {
+  Rng rng(23);
+  std::vector<int64_t> values(1 << 18);
+  int64_t next = 0;
+  for (auto& v : values) {
+    next += 1 + static_cast<int64_t>(rng.NextBelow(3));
+    v = next;
+  }
+  std::vector<uint8_t> encoded;
+  EncodeValues(TypeId::kInt64, Encoding::kDeltaVarint, values.data(),
+               values.size(), &encoded)
+      .Check();
+  std::vector<int64_t> out(values.size());
+  for (auto _ : state) {
+    DecodeValues(TypeId::kInt64, Encoding::kDeltaVarint, encoded.data(),
+                 encoded.size(), values.size(), out.data())
+        .Check();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(values.size() * 8));
+}
+BENCHMARK(BM_DeltaDecodeInt64);
 
 void BM_HistogramFill(benchmark::State& state) {
   Rng rng(17);
@@ -181,6 +275,86 @@ void BM_ScanFullWidth(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanFullWidth)->Arg(1)->Arg(0);
 
+/// The zero-allocation decode path: read + checksum + decompress + decode
+/// every leaf of every row group through one set of scratch buffers,
+/// without materializing arrays. Arg 1 keeps the buffers warm between
+/// iterations (the pooled path used by the engines); arg 0 releases their
+/// capacity before every iteration (the pre-pool behaviour, one
+/// allocation high-water per buffer). The allocs_per_group counter is the
+/// acceptance check: it must be 0 for the pooled variant.
+void BM_DecodeRowGroupScratch(benchmark::State& state) {
+  const bool pooled = state.range(0) != 0;
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  std::vector<std::string> leaves;
+  for (const LeafDesc& leaf : reader->metadata().layout) {
+    leaves.push_back(leaf.path);
+  }
+  const int groups = reader->num_row_groups();
+  ScratchBuffers scratch;
+  for (int g = 0; g < groups; ++g) {  // warm-up to high-water capacity
+    for (const std::string& leaf : leaves) {
+      reader->ReadLeafValues(g, leaf, &scratch).Check();
+    }
+  }
+  uint64_t allocations = 0;
+  uint64_t groups_decoded = 0;
+  uint64_t decoded_bytes = 0;
+  for (auto _ : state) {
+    if (!pooled) scratch.Release();
+    const uint64_t allocs_before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    const uint64_t bytes_before = reader->scan_stats().encoded_bytes;
+    for (int g = 0; g < groups; ++g) {
+      for (const std::string& leaf : leaves) {
+        reader->ReadLeafValues(g, leaf, &scratch).Check();
+      }
+    }
+    allocations +=
+        g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
+    groups_decoded += static_cast<uint64_t>(groups);
+    decoded_bytes += reader->scan_stats().encoded_bytes - bytes_before;
+  }
+  state.counters["allocs_per_group"] =
+      static_cast<double>(allocations) / static_cast<double>(groups_decoded);
+  state.SetBytesProcessed(static_cast<int64_t>(decoded_bytes));
+  state.SetLabel(pooled ? "pooled" : "cold-scratch");
+}
+BENCHMARK(BM_DecodeRowGroupScratch)->Arg(1)->Arg(0);
+
+/// The shared execution runtime end to end: scan Jet.pt over all row
+/// groups with --threads workers (default 1; per-worker readers and
+/// scratch, LPT order, deterministic merge elided since the benchmark
+/// only counts rows). On the 1-core bench host values > 1 measure
+/// scheduling overhead, not speedup.
+void BM_ParallelScanRowGroups(benchmark::State& state) {
+  const std::string& path = AblationDataset(Codec::kLz);
+  const std::vector<std::string> projection = {"Jet.pt"};
+  for (auto _ : state) {
+    exec::WorkerReaders readers(path, ReaderOptions{}, g_bench_threads);
+    const FileMetadata* metadata = readers.metadata().ValueOrDie();
+    std::vector<exec::RowGroupTask> tasks =
+        exec::MakeRowGroupTasks(*metadata);
+    const int workers = exec::EffectiveWorkers(g_bench_threads, tasks.size());
+    std::atomic<int64_t> rows{0};
+    exec::RunRowGroups(
+        workers, std::move(tasks),
+        [&](int worker, int g) -> Status {
+          LaqReader* reader;
+          HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+          RecordBatchPtr batch;
+          HEPQ_ASSIGN_OR_RETURN(
+              batch,
+              reader->ReadRowGroup(g, projection, readers.scratch(worker)));
+          rows.fetch_add(batch->num_rows(), std::memory_order_relaxed);
+          return Status::OK();
+        })
+        .Check();
+    benchmark::DoNotOptimize(rows.load(std::memory_order_relaxed));
+  }
+  state.SetLabel("threads=" + std::to_string(g_bench_threads));
+}
+BENCHMARK(BM_ParallelScanRowGroups);
+
 /// Ablation: compiled-style native loop vs interpreted expression tree vs
 /// boxed items for the same per-event computation (count jets pt > 40) —
 /// the execution-model spectrum RDataFrame / BigQuery-shape / Rumble.
@@ -254,4 +428,23 @@ BENCHMARK(BM_CountJetsBoxedItems);
 }  // namespace
 }  // namespace hepq
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects flags
+// it does not know, so --threads=N (consumed by BM_ParallelScanRowGroups)
+// is stripped from argv before Initialize sees it.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int v = std::atoi(argv[i] + 10);
+      if (v > 0) hepq::g_bench_threads = v;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

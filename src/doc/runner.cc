@@ -1,67 +1,148 @@
 #include "doc/runner.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/stopwatch.h"
 #include "doc/convert.h"
 #include "doc/functions.h"
+#include "exec/exec.h"
 
 namespace hepq::doc {
 
-Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
-  EnsureDocFunctionsRegistered();
+namespace {
+
+/// Interprets the query over one row group's batch, accumulating into a
+/// per-group partial (histograms pre-sized by the caller).
+Status RunBatch(const DocQuery& query, const RecordBatch& batch,
+                DocQueryResult* result) {
+  const int64_t rows = batch.num_rows();
+  for (int64_t row = 0; row < rows; ++row) {
+    DocContext ctx;
+    ctx.Push("event", Sequence{EventToItem(batch, row)});
+    size_t pushed = 1;
+    for (const auto& [name, expr] : query.lets) {
+      auto value = expr->Eval(&ctx);
+      if (!value.ok()) return value.status();
+      ctx.Push(name, std::move(*value));
+      ++pushed;
+    }
+    bool selected = true;
+    if (query.guard != nullptr) {
+      Sequence cond;
+      HEPQ_ASSIGN_OR_RETURN(cond, query.guard->Eval(&ctx));
+      selected = EffectiveBooleanValue(cond);
+    }
+    if (selected) {
+      ++result->events_selected;
+      for (size_t f = 0; f < query.fills.size(); ++f) {
+        Sequence values;
+        HEPQ_ASSIGN_OR_RETURN(values, query.fills[f].second->Eval(&ctx));
+        for (const ItemPtr& item : values) {
+          result->histograms[f].Fill(item->AsDouble());
+        }
+      }
+    }
+    result->interpreter_steps += ctx.steps;
+    for (size_t p = 0; p < pushed; ++p) ctx.Pop();
+  }
+  result->events_processed += rows;
+  return Status::OK();
+}
+
+DocQueryResult EmptyResult(const DocQuery& query) {
   DocQueryResult result;
   for (const auto& [spec, expr] : query.fills) {
     result.histograms.emplace_back(spec);
   }
+  return result;
+}
+
+Status MergeResult(DocQueryResult* into, const DocQueryResult& part) {
+  for (size_t f = 0; f < into->histograms.size(); ++f) {
+    HEPQ_RETURN_NOT_OK(into->histograms[f].Merge(part.histograms[f]));
+  }
+  into->events_processed += part.events_processed;
+  into->events_selected += part.events_selected;
+  into->interpreter_steps += part.interpreter_steps;
+  return Status::OK();
+}
+
+Result<RecordBatchPtr> ReadGroup(LaqReader* reader, const DocQuery& query,
+                                 int group, ScratchBuffers* scratch) {
+  // Full-width read unless the query carries a projection (Rumble only
+  // pushes projections for the simplest queries, paper Figure 4b).
+  if (query.projection.empty()) {
+    std::vector<std::string> all;
+    for (const Field& f : reader->schema().fields()) all.push_back(f.name);
+    return reader->ReadRowGroup(group, all, scratch);
+  }
+  return reader->ReadRowGroup(group, query.projection, scratch);
+}
+
+}  // namespace
+
+Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
+  EnsureDocFunctionsRegistered();
+  DocQueryResult result = EmptyResult(query);
   reader->ResetScanStats();
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
-  for (int g = 0; g < reader->num_row_groups(); ++g) {
-    // Full-width read unless the query carries a projection (Rumble only
-    // pushes projections for the simplest queries, paper Figure 4b).
-    RecordBatchPtr batch;
-    if (query.projection.empty()) {
-      HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g));
-    } else {
-      HEPQ_ASSIGN_OR_RETURN(batch,
-                            reader->ReadRowGroup(g, query.projection));
-    }
-    const int64_t rows = batch->num_rows();
-    for (int64_t row = 0; row < rows; ++row) {
-      DocContext ctx;
-      ctx.Push("event", Sequence{EventToItem(*batch, row)});
-      size_t pushed = 1;
-      for (const auto& [name, expr] : query.lets) {
-        auto value = expr->Eval(&ctx);
-        if (!value.ok()) return value.status();
-        ctx.Push(name, std::move(*value));
-        ++pushed;
-      }
-      bool selected = true;
-      if (query.guard != nullptr) {
-        Sequence cond;
-        HEPQ_ASSIGN_OR_RETURN(cond, query.guard->Eval(&ctx));
-        selected = EffectiveBooleanValue(cond);
-      }
-      if (selected) {
-        ++result.events_selected;
-        for (size_t f = 0; f < query.fills.size(); ++f) {
-          Sequence values;
-          HEPQ_ASSIGN_OR_RETURN(values, query.fills[f].second->Eval(&ctx));
-          for (const ItemPtr& item : values) {
-            result.histograms[f].Fill(item->AsDouble());
-          }
-        }
-      }
-      result.interpreter_steps += ctx.steps;
-      for (size_t p = 0; p < pushed; ++p) ctx.Pop();
-    }
-    result.events_processed += rows;
+  std::vector<DocQueryResult> partials(
+      static_cast<size_t>(reader->num_row_groups()));
+  for (DocQueryResult& p : partials) p = EmptyResult(query);
+  ScratchBuffers scratch;
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      /*num_threads=*/1, exec::MakeRowGroupTasks(reader->metadata()),
+      [&](int /*worker*/, int g) -> Status {
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(batch, ReadGroup(reader, query, g, &scratch));
+        return RunBatch(query, *batch, &partials[static_cast<size_t>(g)]);
+      }));
+  for (const DocQueryResult& p : partials) {
+    HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
   }
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
   result.scan = reader->scan_stats();
+  return result;
+}
+
+Result<DocQueryResult> RunDocQuery(const std::string& path,
+                                   ReaderOptions reader_options,
+                                   int num_threads, const DocQuery& query) {
+  EnsureDocFunctionsRegistered();
+  DocQueryResult result = EmptyResult(query);
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  exec::WorkerReaders readers(path, reader_options,
+                              std::max(num_threads, 1));
+  const FileMetadata* metadata;
+  HEPQ_ASSIGN_OR_RETURN(metadata, readers.metadata());
+  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(*metadata);
+  const int workers = exec::EffectiveWorkers(num_threads, tasks.size());
+
+  std::vector<DocQueryResult> partials(metadata->row_groups.size());
+  for (DocQueryResult& p : partials) p = EmptyResult(query);
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      workers, std::move(tasks), [&](int worker, int g) -> Status {
+        LaqReader* reader;
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(
+            batch, ReadGroup(reader, query, g, readers.scratch(worker)));
+        return RunBatch(query, *batch, &partials[static_cast<size_t>(g)]);
+      }));
+  for (const DocQueryResult& p : partials) {
+    HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+  }
+
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  result.scan = readers.TotalScanStats();
   return result;
 }
 

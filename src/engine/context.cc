@@ -77,28 +77,39 @@ Status BatchBindings::BindUnion(const RecordBatch& batch,
 
   // Materialize the concatenated list: per event, all elements of source 0,
   // then source 1, etc. This copy is the real cost of the "Leptons" CTE.
+  // Two passes: the offsets pass fixes every output position, so the fill
+  // pass writes into exactly-sized buffers with no per-element push_back
+  // (no reallocation, no capacity checks in the hot loop).
   const int64_t rows = batch.num_rows();
   std::vector<uint32_t> offsets(static_cast<size_t>(rows) + 1, 0);
-  std::vector<std::vector<double>> values(num_members);
   for (int64_t row = 0; row < rows; ++row) {
-    uint32_t count = offsets[static_cast<size_t>(row)];
+    uint32_t count = 0;
+    for (const BoundSource& source : sources) {
+      count += static_cast<uint32_t>(source.list->list_length(row));
+    }
+    offsets[static_cast<size_t>(row) + 1] =
+        offsets[static_cast<size_t>(row)] + count;
+  }
+  const size_t total = offsets[static_cast<size_t>(rows)];
+  std::vector<std::vector<double>> values(num_members);
+  for (auto& column : values) column.resize(total);
+  for (int64_t row = 0; row < rows; ++row) {
+    size_t at = offsets[static_cast<size_t>(row)];
     for (const BoundSource& source : sources) {
       const uint32_t begin =
           source.list->list_offset(static_cast<int64_t>(row));
       const uint32_t end =
           begin +
           static_cast<uint32_t>(source.list->list_length(row));
-      for (uint32_t i = begin; i < end; ++i) {
+      for (uint32_t i = begin; i < end; ++i, ++at) {
         for (size_t m = 0; m < source.members.size(); ++m) {
-          values[m].push_back(source.members[m].Get(i));
+          values[m][at] = source.members[m].Get(i);
         }
         if (source.has_tag) {
-          values[num_members - 1].push_back(source.tag);
+          values[num_members - 1][at] = source.tag;
         }
-        ++count;
       }
     }
-    offsets[static_cast<size_t>(row) + 1] = count;
   }
 
   ListBinding binding;

@@ -1,8 +1,10 @@
 #include "engine/event_query.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/stopwatch.h"
+#include "exec/exec.h"
 
 namespace hepq::engine {
 
@@ -229,20 +231,81 @@ Status EventQuery::ExecuteBatch(const RecordBatch& batch,
   return Status::OK();
 }
 
+Status EventQueryResult::Merge(const EventQueryResult& other) {
+  if (histograms.size() != other.histograms.size()) {
+    return Status::Invalid("cannot merge results with different bookings");
+  }
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    HEPQ_RETURN_NOT_OK(histograms[i].Merge(other.histograms[i]));
+  }
+  events_processed += other.events_processed;
+  events_selected += other.events_selected;
+  ops += other.ops;
+  return Status::OK();
+}
+
 Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
   EventQueryResult result = MakeResult();
   const std::vector<std::string> projection = Projection();
   reader->ResetScanStats();
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
-  for (int g = 0; g < reader->num_row_groups(); ++g) {
-    RecordBatchPtr batch;
-    HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g, projection));
-    HEPQ_RETURN_NOT_OK(ExecuteBatch(*batch, &result));
+  const int num_groups = reader->num_row_groups();
+  std::vector<EventQueryResult> partials(static_cast<size_t>(num_groups));
+  for (EventQueryResult& p : partials) p = MakeResult();
+  ScratchBuffers scratch;
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      /*num_threads=*/1, exec::MakeRowGroupTasks(reader->metadata()),
+      [&](int /*worker*/, int g) -> Status {
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(batch,
+                              reader->ReadRowGroup(g, projection, &scratch));
+        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)]);
+      }));
+  for (const EventQueryResult& p : partials) {
+    HEPQ_RETURN_NOT_OK(result.Merge(p));
   }
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
   result.scan = reader->scan_stats();
+  return result;
+}
+
+Result<EventQueryResult> EventQuery::Execute(const std::string& path,
+                                             ReaderOptions reader_options,
+                                             int num_threads) const {
+  EventQueryResult result = MakeResult();
+  const std::vector<std::string> projection = Projection();
+  Stopwatch wall;
+  const double cpu0 = ProcessCpuSeconds();
+
+  // Opening worker 0's reader up front gives us the row-group layout; the
+  // remaining workers open lazily on their first task.
+  exec::WorkerReaders readers(path, reader_options,
+                              std::max(num_threads, 1));
+  const FileMetadata* metadata;
+  HEPQ_ASSIGN_OR_RETURN(metadata, readers.metadata());
+  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(*metadata);
+  const int workers = exec::EffectiveWorkers(num_threads, tasks.size());
+
+  std::vector<EventQueryResult> partials(metadata->row_groups.size());
+  for (EventQueryResult& p : partials) p = MakeResult();
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      workers, std::move(tasks), [&](int worker, int g) -> Status {
+        LaqReader* reader;
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(
+            batch,
+            reader->ReadRowGroup(g, projection, readers.scratch(worker)));
+        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)]);
+      }));
+  for (const EventQueryResult& p : partials) {
+    HEPQ_RETURN_NOT_OK(result.Merge(p));
+  }
+  result.wall_seconds = wall.Seconds();
+  result.cpu_seconds = ProcessCpuSeconds() - cpu0;
+  result.scan = readers.TotalScanStats();
   return result;
 }
 

@@ -19,6 +19,11 @@ struct EventQueryResult {
   double wall_seconds = 0.0;
   double cpu_seconds = 0.0;
   ScanStats scan;
+
+  /// Folds another partial result into this one: histograms merge, event
+  /// and op counters add. Timings and scan stats are left untouched (they
+  /// are per-run, not per-partition).
+  Status Merge(const EventQueryResult& other);
 };
 
 /// A compiled per-event query plan in the "BigQuery shape": the event table
@@ -73,8 +78,17 @@ class EventQuery {
   /// EXPLAIN-style plan rendering: declarations, stages, and fills.
   std::string Explain() const;
 
-  /// Runs the query over all row groups of `reader`.
+  /// Runs the query over all row groups of `reader`, single-threaded but
+  /// through the shared row-group runtime (per-group partials merged in
+  /// group order, pooled decode buffers).
   Result<EventQueryResult> Execute(LaqReader* reader) const;
+
+  /// Parallel execution: scans `path` with up to `num_threads` workers of
+  /// the shared pool, each with its own reader and scratch buffers.
+  /// Results are bit-identical to the single-threaded overload.
+  Result<EventQueryResult> Execute(const std::string& path,
+                                   ReaderOptions reader_options,
+                                   int num_threads) const;
 
   /// Runs the query over one in-memory batch, merging into `result`
   /// (histograms must already be sized; used by Execute and by tests).

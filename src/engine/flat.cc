@@ -1,12 +1,15 @@
 #include "engine/flat.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <limits>
 #include <unordered_map>
+#include <utility>
 
 #include "core/physics.h"
 #include "core/stopwatch.h"
+#include "exec/exec.h"
 
 namespace hepq::engine {
 
@@ -391,42 +394,79 @@ std::string FlatPipeline::Explain() const {
   return out;
 }
 
+struct FlatPipeline::ScanSource {
+  int num_threads = 1;
+  std::function<Result<const FileMetadata*>()> metadata;
+  std::function<Result<LaqReader*>(int worker)> reader;
+  std::function<ScratchBuffers*(int worker)> scratch;
+  std::function<ScanStats()> scan_stats;
+};
+
 Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
+  reader->ResetScanStats();
+  ScratchBuffers scratch;
+  ScanSource source;
+  source.num_threads = 1;
+  source.metadata = [reader]() -> Result<const FileMetadata*> {
+    return &reader->metadata();
+  };
+  source.reader = [reader](int) -> Result<LaqReader*> { return reader; };
+  source.scratch = [&scratch](int) { return &scratch; };
+  source.scan_stats = [reader]() { return reader->scan_stats(); };
+  return ExecuteImpl(&source);
+}
+
+Result<FlatQueryResult> FlatPipeline::Execute(const std::string& path,
+                                              ReaderOptions reader_options,
+                                              int num_threads) const {
+  exec::WorkerReaders readers(path, reader_options,
+                              std::max(num_threads, 1));
+  ScanSource source;
+  source.num_threads = num_threads;
+  source.metadata = [&readers] { return readers.metadata(); };
+  source.reader = [&readers](int worker) { return readers.reader(worker); };
+  source.scratch = [&readers](int worker) { return readers.scratch(worker); };
+  source.scan_stats = [&readers] { return readers.TotalScanStats(); };
+  return ExecuteImpl(&source);
+}
+
+Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
   FlatQueryResult result;
   for (const auto& [spec, expr] : fills_) {
     result.histograms.emplace_back(spec);
   }
-  reader->ResetScanStats();
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
-  // ---- layout of the flat chunk ----
-  FlatBatch chunk;
-  chunk.names.push_back("__event");
+  // ---- layout of the flat chunk (shared by every worker's chunk) ----
+  FlatBatch layout;
+  layout.names.push_back("__event");
   for (const UnnestList& u : unnests_) {
-    chunk.names.push_back(u.alias + ".idx");
+    layout.names.push_back(u.alias + ".idx");
     for (const std::string& member : u.members) {
-      chunk.names.push_back(u.alias + "." + member);
+      layout.names.push_back(u.alias + "." + member);
     }
   }
   for (const std::string& scalar : keep_scalars_) {
-    chunk.names.push_back(scalar);
+    layout.names.push_back(scalar);
   }
-  const size_t base_columns = chunk.names.size();
+  const size_t base_columns = layout.names.size();
   // Projections extend the layout in step order.
   for (const Step& step : steps_) {
-    if (!step.is_filter) chunk.names.push_back(step.name);
+    if (!step.is_filter) layout.names.push_back(step.name);
   }
-  chunk.columns.resize(chunk.names.size());
+  layout.columns.resize(layout.names.size());
 
-  // Resolve all flat-row expressions against the final layout.
+  // Resolve all flat-row expressions against the final layout. Resolve
+  // mutates the shared expression nodes, so it must finish before the
+  // parallel scan starts; Eval afterwards is const and thread-safe.
   for (const Step& step : steps_) {
-    HEPQ_RETURN_NOT_OK(step.expr->Resolve(chunk));
+    HEPQ_RETURN_NOT_OK(step.expr->Resolve(layout));
   }
   const bool grouped = !aggregates_.empty();
-  EventAggregator aggregator(aggregates_);
+  EventAggregator prototype(aggregates_);
   if (grouped) {
-    HEPQ_RETURN_NOT_OK(aggregator.Resolve(chunk));
+    HEPQ_RETURN_NOT_OK(prototype.Resolve(layout));
   }
 
   // HAVING and fills run over the aggregate output when grouped.
@@ -438,7 +478,7 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
     }
     agg_layout.columns.resize(agg_layout.names.size());
   }
-  const FlatBatch& sink_layout = grouped ? agg_layout : chunk;
+  const FlatBatch& sink_layout = grouped ? agg_layout : layout;
   for (const FlatExprPtr& predicate : having_) {
     HEPQ_RETURN_NOT_OK(predicate->Resolve(sink_layout));
   }
@@ -459,111 +499,162 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
     scalar_decls.push_back(ScalarDecl{s});
   }
 
-  auto flush_chunk = [&]() -> Status {
-    if (chunk.num_rows == 0) return Status::OK();
-    // Apply projections and filters in order. Filters compact all columns
-    // materialized so far — the real cost of filtering flat data.
-    size_t live_columns = base_columns;
-    for (const Step& step : steps_) {
-      if (!step.is_filter) {
-        auto& out = chunk.columns[live_columns];
-        out.resize(chunk.num_rows);
-        for (size_t row = 0; row < chunk.num_rows; ++row) {
-          out[row] = step.expr->Eval(chunk, row);
-        }
-        ++live_columns;
-        continue;
-      }
-      size_t kept = 0;
-      for (size_t row = 0; row < chunk.num_rows; ++row) {
-        if (!step.expr->EvalBool(chunk, row)) continue;
-        if (kept != row) {
-          for (size_t c = 0; c < live_columns; ++c) {
-            chunk.columns[c][kept] = chunk.columns[c][row];
-          }
-        }
-        ++kept;
-      }
-      chunk.num_rows = kept;
-      for (size_t c = 0; c < live_columns; ++c) {
-        chunk.columns[c].resize(kept);
-      }
-    }
-    if (grouped) {
-      aggregator.Consume(chunk, /*event_col=*/0);
-    } else {
-      for (size_t f = 0; f < fills_.size(); ++f) {
-        for (size_t row = 0; row < chunk.num_rows; ++row) {
-          result.histograms[f].Fill(fills_[f].second->Eval(chunk, row));
-        }
-      }
-    }
-    chunk.Clear();
-    return Status::OK();
+  const FileMetadata* metadata;
+  HEPQ_ASSIGN_OR_RETURN(metadata, source->metadata());
+  const size_t num_groups = metadata->row_groups.size();
+  // Event ids are global row numbers: per-group bases from the footer.
+  std::vector<int64_t> event_base(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    event_base[g + 1] = event_base[g] + metadata->row_groups[g].num_rows;
+  }
+
+  // Per-row-group partial state, merged in ascending group order below.
+  // GROUP BY event can be split this way because an event's flat rows all
+  // come from the one row group holding the event.
+  struct GroupPartial {
+    GroupPartial(const EventAggregator& proto,
+                 const std::vector<Histogram1D>& histo_specs)
+        : aggregator(proto), histos(histo_specs) {}
+    EventAggregator aggregator;
+    std::vector<Histogram1D> histos;
+    int64_t events = 0;
+    uint64_t rows_materialized = 0;
+    uint64_t cells_materialized = 0;
   };
+  std::vector<GroupPartial> partials;
+  partials.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    partials.emplace_back(prototype, result.histograms);
+  }
 
   // ---- scan ----
   const std::vector<std::string> projection = Projection();
-  int64_t event_base = 0;
-  for (int g = 0; g < reader->num_row_groups(); ++g) {
-    RecordBatchPtr batch;
-    HEPQ_ASSIGN_OR_RETURN(batch, reader->ReadRowGroup(g, projection));
-    BatchBindings bindings;
-    HEPQ_ASSIGN_OR_RETURN(
-        bindings, BatchBindings::Bind(*batch, list_decls, scalar_decls));
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      source->num_threads, exec::MakeRowGroupTasks(*metadata),
+      [&](int worker, int g) -> Status {
+        LaqReader* reader;
+        HEPQ_ASSIGN_OR_RETURN(reader, source->reader(worker));
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(
+            batch,
+            reader->ReadRowGroup(g, projection, source->scratch(worker)));
+        BatchBindings bindings;
+        HEPQ_ASSIGN_OR_RETURN(
+            bindings, BatchBindings::Bind(*batch, list_decls, scalar_decls));
+        GroupPartial& p = partials[static_cast<size_t>(g)];
+        FlatBatch chunk = layout;
 
-    const int64_t rows = batch->num_rows();
-    std::vector<uint32_t> cursor(unnests_.size());
-    for (int64_t row = 0; row < rows; ++row) {
-      const double event_id = static_cast<double>(event_base + row);
-      // Full Cartesian product of the unnest lists, exactly like chained
-      // CROSS JOIN UNNEST; symmetric dedup (idx1 < idx2) happens in WHERE.
-      std::function<Status(size_t)> emit = [&](size_t depth) -> Status {
-        if (depth == unnests_.size()) {
-          size_t c = 0;
-          chunk.columns[c++].push_back(event_id);
-          for (size_t u = 0; u < unnests_.size(); ++u) {
-            const ListBinding& list = bindings.list(static_cast<int>(u));
-            const uint32_t i = cursor[u];
-            chunk.columns[c++].push_back(
-                static_cast<double>(i - list.begin(static_cast<uint32_t>(row))));
-            for (size_t m = 0; m < unnests_[u].members.size(); ++m) {
-              chunk.columns[c++].push_back(list.members[m].Get(i));
+        auto flush_chunk = [&]() -> Status {
+          if (chunk.num_rows == 0) return Status::OK();
+          // Apply projections and filters in order. Filters compact all
+          // columns materialized so far — the real cost of filtering flat
+          // data.
+          size_t live_columns = base_columns;
+          for (const Step& step : steps_) {
+            if (!step.is_filter) {
+              auto& out = chunk.columns[live_columns];
+              out.resize(chunk.num_rows);
+              for (size_t row = 0; row < chunk.num_rows; ++row) {
+                out[row] = step.expr->Eval(chunk, row);
+              }
+              ++live_columns;
+              continue;
+            }
+            size_t kept = 0;
+            for (size_t row = 0; row < chunk.num_rows; ++row) {
+              if (!step.expr->EvalBool(chunk, row)) continue;
+              if (kept != row) {
+                for (size_t c = 0; c < live_columns; ++c) {
+                  chunk.columns[c][kept] = chunk.columns[c][row];
+                }
+              }
+              ++kept;
+            }
+            chunk.num_rows = kept;
+            for (size_t c = 0; c < live_columns; ++c) {
+              chunk.columns[c].resize(kept);
             }
           }
-          for (size_t s = 0; s < keep_scalars_.size(); ++s) {
-            chunk.columns[c++].push_back(
-                bindings.scalar(static_cast<int>(s))
-                    .Get(static_cast<uint32_t>(row)));
+          if (grouped) {
+            p.aggregator.Consume(chunk, /*event_col=*/0);
+          } else {
+            for (size_t f = 0; f < fills_.size(); ++f) {
+              for (size_t row = 0; row < chunk.num_rows; ++row) {
+                p.histos[f].Fill(fills_[f].second->Eval(chunk, row));
+              }
+            }
           }
-          ++chunk.num_rows;
-          ++result.rows_materialized;
-          result.cells_materialized += base_columns;
-          if (chunk.num_rows >= kChunkRows) {
-            HEPQ_RETURN_NOT_OK(flush_chunk());
-          }
+          chunk.Clear();
           return Status::OK();
-        }
-        const ListBinding& list =
-            bindings.list(static_cast<int>(depth));
-        const uint32_t begin = list.begin(static_cast<uint32_t>(row));
-        const uint32_t end = list.end(static_cast<uint32_t>(row));
-        for (uint32_t i = begin; i < end; ++i) {
-          cursor[depth] = i;
-          HEPQ_RETURN_NOT_OK(emit(depth + 1));
-        }
-        return Status::OK();
-      };
-      HEPQ_RETURN_NOT_OK(emit(0));
-    }
-    event_base += rows;
-    result.events_processed += rows;
-  }
-  HEPQ_RETURN_NOT_OK(flush_chunk());
+        };
 
-  if (grouped) {
-    FlatBatch groups = aggregator.Finish();
-    result.groups = static_cast<int64_t>(groups.num_rows);
+        const int64_t rows = batch->num_rows();
+        std::vector<uint32_t> cursor(unnests_.size());
+        for (int64_t row = 0; row < rows; ++row) {
+          const double event_id =
+              static_cast<double>(event_base[static_cast<size_t>(g)] + row);
+          // Full Cartesian product of the unnest lists, exactly like
+          // chained CROSS JOIN UNNEST; symmetric dedup (idx1 < idx2)
+          // happens in WHERE.
+          std::function<Status(size_t)> emit = [&](size_t depth) -> Status {
+            if (depth == unnests_.size()) {
+              size_t c = 0;
+              chunk.columns[c++].push_back(event_id);
+              for (size_t u = 0; u < unnests_.size(); ++u) {
+                const ListBinding& list = bindings.list(static_cast<int>(u));
+                const uint32_t i = cursor[u];
+                chunk.columns[c++].push_back(static_cast<double>(
+                    i - list.begin(static_cast<uint32_t>(row))));
+                for (size_t m = 0; m < unnests_[u].members.size(); ++m) {
+                  chunk.columns[c++].push_back(list.members[m].Get(i));
+                }
+              }
+              for (size_t s = 0; s < keep_scalars_.size(); ++s) {
+                chunk.columns[c++].push_back(
+                    bindings.scalar(static_cast<int>(s))
+                        .Get(static_cast<uint32_t>(row)));
+              }
+              ++chunk.num_rows;
+              ++p.rows_materialized;
+              p.cells_materialized += base_columns;
+              if (chunk.num_rows >= kChunkRows) {
+                HEPQ_RETURN_NOT_OK(flush_chunk());
+              }
+              return Status::OK();
+            }
+            const ListBinding& list =
+                bindings.list(static_cast<int>(depth));
+            const uint32_t begin = list.begin(static_cast<uint32_t>(row));
+            const uint32_t end = list.end(static_cast<uint32_t>(row));
+            for (uint32_t i = begin; i < end; ++i) {
+              cursor[depth] = i;
+              HEPQ_RETURN_NOT_OK(emit(depth + 1));
+            }
+            return Status::OK();
+          };
+          HEPQ_RETURN_NOT_OK(emit(0));
+        }
+        HEPQ_RETURN_NOT_OK(flush_chunk());
+        p.events = rows;
+        return Status::OK();
+      }));
+
+  // ---- deterministic merge in ascending row-group order ----
+  for (GroupPartial& p : partials) {
+    result.events_processed += p.events;
+    result.rows_materialized += p.rows_materialized;
+    result.cells_materialized += p.cells_materialized;
+    if (!grouped) {
+      for (size_t f = 0; f < fills_.size(); ++f) {
+        HEPQ_RETURN_NOT_OK(result.histograms[f].Merge(p.histos[f]));
+      }
+      continue;
+    }
+    // Event keys are disjoint across row groups, so concatenating the
+    // per-group aggregate outputs in group order reproduces the sequential
+    // scan's group order exactly.
+    FlatBatch groups = p.aggregator.Finish();
+    result.groups += static_cast<int64_t>(groups.num_rows);
     for (size_t row = 0; row < groups.num_rows; ++row) {
       bool pass = true;
       for (const FlatExprPtr& predicate : having_) {
@@ -581,7 +672,7 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
-  result.scan = reader->scan_stats();
+  result.scan = source->scan_stats();
   return result;
 }
 

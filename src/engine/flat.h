@@ -132,7 +132,17 @@ class FlatPipeline {
   /// else per surviving flat row.
   int AddHistogram(HistogramSpec spec, FlatExprPtr value);
 
+  /// Runs the pipeline over all row groups of `reader`, single-threaded
+  /// but through the shared row-group runtime.
   Result<FlatQueryResult> Execute(LaqReader* reader) const;
+
+  /// Parallel execution: scans `path` with up to `num_threads` workers,
+  /// each with its own reader, scratch buffers, and per-row-group
+  /// aggregation state (sound because every event's rows live in exactly
+  /// one row group). Results are bit-identical to the overload above.
+  Result<FlatQueryResult> Execute(const std::string& path,
+                                  ReaderOptions reader_options,
+                                  int num_threads) const;
 
   std::vector<std::string> Projection() const;
 
@@ -147,6 +157,10 @@ class FlatPipeline {
     std::string name;  // projection output column
     FlatExprPtr expr;
   };
+  /// Where ExecuteImpl gets readers/scratch/metadata from; defined in
+  /// flat.cc (wraps either one caller-owned reader or a per-worker set).
+  struct ScanSource;
+  Result<FlatQueryResult> ExecuteImpl(ScanSource* source) const;
 
   std::string name_;
   std::vector<UnnestList> unnests_;

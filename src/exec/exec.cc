@@ -1,0 +1,186 @@
+#include "exec/exec.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hepq::exec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::EnsureThreads(int num_threads) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  const int have = static_cast<int>(workers_.size());
+  for (int i = have; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      if (worker >= job_->max_workers) continue;  // not part of this job
+      job = job_;  // shared ownership: job outlives the final done increment
+    }
+    for (;;) {
+      const int task = job->next.fetch_add(1, std::memory_order_relaxed);
+      if (task >= job->num_tasks) break;
+      (*job->fn)(worker, task);
+      if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job->num_tasks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int max_workers, int num_tasks,
+                             const std::function<void(int, int)>& fn) {
+  if (num_tasks <= 0) return;
+  max_workers = std::min(max_workers, num_threads());
+  if (max_workers <= 1) {
+    for (int task = 0; task < num_tasks; ++task) fn(0, task);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->num_tasks = num_tasks;
+  job->max_workers = max_workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == num_tasks;
+    });
+    job_.reset();
+  }
+}
+
+ThreadPool& ThreadPool::Shared(int min_threads) {
+  static ThreadPool* pool = new ThreadPool(1);  // leaked: outlives main
+  if (min_threads > pool->num_threads()) pool->EnsureThreads(min_threads);
+  return *pool;
+}
+
+std::vector<RowGroupTask> MakeRowGroupTasks(const FileMetadata& metadata) {
+  std::vector<RowGroupTask> tasks;
+  tasks.reserve(metadata.row_groups.size());
+  for (size_t g = 0; g < metadata.row_groups.size(); ++g) {
+    uint64_t bytes = 0;
+    for (const ChunkMeta& chunk : metadata.row_groups[g].chunks) {
+      bytes += chunk.compressed_size;
+    }
+    tasks.push_back(RowGroupTask{static_cast<int>(g), bytes});
+  }
+  return tasks;
+}
+
+void SortLpt(std::vector<RowGroupTask>* tasks) {
+  std::sort(tasks->begin(), tasks->end(),
+            [](const RowGroupTask& a, const RowGroupTask& b) {
+              if (a.bytes != b.bytes) return a.bytes > b.bytes;
+              return a.group < b.group;
+            });
+}
+
+int EffectiveWorkers(int num_threads, size_t num_tasks) {
+  int workers = std::max(num_threads, 1);
+  if (num_tasks < static_cast<size_t>(workers)) {
+    workers = static_cast<int>(num_tasks);
+  }
+  return std::max(workers, 1);
+}
+
+Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
+                    const std::function<Status(int, int)>& process) {
+  if (tasks.empty()) return Status::OK();
+  SortLpt(&tasks);
+  const int workers = EffectiveWorkers(num_threads, tasks.size());
+  if (workers == 1) {
+    // Inline path: same task order and per-group accumulation structure as
+    // the parallel path, so results match bit for bit.
+    for (const RowGroupTask& task : tasks) {
+      HEPQ_RETURN_NOT_OK(process(0, task.group));
+    }
+    return Status::OK();
+  }
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  int error_group = -1;
+  std::atomic<bool> failed{false};
+  ThreadPool::Shared(workers).ParallelFor(
+      workers, static_cast<int>(tasks.size()), [&](int worker, int index) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        const int group = tasks[static_cast<size_t>(index)].group;
+        Status status = process(worker, group);
+        if (!status.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (error_group < 0 || group < error_group) {
+            error_group = group;
+            first_error = std::move(status);
+          }
+        }
+      });
+  return first_error;
+}
+
+WorkerReaders::WorkerReaders(std::string path, ReaderOptions options,
+                             int num_workers)
+    : path_(std::move(path)), options_(options) {
+  slots_.resize(static_cast<size_t>(std::max(num_workers, 1)));
+}
+
+Result<LaqReader*> WorkerReaders::reader(int worker) {
+  Slot& slot = slots_[static_cast<size_t>(worker)];
+  if (slot.reader == nullptr) {
+    HEPQ_ASSIGN_OR_RETURN(slot.reader, LaqReader::Open(path_, options_));
+  }
+  return slot.reader.get();
+}
+
+Result<const FileMetadata*> WorkerReaders::metadata() {
+  LaqReader* reader0;
+  HEPQ_ASSIGN_OR_RETURN(reader0, reader(0));
+  return &reader0->metadata();
+}
+
+ScanStats WorkerReaders::TotalScanStats() const {
+  ScanStats total;
+  for (const Slot& slot : slots_) {
+    if (slot.reader != nullptr) total.Add(slot.reader->scan_stats());
+  }
+  return total;
+}
+
+}  // namespace hepq::exec

@@ -1,0 +1,141 @@
+#ifndef HEPQUERY_EXEC_EXEC_H_
+#define HEPQUERY_EXEC_EXEC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "fileio/reader.h"
+
+namespace hepq::exec {
+
+// Shared parallel execution runtime used by every frontend (rdf, the two
+// SQL plan shapes, doc). Row groups are the scheduling unit, as in ROOT's
+// implicit MT and every system of the paper; the work queue is LPT-ordered
+// by row-group byte size so the largest groups start first and stragglers
+// are minimized. Each row group accumulates into its own result slot and
+// the caller merges slots in row-group order, which makes results
+// bit-identical for 1 vs N threads regardless of scheduling.
+
+/// A reusable fixed-size pool of worker threads. Workers are started once
+/// and parked between jobs, replacing the per-Execute thread spawning the
+/// frontends used to do. One job runs at a time; jobs are task index
+/// ranges drained through a shared atomic cursor.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (>= 1) parked workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(worker, task) for every task in [0, num_tasks), using at most
+  /// `max_workers` of the pool's threads (worker ids are < max_workers).
+  /// Blocks until every task completed. `fn` must not throw and must be
+  /// safe to call concurrently for distinct tasks.
+  void ParallelFor(int max_workers, int num_tasks,
+                   const std::function<void(int worker, int task)>& fn);
+
+  /// Grows the pool to at least `num_threads` workers (never shrinks).
+  void EnsureThreads(int num_threads);
+
+  /// Process-wide pool shared by all frontends, lazily created and grown
+  /// to the largest thread count ever requested.
+  static ThreadPool& Shared(int min_threads);
+
+ private:
+  struct Job {
+    const std::function<void(int, int)>* fn = nullptr;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    int num_tasks = 0;
+    int max_workers = 0;
+  };
+
+  void WorkerLoop(int worker);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex run_mu_;  // serializes ParallelFor calls
+  uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;  // non-null while a job is live
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One schedulable unit of scan work: a row group and its on-storage size.
+struct RowGroupTask {
+  int group = 0;
+  uint64_t bytes = 0;
+};
+
+/// Tasks for every row group of `metadata`, sized by the sum of the
+/// group's compressed chunk sizes (what a worker actually reads).
+std::vector<RowGroupTask> MakeRowGroupTasks(const FileMetadata& metadata);
+
+/// LPT (longest processing time first) order: descending byte size, ties
+/// broken by ascending group index so the order is deterministic.
+void SortLpt(std::vector<RowGroupTask>* tasks);
+
+/// Number of workers a run will actually use: `num_threads` clamped to
+/// [1, num_tasks]. Callers size per-worker state with this.
+int EffectiveWorkers(int num_threads, size_t num_tasks);
+
+/// Runs process(worker, group) for every task. Tasks are LPT-ordered and
+/// drained by EffectiveWorkers(num_threads, tasks.size()) workers of the
+/// shared pool; a single effective worker runs inline on the calling
+/// thread with worker id 0. After a failure remaining tasks are skipped;
+/// the reported error is the failing task's with the smallest group index,
+/// so error reporting is deterministic too.
+Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
+                    const std::function<Status(int worker, int group)>& process);
+
+/// Per-worker readers over one .laq file: each worker slot lazily opens
+/// its own LaqReader (file handles are not shareable across threads) and
+/// owns a ScratchBuffers pool so decode buffers are reused across all row
+/// groups the worker processes.
+class WorkerReaders {
+ public:
+  WorkerReaders(std::string path, ReaderOptions options, int num_workers);
+
+  /// The worker's reader, opened on first use. Only worker `worker` may
+  /// call this with its own id during a parallel run.
+  Result<LaqReader*> reader(int worker);
+
+  /// The worker's scratch buffer pool.
+  ScratchBuffers* scratch(int worker) {
+    return &slots_[static_cast<size_t>(worker)].scratch;
+  }
+
+  /// File metadata, via worker 0's reader (opens it if needed).
+  Result<const FileMetadata*> metadata();
+
+  /// Sum of the scan stats of every opened reader. Integer counters, so
+  /// the total is independent of scheduling. Call only after a run.
+  ScanStats TotalScanStats() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<LaqReader> reader;
+    ScratchBuffers scratch;
+  };
+
+  std::string path_;
+  ReaderOptions options_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace hepq::exec
+
+#endif  // HEPQUERY_EXEC_EXEC_H_

@@ -1,5 +1,6 @@
 #include "fileio/encoding.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "fileio/varint.h"
@@ -46,9 +47,11 @@ Status DecodeRle(const uint8_t* data, size_t size, size_t count, T* out) {
     if (run == 0 || produced + run > count) {
       return Status::Corruption("rle: run overflows value count");
     }
-    for (uint64_t k = 0; k < run; ++k) {
-      out[produced++] = static_cast<T>(value);
-    }
+    // One fill per run instead of a per-element loop: the compiler turns
+    // this into memset-style wide stores, which matters for the long runs
+    // RLE is chosen for (lengths leaves, near-constant columns).
+    std::fill_n(out + produced, run, static_cast<T>(value));
+    produced += run;
   }
   if (!reader.AtEnd()) return Status::Corruption("rle: trailing bytes");
   return Status::OK();
@@ -66,9 +69,28 @@ void EncodeDelta(const T* values, size_t count, std::vector<uint8_t>* out) {
 
 template <typename T>
 Status DecodeDelta(const uint8_t* data, size_t size, size_t count, T* out) {
-  ByteReader reader(data, size);
+  // The truncation branch is hoisted out of the hot loop: a varint is at
+  // most 10 bytes, so while that much slack remains the bytes can be
+  // consumed without per-byte bounds checks. The checked ByteReader path
+  // handles the buffer tail (and all corrupt inputs exactly as before).
+  size_t pos = 0;
+  size_t i = 0;
   int64_t previous = 0;
-  for (size_t i = 0; i < count; ++i) {
+  while (i < count && size - pos >= 10) {
+    uint64_t zz = 0;
+    int shift = 0;
+    uint8_t byte;
+    do {
+      byte = data[pos++];
+      zz |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      shift += 7;
+    } while ((byte & 0x80) != 0 && shift < 64);
+    if ((byte & 0x80) != 0) return Status::Corruption("varint too long");
+    previous += static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+    out[i++] = static_cast<T>(previous);
+  }
+  ByteReader reader(data + pos, size - pos);
+  for (; i < count; ++i) {
     int64_t delta = 0;
     HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&delta));
     previous += delta;

@@ -103,12 +103,15 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
 }
 
 Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
-                           std::vector<uint8_t>* out_values) {
+                           ScratchBuffers* scratch) {
   const RowGroupMeta& rg = metadata_.row_groups[static_cast<size_t>(group)];
   const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(leaf_index)];
   const LeafDesc& leaf = metadata_.layout[static_cast<size_t>(leaf_index)];
 
-  std::vector<uint8_t> compressed(chunk.compressed_size);
+  // Every buffer is resized, never recreated: past its high-water mark the
+  // scratch pool makes this whole path allocation-free.
+  std::vector<uint8_t>& compressed = scratch->compressed;
+  compressed.resize(chunk.compressed_size);
   if (std::fseek(file_, static_cast<long>(chunk.file_offset), SEEK_SET) != 0) {
     return Status::IoError("seek to chunk failed");
   }
@@ -121,16 +124,16 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
       Crc32(compressed.data(), compressed.size()) != chunk.crc32) {
     return Status::Corruption("checksum mismatch in chunk " + leaf.path);
   }
-  std::vector<uint8_t> encoded;
   HEPQ_RETURN_NOT_OK(Decompress(chunk.codec, compressed.data(),
                                 compressed.size(), chunk.encoded_size,
-                                &encoded));
+                                &scratch->encoded));
   const size_t count = static_cast<size_t>(chunk.num_values);
-  out_values->resize(count *
-                     static_cast<size_t>(PrimitiveWidth(leaf.physical)));
+  scratch->values.resize(count *
+                         static_cast<size_t>(PrimitiveWidth(leaf.physical)));
   HEPQ_RETURN_NOT_OK(DecodeValues(leaf.physical, chunk.encoding,
-                                  encoded.data(), encoded.size(), count,
-                                  out_values->data()));
+                                  scratch->encoded.data(),
+                                  scratch->encoded.size(), count,
+                                  scratch->values.data()));
 
   stats_.storage_bytes += chunk.compressed_size;
   stats_.encoded_bytes += chunk.encoded_size;
@@ -150,6 +153,18 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
     }
   }
   return Status::OK();
+}
+
+Status LaqReader::ReadLeafValues(int group_index, const std::string& leaf_path,
+                                 ScratchBuffers* scratch) {
+  if (group_index < 0 || group_index >= num_row_groups()) {
+    return Status::OutOfRange("row group index out of range");
+  }
+  const int leaf = metadata_.LeafIndex(leaf_path);
+  if (leaf < 0) {
+    return Status::KeyError("no leaf column '" + leaf_path + "'");
+  }
+  return ReadLeaf(group_index, leaf, /*billed=*/true, scratch);
 }
 
 Status LaqReader::ResolveProjection(
@@ -205,6 +220,15 @@ Status LaqReader::ResolveProjection(
 
 Result<RecordBatchPtr> LaqReader::ReadRowGroup(
     int group_index, const std::vector<std::string>& projection) {
+  ScratchBuffers transient;
+  return ReadRowGroup(group_index, projection, &transient);
+}
+
+Result<RecordBatchPtr> LaqReader::ReadRowGroup(
+    int group_index, const std::vector<std::string>& projection,
+    ScratchBuffers* scratch) {
+  ScratchBuffers transient;
+  if (scratch == nullptr) scratch = &transient;
   if (group_index < 0 || group_index >= num_row_groups()) {
     return Status::OutOfRange("row group index out of range");
   }
@@ -247,36 +271,35 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
       // lengths leaf for lists).
       if (type.is_primitive()) {
         const int leaf = metadata_.LeafIndex(field.name);
-        std::vector<uint8_t> bytes;
         HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/true,
-                                    &bytes));
+                                    scratch));
         ArrayPtr array;
         HEPQ_ASSIGN_OR_RETURN(
-            array, BuildPrimitiveArray(type.id(), bytes,
+            array, BuildPrimitiveArray(type.id(), scratch->values,
                                        static_cast<size_t>(rows)));
         out_fields.push_back(field);
         out_columns.push_back(std::move(array));
       } else {
         const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
         const int values_leaf = metadata_.LeafIndex(field.name + ".item");
-        std::vector<uint8_t> lengths_bytes;
+        // Lengths are read first and immediately folded into offsets, so
+        // the values read below may reuse the same scratch buffer.
         HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf,
-                                    /*billed=*/true, &lengths_bytes));
+                                    /*billed=*/true, scratch));
         std::vector<uint32_t> offsets(static_cast<size_t>(rows) + 1, 0);
         const auto* lengths =
-            reinterpret_cast<const int32_t*>(lengths_bytes.data());
+            reinterpret_cast<const int32_t*>(scratch->values.data());
         for (int64_t i = 0; i < rows; ++i) {
           offsets[static_cast<size_t>(i) + 1] =
               offsets[static_cast<size_t>(i)] +
               static_cast<uint32_t>(lengths[i]);
         }
         const size_t num_items = offsets.back();
-        std::vector<uint8_t> bytes;
         HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, values_leaf,
-                                    /*billed=*/true, &bytes));
+                                    /*billed=*/true, scratch));
         ArrayPtr child;
         HEPQ_ASSIGN_OR_RETURN(
-            child, BuildPrimitiveArray(type.item_type()->id(), bytes,
+            child, BuildPrimitiveArray(type.item_type()->id(), scratch->values,
                                        num_items));
         std::shared_ptr<ListArray> list;
         HEPQ_ASSIGN_OR_RETURN(list,
@@ -302,12 +325,11 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
     size_t num_items = static_cast<size_t>(rows);
     if (type.id() == TypeId::kList) {
       const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
-      std::vector<uint8_t> lengths_bytes;
       HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf, /*billed=*/true,
-                                  &lengths_bytes));
+                                  scratch));
       offsets.assign(static_cast<size_t>(rows) + 1, 0);
       const auto* lengths =
-          reinterpret_cast<const int32_t*>(lengths_bytes.data());
+          reinterpret_cast<const int32_t*>(scratch->values.data());
       for (int64_t i = 0; i < rows; ++i) {
         offsets[static_cast<size_t>(i) + 1] =
             offsets[static_cast<size_t>(i)] + static_cast<uint32_t>(lengths[i]);
@@ -326,13 +348,13 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
       }
       const bool wanted =
           std::find(selected.begin(), selected.end(), m) != selected.end();
-      std::vector<uint8_t> bytes;
       HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/wanted,
-                                  &bytes));
+                                  scratch));
       if (!wanted) continue;  // physically read, logically discarded
       ArrayPtr array;
       HEPQ_ASSIGN_OR_RETURN(
-          array, BuildPrimitiveArray(member.type->id(), bytes, num_items));
+          array, BuildPrimitiveArray(member.type->id(), scratch->values,
+                                     num_items));
       member_fields.push_back(member);
       member_arrays.push_back(std::move(array));
     }

@@ -41,6 +41,25 @@ struct ScanStats {
   }
 };
 
+/// Reusable decode buffers for the chunk read path. Each read resizes
+/// them as needed but never releases capacity, so after a warm-up row
+/// group the read+decompress+decode pipeline performs zero heap
+/// allocations per chunk. One ScratchBuffers must not be shared between
+/// threads; the parallel runtime keeps one per worker.
+struct ScratchBuffers {
+  std::vector<uint8_t> compressed;  ///< raw chunk bytes from storage
+  std::vector<uint8_t> encoded;     ///< after decompression
+  std::vector<uint8_t> values;      ///< after decoding (physical width)
+
+  /// Releases all capacity (for tests that compare cold vs warm paths).
+  /// Swap with a temporary: plain `v = {}` only clears the size.
+  void Release() {
+    std::vector<uint8_t>().swap(compressed);
+    std::vector<uint8_t>().swap(encoded);
+    std::vector<uint8_t>().swap(values);
+  }
+};
+
 struct ReaderOptions {
   /// When false, selecting any member of a struct (top-level or inside a
   /// particle list) reads *all* members of that struct from storage — the
@@ -79,8 +98,23 @@ class LaqReader {
   Result<RecordBatchPtr> ReadRowGroup(
       int group_index, const std::vector<std::string>& projection);
 
+  /// Same, decoding through caller-owned scratch buffers so repeated reads
+  /// reuse allocations. `scratch` must stay private to one thread. Passing
+  /// nullptr uses transient buffers (identical results, fresh allocations).
+  Result<RecordBatchPtr> ReadRowGroup(int group_index,
+                                      const std::vector<std::string>& projection,
+                                      ScratchBuffers* scratch);
+
   /// Reads one row group with all columns.
   Result<RecordBatchPtr> ReadRowGroup(int group_index);
+
+  /// Runs only the storage decode path (read, checksum, decompress, decode)
+  /// for one leaf chunk, leaving the decoded values in `scratch->values`.
+  /// No arrays are materialized: with a warmed-up scratch this performs
+  /// zero heap allocations, which the micro benchmarks assert. Updates
+  /// ScanStats like any other read.
+  Status ReadLeafValues(int group_index, const std::string& leaf_path,
+                        ScratchBuffers* scratch);
 
   /// Sum of the physical widths of all value leaves times their entry
   /// counts for the given projection across the whole file — the "ideal
@@ -103,10 +137,11 @@ class LaqReader {
   LaqReader(std::FILE* file, FileMetadata metadata, ReaderOptions options)
       : file_(file), metadata_(std::move(metadata)), options_(options) {}
 
-  /// Reads + decodes the chunk of leaf `leaf_index` in `group`. `billed`
-  /// says whether this leaf was requested (affects logical/ideal bytes).
+  /// Reads + decodes the chunk of leaf `leaf_index` in `group` into
+  /// `scratch->values`. `billed` says whether this leaf was requested
+  /// (affects logical/ideal bytes).
   Status ReadLeaf(int group, int leaf_index, bool billed,
-                  std::vector<uint8_t>* out_values);
+                  ScratchBuffers* scratch);
 
   struct ResolvedColumn {
     int field_index;

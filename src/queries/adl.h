@@ -54,8 +54,10 @@ struct QueryRunOutput {
 struct RunOptions {
   /// Reader behaviour is forced per engine (pushdown on for BigQuery/RDF,
   /// off for Presto shape, full scans for Doc); checksum validation and
-  /// threads are caller-controlled.
-  int rdf_threads = 1;
+  /// threads are caller-controlled. All four engines scan row groups in
+  /// parallel with up to `num_threads` workers of the shared pool;
+  /// results are bit-identical for any thread count.
+  int num_threads = 1;
   bool validate_checksums = true;
 };
 

@@ -194,10 +194,9 @@ Result<QueryRunOutput> RunAdlQueryBq(int q, const std::string& path,
   ReaderOptions reader_options;
   reader_options.struct_projection_pushdown = true;
   reader_options.validate_checksums = options.validate_checksums;
-  std::unique_ptr<LaqReader> reader;
-  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, reader_options));
   engine::EventQueryResult result;
-  HEPQ_ASSIGN_OR_RETURN(result, query.Execute(reader.get()));
+  HEPQ_ASSIGN_OR_RETURN(
+      result, query.Execute(path, reader_options, options.num_threads));
   QueryRunOutput out;
   out.histograms = std::move(result.histograms);
   out.events_processed = result.events_processed;

@@ -245,10 +245,10 @@ Result<QueryRunOutput> RunAdlQueryDoc(int q, const std::string& path,
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlDocQuery(q));
   ReaderOptions reader_options;
   reader_options.validate_checksums = options.validate_checksums;
-  std::unique_ptr<LaqReader> reader;
-  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, reader_options));
   doc::DocQueryResult result;
-  HEPQ_ASSIGN_OR_RETURN(result, doc::RunDocQuery(reader.get(), query));
+  HEPQ_ASSIGN_OR_RETURN(
+      result,
+      doc::RunDocQuery(path, reader_options, options.num_threads, query));
   QueryRunOutput out;
   out.histograms = std::move(result.histograms);
   out.events_processed = result.events_processed;

@@ -151,14 +151,14 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   ReaderOptions reader_options;
   reader_options.struct_projection_pushdown = false;
   reader_options.validate_checksums = options.validate_checksums;
-  std::unique_ptr<LaqReader> reader;
-  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, reader_options));
 
   QueryRunOutput out;
   auto flat_result = BuildAdlFlatPipeline(q);
   if (flat_result.ok()) {
     engine::FlatQueryResult result;
-    HEPQ_ASSIGN_OR_RETURN(result, flat_result->Execute(reader.get()));
+    HEPQ_ASSIGN_OR_RETURN(
+        result,
+        flat_result->Execute(path, reader_options, options.num_threads));
     out.histograms = std::move(result.histograms);
     out.events_processed = result.events_processed;
     out.wall_seconds = result.wall_seconds;
@@ -173,7 +173,8 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   engine::EventQuery query("");
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
   engine::EventQueryResult result;
-  HEPQ_ASSIGN_OR_RETURN(result, query.Execute(reader.get()));
+  HEPQ_ASSIGN_OR_RETURN(
+      result, query.Execute(path, reader_options, options.num_threads));
   out.histograms = std::move(result.histograms);
   out.events_processed = result.events_processed;
   out.wall_seconds = result.wall_seconds;

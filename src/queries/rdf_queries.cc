@@ -69,7 +69,7 @@ Result<ParticleHandles> DeclareKinematics(RDataFrame* df,
 Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
                                       const RunOptions& options) {
   rdf::RdfOptions rdf_options;
-  rdf_options.num_threads = options.rdf_threads;
+  rdf_options.num_threads = options.num_threads;
   rdf_options.reader.validate_checksums = options.validate_checksums;
   std::unique_ptr<RDataFrame> df;
   HEPQ_ASSIGN_OR_RETURN(df, RDataFrame::Open(path, rdf_options));

@@ -1,10 +1,10 @@
 #include "rdf/rdf.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+#include <utility>
 
 #include "core/stopwatch.h"
+#include "exec/exec.h"
 
 namespace hepq::rdf {
 
@@ -334,87 +334,62 @@ Status RDataFrame::Run() {
   }
 
   const int num_groups = reader_->num_row_groups();
-  const int num_threads =
-      std::max(1, std::min(options_.num_threads, num_groups));
+  std::vector<exec::RowGroupTask> tasks =
+      exec::MakeRowGroupTasks(reader_->metadata());
+  const int workers =
+      exec::EffectiveWorkers(options_.num_threads, tasks.size());
 
-  if (num_threads == 1) {
-    for (int g = 0; g < num_groups; ++g) {
-      RecordBatchPtr batch;
-      HEPQ_ASSIGN_OR_RETURN(batch, reader_->ReadRowGroup(g, projection));
-      HEPQ_RETURN_NOT_OK(ProcessRowGroup(*batch, &results_, &count_results_,
-                                         &sum_results_, &node_counters_));
-      run_stats_.events_processed += batch->num_rows();
-    }
-    run_stats_.scan = reader_->scan_stats();
-  } else {
-    // Row groups are the scheduling unit, as in ROOT's implicit MT. Each
-    // worker opens its own reader (file handles are not shared).
-    std::atomic<int> next_group{0};
-    std::vector<Status> worker_status(static_cast<size_t>(num_threads));
-    std::vector<std::vector<Histogram1D>> worker_histos(
-        static_cast<size_t>(num_threads), results_);
-    std::vector<std::vector<int64_t>> worker_counts(
-        static_cast<size_t>(num_threads), count_results_);
-    std::vector<std::vector<double>> worker_sums(
-        static_cast<size_t>(num_threads), sum_results_);
-    std::vector<std::vector<NodeCounters>> worker_nodes(
-        static_cast<size_t>(num_threads), node_counters_);
-    std::vector<ScanStats> worker_scans(static_cast<size_t>(num_threads));
-    std::vector<int64_t> worker_events(static_cast<size_t>(num_threads), 0);
-    std::vector<std::thread> workers;
-    for (int t = 0; t < num_threads; ++t) {
-      workers.emplace_back([&, t] {
-        auto reader_result = LaqReader::Open(path_, options_.reader);
-        if (!reader_result.ok()) {
-          worker_status[static_cast<size_t>(t)] = reader_result.status();
-          return;
-        }
-        auto reader = std::move(*reader_result);
-        while (true) {
-          const int g = next_group.fetch_add(1);
-          if (g >= num_groups) break;
-          auto batch_result = reader->ReadRowGroup(g, projection);
-          if (!batch_result.ok()) {
-            worker_status[static_cast<size_t>(t)] = batch_result.status();
-            return;
-          }
-          const Status st = ProcessRowGroup(
-              **batch_result, &worker_histos[static_cast<size_t>(t)],
-              &worker_counts[static_cast<size_t>(t)],
-              &worker_sums[static_cast<size_t>(t)],
-              &worker_nodes[static_cast<size_t>(t)]);
-          if (!st.ok()) {
-            worker_status[static_cast<size_t>(t)] = st;
-            return;
-          }
-          worker_events[static_cast<size_t>(t)] += (*batch_result)->num_rows();
-        }
-        worker_scans[static_cast<size_t>(t)] = reader->scan_stats();
-      });
-    }
-    for (auto& w : workers) w.join();
-    for (int t = 0; t < num_threads; ++t) {
-      HEPQ_RETURN_NOT_OK(worker_status[static_cast<size_t>(t)]);
-      for (size_t b = 0; b < bookings_.size(); ++b) {
-        if (bookings_[b].is_count) {
-          count_results_[b] += worker_counts[static_cast<size_t>(t)][b];
-        } else if (bookings_[b].is_sum) {
-          sum_results_[b] += worker_sums[static_cast<size_t>(t)][b];
-        } else {
-          HEPQ_RETURN_NOT_OK(results_[b].Merge(
-              worker_histos[static_cast<size_t>(t)][b]));
-        }
-      }
-      for (size_t n = 0; n < nodes_.size(); ++n) {
-        node_counters_[n].examined +=
-            worker_nodes[static_cast<size_t>(t)][n].examined;
-        node_counters_[n].passed +=
-            worker_nodes[static_cast<size_t>(t)][n].passed;
-      }
-      run_stats_.scan.Add(worker_scans[static_cast<size_t>(t)]);
-      run_stats_.events_processed += worker_events[static_cast<size_t>(t)];
-    }
+  // Every row group accumulates into its own slot; the merge below runs in
+  // ascending group order. Scheduling therefore never changes the result:
+  // 1 and N threads are bit-identical.
+  struct GroupPartial {
+    std::vector<Histogram1D> histos;
+    std::vector<int64_t> counts;
+    std::vector<double> sums;
+    std::vector<NodeCounters> nodes;
+    int64_t events = 0;
+  };
+  std::vector<GroupPartial> partials(static_cast<size_t>(num_groups));
+  for (GroupPartial& p : partials) {
+    p.histos = results_;
+    p.counts.assign(bookings_.size(), 0);
+    p.sums.assign(bookings_.size(), 0.0);
+    p.nodes.assign(nodes_.size(), NodeCounters{});
   }
+
+  exec::WorkerReaders readers(path_, options_.reader, workers);
+  HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
+      workers, std::move(tasks), [&](int worker, int g) -> Status {
+        LaqReader* reader;
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        RecordBatchPtr batch;
+        HEPQ_ASSIGN_OR_RETURN(
+            batch,
+            reader->ReadRowGroup(g, projection, readers.scratch(worker)));
+        GroupPartial& p = partials[static_cast<size_t>(g)];
+        HEPQ_RETURN_NOT_OK(
+            ProcessRowGroup(*batch, &p.histos, &p.counts, &p.sums, &p.nodes));
+        p.events = batch->num_rows();
+        return Status::OK();
+      }));
+
+  for (const GroupPartial& p : partials) {
+    for (size_t b = 0; b < bookings_.size(); ++b) {
+      if (bookings_[b].is_count) {
+        count_results_[b] += p.counts[b];
+      } else if (bookings_[b].is_sum) {
+        sum_results_[b] += p.sums[b];
+      } else {
+        HEPQ_RETURN_NOT_OK(results_[b].Merge(p.histos[b]));
+      }
+    }
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+      node_counters_[n].examined += p.nodes[n].examined;
+      node_counters_[n].passed += p.nodes[n].passed;
+    }
+    run_stats_.events_processed += p.events;
+  }
+  run_stats_.scan = readers.TotalScanStats();
 
   run_stats_.wall_seconds = wall.Seconds();
   run_stats_.cpu_seconds = ProcessCpuSeconds() - cpu0;

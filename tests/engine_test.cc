@@ -1,8 +1,10 @@
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "columnar/builder.h"
+#include "datagen/dataset.h"
 #include "engine/event_query.h"
 #include "engine/flat.h"
 
@@ -367,6 +369,77 @@ TEST(FlatExprTest, ResolveAndEval) {
   EXPECT_DOUBLE_EQ(expr->Eval(batch, 1), 42.0);
   auto bad = FlatCol("zz");
   EXPECT_FALSE(bad->Resolve(batch).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Execution determinism through the shared runtime: per-row-group
+// accumulator slots merged in ascending group order must make the path-
+// based Execute overloads bit-identical for any thread count.
+// ---------------------------------------------------------------------------
+
+const std::string& DeterminismDataset() {
+  static auto& path = *new std::string(
+      EnsureDataset(::testing::TempDir() + "/hepq_engine_det",
+                    DatasetSpec{.num_events = 2000, .row_group_size = 500})
+          .ValueOrDie());
+  return path;
+}
+
+void ExpectSameBits(const Histogram1D& a, const Histogram1D& b) {
+  EXPECT_EQ(a.num_entries(), b.num_entries());
+  EXPECT_EQ(a.sum_weights(), b.sum_weights());
+  EXPECT_EQ(a.underflow(), b.underflow());
+  EXPECT_EQ(a.overflow(), b.overflow());
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    EXPECT_EQ(a.BinContent(i), b.BinContent(i)) << "bin " << i;
+  }
+}
+
+TEST(EventQueryTest, ThreadCountNeverChangesResults) {
+  EventQuery query("det");
+  const int jets = query.DeclareList("Jet", {"pt"});
+  const int met = query.DeclareScalar("MET.pt");
+  query.AddStage(Ge(
+      AggOverList(AggKind::kCount, jets, 0,
+                  Gt(IterMember(jets, 0, 0), Lit(40.0)), nullptr),
+      Lit(2.0)));
+  query.AddHistogram({"met", "", 100, 0, 200}, ScalarRef(met));
+  auto baseline = query.Execute(DeterminismDataset(), ReaderOptions{}, 1);
+  ASSERT_TRUE(baseline.ok());
+  for (int threads : {2, 4}) {
+    auto run = query.Execute(DeterminismDataset(), ReaderOptions{}, threads);
+    ASSERT_TRUE(run.ok());
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(run->events_processed, baseline->events_processed);
+    EXPECT_EQ(run->events_selected, baseline->events_selected);
+    EXPECT_EQ(run->ops, baseline->ops);  // identical Table 2 counters
+    EXPECT_EQ(run->scan.storage_bytes, baseline->scan.storage_bytes);
+    ExpectSameBits(run->histograms[0], baseline->histograms[0]);
+  }
+}
+
+TEST(FlatPipelineTest, ThreadCountNeverChangesResults) {
+  FlatPipeline pipeline("det_flat");
+  pipeline.AddUnnest(UnnestList{"Jet", {"pt"}, "j"});
+  pipeline.AddKeepScalar("MET.pt");
+  pipeline.AddFilter(FlatGt(FlatCol("j.pt"), FlatLit(40.0)));
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kCount, "", "", "n_jets"});
+  pipeline.AddAggregate(FlatAggSpec{FlatAggKind::kFirst, "MET.pt", "", "met"});
+  pipeline.AddHaving(FlatGe(FlatCol("n_jets"), FlatLit(2.0)));
+  pipeline.AddHistogram({"met", "", 100, 0, 200}, FlatCol("met"));
+  auto baseline = pipeline.Execute(DeterminismDataset(), ReaderOptions{}, 1);
+  ASSERT_TRUE(baseline.ok());
+  for (int threads : {2, 4}) {
+    auto run =
+        pipeline.Execute(DeterminismDataset(), ReaderOptions{}, threads);
+    ASSERT_TRUE(run.ok());
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(run->events_processed, baseline->events_processed);
+    EXPECT_EQ(run->rows_materialized, baseline->rows_materialized);
+    EXPECT_EQ(run->cells_materialized, baseline->cells_materialized);
+    EXPECT_EQ(run->groups, baseline->groups);
+    ExpectSameBits(run->histograms[0], baseline->histograms[0]);
+  }
 }
 
 }  // namespace

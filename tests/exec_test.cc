@@ -1,0 +1,223 @@
+// Tests for the shared parallel execution runtime (src/exec) and for the
+// determinism contract it gives every frontend: results are bit-identical
+// for any thread count because each row group accumulates into its own
+// slot and slots merge in ascending group order.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.h"
+#include "exec/exec.h"
+#include "queries/adl.h"
+
+namespace hepq {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForRunsEveryTaskExactlyOnce) {
+  exec::ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(100);
+  for (auto& c : counts) c.store(0);
+  pool.ParallelFor(4, 100, [&](int worker, int task) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, 4);
+    counts[static_cast<size_t>(task)].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  exec::ThreadPool pool(2);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> sum{0};
+    pool.ParallelFor(2, 10, [&](int, int task) { sum.fetch_add(task); });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineInTaskOrder) {
+  exec::ThreadPool pool(4);
+  std::vector<int> order;  // no lock needed: max_workers == 1 is inline
+  pool.ParallelFor(1, 5, [&](int worker, int task) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(task);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsButNeverShrinks) {
+  exec::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  pool.EnsureThreads(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  pool.EnsureThreads(2);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(SchedulingTest, SortLptOrdersByBytesThenGroup) {
+  std::vector<exec::RowGroupTask> tasks = {
+      {0, 10}, {1, 30}, {2, 30}, {3, 5}, {4, 30}};
+  exec::SortLpt(&tasks);
+  std::vector<int> groups;
+  for (const auto& t : tasks) groups.push_back(t.group);
+  EXPECT_EQ(groups, (std::vector<int>{1, 2, 4, 0, 3}));
+}
+
+TEST(SchedulingTest, EffectiveWorkersClampsToTasksAndOne) {
+  EXPECT_EQ(exec::EffectiveWorkers(4, 8), 4);
+  EXPECT_EQ(exec::EffectiveWorkers(4, 2), 2);
+  EXPECT_EQ(exec::EffectiveWorkers(0, 5), 1);
+  EXPECT_EQ(exec::EffectiveWorkers(-3, 5), 1);
+  EXPECT_EQ(exec::EffectiveWorkers(4, 0), 1);
+}
+
+TEST(RunRowGroupsTest, ProcessesEveryGroupOnce) {
+  for (int threads : {1, 3}) {
+    std::vector<exec::RowGroupTask> tasks;
+    for (int g = 0; g < 16; ++g) {
+      tasks.push_back({g, static_cast<uint64_t>(100 - g)});
+    }
+    std::vector<std::atomic<int>> seen(16);
+    for (auto& s : seen) s.store(0);
+    ASSERT_TRUE(exec::RunRowGroups(threads, tasks,
+                                   [&](int, int group) {
+                                     seen[static_cast<size_t>(group)]
+                                         .fetch_add(1);
+                                     return Status::OK();
+                                   })
+                    .ok());
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(RunRowGroupsTest, ReportsSmallestFailingGroupDeterministically) {
+  for (int threads : {1, 4}) {
+    std::vector<exec::RowGroupTask> tasks;
+    for (int g = 0; g < 8; ++g) {
+      // Descending sizes so LPT order == ascending group index.
+      tasks.push_back({g, static_cast<uint64_t>(100 - g)});
+    }
+    const Status status = exec::RunRowGroups(
+        threads, tasks, [&](int, int group) -> Status {
+          if (group >= 5) {
+            return Status::Invalid("boom " + std::to_string(group));
+          }
+          return Status::OK();
+        });
+    ASSERT_FALSE(status.ok());
+    // All failing groups may race, but the reported one is the smallest
+    // among those that actually ran; with 1 thread (LPT order: large
+    // groups first) that is deterministically group 5.
+    if (threads == 1) {
+      EXPECT_NE(status.message().find("boom 5"), std::string::npos);
+    }
+  }
+}
+
+TEST(RunRowGroupsTest, EmptyTaskListIsOk) {
+  EXPECT_TRUE(exec::RunRowGroups(4, {}, [&](int, int) {
+                return Status::Invalid("never called");
+              }).ok());
+}
+
+// ---------------------------------------------------------------------------
+// WorkerReaders + frontend determinism on a real data set.
+// ---------------------------------------------------------------------------
+
+class ExecDatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec;
+    spec.num_events = 2000;
+    spec.row_group_size = 500;
+    path_ = new std::string(
+        EnsureDataset(::testing::TempDir() + "/hepq_exec", spec)
+            .ValueOrDie());
+  }
+
+  static std::string* path_;
+};
+
+std::string* ExecDatasetTest::path_ = nullptr;
+
+TEST_F(ExecDatasetTest, WorkerReadersShareFileDisjointHandles) {
+  exec::WorkerReaders readers(*path_, ReaderOptions{}, 3);
+  const FileMetadata* metadata = readers.metadata().ValueOrDie();
+  EXPECT_EQ(metadata->row_groups.size(), 4u);
+  LaqReader* r0 = readers.reader(0).ValueOrDie();
+  LaqReader* r2 = readers.reader(2).ValueOrDie();
+  EXPECT_NE(r0, r2);
+  EXPECT_NE(readers.scratch(0), readers.scratch(2));
+  // Stats from all opened readers sum into the total.
+  ASSERT_TRUE(r0->ReadRowGroup(0, {"MET.pt"}, readers.scratch(0)).ok());
+  ASSERT_TRUE(r2->ReadRowGroup(1, {"MET.pt"}, readers.scratch(2)).ok());
+  const ScanStats total = readers.TotalScanStats();
+  EXPECT_EQ(total.chunks_read,
+            r0->scan_stats().chunks_read + r2->scan_stats().chunks_read);
+  EXPECT_GT(total.storage_bytes, 0u);
+}
+
+TEST_F(ExecDatasetTest, MakeRowGroupTasksSizesByCompressedBytes) {
+  exec::WorkerReaders readers(*path_, ReaderOptions{}, 1);
+  const FileMetadata* metadata = readers.metadata().ValueOrDie();
+  const auto tasks = exec::MakeRowGroupTasks(*metadata);
+  ASSERT_EQ(tasks.size(), metadata->row_groups.size());
+  for (size_t g = 0; g < tasks.size(); ++g) {
+    uint64_t bytes = 0;
+    for (const ChunkMeta& chunk : metadata->row_groups[g].chunks) {
+      bytes += chunk.compressed_size;
+    }
+    EXPECT_EQ(tasks[g].group, static_cast<int>(g));
+    EXPECT_EQ(tasks[g].bytes, bytes);
+  }
+}
+
+void ExpectBitIdentical(const Histogram1D& a, const Histogram1D& b) {
+  ASSERT_EQ(a.spec().num_bins, b.spec().num_bins);
+  EXPECT_EQ(a.num_entries(), b.num_entries());
+  EXPECT_EQ(a.underflow(), b.underflow());
+  EXPECT_EQ(a.overflow(), b.overflow());
+  EXPECT_EQ(a.sum_weights(), b.sum_weights());
+  EXPECT_EQ(a.mean(), b.mean());
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    EXPECT_EQ(a.BinContent(i), b.BinContent(i)) << "bin " << i;
+  }
+}
+
+/// Every frontend, byte-identical histograms and identical Table 2 op
+/// counts for num_threads in {1, 2, 4} — the runtime's core contract.
+TEST_F(ExecDatasetTest, EveryFrontendBitIdenticalAcrossThreadCounts) {
+  using queries::EngineKind;
+  const EngineKind engines[] = {EngineKind::kRdf, EngineKind::kBigQueryShape,
+                                EngineKind::kPrestoShape, EngineKind::kDoc};
+  // Q1 scalar-only, Q4 grouped aggregation, Q5 pair combinatorics: cover
+  // the per-event, grouped, and combinatorial merge paths of each engine.
+  for (int q : {1, 4, 5}) {
+    for (EngineKind engine : engines) {
+      queries::RunOptions options;
+      options.num_threads = 1;
+      auto baseline = queries::RunAdlQuery(engine, q, *path_, options);
+      ASSERT_TRUE(baseline.ok()) << baseline.status().message();
+      for (int threads : {2, 4}) {
+        options.num_threads = threads;
+        auto run = queries::RunAdlQuery(engine, q, *path_, options);
+        ASSERT_TRUE(run.ok()) << run.status().message();
+        SCOPED_TRACE("q" + std::to_string(q) + " engine " +
+                     std::string(queries::EngineKindName(engine)) +
+                     " threads " + std::to_string(threads));
+        EXPECT_EQ(run->events_processed, baseline->events_processed);
+        EXPECT_EQ(run->ops, baseline->ops);
+        EXPECT_EQ(run->scan.storage_bytes, baseline->scan.storage_bytes);
+        ASSERT_EQ(run->histograms.size(), baseline->histograms.size());
+        for (size_t h = 0; h < run->histograms.size(); ++h) {
+          ExpectBitIdentical(run->histograms[h], baseline->histograms[h]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hepq

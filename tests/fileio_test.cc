@@ -334,5 +334,90 @@ TEST(ReaderTest, MissingFile) {
             StatusCode::kIoError);
 }
 
+// ---------------------------------------------------------------------------
+// Scratch-buffer reuse: pooled and transient decode paths must be
+// indistinguishable except for the allocations they perform.
+// ---------------------------------------------------------------------------
+
+TEST(ScratchTest, PooledReadsMatchTransientReadsExactly) {
+  const std::string path = TempPath("scratch.laq");
+  WriterOptions options;
+  options.row_group_size = 3;
+  ASSERT_TRUE(
+      WriteLaqFile(path, TestSchema(), {TestBatch(0), TestBatch(100)},
+                   options)
+          .ok());
+
+  auto pooled = LaqReader::Open(path).ValueOrDie();
+  auto transient = LaqReader::Open(path).ValueOrDie();
+  ScratchBuffers scratch;
+  const std::vector<std::string> projection = {"MET.pt", "Jet.pt",
+                                               "weights"};
+  for (int g = 0; g < pooled->num_row_groups(); ++g) {
+    auto with = pooled->ReadRowGroup(g, projection, &scratch);
+    ASSERT_TRUE(with.ok());
+    // nullptr scratch == transient buffers == the two-arg overload.
+    auto without = transient->ReadRowGroup(g, projection, nullptr);
+    ASSERT_TRUE(without.ok());
+    EXPECT_TRUE((*with)->Equals(**without)) << "row group " << g;
+  }
+  // The pooled path bills IO identically to the transient path.
+  EXPECT_EQ(pooled->scan_stats().storage_bytes,
+            transient->scan_stats().storage_bytes);
+  EXPECT_EQ(pooled->scan_stats().encoded_bytes,
+            transient->scan_stats().encoded_bytes);
+  EXPECT_EQ(pooled->scan_stats().logical_bytes_bq,
+            transient->scan_stats().logical_bytes_bq);
+  EXPECT_EQ(pooled->scan_stats().chunks_read,
+            transient->scan_stats().chunks_read);
+  EXPECT_EQ(pooled->scan_stats().values_read,
+            transient->scan_stats().values_read);
+}
+
+TEST(ScratchTest, WarmScratchRereadsWithoutGrowingCapacity) {
+  const std::string path = TempPath("scratch_warm.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  ScratchBuffers scratch;
+  auto first = reader->ReadRowGroup(0, {"Jet.pt"}, &scratch);
+  ASSERT_TRUE(first.ok());
+  const size_t compressed_cap = scratch.compressed.capacity();
+  const size_t encoded_cap = scratch.encoded.capacity();
+  const size_t values_cap = scratch.values.capacity();
+  EXPECT_GT(values_cap, 0u);
+  auto second = reader->ReadRowGroup(0, {"Jet.pt"}, &scratch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE((*first)->Equals(**second));
+  EXPECT_EQ(scratch.compressed.capacity(), compressed_cap);
+  EXPECT_EQ(scratch.encoded.capacity(), encoded_cap);
+  EXPECT_EQ(scratch.values.capacity(), values_cap);
+  // Release really frees (the cold path of the micro benchmark).
+  scratch.Release();
+  EXPECT_EQ(scratch.values.capacity(), 0u);
+  EXPECT_EQ(scratch.compressed.capacity(), 0u);
+  EXPECT_EQ(scratch.encoded.capacity(), 0u);
+}
+
+TEST(ScratchTest, ReadLeafValuesDecodesWithoutMaterializing) {
+  const std::string path = TempPath("scratch_leaf.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  ScratchBuffers scratch;
+  ASSERT_TRUE(reader->ReadLeafValues(0, "MET.pt", &scratch).ok());
+  ASSERT_EQ(scratch.values.size(), 3 * sizeof(float));
+  const float* pt = reinterpret_cast<const float*>(scratch.values.data());
+  EXPECT_FLOAT_EQ(pt[0], 10.5f);
+  EXPECT_FLOAT_EQ(pt[1], 20.5f);
+  EXPECT_FLOAT_EQ(pt[2], 30.5f);
+  // Billed like any other single-leaf read.
+  EXPECT_EQ(reader->scan_stats().chunks_read, 1u);
+  EXPECT_EQ(reader->scan_stats().values_read, 3u);
+  EXPECT_GT(reader->scan_stats().storage_bytes, 0u);
+  // Errors: unknown leaf, group out of range.
+  EXPECT_EQ(reader->ReadLeafValues(0, "MET.nope", &scratch).code(),
+            StatusCode::kKeyError);
+  EXPECT_FALSE(reader->ReadLeafValues(7, "MET.pt", &scratch).ok());
+}
+
 }  // namespace
 }  // namespace hepq

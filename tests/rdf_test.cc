@@ -160,6 +160,60 @@ TEST_F(RdfTest, MultiThreadedMatchesSingleThreaded) {
   EXPECT_TRUE(h1.ApproxEquals(h3));
 }
 
+// Stronger than ApproxEquals: per-row-group accumulation + ordered merge
+// make results bit-identical for any worker count, and the filter
+// cutflow (the Table 2 op counters) identical too.
+TEST_F(RdfTest, ThreadCountNeverChangesAnyBit) {
+  struct Observed {
+    Histogram1D histo;
+    double sum = 0.0;
+    std::vector<rdf::FilterReport> report;
+    ScanStats scan;
+  };
+  auto run = [&](int threads) {
+    auto df = Open(threads);
+    auto met = df->Scalar<float>("MET.pt").ValueOrDie();
+    auto jet_pt = df->Particles<float>("Jet.pt").ValueOrDie();
+    auto selected =
+        df->root().Filter(
+            [jet_pt](const EventView& e) {
+              int n = 0;
+              for (float pt : e.Get(jet_pt)) {
+                if (pt > 40) ++n;
+              }
+              return n >= 2;
+            },
+            "two_hard_jets");
+    auto h = selected.Histo1D({"met", "", 100, 0, 200},
+                              [met](const EventView& e) {
+                                return e.Get(met);
+                              });
+    auto s = selected.Sum([met](const EventView& e) { return e.Get(met); });
+    EXPECT_TRUE(df->Run().ok());
+    return Observed{df->GetHistogram(h), df->GetSum(s), df->Report(),
+                    df->run_stats().scan};
+  };
+  const Observed base = run(1);
+  for (int threads : {2, 4}) {
+    const Observed observed = run(threads);
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    EXPECT_EQ(observed.sum, base.sum);  // exact, not approximate
+    EXPECT_EQ(observed.histo.num_entries(), base.histo.num_entries());
+    EXPECT_EQ(observed.histo.sum_weights(), base.histo.sum_weights());
+    for (int i = 0; i < base.histo.spec().num_bins; ++i) {
+      EXPECT_EQ(observed.histo.BinContent(i), base.histo.BinContent(i));
+    }
+    ASSERT_EQ(observed.report.size(), base.report.size());
+    for (size_t i = 0; i < base.report.size(); ++i) {
+      EXPECT_EQ(observed.report[i].examined, base.report[i].examined);
+      EXPECT_EQ(observed.report[i].passed, base.report[i].passed);
+    }
+    // Same bytes read regardless of how many readers shared the work.
+    EXPECT_EQ(observed.scan.storage_bytes, base.scan.storage_bytes);
+    EXPECT_EQ(observed.scan.chunks_read, base.scan.chunks_read);
+  }
+}
+
 TEST_F(RdfTest, WeightedHistogram) {
   auto df = Open();
   auto met = df->Scalar<float>("MET.pt").ValueOrDie();

@@ -1,9 +1,11 @@
 // hepq_run: run one ADL benchmark query on a chosen engine and print the
 // resulting histogram plus execution statistics.
 //
-// Usage: hepq_run <query 1..8> [engine] [events]
+// Usage: hepq_run <query 1..8> [engine] [events] [--threads=N]
 //   engine: rdf (default) | bigquery | presto | doc | all | explain
 //   events: data-set size to generate/reuse (default 20000)
+//   --threads=N: scan row groups with N workers of the shared runtime
+//     (results are bit-identical for any N; default 1)
 //   "explain" prints the relational plans instead of executing.
 
 #include <cstdio>
@@ -21,8 +23,9 @@ using hepq::queries::RunAdlQuery;
 
 namespace {
 
-void RunOne(EngineKind engine, int q, const std::string& path) {
-  auto result = RunAdlQuery(engine, q, path);
+void RunOne(EngineKind engine, int q, const std::string& path,
+            const hepq::queries::RunOptions& options) {
+  auto result = RunAdlQuery(engine, q, path, options);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     std::exit(1);
@@ -46,9 +49,20 @@ void RunOne(EngineKind engine, int q, const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  hepq::queries::RunOptions options;
+  int kept = 1;  // strip --threads=N wherever it appears
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const int v = std::atoi(argv[i] + 10);
+      if (v > 0) options.num_threads = v;
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
-                         " [events]\n",
+                         " [events] [--threads=N]\n",
                  argv[0]);
     return 2;
   }
@@ -86,7 +100,7 @@ int main(int argc, char** argv) {
     for (EngineKind engine :
          {EngineKind::kRdf, EngineKind::kBigQueryShape,
           EngineKind::kPrestoShape, EngineKind::kDoc}) {
-      RunOne(engine, q, *path);
+      RunOne(engine, q, *path, options);
     }
     return 0;
   }
@@ -103,6 +117,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
-  RunOne(engine, q, *path);
+  RunOne(engine, q, *path, options);
   return 0;
 }
