@@ -1,6 +1,7 @@
 #include "exec/exec.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 namespace hepq::exec {
@@ -126,32 +127,37 @@ Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
   if (tasks.empty()) return Status::OK();
   SortLpt(&tasks);
   const int workers = EffectiveWorkers(num_threads, tasks.size());
+  // Deterministic error contract, shared by the inline and parallel paths:
+  // once a group has failed, tasks whose group index is >= the smallest
+  // failing group so far are skipped (they can change neither the outcome
+  // nor the reported error), while smaller groups are always attempted —
+  // so the reported error is exactly the error of the smallest failing
+  // group, independent of thread count and scheduling. A corrupt file
+  // therefore produces the same Status for 1 and N threads.
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  std::atomic<int> error_group{std::numeric_limits<int>::max()};
+  const auto run_one = [&](int worker, int group) {
+    if (group >= error_group.load(std::memory_order_acquire)) return;
+    Status status = process(worker, group);
+    if (!status.ok()) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (group < error_group.load(std::memory_order_relaxed)) {
+        error_group.store(group, std::memory_order_release);
+        first_error = std::move(status);
+      }
+    }
+  };
   if (workers == 1) {
     // Inline path: same task order and per-group accumulation structure as
     // the parallel path, so results match bit for bit.
-    for (const RowGroupTask& task : tasks) {
-      HEPQ_RETURN_NOT_OK(process(0, task.group));
-    }
-    return Status::OK();
+    for (const RowGroupTask& task : tasks) run_one(0, task.group);
+  } else {
+    ThreadPool::Shared(workers).ParallelFor(
+        workers, static_cast<int>(tasks.size()), [&](int worker, int index) {
+          run_one(worker, tasks[static_cast<size_t>(index)].group);
+        });
   }
-  std::mutex error_mu;
-  Status first_error = Status::OK();
-  int error_group = -1;
-  std::atomic<bool> failed{false};
-  ThreadPool::Shared(workers).ParallelFor(
-      workers, static_cast<int>(tasks.size()), [&](int worker, int index) {
-        if (failed.load(std::memory_order_relaxed)) return;
-        const int group = tasks[static_cast<size_t>(index)].group;
-        Status status = process(worker, group);
-        if (!status.ok()) {
-          failed.store(true, std::memory_order_relaxed);
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (error_group < 0 || group < error_group) {
-            error_group = group;
-            first_error = std::move(status);
-          }
-        }
-      });
   return first_error;
 }
 

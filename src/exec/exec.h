@@ -95,9 +95,11 @@ int EffectiveWorkers(int num_threads, size_t num_tasks);
 /// Runs process(worker, group) for every task. Tasks are LPT-ordered and
 /// drained by EffectiveWorkers(num_threads, tasks.size()) workers of the
 /// shared pool; a single effective worker runs inline on the calling
-/// thread with worker id 0. After a failure remaining tasks are skipped;
-/// the reported error is the failing task's with the smallest group index,
-/// so error reporting is deterministic too.
+/// thread with worker id 0. After a failure, tasks with group index >= the
+/// smallest failing group so far are skipped while smaller groups still
+/// run, so the reported error is exactly that of the smallest failing
+/// group — deterministic for any thread count (corruption_test relies on
+/// this to assert identical errors for 1 vs N workers).
 Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
                     const std::function<Status(int worker, int group)>& process);
 

@@ -108,6 +108,9 @@ Status LzDecompress(const uint8_t* input, size_t n, size_t expected,
     if (pos + literal_len > n) {
       return Status::Corruption("lz: literal run past end");
     }
+    if (literal_len > expected - out->size()) {
+      return Status::Corruption("lz: output exceeds expected size");
+    }
     out->insert(out->end(), input + pos, input + pos + literal_len);
     pos += literal_len;
     if (pos >= n) break;  // final sequence carries no match
@@ -127,6 +130,13 @@ Status LzDecompress(const uint8_t* input, size_t n, size_t expected,
     const size_t match_len = match_code + kMinMatch;
     if (offset == 0 || offset > out->size()) {
       return Status::Corruption("lz: invalid match offset");
+    }
+    // A crafted stream of overlapping matches can otherwise balloon the
+    // output to many times `expected` before the final size check; cap
+    // every expansion up front. `out->size() <= expected` is an invariant,
+    // so the subtraction cannot underflow.
+    if (match_len > expected - out->size()) {
+      return Status::Corruption("lz: output exceeds expected size");
     }
     // Byte-by-byte copy: matches may overlap their own output.
     size_t src = out->size() - offset;

@@ -1,0 +1,305 @@
+#include "fileio/corruption.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "fileio/crc32.h"
+#include "fileio/varint.h"
+
+namespace hepq::laqfuzz {
+
+const char* MutationClassName(MutationClass c) {
+  switch (c) {
+    case MutationClass::kStructural:
+      return "structural";
+    case MutationClass::kChecksummed:
+      return "checksummed";
+    case MutationClass::kBestEffort:
+      return "best-effort";
+  }
+  return "unknown";
+}
+
+const char* MutatedFieldName(MutatedField f) {
+  switch (f) {
+    case MutatedField::kFileOffset:
+      return "file_offset";
+    case MutatedField::kCompressedSize:
+      return "compressed_size";
+    case MutatedField::kEncodedSize:
+      return "encoded_size";
+    case MutatedField::kNumValues:
+      return "num_values";
+    case MutatedField::kEncoding:
+      return "encoding";
+    case MutatedField::kCodec:
+      return "codec";
+    case MutatedField::kChunkCrc32:
+      return "crc32";
+    case MutatedField::kStats:
+      return "stats";
+    case MutatedField::kNumRows:
+      return "num_rows";
+    case MutatedField::kTotalRows:
+      return "total_rows";
+  }
+  return "unknown";
+}
+
+Result<LaqImage> LoadLaqImage(const std::string& path) {
+  // Open through the real reader first: the image must be a *valid* file,
+  // otherwise mutation classes mean nothing.
+  std::unique_ptr<LaqReader> reader;
+  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path));
+
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return Status::IoError("cannot reopen '" + path + "'");
+  LaqImage image;
+  image.metadata = reader->metadata();
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    std::fclose(file);
+    return Status::IoError("seek failed");
+  }
+  const long size = std::ftell(file);
+  if (size < 0) {
+    std::fclose(file);
+    return Status::IoError("cannot determine file size");
+  }
+  image.bytes.resize(static_cast<size_t>(size));
+  if (std::fseek(file, 0, SEEK_SET) != 0 ||
+      std::fread(image.bytes.data(), 1, image.bytes.size(), file) !=
+          image.bytes.size()) {
+    std::fclose(file);
+    return Status::IoError("cannot read '" + path + "'");
+  }
+  std::fclose(file);
+
+  uint32_t footer_size = 0;
+  std::memcpy(&footer_size, image.bytes.data() + image.bytes.size() - 12, 4);
+  image.footer_size = footer_size;
+  image.data_end = image.bytes.size() - 12 - footer_size;
+  return image;
+}
+
+std::vector<uint64_t> StructuralBoundaries(const LaqImage& image) {
+  std::vector<uint64_t> b = {0, 4, image.data_end,
+                             image.bytes.size() - 12,
+                             image.bytes.size() - 8,
+                             image.bytes.size() - 4,
+                             image.bytes.size()};
+  for (const RowGroupMeta& rg : image.metadata.row_groups) {
+    for (const ChunkMeta& chunk : rg.chunks) {
+      b.push_back(chunk.file_offset);
+      b.push_back(chunk.file_offset + chunk.compressed_size);
+    }
+  }
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  return b;
+}
+
+std::vector<uint8_t> TruncateAt(const LaqImage& image, uint64_t size) {
+  return std::vector<uint8_t>(
+      image.bytes.begin(),
+      image.bytes.begin() + static_cast<ptrdiff_t>(
+                                std::min<uint64_t>(size, image.bytes.size())));
+}
+
+std::vector<uint8_t> FlipBit(const LaqImage& image, uint64_t offset,
+                             int bit) {
+  std::vector<uint8_t> out = image.bytes;
+  out[static_cast<size_t>(offset % out.size())] ^=
+      static_cast<uint8_t>(1u << (bit & 7));
+  return out;
+}
+
+MutationClass FlipClass(const LaqImage& image, uint64_t offset) {
+  // Leading magic, footer, and trailer are all structurally verified on
+  // open; chunk data is vouched for only by the per-chunk CRC32.
+  if (offset < 4 || offset >= image.data_end) {
+    return MutationClass::kStructural;
+  }
+  for (const RowGroupMeta& rg : image.metadata.row_groups) {
+    for (const ChunkMeta& chunk : rg.chunks) {
+      if (offset >= chunk.file_offset &&
+          offset < chunk.file_offset + chunk.compressed_size) {
+        return MutationClass::kChecksummed;
+      }
+    }
+  }
+  return MutationClass::kBestEffort;  // padding byte: no CRC covers it
+}
+
+namespace {
+
+FileMetadata MutateMetadata(const FileMetadata& meta, const FieldMutation& m) {
+  FileMetadata out = meta;
+  if (m.field == MutatedField::kTotalRows) {
+    out.total_rows = static_cast<int64_t>(m.value);
+    return out;
+  }
+  RowGroupMeta& rg = out.row_groups[static_cast<size_t>(m.group)];
+  if (m.field == MutatedField::kNumRows) {
+    rg.num_rows = static_cast<int64_t>(m.value);
+    return out;
+  }
+  ChunkMeta& chunk = rg.chunks[static_cast<size_t>(m.leaf)];
+  switch (m.field) {
+    case MutatedField::kFileOffset:
+      chunk.file_offset = m.value;
+      break;
+    case MutatedField::kCompressedSize:
+      chunk.compressed_size = m.value;
+      break;
+    case MutatedField::kEncodedSize:
+      chunk.encoded_size = m.value;
+      break;
+    case MutatedField::kNumValues:
+      chunk.num_values = m.value;
+      break;
+    case MutatedField::kEncoding:
+      chunk.encoding = static_cast<Encoding>(m.value);
+      break;
+    case MutatedField::kCodec:
+      chunk.codec = static_cast<Codec>(m.value);
+      break;
+    case MutatedField::kChunkCrc32:
+      chunk.crc32 = static_cast<uint32_t>(m.value);
+      break;
+    case MutatedField::kStats:
+      // Inverted statistics: min strictly above max.
+      chunk.has_stats = true;
+      chunk.min_value = 1.0;
+      chunk.max_value = 0.0;
+      break;
+    case MutatedField::kNumRows:
+    case MutatedField::kTotalRows:
+      break;  // handled above
+  }
+  return out;
+}
+
+/// Classifies a candidate mutation: if the Open()-time validation pass
+/// provably rejects the mutated metadata the mutation is structural;
+/// otherwise CRC rewrites and size shrinks are caught by the chunk
+/// checksum, and anything else is best-effort (usually a decode failure,
+/// but not provably so).
+MutationClass ClassifyFieldMutation(const LaqImage& image,
+                                    const FileMetadata& mutated,
+                                    const FieldMutation& m) {
+  const Status validation = ValidateFileMetadata(
+      mutated, /*data_begin=*/4, image.data_end,
+      ReaderOptions{}.max_chunk_decoded_bytes);
+  if (!validation.ok()) return MutationClass::kStructural;
+  if (m.field == MutatedField::kChunkCrc32 ||
+      m.field == MutatedField::kCompressedSize) {
+    return MutationClass::kChecksummed;
+  }
+  return MutationClass::kBestEffort;
+}
+
+}  // namespace
+
+std::vector<FieldMutation> EnumerateFieldMutations(const LaqImage& image) {
+  const FileMetadata& meta = image.metadata;
+  std::vector<FieldMutation> candidates;
+  const uint64_t file_size = image.bytes.size();
+  for (size_t g = 0; g < meta.row_groups.size(); ++g) {
+    const RowGroupMeta& rg = meta.row_groups[g];
+    candidates.push_back({static_cast<int>(g), 0, MutatedField::kNumRows,
+                          static_cast<uint64_t>(rg.num_rows) + 1});
+    for (size_t c = 0; c < rg.chunks.size(); ++c) {
+      const ChunkMeta& chunk = rg.chunks[c];
+      const int gi = static_cast<int>(g);
+      const int ci = static_cast<int>(c);
+      auto add = [&](MutatedField field, uint64_t value) {
+        candidates.push_back({gi, ci, field, value});
+      };
+      add(MutatedField::kFileOffset, file_size);
+      add(MutatedField::kFileOffset, 0);
+      add(MutatedField::kCompressedSize, image.data_end);
+      add(MutatedField::kCompressedSize, chunk.compressed_size + 1);
+      if (chunk.compressed_size > 0) {
+        add(MutatedField::kCompressedSize, chunk.compressed_size - 1);
+      }
+      add(MutatedField::kEncodedSize, 0);
+      add(MutatedField::kEncodedSize, chunk.num_values * 25 + 64);
+      add(MutatedField::kNumValues, chunk.num_values + 1);
+      if (chunk.num_values > 0) add(MutatedField::kNumValues, 0);
+      add(MutatedField::kNumValues, 1ull << 61);  // allocation bomb
+      for (uint8_t e = 0; e <= static_cast<uint8_t>(Encoding::kDeltaVarint);
+           ++e) {
+        if (e != static_cast<uint8_t>(chunk.encoding)) {
+          add(MutatedField::kEncoding, e);
+        }
+      }
+      add(MutatedField::kCodec,
+          chunk.codec == Codec::kNone ? static_cast<uint64_t>(Codec::kLz)
+                                      : static_cast<uint64_t>(Codec::kNone));
+      add(MutatedField::kChunkCrc32, chunk.crc32 ^ 0x5a5a5a5au);
+      add(MutatedField::kStats, 0);
+    }
+  }
+  candidates.push_back({0, 0, MutatedField::kTotalRows,
+                        static_cast<uint64_t>(meta.total_rows) + 1});
+  for (FieldMutation& m : candidates) {
+    m.mclass = ClassifyFieldMutation(image, MutateMetadata(meta, m), m);
+  }
+  return candidates;
+}
+
+std::vector<uint8_t> RebuildWithMetadata(const LaqImage& image,
+                                         const FileMetadata& mutated) {
+  std::vector<uint8_t> out(image.bytes.begin(),
+                           image.bytes.begin() +
+                               static_cast<ptrdiff_t>(image.data_end));
+  std::vector<uint8_t> footer;
+  SerializeFileMetadata(mutated, &footer);
+  out.insert(out.end(), footer.begin(), footer.end());
+  PutFixed32(&out, static_cast<uint32_t>(footer.size()));
+  PutFixed32(&out, Crc32(footer.data(), footer.size()));
+  out.insert(out.end(), kLaqMagic, kLaqMagic + 4);
+  return out;
+}
+
+std::vector<uint8_t> ApplyFieldMutation(const LaqImage& image,
+                                        const FieldMutation& m) {
+  return RebuildWithMetadata(image, MutateMetadata(image.metadata, m));
+}
+
+Status WriteBytes(const std::string& path,
+                  const std::vector<uint8_t>& bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    std::fclose(file);
+    return Status::IoError("short write to '" + path + "'");
+  }
+  if (std::fclose(file) != 0) return Status::IoError("close failed");
+  return Status::OK();
+}
+
+Status ReadEverything(const std::string& path,
+                      const ReaderOptions& options) {
+  std::unique_ptr<LaqReader> reader;
+  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, options));
+  ScratchBuffers scratch;
+  for (int g = 0; g < reader->num_row_groups(); ++g) {
+    std::vector<std::string> all;
+    for (const Field& f : reader->schema().fields()) all.push_back(f.name);
+    RecordBatchPtr batch;
+    HEPQ_RETURN_NOT_OK(
+        reader->ReadRowGroup(g, all, &scratch).MoveTo(&batch));
+    if (batch->num_rows() !=
+        reader->metadata().row_groups[static_cast<size_t>(g)].num_rows) {
+      return Status::Corruption("row group decoded to wrong row count");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hepq::laqfuzz

@@ -1,0 +1,128 @@
+#ifndef HEPQUERY_FILEIO_CORRUPTION_H_
+#define HEPQUERY_FILEIO_CORRUPTION_H_
+
+// Deterministic corruption injection for .laq files, shared by the
+// laq_fuzz tool and tests/corruption_test.cc. Given a valid file, the
+// helpers here enumerate and apply three mutation families:
+//
+//   1. truncations (at structural boundaries or arbitrary offsets),
+//   2. bit flips anywhere in the file,
+//   3. targeted footer field mutations, re-serialized with a *correct*
+//      footer CRC so they exercise the metadata validation pass rather
+//      than the checksum.
+//
+// Every mutation is classified by how it must be detected, so a harness
+// can assert "this mutated file yields a non-OK Status" with the right
+// strength for each class (see MutationClass).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fileio/reader.h"
+
+namespace hepq::laqfuzz {
+
+/// How a mutation is guaranteed to be detected.
+enum class MutationClass {
+  /// Structure is broken: the trailer, footer CRC, or the metadata
+  /// validation pass rejects the file regardless of reader options.
+  kStructural,
+  /// Chunk data is altered under an unchanged chunk CRC32 entry: detection
+  /// is guaranteed only when ReaderOptions::validate_checksums is true.
+  /// With checksums off, the read must still be safe (no crash, no
+  /// sanitizer report) but may succeed with altered values.
+  kChecksummed,
+  /// Plausible-looking metadata changes (encoding flips, statistics) that
+  /// usually fail decode but are not provably detectable. Only the
+  /// no-crash guarantee applies.
+  kBestEffort,
+};
+
+const char* MutationClassName(MutationClass c);
+
+/// A valid .laq file loaded into memory together with its parsed
+/// structure, the substrate every mutation is derived from.
+struct LaqImage {
+  std::vector<uint8_t> bytes;
+  FileMetadata metadata;
+  uint64_t data_end = 0;     ///< first byte of the footer payload
+  uint64_t footer_size = 0;  ///< bytes of footer payload (pre-trailer)
+};
+
+/// Loads and structurally verifies a .laq file (it must open cleanly).
+Result<LaqImage> LoadLaqImage(const std::string& path);
+
+/// Sorted, de-duplicated structural offsets of the image: 0, end of magic,
+/// every chunk begin/end, footer begin, the three trailer fields, and the
+/// file size. Truncating at (or next to) each of these exercises every
+/// "half-written file" shape a crashed writer can leave behind.
+std::vector<uint64_t> StructuralBoundaries(const LaqImage& image);
+
+/// `image` truncated to its first `size` bytes.
+std::vector<uint8_t> TruncateAt(const LaqImage& image, uint64_t size);
+
+/// `image` with bit `bit` (0..7) of byte `offset` flipped.
+std::vector<uint8_t> FlipBit(const LaqImage& image, uint64_t offset, int bit);
+
+/// Detection class of a single-bit flip at `offset`: flips at or beyond
+/// the data/footer boundary (and in the leading magic) are structural,
+/// flips inside chunk data are only checksum-guaranteed.
+MutationClass FlipClass(const LaqImage& image, uint64_t offset);
+
+/// Which footer field a targeted mutation rewrites.
+enum class MutatedField {
+  kFileOffset,
+  kCompressedSize,
+  kEncodedSize,
+  kNumValues,
+  kEncoding,
+  kCodec,
+  kChunkCrc32,
+  kStats,
+  kNumRows,    // row-group level; chunk index ignored
+  kTotalRows,  // file level; group/chunk indices ignored
+};
+
+const char* MutatedFieldName(MutatedField f);
+
+/// One deterministic footer mutation: set `field` of chunk `leaf` in row
+/// group `group` to `value`, re-serialize the footer, and recompute the
+/// footer CRC so only the metadata validation pass (or a decode failure)
+/// can catch it.
+struct FieldMutation {
+  int group = 0;
+  int leaf = 0;
+  MutatedField field = MutatedField::kFileOffset;
+  uint64_t value = 0;
+  MutationClass mclass = MutationClass::kStructural;
+};
+
+/// The full deterministic footer-mutation corpus for `image`: for every
+/// chunk, boundary-breaking offsets/sizes/counts (kStructural), CRC and
+/// off-by-one size rewrites (kChecksummed), and encoding/codec/statistics
+/// flips (kBestEffort where not provable).
+std::vector<FieldMutation> EnumerateFieldMutations(const LaqImage& image);
+
+/// Applies `m` to a copy of the image's metadata and rebuilds the file
+/// bytes (data region unchanged, new footer, new trailer with correct
+/// size/CRC).
+std::vector<uint8_t> ApplyFieldMutation(const LaqImage& image,
+                                        const FieldMutation& m);
+
+/// Rebuilds image bytes around `mutated` metadata (used by tests that
+/// craft their own metadata edits).
+std::vector<uint8_t> RebuildWithMetadata(const LaqImage& image,
+                                         const FileMetadata& mutated);
+
+/// Writes `bytes` to `path`, replacing any existing file.
+Status WriteBytes(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Opens `path` and reads every row group with every column, exercising
+/// the whole storage read path. Returns the first error, or OK if the file
+/// read completely.
+Status ReadEverything(const std::string& path, const ReaderOptions& options);
+
+}  // namespace hepq::laqfuzz
+
+#endif  // HEPQUERY_FILEIO_CORRUPTION_H_

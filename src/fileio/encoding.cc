@@ -44,8 +44,15 @@ Status DecodeRle(const uint8_t* data, size_t size, size_t count, T* out) {
     int64_t value = 0;
     HEPQ_RETURN_NOT_OK(reader.GetVarint(&run));
     HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&value));
-    if (run == 0 || produced + run > count) {
+    if (run == 0 || run > count - produced) {
       return Status::Corruption("rle: run overflows value count");
+    }
+    if constexpr (sizeof(T) == 4) {
+      // A 64-bit varint value that does not fit the leaf's 32-bit physical
+      // type would otherwise truncate silently.
+      if (value < INT32_MIN || value > INT32_MAX) {
+        return Status::Corruption("rle: value out of range for leaf type");
+      }
     }
     // One fill per run instead of a per-element loop: the compiler turns
     // this into memset-style wide stores, which matters for the long runs
@@ -73,9 +80,13 @@ Status DecodeDelta(const uint8_t* data, size_t size, size_t count, T* out) {
   // most 10 bytes, so while that much slack remains the bytes can be
   // consumed without per-byte bounds checks. The checked ByteReader path
   // handles the buffer tail (and all corrupt inputs exactly as before).
+  //
+  // The prefix sum accumulates in uint64 (wrap-around is defined) rather
+  // than int64: crafted deltas can exceed any value range, and signed
+  // overflow would be UB the sanitizer jobs trap on.
   size_t pos = 0;
   size_t i = 0;
-  int64_t previous = 0;
+  uint64_t previous = 0;
   while (i < count && size - pos >= 10) {
     uint64_t zz = 0;
     int shift = 0;
@@ -86,15 +97,27 @@ Status DecodeDelta(const uint8_t* data, size_t size, size_t count, T* out) {
       shift += 7;
     } while ((byte & 0x80) != 0 && shift < 64);
     if ((byte & 0x80) != 0) return Status::Corruption("varint too long");
-    previous += static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
-    out[i++] = static_cast<T>(previous);
+    previous += (zz >> 1) ^ (~(zz & 1) + 1);  // un-zig-zag, wrapping add
+    const int64_t value = static_cast<int64_t>(previous);
+    if constexpr (sizeof(T) == 4) {
+      if (value < INT32_MIN || value > INT32_MAX) {
+        return Status::Corruption("delta: value out of range for leaf type");
+      }
+    }
+    out[i++] = static_cast<T>(value);
   }
   ByteReader reader(data + pos, size - pos);
   for (; i < count; ++i) {
     int64_t delta = 0;
     HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&delta));
-    previous += delta;
-    out[i] = static_cast<T>(previous);
+    previous += static_cast<uint64_t>(delta);
+    const int64_t value = static_cast<int64_t>(previous);
+    if constexpr (sizeof(T) == 4) {
+      if (value < INT32_MIN || value > INT32_MAX) {
+        return Status::Corruption("delta: value out of range for leaf type");
+      }
+    }
+    out[i] = static_cast<T>(value);
   }
   if (!reader.AtEnd()) return Status::Corruption("delta: trailing bytes");
   return Status::OK();
@@ -153,7 +176,7 @@ Status EncodeValues(TypeId type, Encoding encoding, const void* data,
     case Encoding::kPlain: {
       const size_t n = count * static_cast<size_t>(width);
       out->resize(n);
-      std::memcpy(out->data(), data, n);
+      if (n != 0) std::memcpy(out->data(), data, n);  // null src if empty
       return Status::OK();
     }
     case Encoding::kRleVarint:
@@ -196,7 +219,7 @@ Status DecodeValues(TypeId type, Encoding encoding, const uint8_t* data,
     case Encoding::kPlain: {
       const size_t n = count * static_cast<size_t>(width);
       if (size != n) return Status::Corruption("plain: size mismatch");
-      std::memcpy(out, data, n);
+      if (n != 0) std::memcpy(out, data, n);  // null src/dst if empty
       return Status::OK();
     }
     case Encoding::kRleVarint:

@@ -218,4 +218,171 @@ Status ParseFileMetadata(const uint8_t* data, size_t size,
   return Status::OK();
 }
 
+namespace {
+
+std::string ChunkContext(const FileMetadata& meta, size_t group,
+                         size_t leaf) {
+  return " (row group " + std::to_string(group) + ", leaf '" +
+         meta.layout[leaf].path + "')";
+}
+
+/// Worst-case bytes per value of the varint encodings: RLE emits per run a
+/// run-length varint (<= 10 bytes) plus a zig-zag value (<= 10 bytes) and a
+/// run covers >= 1 value; delta emits one zig-zag varint (1..10 bytes) per
+/// value.
+constexpr uint64_t kMaxRleBytesPerValue = 20;
+constexpr uint64_t kMaxDeltaBytesPerValue = 10;
+
+}  // namespace
+
+Status ValidateFileMetadata(const FileMetadata& meta, uint64_t data_begin,
+                            uint64_t data_end,
+                            uint64_t max_chunk_decoded_bytes) {
+  if (data_end < data_begin) {
+    return Status::Corruption("file data region is inverted");
+  }
+  const uint64_t data_bytes = data_end - data_begin;
+  if (meta.total_rows < 0) return Status::Corruption("negative total_rows");
+  uint64_t sum_rows = 0;
+  uint64_t total_storage = 0;
+  for (size_t g = 0; g < meta.row_groups.size(); ++g) {
+    const RowGroupMeta& rg = meta.row_groups[g];
+    if (rg.num_rows < 0) {
+      return Status::Corruption("negative row count in row group " +
+                                std::to_string(g));
+    }
+    const uint64_t rows = static_cast<uint64_t>(rg.num_rows);
+    sum_rows += rows;
+    if (sum_rows < rows ||
+        sum_rows > static_cast<uint64_t>(meta.total_rows)) {
+      return Status::Corruption("row group rows exceed total_rows");
+    }
+    if (rg.chunks.size() != meta.layout.size()) {
+      return Status::Corruption("chunk count does not match leaf layout");
+    }
+    // Item leaves of one list column must agree on their value count; the
+    // first one seen per field sets the expectation.
+    std::vector<int64_t> field_item_count(
+        static_cast<size_t>(meta.schema.num_fields()), -1);
+    for (size_t c = 0; c < rg.chunks.size(); ++c) {
+      const ChunkMeta& chunk = rg.chunks[c];
+      const LeafDesc& leaf = meta.layout[c];
+      const uint64_t width =
+          static_cast<uint64_t>(PrimitiveWidth(leaf.physical));
+      if (width == 0) {
+        return Status::Corruption("leaf has no physical width" +
+                                  ChunkContext(meta, g, c));
+      }
+      // Allocation cap first: everything below may multiply num_values.
+      if (chunk.num_values > max_chunk_decoded_bytes / width) {
+        return Status::Corruption("chunk decoded size exceeds limit" +
+                                  ChunkContext(meta, g, c));
+      }
+      // File bounds (subtraction order avoids uint64 overflow).
+      if (chunk.file_offset < data_begin || chunk.file_offset > data_end ||
+          chunk.compressed_size > data_end - chunk.file_offset) {
+        return Status::Corruption("chunk extends past data region" +
+                                  ChunkContext(meta, g, c));
+      }
+      total_storage += chunk.compressed_size;
+      if (total_storage > data_bytes) {
+        return Status::Corruption(
+            "chunks claim more bytes than the file holds" +
+            ChunkContext(meta, g, c));
+      }
+      // Value-count consistency with the schema shape.
+      const DataType& field_type =
+          *meta.schema.field(leaf.field_index).type;
+      const bool per_row =
+          leaf.is_lengths || field_type.id() != TypeId::kList;
+      if (per_row) {
+        if (chunk.num_values != rows) {
+          return Status::Corruption("per-row leaf value count != num_rows" +
+                                    ChunkContext(meta, g, c));
+        }
+      } else {
+        int64_t& expected =
+            field_item_count[static_cast<size_t>(leaf.field_index)];
+        if (expected < 0) {
+          expected = static_cast<int64_t>(chunk.num_values);
+        } else if (static_cast<uint64_t>(expected) != chunk.num_values) {
+          return Status::Corruption(
+              "list item leaves disagree on value count" +
+              ChunkContext(meta, g, c));
+        }
+      }
+      // Encoding legality + encoded_size consistency.
+      const bool integer_leaf = leaf.physical == TypeId::kInt32 ||
+                                leaf.physical == TypeId::kInt64;
+      switch (chunk.encoding) {
+        case Encoding::kPlain:
+          if (chunk.encoded_size != chunk.num_values * width) {
+            return Status::Corruption("plain encoded_size mismatch" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+        case Encoding::kBitPack:
+          if (leaf.physical != TypeId::kBool) {
+            return Status::Corruption("bitpack on non-bool leaf" +
+                                      ChunkContext(meta, g, c));
+          }
+          if (chunk.encoded_size != (chunk.num_values + 7) / 8) {
+            return Status::Corruption("bitpack encoded_size mismatch" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+        case Encoding::kRleVarint:
+          if (!integer_leaf) {
+            return Status::Corruption("rle on non-integer leaf" +
+                                      ChunkContext(meta, g, c));
+          }
+          if ((chunk.num_values == 0) != (chunk.encoded_size == 0) ||
+              chunk.encoded_size > chunk.num_values * kMaxRleBytesPerValue) {
+            return Status::Corruption("rle encoded_size out of bounds" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+        case Encoding::kDeltaVarint:
+          if (!integer_leaf) {
+            return Status::Corruption("delta on non-integer leaf" +
+                                      ChunkContext(meta, g, c));
+          }
+          if (chunk.encoded_size < chunk.num_values ||
+              chunk.encoded_size >
+                  chunk.num_values * kMaxDeltaBytesPerValue) {
+            return Status::Corruption("delta encoded_size out of bounds" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+      }
+      // Codec invariants the writer guarantees.
+      switch (chunk.codec) {
+        case Codec::kNone:
+          if (chunk.compressed_size != chunk.encoded_size) {
+            return Status::Corruption("uncompressed chunk size mismatch" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+        case Codec::kLz:
+          if (chunk.encoded_size == 0 ? chunk.compressed_size != 0
+                                      : (chunk.compressed_size == 0 ||
+                                         chunk.compressed_size >=
+                                             chunk.encoded_size)) {
+            return Status::Corruption("lz chunk size out of bounds" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+      }
+      if (chunk.has_stats && chunk.min_value > chunk.max_value) {
+        return Status::Corruption("inverted min/max statistics" +
+                                  ChunkContext(meta, g, c));
+      }
+    }
+  }
+  if (sum_rows != static_cast<uint64_t>(meta.total_rows)) {
+    return Status::Corruption("row group rows do not sum to total_rows");
+  }
+  return Status::OK();
+}
+
 }  // namespace hepq

@@ -83,6 +83,32 @@ void SerializeFileMetadata(const FileMetadata& meta,
 Status ParseFileMetadata(const uint8_t* data, size_t size,
                          FileMetadata* out);
 
+/// Cross-checks parsed metadata against the physical file layout so that no
+/// footer-derived integer ever reaches a resize()/memcpy/fseek unchecked.
+/// `data_begin`/`data_end` delimit the chunk-data region of the file (after
+/// the leading magic, before the footer). `max_chunk_decoded_bytes` caps the
+/// decoded size (`num_values * width`) of any single chunk, bounding
+/// allocations driven by a corrupt or hostile footer.
+///
+/// Invariants enforced (see DESIGN.md "Storage-layer validation"):
+///   - every chunk's [file_offset, file_offset + compressed_size) lies
+///     inside [data_begin, data_end), and the chunks of the file together
+///     do not claim more bytes than the data region holds;
+///   - per-chunk value counts are consistent with the schema: a lengths
+///     leaf and every per-row leaf (top-level primitive, non-list struct
+///     member) hold exactly `num_rows` values, and all item leaves of one
+///     list column hold the same count;
+///   - `encoded_size` is consistent with (encoding, physical type,
+///     num_values): exact for plain/bitpack, bounded for the varint
+///     encodings; the encoding is legal for the leaf's physical type;
+///   - codec invariants the writer guarantees (kNone: compressed ==
+///     encoded; kLz: 0 < compressed < encoded for non-empty chunks);
+///   - row counts are non-negative and sum to total_rows; min/max
+///     statistics are ordered.
+Status ValidateFileMetadata(const FileMetadata& meta, uint64_t data_begin,
+                            uint64_t data_end,
+                            uint64_t max_chunk_decoded_bytes);
+
 }  // namespace hepq
 
 #endif  // HEPQUERY_FILEIO_FORMAT_H_

@@ -1,6 +1,7 @@
 #include "fileio/reader.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstring>
 #include <map>
 
@@ -14,40 +15,80 @@ namespace {
 Result<ArrayPtr> BuildPrimitiveArray(TypeId type,
                                      const std::vector<uint8_t>& bytes,
                                      size_t count) {
+  // `bytes` holds the decoded chunk; a corrupt file can make the caller's
+  // expected count (derived from row counts or list lengths) exceed what
+  // the chunk actually decoded to, so the copies below must never trust
+  // `count` alone.
+  const int width = PrimitiveWidth(type);
+  if (width <= 0) return Status::Invalid("not a primitive leaf type");
+  if (count > bytes.size() / static_cast<size_t>(width)) {
+    return Status::Corruption("leaf chunk holds fewer values than expected");
+  }
   switch (type) {
     case TypeId::kFloat32: {
       std::vector<float> v(count);
-      std::memcpy(v.data(), bytes.data(), count * sizeof(float));
+      if (count != 0) std::memcpy(v.data(), bytes.data(), count * sizeof(float));
       return ArrayPtr(std::make_shared<Float32Array>(DataType::Float32(),
                                                      std::move(v)));
     }
     case TypeId::kFloat64: {
       std::vector<double> v(count);
-      std::memcpy(v.data(), bytes.data(), count * sizeof(double));
+      if (count != 0) std::memcpy(v.data(), bytes.data(), count * sizeof(double));
       return ArrayPtr(std::make_shared<Float64Array>(DataType::Float64(),
                                                      std::move(v)));
     }
     case TypeId::kInt32: {
       std::vector<int32_t> v(count);
-      std::memcpy(v.data(), bytes.data(), count * sizeof(int32_t));
+      if (count != 0) std::memcpy(v.data(), bytes.data(), count * sizeof(int32_t));
       return ArrayPtr(
           std::make_shared<Int32Array>(DataType::Int32(), std::move(v)));
     }
     case TypeId::kInt64: {
       std::vector<int64_t> v(count);
-      std::memcpy(v.data(), bytes.data(), count * sizeof(int64_t));
+      if (count != 0) std::memcpy(v.data(), bytes.data(), count * sizeof(int64_t));
       return ArrayPtr(
           std::make_shared<Int64Array>(DataType::Int64(), std::move(v)));
     }
     case TypeId::kBool: {
       std::vector<uint8_t> v(count);
-      std::memcpy(v.data(), bytes.data(), count);
+      if (count != 0) std::memcpy(v.data(), bytes.data(), count);
       return ArrayPtr(
           std::make_shared<BoolArray>(DataType::Bool(), std::move(v)));
     }
     default:
       return Status::Invalid("not a primitive leaf type");
   }
+}
+
+/// Folds a row group's decoded per-row list lengths into offsets. Lengths
+/// are data, not metadata: the footer CRC and the Open()-time validation
+/// pass cannot vouch for them, and a crafted or bit-flipped chunk (or one
+/// read with validate_checksums off) can decode to negative or absurd
+/// values. Each length is range-checked before it becomes an array offset;
+/// the summed item count is returned for cross-checking against the values
+/// leaf.
+Status FoldLengthsToOffsets(const std::vector<uint8_t>& values, int64_t rows,
+                            std::vector<uint32_t>* offsets,
+                            size_t* num_items) {
+  if (values.size() / sizeof(int32_t) < static_cast<size_t>(rows)) {
+    return Status::Corruption("lengths chunk shorter than row count");
+  }
+  offsets->assign(static_cast<size_t>(rows) + 1, 0);
+  const auto* lengths = reinterpret_cast<const int32_t*>(values.data());
+  uint64_t total = 0;
+  for (int64_t i = 0; i < rows; ++i) {
+    const int32_t length = lengths[i];
+    if (length < 0) {
+      return Status::Corruption("negative list length in lengths chunk");
+    }
+    total += static_cast<uint64_t>(length);
+    if (total > UINT32_MAX) {
+      return Status::Corruption("list lengths overflow 32-bit offsets");
+    }
+    (*offsets)[static_cast<size_t>(i) + 1] = static_cast<uint32_t>(total);
+  }
+  *num_items = static_cast<size_t>(total);
+  return Status::OK();
 }
 
 }  // namespace
@@ -69,7 +110,17 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
     return Status::IoError("seek failed");
   }
   const long file_size = std::ftell(file);
+  if (file_size < 0) return Status::IoError("cannot determine file size");
   if (file_size < 16) return Status::Corruption("file too small to be laq");
+
+  uint8_t magic[4];
+  if (std::fseek(file, 0, SEEK_SET) != 0 ||
+      std::fread(magic, 1, 4, file) != 4) {
+    return Status::IoError("cannot read file header");
+  }
+  if (std::memcmp(magic, kLaqMagic, 4) != 0) {
+    return Status::Corruption("bad leading magic (not a laq file?)");
+  }
 
   uint8_t trailer[12];
   if (std::fseek(file, file_size - 12, SEEK_SET) != 0 ||
@@ -97,6 +148,15 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
   FileMetadata metadata;
   HEPQ_RETURN_NOT_OK(ParseFileMetadata(footer.data(), footer.size(),
                                        &metadata));
+  // A CRC-valid footer can still describe an impossible file (crafted
+  // input, or a correct footer over truncated data). Validate every
+  // metadata-derived integer once, here, so the read path below never has
+  // to re-check offsets, sizes, or counts against the file.
+  const uint64_t data_end = static_cast<uint64_t>(file_size) - 12 -
+                            static_cast<uint64_t>(footer_size);
+  HEPQ_RETURN_NOT_OK(ValidateFileMetadata(metadata, /*data_begin=*/4,
+                                          data_end,
+                                          options.max_chunk_decoded_bytes));
   guard.release();
   return std::unique_ptr<LaqReader>(
       new LaqReader(file, std::move(metadata), options));
@@ -286,15 +346,17 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
         // the values read below may reuse the same scratch buffer.
         HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf,
                                     /*billed=*/true, scratch));
-        std::vector<uint32_t> offsets(static_cast<size_t>(rows) + 1, 0);
-        const auto* lengths =
-            reinterpret_cast<const int32_t*>(scratch->values.data());
-        for (int64_t i = 0; i < rows; ++i) {
-          offsets[static_cast<size_t>(i) + 1] =
-              offsets[static_cast<size_t>(i)] +
-              static_cast<uint32_t>(lengths[i]);
+        std::vector<uint32_t> offsets;
+        size_t num_items = 0;
+        HEPQ_RETURN_NOT_OK(
+            FoldLengthsToOffsets(scratch->values, rows, &offsets, &num_items));
+        const ChunkMeta& values_chunk =
+            metadata_.row_groups[static_cast<size_t>(group_index)]
+                .chunks[static_cast<size_t>(values_leaf)];
+        if (num_items != static_cast<size_t>(values_chunk.num_values)) {
+          return Status::Corruption("list lengths of '" + field.name +
+                                    "' do not sum to the values leaf count");
         }
-        const size_t num_items = offsets.back();
         HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, values_leaf,
                                     /*billed=*/true, scratch));
         ArrayPtr child;
@@ -327,14 +389,25 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
       const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
       HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf, /*billed=*/true,
                                   scratch));
-      offsets.assign(static_cast<size_t>(rows) + 1, 0);
-      const auto* lengths =
-          reinterpret_cast<const int32_t*>(scratch->values.data());
-      for (int64_t i = 0; i < rows; ++i) {
-        offsets[static_cast<size_t>(i) + 1] =
-            offsets[static_cast<size_t>(i)] + static_cast<uint32_t>(lengths[i]);
+      HEPQ_RETURN_NOT_OK(
+          FoldLengthsToOffsets(scratch->values, rows, &offsets, &num_items));
+      // All member leaves of one list column carry the same value count
+      // (enforced at Open); the decoded lengths must agree with it.
+      if (!to_read.empty()) {
+        const int first_leaf = metadata_.LeafIndex(
+            field.name + "." +
+            struct_type->fields()[static_cast<size_t>(to_read.front())].name);
+        if (first_leaf >= 0) {
+          const ChunkMeta& member_chunk =
+              metadata_.row_groups[static_cast<size_t>(group_index)]
+                  .chunks[static_cast<size_t>(first_leaf)];
+          if (num_items != static_cast<size_t>(member_chunk.num_values)) {
+            return Status::Corruption(
+                "list lengths of '" + field.name +
+                "' do not sum to the member leaf count");
+          }
+        }
       }
-      num_items = offsets.back();
     }
 
     std::vector<Field> member_fields;

@@ -69,6 +69,12 @@ struct ReaderOptions {
   bool struct_projection_pushdown = true;
   /// Verify chunk checksums while reading.
   bool validate_checksums = true;
+  /// Upper bound on the decoded size (num_values * physical width) of any
+  /// single chunk, enforced by the metadata validation pass in Open(). A
+  /// footer — even one whose CRC matches — can otherwise drive multi-GiB
+  /// allocations from a few mutated varint bytes. The checksum toggle does
+  /// not affect this: metadata validation always runs.
+  uint64_t max_chunk_decoded_bytes = 1ull << 30;
 };
 
 /// Reads .laq columnar files with projection pushdown.

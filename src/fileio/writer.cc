@@ -25,7 +25,10 @@ template <typename T>
 void AppendTyped(const std::vector<T>& src, LeafValues* out) {
   const size_t old = out->bytes.size();
   out->bytes.resize(old + src.size() * sizeof(T));
-  std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  if (!src.empty()) {
+    // Guarded: memcpy from an empty span's null data() is UB.
+    std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  }
   out->count += src.size();
   for (const T& v : src) {
     const double d = static_cast<double>(v);
@@ -43,7 +46,10 @@ template <typename T>
 void AppendSpanTyped(std::span<const T> src, LeafValues* out) {
   const size_t old = out->bytes.size();
   out->bytes.resize(old + src.size() * sizeof(T));
-  std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  if (!src.empty()) {
+    // Guarded: memcpy from an empty span's null data() is UB.
+    std::memcpy(out->bytes.data() + old, src.data(), src.size() * sizeof(T));
+  }
   out->count += src.size();
   for (const T& v : src) {
     const double d = static_cast<double>(v);

@@ -5,6 +5,7 @@
 
 #include "columnar/builder.h"
 #include "datagen/generator.h"
+#include "fileio/corruption.h"
 #include "fileio/reader.h"
 #include "fileio/writer.h"
 #include "queries/adl.h"
@@ -94,6 +95,35 @@ TEST(EdgeTest, EmptyFileRoundTrips) {
   result = queries::RunAdlQuery(queries::EngineKind::kDoc, 8, path);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->histograms[0].num_entries(), 0u);
+}
+
+TEST(EdgeTest, EmptyFileSurvivesTruncationSweep) {
+  // A zero-row file is all structure (magic + footer + trailer): every
+  // truncation of it must be rejected, never crash the footer parser.
+  const std::string path = ::testing::TempDir() + "/zero_truncate.laq";
+  auto writer = LaqWriter::Open(path, EventGenerator::CmsSchema());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Close().ok());
+  auto image = laqfuzz::LoadLaqImage(path).ValueOrDie();
+  const std::string mutated = ::testing::TempDir() + "/zero_truncated.laq";
+  for (uint64_t size = 0; size < image.bytes.size(); ++size) {
+    laqfuzz::WriteBytes(mutated, laqfuzz::TruncateAt(image, size)).Check();
+    EXPECT_FALSE(LaqReader::Open(mutated).ok()) << "size " << size;
+  }
+}
+
+TEST(EdgeTest, ParticleFreeFileReadsIdenticallyWithoutChecksums) {
+  // All-empty lists stress the lengths/offsets fold; the answer must not
+  // depend on whether CRC validation is on.
+  const std::string path = EmptyParticlesFile();
+  ReaderOptions with, without;
+  with.validate_checksums = true;
+  without.validate_checksums = false;
+  auto a = LaqReader::Open(path, with).ValueOrDie()->ReadRowGroup(0);
+  auto b = LaqReader::Open(path, without).ValueOrDie()->ReadRowGroup(0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*a)->Equals(**b));
 }
 
 TEST(EdgeTest, RdfMoreThreadsThanRowGroups) {

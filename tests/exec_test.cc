@@ -107,11 +107,35 @@ TEST(RunRowGroupsTest, ReportsSmallestFailingGroupDeterministically) {
           return Status::OK();
         });
     ASSERT_FALSE(status.ok());
-    // All failing groups may race, but the reported one is the smallest
-    // among those that actually ran; with 1 thread (LPT order: large
-    // groups first) that is deterministically group 5.
-    if (threads == 1) {
-      EXPECT_NE(status.message().find("boom 5"), std::string::npos);
+    // Groups 5..7 all fail, but only the smallest failing group's error is
+    // ever reported: larger groups are skipped once it is known, smaller
+    // ones always run. Deterministic for any thread count.
+    EXPECT_NE(status.message().find("boom 5"), std::string::npos)
+        << "threads=" << threads << ": " << status.message();
+  }
+}
+
+TEST(RunRowGroupsTest, GroupsBelowAFailureAlwaysRun) {
+  for (int threads : {1, 4}) {
+    std::vector<exec::RowGroupTask> tasks;
+    for (int g = 0; g < 8; ++g) {
+      // Ascending sizes so LPT order == descending group index: the
+      // failing group 7 is dispatched first, yet every smaller group must
+      // still be attempted (any of them could fail with a smaller index).
+      tasks.push_back({g, static_cast<uint64_t>(g)});
+    }
+    std::vector<std::atomic<int>> seen(8);
+    for (auto& s : seen) s.store(0);
+    const Status status = exec::RunRowGroups(
+        threads, tasks, [&](int, int group) -> Status {
+          seen[static_cast<size_t>(group)].fetch_add(1);
+          if (group == 7) return Status::Invalid("boom 7");
+          return Status::OK();
+        });
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("boom 7"), std::string::npos);
+    for (int g = 0; g < 7; ++g) {
+      EXPECT_EQ(seen[static_cast<size_t>(g)].load(), 1) << "group " << g;
     }
   }
 }

@@ -320,6 +320,56 @@ TEST(ReaderTest, DetectsCorruptFooter) {
   EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
 }
 
+TEST(ReaderTest, ChecksumToggleReadsIdentically) {
+  // The checksum pass must be a pure verification step: toggling it off
+  // cannot change the decoded data on a pristine file.
+  const std::string path = TempPath("checksum_toggle.laq");
+  WriterOptions options;
+  options.row_group_size = 3;
+  ASSERT_TRUE(
+      WriteLaqFile(path, TestSchema(), {TestBatch(0), TestBatch(100)},
+                   options)
+          .ok());
+  ReaderOptions with, without;
+  with.validate_checksums = true;
+  without.validate_checksums = false;
+  auto checked = LaqReader::Open(path, with).ValueOrDie();
+  auto unchecked = LaqReader::Open(path, without).ValueOrDie();
+  for (int g = 0; g < checked->num_row_groups(); ++g) {
+    auto a = checked->ReadRowGroup(g);
+    auto b = unchecked->ReadRowGroup(g);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE((*a)->Equals(**b)) << "row group " << g;
+  }
+}
+
+TEST(ReaderTest, DetectsCorruptLeadingMagic) {
+  // The leading magic is outside both the footer CRC and the chunk CRCs;
+  // it gets its own check so bit rot in bytes [0, 4) is still caught.
+  const std::string path = TempPath("bad_magic.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  std::fputc('l', f);  // "lAQ1"
+  std::fclose(f);
+  auto reader = LaqReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReaderTest, AllocationCapIsConfigurable) {
+  // A file whose (honest) chunks exceed a tiny max_chunk_decoded_bytes is
+  // refused up front: the cap bounds every footer-driven allocation.
+  const std::string path = TempPath("small_cap.laq");
+  ASSERT_TRUE(WriteLaqFile(path, TestSchema(), {TestBatch(0)}).ok());
+  ReaderOptions tiny;
+  tiny.max_chunk_decoded_bytes = 4;
+  auto reader = LaqReader::Open(path, tiny);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
 TEST(ReaderTest, RejectsNonLaqFile) {
   const std::string path = TempPath("not_laq.bin");
   std::FILE* f = std::fopen(path.c_str(), "wb");
