@@ -6,7 +6,10 @@
 //   2. struct projection pushdown — the same per-event plan through a
 //                    reader with pushdown on vs off;
 //   3. execution model — columnar expressions vs boxed items for the same
-//                    query (Q1, where plan shape is trivial).
+//                    query (Q1, where plan shape is trivial);
+//   4. expression execution — per-row tree-walking interpretation vs the
+//                    vectorized bytecode VM (engine/vexpr), same plans,
+//                    bit-identical histograms.
 
 #include <cstdio>
 
@@ -85,10 +88,41 @@ int main() {
                 boxed->cpu_seconds / std::max(1e-9, columnar->cpu_seconds));
   }
 
+  hepq::bench::PrintHeaderLine(
+      "Ablation 4: interpreted vs compiled expressions (same plans)");
+  {
+    using hepq::queries::EngineKind;
+    using hepq::queries::RunAdlQuery;
+    std::printf("%-6s %16s %16s %9s %18s %18s %9s\n", "Query",
+                "bq-interp[s]", "bq-compiled[s]", "speedup",
+                "presto-interp[s]", "presto-compiled[s]", "speedup");
+    for (int q = 1; q <= hepq::queries::kNumAdlQueries; ++q) {
+      hepq::queries::RunOptions interp;
+      interp.interpret_expressions = true;
+      const hepq::queries::RunOptions compiled;
+      auto bq_i = RunAdlQuery(EngineKind::kBigQueryShape, q, path, interp);
+      bq_i.status().Check();
+      auto bq_c = RunAdlQuery(EngineKind::kBigQueryShape, q, path, compiled);
+      bq_c.status().Check();
+      auto pr_i = RunAdlQuery(EngineKind::kPrestoShape, q, path, interp);
+      pr_i.status().Check();
+      auto pr_c = RunAdlQuery(EngineKind::kPrestoShape, q, path, compiled);
+      pr_c.status().Check();
+      std::printf("Q%-5d %16.4f %16.4f %8.1fx %18.4f %18.4f %8.1fx\n", q,
+                  bq_i->cpu_seconds, bq_c->cpu_seconds,
+                  bq_i->cpu_seconds / std::max(1e-9, bq_c->cpu_seconds),
+                  pr_i->cpu_seconds, pr_c->cpu_seconds,
+                  pr_i->cpu_seconds / std::max(1e-9, pr_c->cpu_seconds));
+    }
+  }
+
   std::printf(
       "\nExpected: the unnest plan is slower than the expression plan and\n"
       "the gap explodes on Q6 (n^3 row materialization); pushdown-off\n"
       "multiplies bytes read without changing results; boxing costs one\n"
-      "to two orders of magnitude even on the trivial query.\n");
+      "to two orders of magnitude even on the trivial query; compiling\n"
+      "expressions pays off where per-event expression work is heavy (Q6's\n"
+      "combination search), while scan-dominated queries and the unnest\n"
+      "plan's materialization costs are unaffected by construction.\n");
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "datagen/dataset.h"
 #include "doc/convert.h"
 #include "engine/event_query.h"
+#include "engine/vexpr.h"
 #include "exec/exec.h"
 #include "fileio/compression.h"
 #include "fileio/crc32.h"
@@ -394,6 +395,8 @@ void BM_CountJetsExprTree(benchmark::State& state) {
                           nullptr),
       engine::Lit(2.0)));
   query.AddHistogram({"h", "", 10, 0, 10}, engine::Lit(1.0));
+  query.set_expr_exec(state.range(0) != 0 ? engine::ExprExec::kCompiled
+                                          : engine::ExprExec::kInterpreted);
   for (auto _ : state) {
     auto result = query.MakeResult();
     query.ExecuteBatch(*batch, &result).Check();
@@ -401,8 +404,9 @@ void BM_CountJetsExprTree(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           batch->num_rows());
+  state.SetLabel(state.range(0) != 0 ? "compiled" : "interpreted");
 }
-BENCHMARK(BM_CountJetsExprTree);
+BENCHMARK(BM_CountJetsExprTree)->Arg(0)->Arg(1);
 
 void BM_CountJetsBoxedItems(benchmark::State& state) {
   auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
@@ -424,6 +428,114 @@ void BM_CountJetsBoxedItems(benchmark::State& state) {
                           batch->num_rows());
 }
 BENCHMARK(BM_CountJetsBoxedItems);
+
+// ---------------------------------------------------------------------------
+// Expression evaluation: per-row virtual tree walk vs vectorized bytecode
+// (engine/vexpr). Same Expr trees, same bindings, bit-identical outputs —
+// only the execution model differs. These are the micro-scale version of
+// the paper's Rumble-vs-BigQuery interpretation-overhead axis.
+// ---------------------------------------------------------------------------
+
+/// A simple event-level cut over MET scalars (pure arithmetic, one shared
+/// subexpression for the CSE pass to merge). Arg 0 walks the shared_ptr
+/// tree once per row; arg 1 runs the compiled bytecode over the whole
+/// batch. The compiled variant reports allocs_per_eval, which must drop
+/// to 0 in steady state: program, bindings, and scratch are all reused.
+void BM_ExprSimpleCut(benchmark::State& state) {
+  const bool compiled = state.range(0) != 0;
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch = reader->ReadRowGroup(0, {"MET.pt", "MET.phi"}).ValueOrDie();
+  auto bindings = engine::BatchBindings::Bind(
+                      *batch, {}, {{"MET.pt"}, {"MET.phi"}})
+                      .ValueOrDie();
+  using namespace hepq::engine;  // NOLINT(build/namespaces)
+  const ExprPtr met = ScalarRef(0);
+  const ExprPtr dphi = Call(Fn::kDeltaPhi, {ScalarRef(1), Lit(0.4)});
+  const ExprPtr cut =
+      And(Gt(met, Lit(25.0)),
+          Or(Gt(Call(Fn::kSqrt, {Add(Mul(met, met), Mul(met, met))}),
+                Mul(Lit(1.3), met)),
+             Lt(Call(Fn::kAbs, {dphi}), Lit(1.0))));
+  const int64_t rows = batch->num_rows();
+  std::vector<double> out(static_cast<size_t>(rows));
+  auto kernel = CompiledExprKernel::Compile(cut).ValueOrDie();
+  VexprScratch scratch;
+  if (compiled) {  // warm the register/lane pools to high-water capacity
+    kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
+  }
+  uint64_t allocations = 0;
+  for (auto _ : state) {
+    const uint64_t allocs_before =
+        g_heap_allocations.load(std::memory_order_relaxed);
+    if (compiled) {
+      kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
+    } else {
+      for (int64_t row = 0; row < rows; ++row) {
+        EvalContext ctx;
+        ctx.bindings = &bindings;
+        ctx.row = static_cast<uint32_t>(row);
+        out[static_cast<size_t>(row)] = cut->Eval(&ctx);
+      }
+    }
+    allocations +=
+        g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
+    benchmark::DoNotOptimize(out.data());
+  }
+  if (compiled) {
+    state.counters["allocs_per_eval"] =
+        static_cast<double>(allocations) /
+        static_cast<double>(state.iterations());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+  state.SetLabel(compiled ? "compiled" : "interpreted");
+}
+BENCHMARK(BM_ExprSimpleCut)->Arg(0)->Arg(1);
+
+/// The Q6-style trijet combination body: require >= 3 jets, find the
+/// trijet minimizing |m(3j) - 172.5|, fill pT of the winning system and
+/// the max b-tag of its jets. The inner key runs over every C(J,3)
+/// combination, so this is where batching the combination frame pays the
+/// most — the acceptance bar for the compiled path is >= 2x here.
+void BM_ExprTrijetBody(benchmark::State& state) {
+  const bool compiled = state.range(0) != 0;
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch =
+      reader
+          ->ReadRowGroup(
+              0, {"Jet.pt", "Jet.eta", "Jet.phi", "Jet.mass", "Jet.btag"})
+          .ValueOrDie();
+  using namespace hepq::engine;  // NOLINT(build/namespaces)
+  EventQuery query("trijet");
+  const int jets = query.DeclareList("Jet",
+                                     {"pt", "eta", "phi", "mass", "btag"});
+  std::vector<ExprPtr> trijet;
+  for (int it = 0; it < 3; ++it) {
+    for (int m = 0; m < 4; ++m) trijet.push_back(IterMember(jets, it, m));
+  }
+  query.AddStage(Ge(ListSize(jets), Lit(3.0)));
+  query.AddStage(BestCombination(
+      {ComboLoop{jets, 0}, ComboLoop{jets, 1}, ComboLoop{jets, 2}},
+      /*filter=*/nullptr,
+      Abs(Sub(Call(Fn::kInvMass3, trijet), Lit(172.5)))));
+  query.AddHistogram({"pt3", "", 100, 15, 40}, Call(Fn::kSumPt3, trijet));
+  constexpr int kBtag = 4;
+  query.AddHistogram(
+      {"btag", "", 100, 0, 1},
+      Call(Fn::kMax2, {Call(Fn::kMax2, {IterMember(jets, 0, kBtag),
+                                        IterMember(jets, 1, kBtag)}),
+                       IterMember(jets, 2, kBtag)}));
+  query.set_expr_exec(compiled ? ExprExec::kCompiled
+                               : ExprExec::kInterpreted);
+  for (auto _ : state) {
+    auto result = query.MakeResult();
+    query.ExecuteBatch(*batch, &result).Check();
+    benchmark::DoNotOptimize(result.events_selected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          batch->num_rows());
+  state.SetLabel(compiled ? "compiled" : "interpreted");
+}
+BENCHMARK(BM_ExprTrijetBody)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace hepq

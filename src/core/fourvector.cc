@@ -12,9 +12,13 @@ PtEtaPhiM PxPyPzE::ToPtEtaPhiM() const {
   return {Pt(), Eta(), Phi(), Mass()};
 }
 
-PtEtaPhiM AddPtEtaPhiM3(const PtEtaPhiM& a, const PtEtaPhiM& b,
-                        const PtEtaPhiM& c) {
-  return (a.ToPxPyPzE() + b.ToPxPyPzE() + c.ToPxPyPzE()).ToPtEtaPhiM();
+PxPyPzE PtEtaPhiM::ToPxPyPzE() const {
+  const double px = pt * std::cos(phi);
+  const double py = pt * std::sin(phi);
+  const double pz = pt * std::sinh(eta);
+  const double e =
+      std::sqrt(px * px + py * py + pz * pz + mass * mass);
+  return {px, py, pz, e};
 }
 
 }  // namespace hepq

@@ -44,14 +44,11 @@ struct PtEtaPhiM {
   double phi = 0.0;
   double mass = 0.0;
 
-  PxPyPzE ToPxPyPzE() const {
-    const double px = pt * std::cos(phi);
-    const double py = pt * std::sin(phi);
-    const double pz = pt * std::sinh(eta);
-    const double e =
-        std::sqrt(px * px + py * py + pz * pz + mass * mass);
-    return {px, py, pz, e};
-  }
+  /// Defined out of line (fourvector.cc) on purpose: the interpreter and
+  /// the vectorized expression VM (engine/vexpr) both convert through this
+  /// one definition, which keeps their results bit-identical no matter how
+  /// each caller's translation unit would have contracted the FP math.
+  PxPyPzE ToPxPyPzE() const;
 
   /// Vector-space transform, piece-wise addition, reverse transform — the
   /// "pseudo-particle" combination pattern of ADL queries Q5/Q6/Q8.

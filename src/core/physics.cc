@@ -1,11 +1,15 @@
 #include "core/physics.h"
 
 #include <cmath>
+#include <limits>
 
 namespace hepq {
 
 double DeltaPhi(double phi1, double phi2) {
   double d = phi1 - phi2;
+  // A non-finite difference (e.g. an aggregate's ±inf identity flowing in
+  // from an empty list) would never leave the wrapping loops below.
+  if (!std::isfinite(d)) return std::numeric_limits<double>::quiet_NaN();
   while (d > M_PI) d -= 2.0 * M_PI;
   while (d <= -M_PI) d += 2.0 * M_PI;
   return d;
@@ -17,13 +21,30 @@ double DeltaR(double eta1, double phi1, double eta2, double phi2) {
   return std::sqrt(deta * deta + dphi * dphi);
 }
 
+double MassOfSum2(const PxPyPzE& a, const PxPyPzE& b) {
+  return (a + b).Mass();
+}
+
+double MassOfSum3(const PxPyPzE& a, const PxPyPzE& b, const PxPyPzE& c) {
+  return (a + b + c).Mass();
+}
+
+double PtOfSum3(const PxPyPzE& a, const PxPyPzE& b, const PxPyPzE& c) {
+  return (a + b + c).Pt();
+}
+
 double InvariantMass2(const PtEtaPhiM& p1, const PtEtaPhiM& p2) {
-  return (p1.ToPxPyPzE() + p2.ToPxPyPzE()).Mass();
+  return MassOfSum2(p1.ToPxPyPzE(), p2.ToPxPyPzE());
 }
 
 double InvariantMass3(const PtEtaPhiM& p1, const PtEtaPhiM& p2,
                       const PtEtaPhiM& p3) {
-  return (p1.ToPxPyPzE() + p2.ToPxPyPzE() + p3.ToPxPyPzE()).Mass();
+  return MassOfSum3(p1.ToPxPyPzE(), p2.ToPxPyPzE(), p3.ToPxPyPzE());
+}
+
+PtEtaPhiM AddPtEtaPhiM3(const PtEtaPhiM& a, const PtEtaPhiM& b,
+                        const PtEtaPhiM& c) {
+  return (a.ToPxPyPzE() + b.ToPxPyPzE() + c.ToPxPyPzE()).ToPtEtaPhiM();
 }
 
 double TransverseMass(double pt1, double phi1, double pt2, double phi2) {

@@ -24,6 +24,23 @@ double InvariantMass3(const PtEtaPhiM& p1, const PtEtaPhiM& p2,
 /// mT = sqrt(2 pt1 pt2 (1 - cos dphi)). Used by Q8.
 double TransverseMass(double pt1, double phi1, double pt2, double phi2);
 
+// ---- Decomposed combination helpers ---------------------------------------
+// The vectorized expression VM (engine/vexpr) converts every particle to
+// Cartesian once per *element* and only adds + reduces per *candidate
+// combination*. InvariantMass2/3 and AddPtEtaPhiM3 are implemented on top
+// of the same out-of-line helpers, so the decomposed path executes the
+// exact same machine code as the interpreter and stays bit-identical.
+
+/// Invariant mass of the component-wise sum (a + b).
+double MassOfSum2(const PxPyPzE& a, const PxPyPzE& b);
+
+/// Invariant mass of the left-associated sum ((a + b) + c).
+double MassOfSum3(const PxPyPzE& a, const PxPyPzE& b, const PxPyPzE& c);
+
+/// Transverse momentum of the left-associated sum ((a + b) + c); equals
+/// AddPtEtaPhiM3(...).pt without converting the unused components back.
+double PtOfSum3(const PxPyPzE& a, const PxPyPzE& b, const PxPyPzE& c);
+
 }  // namespace hepq
 
 #endif  // HEPQUERY_CORE_PHYSICS_H_

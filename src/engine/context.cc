@@ -24,7 +24,11 @@ Result<MemberAccessor> AccessorFor(const Array& values) {
       acc.data = static_cast<const BoolArray&>(values).raw();
       break;
     default:
-      return Status::TypeError("accessor requires a primitive array");
+      // Declared here with a Status so MemberAccessor::Get never sees an
+      // unsupported type at evaluation time.
+      return Status::TypeError(std::string("accessor requires a primitive "
+                                           "array, got ") +
+                               TypeIdName(acc.type));
   }
   return acc;
 }

@@ -1,7 +1,9 @@
 #ifndef HEPQUERY_ENGINE_CONTEXT_H_
 #define HEPQUERY_ENGINE_CONTEXT_H_
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -30,7 +32,13 @@ struct MemberAccessor {
       case TypeId::kBool:
         return static_cast<const uint8_t*>(data)[i];
       default:
-        return 0.0;
+        // Unsupported leaf types are rejected with a Status when the
+        // accessor is built (AccessorFor in context.cc), so this branch is
+        // unreachable for any bound accessor. A hand-rolled accessor that
+        // slips through yields NaN — loud in every histogram — instead of
+        // a silent 0.0 masquerading as data.
+        assert(false && "MemberAccessor bound to a non-primitive type");
+        return std::numeric_limits<double>::quiet_NaN();
     }
   }
 };

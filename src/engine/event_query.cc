@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/stopwatch.h"
+#include "engine/vexpr.h"
 #include "exec/exec.h"
 
 namespace hepq::engine {
@@ -175,8 +176,53 @@ EventQueryResult EventQuery::MakeResult() const {
   return result;
 }
 
+Status EventQuery::EnsureCompiled() const {
+  std::lock_guard<std::mutex> lock(*compile_mu_);
+  if (compiled_ != nullptr) return Status::OK();
+  CompiledQuerySpec spec;
+  spec.stages = stages_;
+  spec.fills.reserve(fills_.size());
+  for (const FillSpec& fill : fills_) {
+    CompiledQuerySpec::Fill f;
+    f.scalar = fill.scalar;
+    f.list_slot = fill.element.list_slot;
+    f.iter_slot = fill.element.iter_slot;
+    f.filter = fill.element.filter;
+    f.value = fill.element.value;
+    f.loops = fill.combo_loops;
+    f.per_element = fill.per_element;
+    f.per_combination = fill.per_combination;
+    spec.fills.push_back(std::move(f));
+  }
+  HEPQ_ASSIGN_OR_RETURN(compiled_,
+                        CompiledEventQuery::Compile(std::move(spec)));
+  return Status::OK();
+}
+
 Status EventQuery::ExecuteBatch(const RecordBatch& batch,
                                 EventQueryResult* result) const {
+  return ExecuteBatch(batch, result, nullptr);
+}
+
+Status EventQuery::ExecuteBatch(const RecordBatch& batch,
+                                EventQueryResult* result,
+                                VexprScratch* scratch) const {
+  if (expr_exec_ == ExprExec::kCompiled) {
+    HEPQ_RETURN_NOT_OK(EnsureCompiled());
+    if (scratch == nullptr) {
+      thread_local VexprScratch tls_scratch;
+      scratch = &tls_scratch;
+    }
+    BatchBindings bindings;
+    HEPQ_ASSIGN_OR_RETURN(bindings,
+                          BatchBindings::Bind(batch, lists_, scalars_));
+    const int64_t rows = batch.num_rows();
+    HEPQ_RETURN_NOT_OK(compiled_->ExecuteBatch(
+        bindings, rows, scratch, &result->histograms,
+        &result->events_selected, &result->ops));
+    result->events_processed += rows;
+    return Status::OK();
+  }
   BatchBindings bindings;
   HEPQ_ASSIGN_OR_RETURN(bindings,
                         BatchBindings::Bind(batch, lists_, scalars_));
@@ -253,14 +299,17 @@ Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
   const int num_groups = reader->num_row_groups();
   std::vector<EventQueryResult> partials(static_cast<size_t>(num_groups));
   for (EventQueryResult& p : partials) p = MakeResult();
+  if (expr_exec_ == ExprExec::kCompiled) HEPQ_RETURN_NOT_OK(EnsureCompiled());
   ScratchBuffers scratch;
+  VexprScratch vexpr_scratch;
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       /*num_threads=*/1, exec::MakeRowGroupTasks(reader->metadata()),
       [&](int /*worker*/, int g) -> Status {
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(batch,
                               reader->ReadRowGroup(g, projection, &scratch));
-        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)]);
+        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)],
+                            &vexpr_scratch);
       }));
   for (const EventQueryResult& p : partials) {
     HEPQ_RETURN_NOT_OK(result.Merge(p));
@@ -290,6 +339,7 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
 
   std::vector<EventQueryResult> partials(metadata->row_groups.size());
   for (EventQueryResult& p : partials) p = MakeResult();
+  if (expr_exec_ == ExprExec::kCompiled) HEPQ_RETURN_NOT_OK(EnsureCompiled());
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       workers, std::move(tasks), [&](int worker, int g) -> Status {
         LaqReader* reader;
@@ -298,7 +348,12 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
         HEPQ_ASSIGN_OR_RETURN(
             batch,
             reader->ReadRowGroup(g, projection, readers.scratch(worker)));
-        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)]);
+        // The VM's per-worker buffers live in the exec runtime's scratch
+        // slot, reused across every row group this worker processes.
+        std::shared_ptr<void>& slot = readers.engine_scratch(worker);
+        if (slot == nullptr) slot = std::make_shared<VexprScratch>();
+        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)],
+                            static_cast<VexprScratch*>(slot.get()));
       }));
   for (const EventQueryResult& p : partials) {
     HEPQ_RETURN_NOT_OK(result.Merge(p));

@@ -1,6 +1,8 @@
 #ifndef HEPQUERY_ENGINE_EVENT_QUERY_H_
 #define HEPQUERY_ENGINE_EVENT_QUERY_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,9 @@
 #include "fileio/reader.h"
 
 namespace hepq::engine {
+
+class CompiledEventQuery;
+class VexprScratch;
 
 struct EventQueryResult {
   std::vector<Histogram1D> histograms;
@@ -72,6 +77,12 @@ class EventQuery {
                                  std::vector<ComboLoop> loops,
                                  ExprPtr filter, ExprPtr value);
 
+  /// Selects between the vectorized bytecode path (the default) and the
+  /// per-row tree-walking interpreter. Results are bit-identical; the
+  /// interpreter is kept for the interpreted-vs-compiled ablation.
+  void set_expr_exec(ExprExec exec) { expr_exec_ = exec; }
+  ExprExec expr_exec() const { return expr_exec_; }
+
   /// Storage projection implied by the declarations.
   std::vector<std::string> Projection() const;
 
@@ -92,8 +103,14 @@ class EventQuery {
 
   /// Runs the query over one in-memory batch, merging into `result`
   /// (histograms must already be sized; used by Execute and by tests).
+  /// In compiled mode a thread-local VexprScratch backs the VM buffers.
   Status ExecuteBatch(const RecordBatch& batch,
                       EventQueryResult* result) const;
+
+  /// Same, with an explicit per-worker scratch (ignored in interpreted
+  /// mode; may be null, falling back to the thread-local one).
+  Status ExecuteBatch(const RecordBatch& batch, EventQueryResult* result,
+                      VexprScratch* scratch) const;
 
   /// Creates an empty result with histograms initialized to the specs.
   EventQueryResult MakeResult() const;
@@ -114,11 +131,21 @@ class EventQuery {
     bool per_combination = false;
   };
 
+  /// Compiles the stages and fills to bytecode on first use (compiled
+  /// mode only). Safe to race; Execute paths call it before fanning out.
+  Status EnsureCompiled() const;
+
   std::string name_;
   std::vector<ListDecl> lists_;
   std::vector<ScalarDecl> scalars_;
   std::vector<ExprPtr> stages_;
   std::vector<FillSpec> fills_;
+  ExprExec expr_exec_ = ExprExec::kCompiled;
+  // Behind a pointer so EventQuery stays movable (builders return by
+  // value); the compiled plan cache moves with the query.
+  mutable std::unique_ptr<std::mutex> compile_mu_ =
+      std::make_unique<std::mutex>();
+  mutable std::shared_ptr<const CompiledEventQuery> compiled_;
 };
 
 }  // namespace hepq::engine

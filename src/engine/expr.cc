@@ -75,6 +75,12 @@ class LitExpr final : public Expr {
     std::snprintf(buf, sizeof(buf), "%g", value_);
     return buf;
   }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kLit;
+    s.lit = value_;
+    return s;
+  }
 
  private:
   double value_;
@@ -88,6 +94,12 @@ class ScalarRefExpr final : public Expr {
   }
   std::string ToString() const override {
     return "scalar" + std::to_string(slot_);
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kScalarRef;
+    s.scalar_slot = slot_;
+    return s;
   }
 
  private:
@@ -109,6 +121,14 @@ class IterMemberExpr final : public Expr {
     return "it" + std::to_string(iter_slot_) + ".m" +
            std::to_string(member_slot_);
   }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kIterMember;
+    s.list_slot = list_slot_;
+    s.iter_slot = iter_slot_;
+    s.member_slot = member_slot_;
+    return s;
+  }
 
  private:
   int list_slot_;
@@ -127,6 +147,13 @@ class IterOrdinalExpr final : public Expr {
   }
   std::string ToString() const override {
     return "ordinal(it" + std::to_string(iter_slot_) + ")";
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kIterOrdinal;
+    s.list_slot = list_slot_;
+    s.iter_slot = iter_slot_;
+    return s;
   }
 
  private:
@@ -176,6 +203,13 @@ class BinExpr final : public Expr {
   std::string ToString() const override {
     return "(" + lhs_->ToString() + " " + BinOpName(op_) + " " +
            rhs_->ToString() + ")";
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kBin;
+    s.bin_op = op_;
+    s.operands = {lhs_.get(), rhs_.get()};
+    return s;
   }
 
  private:
@@ -232,6 +266,14 @@ class CallExpr final : public Expr {
     }
     return out + ")";
   }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kCall;
+    s.fn = fn_;
+    s.operands.reserve(args_.size());
+    for (const ExprPtr& arg : args_) s.operands.push_back(arg.get());
+    return s;
+  }
 
  private:
   Fn fn_;
@@ -246,6 +288,12 @@ class ListSizeExpr final : public Expr {
   }
   std::string ToString() const override {
     return "cardinality(list" + std::to_string(list_slot_) + ")";
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kListSize;
+    s.list_slot = list_slot_;
+    return s;
   }
 
  private:
@@ -314,6 +362,16 @@ class AggOverListExpr final : public Expr {
     if (filter_ != nullptr) out += " where " + filter_->ToString();
     if (value_ != nullptr) out += " -> " + value_->ToString();
     return out + ")";
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kAgg;
+    s.agg_kind = kind_;
+    s.list_slot = list_slot_;
+    s.iter_slot = iter_slot_;
+    s.filter = filter_.get();
+    s.value = value_.get();
+    return s;
   }
 
  private:
@@ -401,6 +459,14 @@ class BestCombinationExpr final : public CombinationExprBase {
     if (filter_ != nullptr) out += " where " + filter_->ToString();
     return out + " minimize " + key_->ToString() + ")";
   }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kBestCombination;
+    s.loops = loops_;
+    s.filter = filter_.get();
+    s.value = key_.get();
+    return s;
+  }
 
  private:
   ExprPtr filter_;
@@ -434,6 +500,13 @@ class AnyCombinationExpr final : public CombinationExprBase {
     std::string out = "any_combination(" + LoopsToString(loops_);
     if (filter_ != nullptr) out += " where " + filter_->ToString();
     return out + ")";
+  }
+  ExprShape Shape() const override {
+    ExprShape s;
+    s.kind = ExprShape::Kind::kAnyCombination;
+    s.loops = loops_;
+    s.filter = filter_.get();
+    return s;
   }
 
  private:

@@ -9,21 +9,6 @@
 
 namespace hepq::engine {
 
-/// Interpreted scalar expression evaluated once per event (or per bound
-/// particle combination). Booleans are represented as 0.0 / 1.0. This is
-/// the execution model of the "BigQuery plan shape": array logic runs as
-/// expressions inside the scan, with no flattening of the event table.
-class Expr {
- public:
-  virtual ~Expr() = default;
-  virtual double Eval(EvalContext* ctx) const = 0;
-  /// Compact plan rendering for EXPLAIN output and error messages.
-  virtual std::string ToString() const = 0;
-  bool EvalBool(EvalContext* ctx) const { return Eval(ctx) != 0.0; }
-};
-
-using ExprPtr = std::shared_ptr<const Expr>;
-
 enum class BinOp {
   kAdd,
   kSub,
@@ -56,6 +41,75 @@ enum class Fn {
   kTransverseMass,  // (pt1, phi1, pt2, phi2)
 };
 
+enum class AggKind { kCount, kSum, kMin, kMax, kAny };
+
+/// One loop level of a combination search.
+struct ComboLoop {
+  int list_slot;
+  int iter_slot;
+};
+
+/// Which execution strategy an engine uses for its expression trees:
+/// the vectorized bytecode VM (engine/vexpr, the default) or the per-row
+/// virtual-dispatch tree walk kept as the ablation fallback. Both produce
+/// bit-identical results; only the cost model differs.
+enum class ExprExec {
+  kCompiled,
+  kInterpreted,
+};
+
+class Expr;
+
+/// Structural reflection of one expression node, consumed by the
+/// vectorizing compiler (engine/vexpr): it lowers trees to batch bytecode
+/// without widening the interpreter's class hierarchy or exposing the
+/// node classes outside expr.cc. Child pointers stay owned by the
+/// reflected node and are valid while the tree is alive.
+struct ExprShape {
+  enum class Kind {
+    kLit,
+    kScalarRef,
+    kIterMember,
+    kIterOrdinal,
+    kListSize,
+    kBin,
+    kCall,
+    kAgg,
+    kBestCombination,
+    kAnyCombination,
+  };
+  Kind kind = Kind::kLit;
+  double lit = 0.0;
+  int list_slot = -1;
+  int iter_slot = -1;
+  int member_slot = -1;
+  int scalar_slot = -1;
+  BinOp bin_op = BinOp::kAdd;
+  Fn fn = Fn::kAbs;
+  AggKind agg_kind = AggKind::kCount;
+  std::vector<ComboLoop> loops;        // combination searches
+  std::vector<const Expr*> operands;   // kBin operands / kCall arguments
+  const Expr* filter = nullptr;        // agg / combination filter (or null)
+  const Expr* value = nullptr;         // agg value / combination key (or null)
+};
+
+/// Interpreted scalar expression evaluated once per event (or per bound
+/// particle combination). Booleans are represented as 0.0 / 1.0. This is
+/// the execution model of the "BigQuery plan shape": array logic runs as
+/// expressions inside the scan, with no flattening of the event table.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual double Eval(EvalContext* ctx) const = 0;
+  /// Compact plan rendering for EXPLAIN output and error messages.
+  virtual std::string ToString() const = 0;
+  /// Reflects the node's structure for the vectorizing compiler.
+  virtual ExprShape Shape() const = 0;
+  bool EvalBool(EvalContext* ctx) const { return Eval(ctx) != 0.0; }
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
 // ---- Node factories -------------------------------------------------------
 
 ExprPtr Lit(double value);
@@ -73,8 +127,6 @@ ExprPtr Call(Fn fn, std::vector<ExprPtr> args);
 /// Number of particles in a list — CARDINALITY / ARRAY_LENGTH.
 ExprPtr ListSize(int list_slot);
 
-enum class AggKind { kCount, kSum, kMin, kMax, kAny };
-
 /// Aggregates over the elements of one list within the current event
 /// (SQL's correlated nested subquery, Listing 4a of the paper; JSONiq's
 /// `count($event.jets[][...])`). Binds `iter_slot` to each element in
@@ -84,12 +136,6 @@ enum class AggKind { kCount, kSum, kMin, kMax, kAny };
 /// slots, which is how Q7's "no lepton within dR < 0.4" veto runs.
 ExprPtr AggOverList(AggKind kind, int list_slot, int iter_slot,
                     ExprPtr filter, ExprPtr value);
-
-/// One loop level of a combination search.
-struct ComboLoop {
-  int list_slot;
-  int iter_slot;
-};
 
 /// Finds the combination of particles minimizing `key` subject to
 /// `filter` (optional), exploring the Cartesian product of the loops;

@@ -9,6 +9,7 @@
 
 #include "core/physics.h"
 #include "core/stopwatch.h"
+#include "engine/vexpr.h"
 #include "exec/exec.h"
 
 namespace hepq::engine {
@@ -32,6 +33,9 @@ class FlatLitExpr final : public FlatExpr {
   explicit FlatLitExpr(double v) : value_(v) {}
   double Eval(const FlatBatch&, size_t) const override { return value_; }
   Status Resolve(const FlatBatch&) override { return Status::OK(); }
+  Result<int> Lower(VProgramBuilder* builder) const override {
+    return builder->Const(value_);
+  }
 
  private:
   double value_;
@@ -49,6 +53,13 @@ class FlatColExpr final : public FlatExpr {
       return Status::KeyError("flat pipeline has no column '" + name_ + "'");
     }
     return Status::OK();
+  }
+  Result<int> Lower(VProgramBuilder* builder) const override {
+    if (index_ < 0) {
+      return Status::Invalid("FlatColExpr '" + name_ +
+                             "' lowered before Resolve");
+    }
+    return builder->Load(index_);
   }
 
  private:
@@ -99,6 +110,15 @@ class FlatBinExpr final : public FlatExpr {
   Status Resolve(const FlatBatch& batch) override {
     HEPQ_RETURN_NOT_OK(lhs_->Resolve(batch));
     return rhs_->Resolve(batch);
+  }
+  Result<int> Lower(VProgramBuilder* builder) const override {
+    // Flat expressions are pure, so evaluating both sides of And/Or
+    // eagerly is exact — the short-circuit above is only a scalar-path
+    // optimization.
+    int lhs, rhs;
+    HEPQ_ASSIGN_OR_RETURN(lhs, lhs_->Lower(builder));
+    HEPQ_ASSIGN_OR_RETURN(rhs, rhs_->Lower(builder));
+    return builder->Op(VOpFor(op_), {lhs, rhs});
   }
 
  private:
@@ -152,6 +172,16 @@ class FlatCallExpr final : public FlatExpr {
     for (auto& arg : args_) HEPQ_RETURN_NOT_OK(arg->Resolve(batch));
     return Status::OK();
   }
+  Result<int> Lower(VProgramBuilder* builder) const override {
+    std::vector<int> regs;
+    regs.reserve(args_.size());
+    for (const FlatExprPtr& arg : args_) {
+      int reg;
+      HEPQ_ASSIGN_OR_RETURN(reg, arg->Lower(builder));
+      regs.push_back(reg);
+    }
+    return builder->Op(VOpFor(fn_), regs);
+  }
 
  private:
   Fn fn_;
@@ -196,9 +226,19 @@ class EventAggregator {
   }
 
   void Consume(const FlatBatch& batch, int event_col) {
+    Consume(batch, event_col, nullptr, batch.num_rows);
+  }
+
+  /// Selection-vector form: consumes rows sel[0..n) (all rows when `sel`
+  /// is null). Visiting the same surviving rows in the same ascending
+  /// order as the compacting path keeps group insertion order — and hence
+  /// the merged output — bit-identical.
+  void Consume(const FlatBatch& batch, int event_col, const uint32_t* sel,
+               size_t n) {
     const auto& event_ids =
         batch.columns[static_cast<size_t>(event_col)];
-    for (size_t row = 0; row < batch.num_rows; ++row) {
+    for (size_t lane = 0; lane < n; ++lane) {
+      const size_t row = sel != nullptr ? sel[lane] : lane;
       const int64_t key = static_cast<int64_t>(event_ids[row]);
       auto [it, inserted] = groups_.try_emplace(key, states_.size());
       if (inserted) {
@@ -399,12 +439,14 @@ struct FlatPipeline::ScanSource {
   std::function<Result<const FileMetadata*>()> metadata;
   std::function<Result<LaqReader*>(int worker)> reader;
   std::function<ScratchBuffers*(int worker)> scratch;
+  std::function<VexprScratch*(int worker)> vexpr;
   std::function<ScanStats()> scan_stats;
 };
 
 Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
   reader->ResetScanStats();
   ScratchBuffers scratch;
+  VexprScratch vexpr_scratch;
   ScanSource source;
   source.num_threads = 1;
   source.metadata = [reader]() -> Result<const FileMetadata*> {
@@ -412,6 +454,7 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
   };
   source.reader = [reader](int) -> Result<LaqReader*> { return reader; };
   source.scratch = [&scratch](int) { return &scratch; };
+  source.vexpr = [&vexpr_scratch](int) { return &vexpr_scratch; };
   source.scan_stats = [reader]() { return reader->scan_stats(); };
   return ExecuteImpl(&source);
 }
@@ -426,6 +469,11 @@ Result<FlatQueryResult> FlatPipeline::Execute(const std::string& path,
   source.metadata = [&readers] { return readers.metadata(); };
   source.reader = [&readers](int worker) { return readers.reader(worker); };
   source.scratch = [&readers](int worker) { return readers.scratch(worker); };
+  source.vexpr = [&readers](int worker) -> VexprScratch* {
+    std::shared_ptr<void>& slot = readers.engine_scratch(worker);
+    if (slot == nullptr) slot = std::make_shared<VexprScratch>();
+    return static_cast<VexprScratch*>(slot.get());
+  };
   source.scan_stats = [&readers] { return readers.TotalScanStats(); };
   return ExecuteImpl(&source);
 }
@@ -489,6 +537,36 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
     return Status::Invalid("HAVING requires aggregates");
   }
 
+  // ---- compile the hot flat-row expressions to bytecode ----
+  // One program per pipeline step and (when ungrouped) per fill; HAVING
+  // and grouped fills run over the tiny per-event aggregate output where
+  // batching buys nothing, so they stay on the interpreter. Input slot
+  // ids are the chunk column indices, so a worker binds the program by
+  // pointing VColumns at its chunk's columns through its selection
+  // vector. Programs are immutable after this block and shared by all
+  // workers; each worker brings its own VexprScratch.
+  const bool compiled = expr_exec_ == ExprExec::kCompiled;
+  std::vector<VProgram> step_programs;
+  std::vector<VProgram> fill_programs;
+  if (compiled) {
+    step_programs.reserve(steps_.size());
+    for (const Step& step : steps_) {
+      VProgramBuilder builder;
+      int reg;
+      HEPQ_ASSIGN_OR_RETURN(reg, step.expr->Lower(&builder));
+      step_programs.push_back(builder.Finish(reg));
+    }
+    if (!grouped) {
+      fill_programs.reserve(fills_.size());
+      for (const auto& [spec, expr] : fills_) {
+        VProgramBuilder builder;
+        int reg;
+        HEPQ_ASSIGN_OR_RETURN(reg, expr->Lower(&builder));
+        fill_programs.push_back(builder.Finish(reg));
+      }
+    }
+  }
+
   // ---- declarations for the storage bindings ----
   std::vector<ListDecl> list_decls;
   for (const UnnestList& u : unnests_) {
@@ -543,8 +621,9 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
             bindings, BatchBindings::Bind(*batch, list_decls, scalar_decls));
         GroupPartial& p = partials[static_cast<size_t>(g)];
         FlatBatch chunk = layout;
+        VexprScratch* vs = compiled ? source->vexpr(worker) : nullptr;
 
-        auto flush_chunk = [&]() -> Status {
+        auto flush_interpreted = [&]() -> Status {
           if (chunk.num_rows == 0) return Status::OK();
           // Apply projections and filters in order. Filters compact all
           // columns materialized so far — the real cost of filtering flat
@@ -586,6 +665,89 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
           }
           chunk.Clear();
           return Status::OK();
+        };
+
+        // Compiled flush: run each step's program over the live lanes.
+        // Filters narrow the selection vector instead of compacting every
+        // materialized column, so downstream steps, fills, and the GROUP
+        // BY consume shrink without the interpreter path's O(columns)
+        // rewrite per filter. Lane order stays ascending, so group
+        // insertion order and fill order match the compacting path and
+        // results are bit-identical.
+        auto flush_compiled = [&]() -> Status {
+          if (chunk.num_rows == 0) return Status::OK();
+          VexprScratch::Scope scope(vs);
+          std::vector<uint32_t>* sel = vs->AcquireU32();
+          std::vector<double>* vals = vs->AcquireF64();
+          std::vector<VColumn>* cols = vs->AcquireCols();
+          cols->assign(chunk.columns.size(), VColumn{});
+          const uint32_t* sel_ptr = nullptr;  // null: all rows live
+          size_t live = chunk.num_rows;
+          auto bind_cols = [&]() {
+            for (size_t c = 0; c < chunk.columns.size(); ++c) {
+              (*cols)[c].type = TypeId::kFloat64;
+              (*cols)[c].data = chunk.columns[c].data();
+              (*cols)[c].index = sel_ptr;
+            }
+          };
+          size_t live_columns = base_columns;
+          for (size_t s = 0; s < steps_.size(); ++s) {
+            const Step& step = steps_[s];
+            vals->resize(live);
+            bind_cols();
+            step_programs[s].Run(cols->data(), static_cast<int>(live),
+                                 &vs->vm, vals->data());
+            if (!step.is_filter) {
+              // Scatter through the selection so later gathers see the
+              // value at its row position; dead rows stay unwritten (and
+              // unread).
+              auto& out = chunk.columns[live_columns];
+              out.resize(chunk.num_rows);
+              if (sel_ptr != nullptr) {
+                for (size_t i = 0; i < live; ++i) out[sel_ptr[i]] = (*vals)[i];
+              } else {
+                std::copy(vals->begin(), vals->end(), out.begin());
+              }
+              ++live_columns;
+              continue;
+            }
+            if (sel_ptr == nullptr) {
+              sel->clear();
+              for (size_t i = 0; i < live; ++i) {
+                if ((*vals)[i] != 0.0) sel->push_back(static_cast<uint32_t>(i));
+              }
+            } else {
+              size_t kept = 0;
+              for (size_t i = 0; i < live; ++i) {
+                if ((*vals)[i] != 0.0) (*sel)[kept++] = (*sel)[i];
+              }
+              sel->resize(kept);
+            }
+            sel_ptr = sel->data();
+            live = sel->size();
+            if (live == 0) break;
+          }
+          if (live > 0) {
+            if (grouped) {
+              p.aggregator.Consume(chunk, /*event_col=*/0, sel_ptr, live);
+            } else {
+              for (size_t f = 0; f < fills_.size(); ++f) {
+                vals->resize(live);
+                bind_cols();
+                fill_programs[f].Run(cols->data(), static_cast<int>(live),
+                                     &vs->vm, vals->data());
+                for (size_t i = 0; i < live; ++i) {
+                  p.histos[f].Fill((*vals)[i]);
+                }
+              }
+            }
+          }
+          chunk.Clear();
+          return Status::OK();
+        };
+
+        auto flush_chunk = [&]() -> Status {
+          return compiled ? flush_compiled() : flush_interpreted();
         };
 
         const int64_t rows = batch->num_rows();

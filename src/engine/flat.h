@@ -11,6 +11,8 @@
 
 namespace hepq::engine {
 
+class VProgramBuilder;
+
 /// A fully materialized flat (NF1) batch: named all-double columns. This is
 /// what CROSS JOIN UNNEST produces in the Presto/Athena plan shape — every
 /// event-level attribute is duplicated per emitted particle row, which is
@@ -36,6 +38,10 @@ class FlatExpr {
   /// Resolves column references against the batch layout; called once per
   /// pipeline preparation.
   virtual Status Resolve(const FlatBatch& batch) = 0;
+  /// Lowers the (resolved) expression into `builder`, returning the result
+  /// register. Column references load the flat column as an input slot, so
+  /// the compiled program evaluates a whole chunk per instruction.
+  virtual Result<int> Lower(VProgramBuilder* builder) const = 0;
 };
 
 using FlatExprPtr = std::shared_ptr<FlatExpr>;
@@ -132,6 +138,14 @@ class FlatPipeline {
   /// else per surviving flat row.
   int AddHistogram(HistogramSpec spec, FlatExprPtr value);
 
+  /// Selects between the vectorized bytecode path (the default) and the
+  /// per-row tree-walking interpreter. In compiled mode filters narrow a
+  /// selection vector instead of physically compacting every materialized
+  /// column; results are bit-identical either way, and the interpreter is
+  /// kept for the interpreted-vs-compiled ablation.
+  void set_expr_exec(ExprExec exec) { expr_exec_ = exec; }
+  ExprExec expr_exec() const { return expr_exec_; }
+
   /// Runs the pipeline over all row groups of `reader`, single-threaded
   /// but through the shared row-group runtime.
   Result<FlatQueryResult> Execute(LaqReader* reader) const;
@@ -169,6 +183,7 @@ class FlatPipeline {
   std::vector<FlatAggSpec> aggregates_;
   std::vector<FlatExprPtr> having_;
   std::vector<std::pair<HistogramSpec, FlatExprPtr>> fills_;
+  ExprExec expr_exec_ = ExprExec::kCompiled;
 };
 
 }  // namespace hepq::engine

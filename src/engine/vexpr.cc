@@ -1,0 +1,527 @@
+#include "engine/vexpr.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "core/physics.h"
+
+namespace hepq::engine {
+
+const char* VOpName(VOp op) {
+  switch (op) {
+    case VOp::kConst: return "const";
+    case VOp::kLoad: return "load";
+    case VOp::kAdd: return "add";
+    case VOp::kSub: return "sub";
+    case VOp::kMul: return "mul";
+    case VOp::kDiv: return "div";
+    case VOp::kLt: return "lt";
+    case VOp::kLe: return "le";
+    case VOp::kGt: return "gt";
+    case VOp::kGe: return "ge";
+    case VOp::kEq: return "eq";
+    case VOp::kNe: return "ne";
+    case VOp::kAnd: return "and";
+    case VOp::kOr: return "or";
+    case VOp::kAbs: return "abs";
+    case VOp::kSqrt: return "sqrt";
+    case VOp::kNot: return "not";
+    case VOp::kMin2: return "min";
+    case VOp::kMax2: return "max";
+    case VOp::kDeltaPhi: return "delta_phi";
+    case VOp::kDeltaR: return "delta_r";
+    case VOp::kInvMass2: return "inv_mass2";
+    case VOp::kInvMass3: return "inv_mass3";
+    case VOp::kSumPt3: return "sum_pt3";
+    case VOp::kTransverseMass: return "transverse_mass";
+    case VOp::kMassOfSum2: return "mass_of_sum2";
+    case VOp::kMassOfSum3: return "mass_of_sum3";
+    case VOp::kPtOfSum3: return "pt_of_sum3";
+  }
+  return "?";
+}
+
+VOp VOpFor(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return VOp::kAdd;
+    case BinOp::kSub: return VOp::kSub;
+    case BinOp::kMul: return VOp::kMul;
+    case BinOp::kDiv: return VOp::kDiv;
+    case BinOp::kLt: return VOp::kLt;
+    case BinOp::kLe: return VOp::kLe;
+    case BinOp::kGt: return VOp::kGt;
+    case BinOp::kGe: return VOp::kGe;
+    case BinOp::kEq: return VOp::kEq;
+    case BinOp::kNe: return VOp::kNe;
+    case BinOp::kAnd: return VOp::kAnd;
+    case BinOp::kOr: return VOp::kOr;
+  }
+  return VOp::kAdd;
+}
+
+VOp VOpFor(Fn fn) {
+  switch (fn) {
+    case Fn::kAbs: return VOp::kAbs;
+    case Fn::kSqrt: return VOp::kSqrt;
+    case Fn::kNot: return VOp::kNot;
+    case Fn::kMin2: return VOp::kMin2;
+    case Fn::kMax2: return VOp::kMax2;
+    case Fn::kDeltaPhi: return VOp::kDeltaPhi;
+    case Fn::kDeltaR: return VOp::kDeltaR;
+    case Fn::kInvMass2: return VOp::kInvMass2;
+    case Fn::kInvMass3: return VOp::kInvMass3;
+    case Fn::kSumPt3: return VOp::kSumPt3;
+    case Fn::kTransverseMass: return VOp::kTransverseMass;
+  }
+  return VOp::kAbs;
+}
+
+int VOpArity(VOp op) {
+  switch (op) {
+    case VOp::kConst:
+    case VOp::kLoad:
+      return 0;
+    case VOp::kAbs:
+    case VOp::kSqrt:
+    case VOp::kNot:
+      return 1;
+    case VOp::kDeltaR:
+    case VOp::kTransverseMass:
+      return 4;
+    case VOp::kInvMass2:
+    case VOp::kMassOfSum2:
+      return 8;
+    case VOp::kInvMass3:
+    case VOp::kSumPt3:
+    case VOp::kMassOfSum3:
+    case VOp::kPtOfSum3:
+      return 12;
+    default:
+      return 2;
+  }
+}
+
+double VOpApply(VOp op, const double* v) {
+  switch (op) {
+    case VOp::kAdd: return v[0] + v[1];
+    case VOp::kSub: return v[0] - v[1];
+    case VOp::kMul: return v[0] * v[1];
+    case VOp::kDiv: return v[0] / v[1];
+    case VOp::kLt: return v[0] < v[1] ? 1.0 : 0.0;
+    case VOp::kLe: return v[0] <= v[1] ? 1.0 : 0.0;
+    case VOp::kGt: return v[0] > v[1] ? 1.0 : 0.0;
+    case VOp::kGe: return v[0] >= v[1] ? 1.0 : 0.0;
+    case VOp::kEq: return v[0] == v[1] ? 1.0 : 0.0;
+    case VOp::kNe: return v[0] != v[1] ? 1.0 : 0.0;
+    // Eager && / || match the interpreter's short-circuit forms exactly:
+    // operands reaching a VM program are pure, and booleans are exact 0/1.
+    case VOp::kAnd: return v[0] != 0.0 && v[1] != 0.0 ? 1.0 : 0.0;
+    case VOp::kOr: return v[0] != 0.0 || v[1] != 0.0 ? 1.0 : 0.0;
+    case VOp::kAbs: return std::abs(v[0]);
+    case VOp::kSqrt: return std::sqrt(v[0]);
+    case VOp::kNot: return v[0] != 0.0 ? 0.0 : 1.0;
+    case VOp::kMin2: return std::min(v[0], v[1]);
+    case VOp::kMax2: return std::max(v[0], v[1]);
+    case VOp::kDeltaPhi: return DeltaPhi(v[0], v[1]);
+    case VOp::kDeltaR: return DeltaR(v[0], v[1], v[2], v[3]);
+    case VOp::kInvMass2:
+      return InvariantMass2({v[0], v[1], v[2], v[3]},
+                            {v[4], v[5], v[6], v[7]});
+    case VOp::kInvMass3:
+      return InvariantMass3({v[0], v[1], v[2], v[3]},
+                            {v[4], v[5], v[6], v[7]},
+                            {v[8], v[9], v[10], v[11]});
+    case VOp::kSumPt3:
+      return AddPtEtaPhiM3({v[0], v[1], v[2], v[3]},
+                           {v[4], v[5], v[6], v[7]},
+                           {v[8], v[9], v[10], v[11]})
+          .pt;
+    case VOp::kTransverseMass:
+      return TransverseMass(v[0], v[1], v[2], v[3]);
+    case VOp::kMassOfSum2:
+      return MassOfSum2({v[0], v[1], v[2], v[3]}, {v[4], v[5], v[6], v[7]});
+    case VOp::kMassOfSum3:
+      return MassOfSum3({v[0], v[1], v[2], v[3]}, {v[4], v[5], v[6], v[7]},
+                        {v[8], v[9], v[10], v[11]});
+    case VOp::kPtOfSum3:
+      return PtOfSum3({v[0], v[1], v[2], v[3]}, {v[4], v[5], v[6], v[7]},
+                      {v[8], v[9], v[10], v[11]});
+    case VOp::kConst:
+    case VOp::kLoad:
+      break;
+  }
+  return 0.0;
+}
+
+double* VScratch::Reg(int r, int n) {
+  if (static_cast<size_t>(r) >= regs_.size()) {
+    regs_.resize(static_cast<size_t>(r) + 1);
+  }
+  std::vector<double>& buf = regs_[static_cast<size_t>(r)];
+  if (buf.size() < static_cast<size_t>(n)) {
+    buf.resize(static_cast<size_t>(n));
+  }
+  return buf.data();
+}
+
+namespace {
+
+template <typename T>
+void GatherInto(const T* src, const uint32_t* index, int n, double* d) {
+  if (index != nullptr) {
+    for (int i = 0; i < n; ++i) d[i] = static_cast<double>(src[index[i]]);
+  } else {
+    for (int i = 0; i < n; ++i) d[i] = static_cast<double>(src[i]);
+  }
+}
+
+// One dense lane loop per operator. Each lane performs the exact IEEE
+// operation sequence of the interpreter's switch in expr.cc (same helper
+// calls, same comparison forms), so results are bit-identical; the only
+// difference is dispatch amortized over the batch.
+#define HEPQ_VM_LOOP2(expr)                          \
+  do {                                               \
+    const double* a = args[0];                       \
+    const double* b = args[1];                       \
+    for (int i = 0; i < n; ++i) d[i] = (expr);       \
+  } while (0)
+
+void RunInstr(VOp op, const double* const* args, int n, double* d) {
+  switch (op) {
+    case VOp::kAdd: HEPQ_VM_LOOP2(a[i] + b[i]); break;
+    case VOp::kSub: HEPQ_VM_LOOP2(a[i] - b[i]); break;
+    case VOp::kMul: HEPQ_VM_LOOP2(a[i] * b[i]); break;
+    case VOp::kDiv: HEPQ_VM_LOOP2(a[i] / b[i]); break;
+    case VOp::kLt: HEPQ_VM_LOOP2(a[i] < b[i] ? 1.0 : 0.0); break;
+    case VOp::kLe: HEPQ_VM_LOOP2(a[i] <= b[i] ? 1.0 : 0.0); break;
+    case VOp::kGt: HEPQ_VM_LOOP2(a[i] > b[i] ? 1.0 : 0.0); break;
+    case VOp::kGe: HEPQ_VM_LOOP2(a[i] >= b[i] ? 1.0 : 0.0); break;
+    case VOp::kEq: HEPQ_VM_LOOP2(a[i] == b[i] ? 1.0 : 0.0); break;
+    case VOp::kNe: HEPQ_VM_LOOP2(a[i] != b[i] ? 1.0 : 0.0); break;
+    case VOp::kAnd:
+      HEPQ_VM_LOOP2(a[i] != 0.0 && b[i] != 0.0 ? 1.0 : 0.0);
+      break;
+    case VOp::kOr:
+      HEPQ_VM_LOOP2(a[i] != 0.0 || b[i] != 0.0 ? 1.0 : 0.0);
+      break;
+    case VOp::kMin2: HEPQ_VM_LOOP2(std::min(a[i], b[i])); break;
+    case VOp::kMax2: HEPQ_VM_LOOP2(std::max(a[i], b[i])); break;
+    case VOp::kAbs: {
+      const double* a = args[0];
+      for (int i = 0; i < n; ++i) d[i] = std::abs(a[i]);
+      break;
+    }
+    case VOp::kSqrt: {
+      const double* a = args[0];
+      for (int i = 0; i < n; ++i) d[i] = std::sqrt(a[i]);
+      break;
+    }
+    case VOp::kNot: {
+      const double* a = args[0];
+      for (int i = 0; i < n; ++i) d[i] = a[i] != 0.0 ? 0.0 : 1.0;
+      break;
+    }
+    case VOp::kDeltaPhi: {
+      const double* a = args[0];
+      const double* b = args[1];
+      for (int i = 0; i < n; ++i) d[i] = DeltaPhi(a[i], b[i]);
+      break;
+    }
+    case VOp::kDeltaR: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = DeltaR(args[0][i], args[1][i], args[2][i], args[3][i]);
+      }
+      break;
+    }
+    case VOp::kInvMass2: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = InvariantMass2(
+            {args[0][i], args[1][i], args[2][i], args[3][i]},
+            {args[4][i], args[5][i], args[6][i], args[7][i]});
+      }
+      break;
+    }
+    case VOp::kInvMass3: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = InvariantMass3(
+            {args[0][i], args[1][i], args[2][i], args[3][i]},
+            {args[4][i], args[5][i], args[6][i], args[7][i]},
+            {args[8][i], args[9][i], args[10][i], args[11][i]});
+      }
+      break;
+    }
+    case VOp::kSumPt3: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = AddPtEtaPhiM3(
+                   {args[0][i], args[1][i], args[2][i], args[3][i]},
+                   {args[4][i], args[5][i], args[6][i], args[7][i]},
+                   {args[8][i], args[9][i], args[10][i], args[11][i]})
+                   .pt;
+      }
+      break;
+    }
+    case VOp::kTransverseMass: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = TransverseMass(args[0][i], args[1][i], args[2][i], args[3][i]);
+      }
+      break;
+    }
+    case VOp::kMassOfSum2: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = MassOfSum2({args[0][i], args[1][i], args[2][i], args[3][i]},
+                          {args[4][i], args[5][i], args[6][i], args[7][i]});
+      }
+      break;
+    }
+    case VOp::kMassOfSum3: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = MassOfSum3({args[0][i], args[1][i], args[2][i], args[3][i]},
+                          {args[4][i], args[5][i], args[6][i], args[7][i]},
+                          {args[8][i], args[9][i], args[10][i], args[11][i]});
+      }
+      break;
+    }
+    case VOp::kPtOfSum3: {
+      for (int i = 0; i < n; ++i) {
+        d[i] = PtOfSum3({args[0][i], args[1][i], args[2][i], args[3][i]},
+                        {args[4][i], args[5][i], args[6][i], args[7][i]},
+                        {args[8][i], args[9][i], args[10][i], args[11][i]});
+      }
+      break;
+    }
+    case VOp::kConst:
+    case VOp::kLoad:
+      break;  // handled by the caller
+  }
+}
+
+#undef HEPQ_VM_LOOP2
+
+}  // namespace
+
+void VProgram::Run(const VColumn* cols, int n, VScratch* scratch,
+                   double* out) const {
+  if (n <= 0) return;
+  const double* arg_ptrs[12];
+  for (const VInstr& in : code_) {
+    double* d = scratch->Reg(in.dst, n);
+    switch (in.op) {
+      case VOp::kConst: {
+        const double v = consts_[in.index];
+        for (int i = 0; i < n; ++i) d[i] = v;
+        break;
+      }
+      case VOp::kLoad: {
+        const VColumn& c = cols[in.index];
+        if (c.data == nullptr) {
+          const double v = c.splat;
+          for (int i = 0; i < n; ++i) d[i] = v;
+          break;
+        }
+        // The per-type dispatch the interpreter pays on every
+        // MemberAccessor::Get runs once per (instruction, batch) here.
+        switch (c.type) {
+          case TypeId::kFloat32:
+            GatherInto(static_cast<const float*>(c.data), c.index, n, d);
+            break;
+          case TypeId::kFloat64:
+            GatherInto(static_cast<const double*>(c.data), c.index, n, d);
+            break;
+          case TypeId::kInt32:
+            GatherInto(static_cast<const int32_t*>(c.data), c.index, n, d);
+            break;
+          case TypeId::kInt64:
+            GatherInto(static_cast<const int64_t*>(c.data), c.index, n, d);
+            break;
+          case TypeId::kBool:
+            GatherInto(static_cast<const uint8_t*>(c.data), c.index, n, d);
+            break;
+          default:
+            // Unreachable: BatchBindings rejects non-primitive leaves at
+            // bind time (see AccessorFor in context.cc).
+            for (int i = 0; i < n; ++i) d[i] = 0.0;
+            break;
+        }
+        break;
+      }
+      default: {
+        for (int k = 0; k < in.num_args; ++k) {
+          arg_ptrs[k] = scratch->Reg(args_[in.first_arg + k], n);
+        }
+        RunInstr(in.op, arg_ptrs, n, d);
+        break;
+      }
+    }
+  }
+  std::memcpy(out, scratch->Reg(result_reg_, n),
+              static_cast<size_t>(n) * sizeof(double));
+}
+
+std::string VProgram::ToString() const {
+  std::string out;
+  char buf[64];
+  for (const VInstr& in : code_) {
+    std::snprintf(buf, sizeof(buf), "r%u = %s", in.dst, VOpName(in.op));
+    out += buf;
+    if (in.op == VOp::kConst) {
+      std::snprintf(buf, sizeof(buf), " %g", consts_[in.index]);
+      out += buf;
+    } else if (in.op == VOp::kLoad) {
+      std::snprintf(buf, sizeof(buf), " slot%u", in.index);
+      out += buf;
+    } else {
+      for (int k = 0; k < in.num_args; ++k) {
+        std::snprintf(buf, sizeof(buf), " r%u", args_[in.first_arg + k]);
+        out += buf;
+      }
+    }
+    out += "\n";
+  }
+  std::snprintf(buf, sizeof(buf), "ret r%u\n", result_reg_);
+  out += buf;
+  return out;
+}
+
+// ---- Builder ---------------------------------------------------------------
+
+namespace {
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// CSE key tags; kept distinct from VOp values used in op keys.
+constexpr uint64_t kKeyConst = ~uint64_t{0};
+constexpr uint64_t kKeyLoad = ~uint64_t{1};
+
+}  // namespace
+
+int VProgramBuilder::NewReg(bool is_const, double value) {
+  const int r = program_.num_regs_++;
+  reg_const_.push_back({is_const, value});
+  return r;
+}
+
+int VProgramBuilder::Const(double value) {
+  std::vector<uint64_t> key{kKeyConst, DoubleBits(value)};
+  auto it = cse_.find(key);
+  if (it != cse_.end()) return it->second;
+  // Folded-away constants never reach the instruction stream; the register
+  // is materialized lazily the first time a non-folded op consumes it.
+  const int r = NewReg(true, value);
+  cse_.emplace(std::move(key), r);
+  return r;
+}
+
+int VProgramBuilder::Load(int slot) {
+  std::vector<uint64_t> key{kKeyLoad, static_cast<uint64_t>(slot)};
+  auto it = cse_.find(key);
+  if (it != cse_.end()) return it->second;
+  const int r = NewReg(false, 0.0);
+  program_.code_.push_back({VOp::kLoad, static_cast<uint16_t>(r),
+                            static_cast<uint16_t>(slot), 0, 0});
+  if (slot + 1 > program_.num_slots_) program_.num_slots_ = slot + 1;
+  cse_.emplace(std::move(key), r);
+  return r;
+}
+
+void VProgramBuilder::Materialize(int reg) {
+  if (!reg_const_[static_cast<size_t>(reg)].first) return;
+  if (materialized_.size() < reg_const_.size()) {
+    materialized_.resize(reg_const_.size(), false);
+  }
+  if (materialized_[static_cast<size_t>(reg)]) return;
+  materialized_[static_cast<size_t>(reg)] = true;
+  const double value = reg_const_[static_cast<size_t>(reg)].second;
+  const uint16_t ci = static_cast<uint16_t>(program_.consts_.size());
+  program_.consts_.push_back(value);
+  program_.code_.push_back(
+      {VOp::kConst, static_cast<uint16_t>(reg), ci, 0, 0});
+}
+
+int VProgramBuilder::Op(VOp op, const std::vector<int>& arg_regs) {
+  // Constant folding: if every argument is a known constant, apply the
+  // exact scalar semantics now and emit nothing.
+  bool all_const = true;
+  double vals[12];
+  for (size_t k = 0; k < arg_regs.size(); ++k) {
+    const auto& rc = reg_const_[static_cast<size_t>(arg_regs[k])];
+    if (!rc.first) {
+      all_const = false;
+      break;
+    }
+    vals[k] = rc.second;
+  }
+  if (all_const) return Const(VOpApply(op, vals));
+
+  std::vector<uint64_t> key;
+  key.reserve(arg_regs.size() + 1);
+  key.push_back(static_cast<uint64_t>(op));
+  for (int r : arg_regs) key.push_back(static_cast<uint64_t>(r));
+  auto it = cse_.find(key);
+  if (it != cse_.end()) return it->second;
+
+  for (int r : arg_regs) Materialize(r);
+  const int dst = NewReg(false, 0.0);
+  VInstr in;
+  in.op = op;
+  in.dst = static_cast<uint16_t>(dst);
+  in.first_arg = static_cast<uint16_t>(program_.args_.size());
+  in.num_args = static_cast<uint16_t>(arg_regs.size());
+  for (int r : arg_regs) program_.args_.push_back(static_cast<uint16_t>(r));
+  program_.code_.push_back(in);
+  cse_.emplace(std::move(key), dst);
+  return dst;
+}
+
+bool VProgramBuilder::IsConst(int reg, double* value) const {
+  const auto& rc = reg_const_[static_cast<size_t>(reg)];
+  if (rc.first && value != nullptr) *value = rc.second;
+  return rc.first;
+}
+
+VProgram VProgramBuilder::Finish(int result_reg) {
+  Materialize(result_reg);
+  program_.result_reg_ = static_cast<uint16_t>(result_reg);
+  return std::move(program_);
+}
+
+// ---- Scratch ---------------------------------------------------------------
+
+std::vector<double>* VexprScratch::AcquireF64() {
+  if (f64_used_ == f64_.size()) {
+    f64_.push_back(std::make_unique<std::vector<double>>());
+  }
+  std::vector<double>* v = f64_[f64_used_++].get();
+  v->clear();
+  return v;
+}
+
+std::vector<uint32_t>* VexprScratch::AcquireU32() {
+  if (u32_used_ == u32_.size()) {
+    u32_.push_back(std::make_unique<std::vector<uint32_t>>());
+  }
+  std::vector<uint32_t>* v = u32_[u32_used_++].get();
+  v->clear();
+  return v;
+}
+
+std::vector<VColumn>* VexprScratch::AcquireCols() {
+  if (cols_used_ == cols_.size()) {
+    cols_.push_back(std::make_unique<std::vector<VColumn>>());
+  }
+  std::vector<VColumn>* v = cols_[cols_used_++].get();
+  v->clear();
+  return v;
+}
+
+void VexprScratch::ResetAll() {
+  f64_used_ = 0;
+  u32_used_ = 0;
+  cols_used_ = 0;
+}
+
+}  // namespace hepq::engine

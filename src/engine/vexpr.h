@@ -1,0 +1,280 @@
+#ifndef HEPQUERY_ENGINE_VEXPR_H_
+#define HEPQUERY_ENGINE_VEXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/histogram.h"
+#include "engine/expr.h"
+
+namespace hepq::engine {
+
+// Vectorized expression bytecode.
+//
+// An Expr (or FlatExpr) tree is lowered once into a flat postfix program:
+// every leaf and every operator becomes one instruction that evaluates a
+// *batch of lanes* into a reusable register buffer. The lowering performs
+// constant folding and common-subexpression elimination, and resolves
+// member accessors to typed input slots, so the per-lane hot loop contains
+// no virtual dispatch, no shared_ptr chasing, and no per-access type
+// switch — the `MemberAccessor::Get` switch runs once per (instruction,
+// batch) instead of once per access. This is the paper's fast execution
+// model (BigQuery's vectorized array expressions) as opposed to the
+// tree-walking interpreter (the Rumble end of Figure 1); both are kept and
+// selectable via ExprExec so the gap stays measurable.
+//
+// Results are bit-identical to the interpreter: each arithmetic opcode is
+// the same single IEEE operation on the same operands, and every physics
+// opcode calls the same out-of-line helper in core/physics.cc that the
+// interpreter calls (see the note in core/physics.h on why those are
+// decomposed and out of line).
+
+/// VM opcodes. kConst splats a constant-pool entry; kLoad gathers a typed
+/// input slot; everything else consumes argument registers lane-wise.
+enum class VOp : uint8_t {
+  kConst,
+  kLoad,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,  // eager: operands are pure, so evaluating both sides is exact
+  kOr,
+  kAbs,
+  kSqrt,
+  kNot,
+  kMin2,
+  kMax2,
+  kDeltaPhi,
+  kDeltaR,
+  kInvMass2,
+  kInvMass3,
+  kSumPt3,
+  kTransverseMass,
+  // Decomposed combination kernels: operands are Cartesian components
+  // (px, py, pz, E per particle) produced once per list *element*, so the
+  // per-lane work is add + reduce instead of a full cylindrical conversion
+  // per combination (see the note in core/physics.h).
+  kMassOfSum2,
+  kMassOfSum3,
+  kPtOfSum3,
+};
+
+const char* VOpName(VOp op);
+VOp VOpFor(BinOp op);
+VOp VOpFor(Fn fn);
+/// Number of argument registers `op` consumes (0 for kConst / kLoad).
+int VOpArity(VOp op);
+/// Applies `op` to one lane of arguments — the exact scalar semantics of
+/// the VM loops, shared with the constant folder so folded and evaluated
+/// results are bit-identical.
+double VOpApply(VOp op, const double* v);
+
+struct VInstr {
+  VOp op = VOp::kConst;
+  uint16_t dst = 0;        // destination register
+  uint16_t index = 0;      // kConst: constant-pool slot; kLoad: input slot
+  uint16_t first_arg = 0;  // offset into VProgram's argument list
+  uint16_t num_args = 0;
+};
+
+/// One input slot bound for a Run: a typed base pointer read through an
+/// optional per-lane index vector (gather), or a splat constant when
+/// `data` is null. The type dispatch happens once per instruction, never
+/// per lane.
+struct VColumn {
+  TypeId type = TypeId::kFloat64;
+  const void* data = nullptr;
+  const uint32_t* index = nullptr;  // null: lane i reads data[i]
+  double splat = 0.0;
+};
+
+/// Reusable register buffers for one worker. Buffers keep their capacity
+/// across row groups, so steady-state execution allocates nothing.
+class VScratch {
+ public:
+  double* Reg(int r, int n);
+
+ private:
+  std::vector<std::vector<double>> regs_;
+};
+
+/// A compiled batch program: flat postfix instruction list over a constant
+/// pool, input slots, and registers. Immutable after Finish; Run is const
+/// and thread-safe (each worker brings its own VScratch).
+class VProgram {
+ public:
+  VProgram() = default;
+
+  int num_slots() const { return num_slots_; }
+  int num_regs() const { return num_regs_; }
+  int num_instrs() const { return static_cast<int>(code_.size()); }
+
+  /// Evaluates all instructions over lanes [0, n), writing the result
+  /// register to out[0..n). cols must provide num_slots() entries.
+  void Run(const VColumn* cols, int n, VScratch* scratch, double* out) const;
+
+  /// Disassembly for EXPLAIN output and tests.
+  std::string ToString() const;
+
+ private:
+  friend class VProgramBuilder;
+  std::vector<VInstr> code_;
+  std::vector<uint16_t> args_;
+  std::vector<double> consts_;
+  int num_slots_ = 0;
+  int num_regs_ = 0;
+  uint16_t result_reg_ = 0;
+};
+
+/// Builds a VProgram bottom-up. Every Const/Load/Op returns a register id;
+/// identical subcomputations are merged (CSE) and operations over
+/// all-constant arguments are folded at build time.
+class VProgramBuilder {
+ public:
+  int Const(double value);
+  /// Loads input slot `slot` (caller-assigned; slots need not be dense,
+  /// the program sizes itself to the largest slot id + 1).
+  int Load(int slot);
+  int Op(VOp op, const std::vector<int>& arg_regs);
+
+  /// True (with the value) when `reg` folded to a constant.
+  bool IsConst(int reg, double* value) const;
+
+  VProgram Finish(int result_reg);
+
+ private:
+  VProgram program_;
+  std::vector<std::pair<bool, double>> reg_const_;
+  std::vector<bool> materialized_;
+  std::map<std::vector<uint64_t>, int> cse_;
+  int NewReg(bool is_const, double value);
+  /// Emits the deferred kConst instruction for a folded register the first
+  /// time a non-folded consumer needs it in the instruction stream.
+  void Materialize(int reg);
+};
+
+/// Per-worker state of the compiled event-shape path: VM registers plus a
+/// stack-scoped pool of index and value buffers used for lane frames,
+/// selection vectors, and driver outputs. Everything keeps its capacity
+/// across row groups — after warm-up the compiled path performs no heap
+/// allocation per row group (micro_kernels asserts this).
+class VexprScratch {
+ public:
+  VScratch vm;
+
+  std::vector<double>* AcquireF64();
+  std::vector<uint32_t>* AcquireU32();
+  std::vector<VColumn>* AcquireCols();
+
+  /// Returns every buffer acquired since construction to the pool; call
+  /// once per batch before use.
+  void ResetAll();
+
+  /// RAII stack frame: buffers acquired inside the scope return to the
+  /// pool on exit (capacity kept), so loops that acquire per iteration
+  /// reuse the same buffers. Callers must not hold pointers into a scope's
+  /// buffers after it exits.
+  class Scope {
+   public:
+    explicit Scope(VexprScratch* s)
+        : s_(s),
+          f64_mark_(s->f64_used_),
+          u32_mark_(s->u32_used_),
+          cols_mark_(s->cols_used_) {}
+    ~Scope() {
+      s_->f64_used_ = f64_mark_;
+      s_->u32_used_ = u32_mark_;
+      s_->cols_used_ = cols_mark_;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    VexprScratch* s_;
+    size_t f64_mark_;
+    size_t u32_mark_;
+    size_t cols_mark_;
+  };
+
+ private:
+  std::vector<std::unique_ptr<std::vector<double>>> f64_;
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> u32_;
+  std::vector<std::unique_ptr<std::vector<VColumn>>> cols_;
+  size_t f64_used_ = 0;
+  size_t u32_used_ = 0;
+  size_t cols_used_ = 0;
+};
+
+/// The parts of an EventQuery the compiler needs (EventQuery fills this in
+/// from its declarations; the split keeps event_query.h light).
+struct CompiledQuerySpec {
+  std::vector<ExprPtr> stages;
+  struct Fill {
+    ExprPtr scalar;  // exactly one representation is active, as in FillSpec
+    int list_slot = -1;
+    int iter_slot = -1;
+    ExprPtr filter;
+    ExprPtr value;
+    std::vector<ComboLoop> loops;
+    bool per_element = false;
+    bool per_combination = false;
+  };
+  std::vector<Fill> fills;
+};
+
+/// A fully compiled event-shape query: stage predicates narrow an event
+/// selection vector, aggregate and combination drivers batch their inner
+/// filter/score bodies across all surviving events, and fills evaluate
+/// over the final selection. ExecuteBatch mirrors the interpreter loop in
+/// EventQuery::ExecuteBatch bit for bit, including the ops counters.
+class CompiledEventQuery {
+ public:
+  ~CompiledEventQuery();
+
+  static Result<std::shared_ptr<const CompiledEventQuery>> Compile(
+      CompiledQuerySpec spec);
+
+  /// Runs over rows [0, num_rows) of the bound batch. Histograms must be
+  /// sized to the fills; `events_selected` and `ops` accumulate.
+  Status ExecuteBatch(const BatchBindings& bindings, int64_t num_rows,
+                      VexprScratch* scratch,
+                      std::vector<Histogram1D>* histograms,
+                      int64_t* events_selected, uint64_t* ops) const;
+
+ private:
+  CompiledEventQuery();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Compiles a single expression for batch evaluation over the events of a
+/// bound batch — the direct cross-check surface used by the randomized
+/// compiler tests and the expression micro-benchmarks.
+class CompiledExprKernel {
+ public:
+  static Result<CompiledExprKernel> Compile(ExprPtr expr);
+
+  /// Evaluates the expression once per row in [0, num_rows), exactly like
+  /// calling Expr::Eval per row with a fresh EvalContext (all iterators
+  /// initially bound to element 0). `ops` accumulates element and
+  /// combination visits as the interpreter would count them.
+  Status Eval(const BatchBindings& bindings, int64_t num_rows,
+              VexprScratch* scratch, double* out, uint64_t* ops) const;
+
+ private:
+  std::shared_ptr<const void> impl_;
+};
+
+}  // namespace hepq::engine
+
+#endif  // HEPQUERY_ENGINE_VEXPR_H_

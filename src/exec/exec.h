@@ -120,6 +120,15 @@ class WorkerReaders {
     return &slots_[static_cast<size_t>(worker)].scratch;
   }
 
+  /// Opaque per-worker engine state riding alongside the decode scratch
+  /// (e.g. the expression VM's register and selection buffers). The slot
+  /// starts empty; the engine creates its state on the worker's first row
+  /// group and reuses it for the rest of the run, keeping the hot path
+  /// allocation-free. exec stays ignorant of the concrete type.
+  std::shared_ptr<void>& engine_scratch(int worker) {
+    return slots_[static_cast<size_t>(worker)].engine_scratch;
+  }
+
   /// File metadata, via worker 0's reader (opens it if needed).
   Result<const FileMetadata*> metadata();
 
@@ -131,6 +140,7 @@ class WorkerReaders {
   struct Slot {
     std::unique_ptr<LaqReader> reader;
     ScratchBuffers scratch;
+    std::shared_ptr<void> engine_scratch;
   };
 
   std::string path_;

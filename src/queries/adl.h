@@ -59,6 +59,13 @@ struct RunOptions {
   /// results are bit-identical for any thread count.
   int num_threads = 1;
   bool validate_checksums = true;
+  /// Forces the BigQuery/Presto plan shapes onto the per-row tree-walking
+  /// expression interpreter instead of the vectorized bytecode VM (the
+  /// default). Histograms are bit-identical either way; used by the
+  /// interpreted-vs-compiled ablation (bench/ablation_plans) and the
+  /// cross-check tests. Ignored by kRdf and kDoc, which have no
+  /// expression trees.
+  bool interpret_expressions = false;
 };
 
 /// Runs ADL query `q` (1..8) with the given engine over the data set at

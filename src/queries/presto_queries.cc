@@ -155,6 +155,9 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   QueryRunOutput out;
   auto flat_result = BuildAdlFlatPipeline(q);
   if (flat_result.ok()) {
+    if (options.interpret_expressions) {
+      flat_result->set_expr_exec(engine::ExprExec::kInterpreted);
+    }
     engine::FlatQueryResult result;
     HEPQ_ASSIGN_OR_RETURN(
         result,
@@ -172,6 +175,9 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   }
   engine::EventQuery query("");
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
+  if (options.interpret_expressions) {
+    query.set_expr_exec(engine::ExprExec::kInterpreted);
+  }
   engine::EventQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result, query.Execute(path, reader_options, options.num_threads));

@@ -1,0 +1,418 @@
+// Tests for the vectorized expression bytecode (engine/vexpr): builder
+// unit tests, a seeded randomized cross-check of the compiled kernel
+// against the tree-walking interpreter (bit-identical values AND ops
+// counters), and golden agreement of all 8 ADL queries across both plan
+// shapes, both execution modes, and thread counts.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "core/physics.h"
+#include "datagen/dataset.h"
+#include "engine/event_query.h"
+#include "engine/vexpr.h"
+#include "queries/adl.h"
+
+namespace hepq::engine {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// VProgramBuilder
+// ---------------------------------------------------------------------------
+
+TEST(VProgramBuilderTest, FoldsConstantSubtrees) {
+  VProgramBuilder b;
+  const int r = b.Op(VOp::kAdd, {b.Const(2.0), b.Const(3.0)});
+  double v = 0.0;
+  ASSERT_TRUE(b.IsConst(r, &v));
+  EXPECT_EQ(v, 5.0);
+  // Only the materialized result constant reaches the instruction stream.
+  EXPECT_EQ(b.Finish(r).num_instrs(), 1);
+}
+
+TEST(VProgramBuilderTest, FoldingMatchesInterpreterHelpers) {
+  VProgramBuilder b;
+  double v = 0.0;
+  ASSERT_TRUE(b.IsConst(b.Op(VOp::kDeltaPhi, {b.Const(0.5), b.Const(0.2)}),
+                        &v));
+  EXPECT_EQ(Bits(v), Bits(DeltaPhi(0.5, 0.2)));
+  ASSERT_TRUE(b.IsConst(b.Op(VOp::kSqrt, {b.Const(2.0)}), &v));
+  EXPECT_EQ(Bits(v), Bits(std::sqrt(2.0)));
+}
+
+TEST(VProgramBuilderTest, CseMergesIdenticalSubcomputations) {
+  VProgramBuilder b;
+  const int a = b.Op(VOp::kMul, {b.Load(0), b.Load(0)});
+  const int c = b.Op(VOp::kMul, {b.Load(0), b.Load(0)});
+  EXPECT_EQ(a, c);
+  // load, mul, add — the repeated mul and loads were merged.
+  EXPECT_EQ(b.Finish(b.Op(VOp::kAdd, {a, c})).num_instrs(), 3);
+}
+
+TEST(VProgramBuilderTest, ToStringDisassembles) {
+  VProgramBuilder b;
+  const std::string text =
+      b.Finish(b.Op(VOp::kGt, {b.Load(1), b.Const(40.0)})).ToString();
+  EXPECT_NE(text.find("load slot1"), std::string::npos);
+  EXPECT_NE(text.find("const 40"), std::string::npos);
+  EXPECT_NE(text.find("gt"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+TEST(PhysicsTest, DeltaPhiIsTotalOnNonFiniteInput) {
+  // max() over an empty list yields -inf; feeding that into delta_phi used
+  // to spin forever in the wrapping loop (found by the randomized trees).
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(DeltaPhi(-inf, 0.3)));
+  EXPECT_TRUE(std::isnan(DeltaPhi(0.3, inf)));
+  EXPECT_TRUE(std::isnan(DeltaPhi(inf, inf)));
+  EXPECT_TRUE(std::isnan(DeltaPhi(std::nan(""), 0.0)));
+}
+
+TEST(VProgramTest, RunsGathersAndSplats) {
+  VProgramBuilder b;
+  const int r = b.Op(VOp::kAdd, {b.Load(0), b.Const(1.5)});
+  const VProgram p = b.Finish(r);
+  const float data[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const uint32_t idx[3] = {3, 0, 2};
+  VColumn col;
+  col.type = TypeId::kFloat32;
+  col.data = data;
+  col.index = idx;
+  VScratch scratch;
+  double out[3] = {0, 0, 0};
+  p.Run(&col, 3, &scratch, out);
+  EXPECT_EQ(out[0], 5.5);
+  EXPECT_EQ(out[1], 2.5);
+  EXPECT_EQ(out[2], 4.5);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized compiled-vs-interpreted cross-check
+// ---------------------------------------------------------------------------
+
+/// Random event batch: Jet list with (pt, eta, phi, mass, charge) members
+/// of mixed physical types plus MET.pt / MET.phi scalars.
+RecordBatchPtr RandomBatch(std::mt19937* rng, int num_events) {
+  std::uniform_int_distribution<int> njets(0, 6);
+  std::uniform_real_distribution<float> pt(15.0f, 120.0f);
+  std::uniform_real_distribution<float> eta(-2.5f, 2.5f);
+  std::uniform_real_distribution<float> phi(-3.14f, 3.14f);
+  std::uniform_real_distribution<float> mass(0.0f, 25.0f);
+  std::bernoulli_distribution minus(0.5);
+
+  std::vector<uint32_t> offsets{0};
+  std::vector<float> jpt, jeta, jphi, jmass;
+  std::vector<int32_t> jcharge;
+  std::vector<float> met_pt, met_phi;
+  for (int e = 0; e < num_events; ++e) {
+    // Guarantee one non-empty event so top-level member reads of element 0
+    // are in range, like the interpreter's default iterator binding.
+    const int n = e == 0 ? 3 : njets(*rng);
+    for (int j = 0; j < n; ++j) {
+      jpt.push_back(pt(*rng));
+      jeta.push_back(eta(*rng));
+      jphi.push_back(phi(*rng));
+      jmass.push_back(mass(*rng));
+      jcharge.push_back(minus(*rng) ? -1 : 1);
+    }
+    offsets.push_back(static_cast<uint32_t>(jpt.size()));
+    met_pt.push_back(pt(*rng));
+    met_phi.push_back(phi(*rng));
+  }
+
+  const std::vector<Field> jet_fields{{"pt", DataType::Float32()},
+                                      {"eta", DataType::Float32()},
+                                      {"phi", DataType::Float32()},
+                                      {"mass", DataType::Float32()},
+                                      {"charge", DataType::Int32()}};
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"MET", DataType::Struct({{"pt", DataType::Float32()},
+                                {"phi", DataType::Float32()}})},
+      {"Jet", DataType::List(DataType::Struct(jet_fields))},
+  });
+  auto met = StructArray::Make({{"pt", DataType::Float32()},
+                                {"phi", DataType::Float32()}},
+                               {MakeFloat32Array(std::move(met_pt)),
+                                MakeFloat32Array(std::move(met_phi))})
+                 .ValueOrDie();
+  auto jets = MakeListOfStructArray(jet_fields, std::move(offsets),
+                                    {MakeFloat32Array(std::move(jpt)),
+                                     MakeFloat32Array(std::move(jeta)),
+                                     MakeFloat32Array(std::move(jphi)),
+                                     MakeFloat32Array(std::move(jmass)),
+                                     MakeInt32Array(std::move(jcharge))})
+                  .ValueOrDie();
+  return RecordBatch::Make(schema, {met, jets}).ValueOrDie();
+}
+
+/// Seeded random expression trees over the RandomBatch declarations:
+/// list slot 0 = Jet (members pt, eta, phi, mass, charge), scalar slots
+/// 0/1 = MET.pt / MET.phi. `in_iter` marks positions where iterator 1 is
+/// bound (aggregate bodies), enabling per-element member reads and the
+/// kinematic calls that exercise the decomposed Cartesian path.
+class RandomExprGen {
+ public:
+  explicit RandomExprGen(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Gen(int depth, bool in_iter) {
+    if (depth <= 0) return Leaf(in_iter);
+    switch (Pick(in_iter ? 9 : 10)) {
+      case 0:
+        return Bin(static_cast<BinOp>(Pick(4)),  // + - * /
+                   Gen(depth - 1, in_iter), Gen(depth - 1, in_iter));
+      case 1:
+        return Bin(static_cast<BinOp>(4 + Pick(6)),  // < <= > >= == !=
+                   Gen(depth - 1, in_iter), Gen(depth - 1, in_iter));
+      case 2: {
+        const ExprPtr l = Gen(depth - 1, in_iter);
+        const ExprPtr r = Gen(depth - 1, in_iter);
+        return Pick(2) == 0 ? And(l, r) : Or(l, r);
+      }
+      case 3:
+        return Abs(Gen(depth - 1, in_iter));
+      case 4:
+        return Call(Fn::kSqrt, {Abs(Gen(depth - 1, in_iter))});
+      case 5:
+        return Not(Gen(depth - 1, in_iter));
+      case 6:
+        return Call(Fn::kMin2,
+                    {Gen(depth - 1, in_iter), Gen(depth - 1, in_iter)});
+      case 7:
+        return Call(Fn::kDeltaPhi,
+                    {Gen(depth - 1, in_iter), Gen(depth - 1, in_iter)});
+      case 8:
+        return in_iter ? Kinematic() : Leaf(false);
+      default:
+        return Agg(depth);
+    }
+  }
+
+ private:
+  std::mt19937 rng_;
+
+  int Pick(int n) {
+    return std::uniform_int_distribution<int>(0, n - 1)(rng_);
+  }
+
+  ExprPtr Leaf(bool in_iter) {
+    switch (Pick(in_iter ? 5 : 3)) {
+      case 0:
+        return Lit(static_cast<double>(Pick(41) - 20) * 0.5);
+      case 1:
+        return ScalarRef(Pick(2));
+      case 2:
+        return ListSize(0);
+      case 3:
+        return IterMember(0, 1, Pick(5));
+      default:
+        return IterOrdinal(0, 1);
+    }
+  }
+
+  /// InvMass2 / InvMass3 / SumPt3 over (pt, eta, phi, mass) member quads —
+  /// the decomposed Cartesian fast path. One variant swaps a quad member
+  /// for a literal so the generic per-lane opcode fallback stays covered.
+  ExprPtr Kinematic() {
+    const auto quad = [&]() -> std::vector<ExprPtr> {
+      return {IterMember(0, 1, 0), IterMember(0, 1, 1), IterMember(0, 1, 2),
+              IterMember(0, 1, 3)};
+    };
+    std::vector<ExprPtr> args = quad();
+    std::vector<ExprPtr> b = quad();
+    args.insert(args.end(), b.begin(), b.end());
+    switch (Pick(4)) {
+      case 0:
+        return Call(Fn::kInvMass2, std::move(args));
+      case 1: {
+        args[5] = Lit(1.0);  // not a pure member quad: generic opcode
+        return Call(Fn::kInvMass2, std::move(args));
+      }
+      default: {
+        std::vector<ExprPtr> c = quad();
+        args.insert(args.end(), c.begin(), c.end());
+        return Call(Pick(2) == 0 ? Fn::kInvMass3 : Fn::kSumPt3,
+                    std::move(args));
+      }
+    }
+  }
+
+  ExprPtr Agg(int depth) {
+    const AggKind kind = static_cast<AggKind>(Pick(5));
+    const ExprPtr filter =
+        Pick(2) == 0 ? Gen(depth - 1, /*in_iter=*/true) : nullptr;
+    const bool needs_value = kind == AggKind::kSum || kind == AggKind::kMin ||
+                             kind == AggKind::kMax;
+    const ExprPtr value = needs_value || Pick(2) == 0
+                              ? Gen(depth - 1, /*in_iter=*/true)
+                              : nullptr;
+    return AggOverList(kind, 0, 1, filter, value);
+  }
+};
+
+TEST(CompiledKernelTest, RandomTreesMatchInterpreterBitForBit) {
+  std::mt19937 data_rng(20120601);
+  const RecordBatchPtr batch = RandomBatch(&data_rng, 64);
+  const BatchBindings bindings =
+      BatchBindings::Bind(*batch,
+                          {{"Jet", {"pt", "eta", "phi", "mass", "charge"}, {}}},
+                          {{"MET.pt"}, {"MET.phi"}})
+          .ValueOrDie();
+  const int64_t rows = batch->num_rows();
+
+  VexprScratch scratch;
+  std::vector<double> compiled(static_cast<size_t>(rows));
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomExprGen gen(seed);
+    const ExprPtr tree = gen.Gen(/*depth=*/4, /*in_iter=*/false);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + tree->ToString());
+
+    auto kernel = CompiledExprKernel::Compile(tree);
+    ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+    uint64_t compiled_ops = 0;
+    ASSERT_TRUE(kernel
+                    ->Eval(bindings, rows, &scratch, compiled.data(),
+                           &compiled_ops)
+                    .ok());
+
+    uint64_t interp_ops = 0;
+    for (int64_t row = 0; row < rows; ++row) {
+      EvalContext ctx;
+      ctx.bindings = &bindings;
+      ctx.row = static_cast<uint32_t>(row);
+      const double expected = tree->Eval(&ctx);
+      interp_ops += ctx.ops;
+      EXPECT_EQ(Bits(compiled[static_cast<size_t>(row)]), Bits(expected))
+          << "row " << row;
+    }
+    EXPECT_EQ(compiled_ops, interp_ops);
+  }
+}
+
+TEST(CompiledKernelTest, CombinationInValuePositionKeepsBindingSemantics) {
+  // The interpreter leaves a search's winners bound for sibling subtrees;
+  // the kernel must reproduce that (it falls back to a whole-tree walk).
+  std::mt19937 data_rng(7);
+  const RecordBatchPtr batch = RandomBatch(&data_rng, 32);
+  const BatchBindings bindings =
+      BatchBindings::Bind(*batch,
+                          {{"Jet", {"pt", "eta", "phi", "mass", "charge"}, {}}},
+                          {{"MET.pt"}, {"MET.phi"}})
+          .ValueOrDie();
+  const int64_t rows = batch->num_rows();
+  // Highest-pt-sum pair, then read the winning pair's leading jet pt.
+  const ExprPtr tree =
+      Mul(BestCombination({{0, 0}, {0, 1}}, nullptr,
+                          Sub(Lit(0.0), Add(IterMember(0, 0, 0),
+                                            IterMember(0, 1, 0)))),
+          IterMember(0, 0, 0));
+  auto kernel = CompiledExprKernel::Compile(tree);
+  ASSERT_TRUE(kernel.ok());
+  VexprScratch scratch;
+  std::vector<double> compiled(static_cast<size_t>(rows));
+  uint64_t compiled_ops = 0;
+  ASSERT_TRUE(
+      kernel->Eval(bindings, rows, &scratch, compiled.data(), &compiled_ops)
+          .ok());
+  uint64_t interp_ops = 0;
+  for (int64_t row = 0; row < rows; ++row) {
+    EvalContext ctx;
+    ctx.bindings = &bindings;
+    ctx.row = static_cast<uint32_t>(row);
+    const double expected = tree->Eval(&ctx);
+    interp_ops += ctx.ops;
+    EXPECT_EQ(Bits(compiled[static_cast<size_t>(row)]), Bits(expected));
+  }
+  EXPECT_EQ(compiled_ops, interp_ops);
+}
+
+TEST(BindingsTest, NonPrimitiveLeafRejectedAtBindWithTypeName) {
+  std::mt19937 data_rng(3);
+  const RecordBatchPtr batch = RandomBatch(&data_rng, 4);
+  // "Jet" as a scalar leaf is a list column — rejected when the accessor
+  // is built, never silently read as 0.0 at evaluation time.
+  auto bound = BatchBindings::Bind(*batch, {}, {{"Jet"}});
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().ToString().find("primitive"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden agreement: 8 queries x both plan shapes x {compiled, interpreted}
+// x {1, 4} threads, all bit-identical.
+// ---------------------------------------------------------------------------
+
+const std::string& GoldenDataset() {
+  static const auto& path = *new std::string([] {
+    DatasetSpec spec;
+    spec.num_events = 4000;
+    spec.row_group_size = 1000;
+    return EnsureDataset(::testing::TempDir() + "/hepq_vexpr", spec)
+        .ValueOrDie();
+  }());
+  return path;
+}
+
+void ExpectSameBits(const Histogram1D& a, const Histogram1D& b) {
+  EXPECT_EQ(a.num_entries(), b.num_entries());
+  EXPECT_EQ(a.sum_weights(), b.sum_weights());
+  EXPECT_EQ(a.underflow(), b.underflow());
+  EXPECT_EQ(a.overflow(), b.overflow());
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    EXPECT_EQ(a.BinContent(i), b.BinContent(i)) << "bin " << i;
+  }
+}
+
+class CompiledInterpretedGolden : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledInterpretedGolden, BitIdenticalAcrossExecModeAndThreads) {
+  const int q = GetParam();
+  using queries::EngineKind;
+  for (EngineKind engine :
+       {EngineKind::kBigQueryShape, EngineKind::kPrestoShape}) {
+    queries::RunOptions ref_options;
+    ref_options.interpret_expressions = true;
+    const auto reference =
+        queries::RunAdlQuery(engine, q, GoldenDataset(), ref_options);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (const bool interpret : {false, true}) {
+      for (const int threads : {1, 4}) {
+        if (interpret && threads == 1) continue;  // the reference run
+        queries::RunOptions options;
+        options.interpret_expressions = interpret;
+        options.num_threads = threads;
+        const auto run =
+            queries::RunAdlQuery(engine, q, GoldenDataset(), options);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        SCOPED_TRACE(std::string(queries::EngineKindName(engine)) +
+                     (interpret ? " interpreted" : " compiled") + " threads " +
+                     std::to_string(threads));
+        EXPECT_EQ(run->events_processed, reference->events_processed);
+        EXPECT_EQ(run->ops, reference->ops);  // Table 2 counter fidelity
+        ASSERT_EQ(run->histograms.size(), reference->histograms.size());
+        for (size_t h = 0; h < run->histograms.size(); ++h) {
+          ExpectSameBits(run->histograms[h], reference->histograms[h]);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, CompiledInterpretedGolden,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace hepq::engine
