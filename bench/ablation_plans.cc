@@ -9,7 +9,11 @@
 //                    query (Q1, where plan shape is trivial);
 //   4. expression execution — per-row tree-walking interpretation vs the
 //                    vectorized bytecode VM (engine/vexpr), same plans,
-//                    bit-identical histograms.
+//                    bit-identical histograms;
+//   5. predicate pushdown + late materialization — zone-map pruning on vs
+//                    off for every query on every frontend. This section
+//                    doubles as the CI correctness gate: the process exits
+//                    non-zero if pruning changes any histogram bit.
 
 #include <cstdio>
 
@@ -21,6 +25,24 @@ using hepq::LaqReader;
 using hepq::ReaderOptions;
 using hepq::queries::BuildAdlEventQuery;
 using hepq::queries::BuildAdlFlatPipeline;
+
+namespace {
+
+/// Exact (bitwise, not approximate) histogram equality — the contract
+/// pruning must uphold.
+bool BitIdentical(const hepq::Histogram1D& a, const hepq::Histogram1D& b) {
+  if (a.num_entries() != b.num_entries()) return false;
+  if (a.sum_weights() != b.sum_weights()) return false;
+  if (a.underflow() != b.underflow() || a.overflow() != b.overflow()) {
+    return false;
+  }
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    if (a.BinContent(i) != b.BinContent(i)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   const int64_t events = hepq::bench::BenchEvents();
@@ -116,6 +138,56 @@ int main() {
     }
   }
 
+  hepq::bench::PrintHeaderLine(
+      "Ablation 5: predicate pushdown + late materialization "
+      "(zone-map pruning, all frontends)");
+  int identity_failures = 0;
+  {
+    using hepq::queries::EngineKind;
+    using hepq::queries::EngineKindName;
+    using hepq::queries::RunAdlQuery;
+    const EngineKind engines[] = {EngineKind::kRdf,
+                                  EngineKind::kBigQueryShape,
+                                  EngineKind::kPrestoShape, EngineKind::kDoc};
+    hepq::bench::BenchJson json("ablation_plans");
+    std::printf("%-6s %-10s %12s %12s %14s %14s %12s %10s\n", "Query",
+                "engine", "on: cpu[s]", "off: cpu[s]", "on: decoded",
+                "off: decoded", "rows pruned", "identical");
+    for (int q = 1; q <= hepq::queries::kNumAdlQueries; ++q) {
+      for (EngineKind engine : engines) {
+        const hepq::queries::RunOptions with;  // pruning is the default
+        hepq::queries::RunOptions without;
+        without.scan_pushdown = false;
+        without.late_materialization = false;
+        auto on = RunAdlQuery(engine, q, path, with);
+        on.status().Check();
+        auto off = RunAdlQuery(engine, q, path, without);
+        off.status().Check();
+        bool identical = on->histograms.size() == off->histograms.size() &&
+                         on->events_processed == off->events_processed;
+        for (size_t h = 0; identical && h < on->histograms.size(); ++h) {
+          identical = BitIdentical(on->histograms[h], off->histograms[h]);
+        }
+        if (!identical) ++identity_failures;
+        std::printf("Q%-5d %-10s %12.4f %12.4f %14llu %14llu %12llu %10s\n",
+                    q, EngineKindName(engine), on->cpu_seconds,
+                    off->cpu_seconds,
+                    static_cast<unsigned long long>(on->scan.decoded_bytes),
+                    static_cast<unsigned long long>(off->scan.decoded_bytes),
+                    static_cast<unsigned long long>(on->scan.rows_pruned),
+                    identical ? "yes" : "NO");
+        json.Add("Q" + std::to_string(q),
+                 std::string(EngineKindName(engine)) + "+prune",
+                 on->cpu_seconds, on->scan.storage_bytes,
+                 on->scan.decoded_bytes, on->scan.rows_pruned);
+        json.Add("Q" + std::to_string(q), EngineKindName(engine),
+                 off->cpu_seconds, off->scan.storage_bytes,
+                 off->scan.decoded_bytes, off->scan.rows_pruned);
+      }
+    }
+    json.Write();
+  }
+
   std::printf(
       "\nExpected: the unnest plan is slower than the expression plan and\n"
       "the gap explodes on Q6 (n^3 row materialization); pushdown-off\n"
@@ -123,6 +195,17 @@ int main() {
       "to two orders of magnitude even on the trivial query; compiling\n"
       "expressions pays off where per-event expression work is heavy (Q6's\n"
       "combination search), while scan-dominated queries and the unnest\n"
-      "plan's materialization costs are unaffected by construction.\n");
+      "plan's materialization costs are unaffected by construction.\n"
+      "Pruning (ablation 5) must be invisible in every histogram; the\n"
+      "generator's unsorted data bounds how much it can skip here, so the\n"
+      "decoded-byte deltas come mostly from late materialization on\n"
+      "selective queries (the clustered-layout upside is measured by\n"
+      "micro_kernels' BM_SelectiveScan).\n");
+  if (identity_failures > 0) {
+    std::fprintf(stderr,
+                 "FAIL: pruning changed %d histogram(s) — see 'NO' rows\n",
+                 identity_failures);
+    return 1;
+  }
   return 0;
 }

@@ -82,6 +82,49 @@ inline void PrintHeaderLine(const char* title) {
   std::printf("\n");
 }
 
+/// Accumulates benchmark records and writes them as `BENCH_<name>.json`
+/// in the working directory — the machine-readable companion of the
+/// printed tables, uploaded as a CI artifact by the bench-smoke job.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& query, const std::string& engine, double cpu_s,
+           uint64_t bytes_scanned, uint64_t bytes_decoded,
+           uint64_t rows_pruned) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"query\": \"%s\", \"engine\": \"%s\", "
+                  "\"cpu_s\": %.6f, \"bytes_scanned\": %llu, "
+                  "\"bytes_decoded\": %llu, \"rows_pruned\": %llu}",
+                  records_.empty() ? "" : ",\n", query.c_str(),
+                  engine.c_str(), cpu_s,
+                  static_cast<unsigned long long>(bytes_scanned),
+                  static_cast<unsigned long long>(bytes_decoded),
+                  static_cast<unsigned long long>(rows_pruned));
+    records_ += buf;
+  }
+
+  /// Writes the accumulated records; returns false (with a message on
+  /// stderr) if the file cannot be created.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n%s\n]\n", records_.c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::string records_;
+};
+
 }  // namespace hepq::bench
 
 #endif  // HEPQUERY_BENCH_BENCH_UTIL_H_

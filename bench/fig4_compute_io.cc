@@ -89,6 +89,17 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  hepq::bench::BenchJson json("fig4_compute_io");
+  for (int q = 1; q <= 8; ++q) {
+    for (int e = 0; e < 4; ++e) {
+      const QueryRunOutput& r = results[q][e];
+      json.Add("Q" + std::to_string(q), EngineKindName(engines[e]),
+               r.cpu_seconds, r.scan.storage_bytes, r.scan.decoded_bytes,
+               r.scan.rows_pruned);
+    }
+  }
+  json.Write();
+
   std::printf(
       "\nExpected shape (paper Figure 4): CPU time ordering doc >> presto\n"
       "shape > bigquery shape > rdataframe, with Q6 >> Q8 > Q7/Q5 within\n"

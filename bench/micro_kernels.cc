@@ -10,6 +10,8 @@
 #include <cstring>
 #include <new>
 
+#include "bench/bench_util.h"
+#include "columnar/builder.h"
 #include "core/fourvector.h"
 #include "core/histogram.h"
 #include "core/physics.h"
@@ -23,6 +25,7 @@
 #include "fileio/crc32.h"
 #include "fileio/encoding.h"
 #include "fileio/reader.h"
+#include "fileio/writer.h"
 
 // ---------------------------------------------------------------------------
 // Allocation-counting hook: every global operator new bumps a counter, so
@@ -430,6 +433,123 @@ void BM_CountJetsBoxedItems(benchmark::State& state) {
 BENCHMARK(BM_CountJetsBoxedItems);
 
 // ---------------------------------------------------------------------------
+// Predicate pushdown + late materialization on a selectivity-friendly
+// layout. The shared AblationDataset is deliberately unsorted (generator
+// output), so its zone maps span the full value range and prune nothing;
+// this benchmark writes its own clustered file — MET.pt monotone across
+// row groups, as a time- or trigger-sorted skim would be — where a
+// selective cut can skip most groups and pages. The acceptance bar for
+// the pruned scan is >= 2x end to end.
+// ---------------------------------------------------------------------------
+
+/// Measured output of BM_SelectiveScan (index 0 = full scan, 1 = pruned),
+/// exported to BENCH_micro_kernels.json by main().
+struct SelectiveScanRecord {
+  bool set = false;
+  double cpu_s = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t bytes_decoded = 0;
+  uint64_t rows_pruned = 0;
+};
+SelectiveScanRecord g_selective_scan[2];
+
+/// 8 row groups x 4000 events, MET.pt in [100g, 100(g+1)) sorted within
+/// each group, 3 jets/event with 4 leaves each. A > 700 cut touches only
+/// the last group.
+const std::string& SelectiveScanDataset() {
+  static const auto& path = *new std::string([] {
+    const std::vector<Field> jet_fields = {{"pt", DataType::Float32()},
+                                           {"eta", DataType::Float32()},
+                                           {"phi", DataType::Float32()},
+                                           {"mass", DataType::Float32()}};
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+        {"Jet", DataType::List(DataType::Struct(jet_fields))},
+    });
+    constexpr int kGroups = 8;
+    constexpr int kRows = 4000;
+    Rng rng(29);
+    std::vector<RecordBatchPtr> batches;
+    for (int g = 0; g < kGroups; ++g) {
+      std::vector<float> met(kRows);
+      std::vector<uint32_t> offsets(kRows + 1, 0);
+      std::vector<float> pt, eta, phi, mass;
+      for (int i = 0; i < kRows; ++i) {
+        met[static_cast<size_t>(i)] =
+            100.0f * g + 100.0f * static_cast<float>(i) / kRows;
+        for (int j = 0; j < 3; ++j) {
+          pt.push_back(static_cast<float>(rng.Uniform(15, 80)));
+          eta.push_back(static_cast<float>(rng.Gaussian(0, 1.5)));
+          phi.push_back(static_cast<float>(rng.Uniform(-3.14, 3.14)));
+          mass.push_back(static_cast<float>(rng.Uniform(0, 12)));
+        }
+        offsets[static_cast<size_t>(i) + 1] =
+            static_cast<uint32_t>(pt.size());
+      }
+      auto met_col = StructArray::Make({{"pt", DataType::Float32()}},
+                                       {MakeFloat32Array(met)})
+                         .ValueOrDie();
+      auto jets =
+          MakeListOfStructArray(jet_fields, offsets,
+                                {MakeFloat32Array(pt), MakeFloat32Array(eta),
+                                 MakeFloat32Array(phi),
+                                 MakeFloat32Array(mass)})
+              .ValueOrDie();
+      batches.push_back(
+          RecordBatch::Make(schema, {met_col, jets}).ValueOrDie());
+    }
+    const std::string path =
+        DefaultDataDir() + "/selective_scan_clustered.laq";
+    WriterOptions options;
+    options.row_group_size = kRows;
+    options.page_values = 512;
+    WriteLaqFile(path, schema, batches, options).Check();
+    return path;
+  }());
+  return path;
+}
+
+/// A Q2-style selective query (MET.pt > 700 keeps ~1% of events) that
+/// also projects all four jet leaves. Arg 1 = pushdown + late
+/// materialization on, arg 0 = full scan; histograms are bit-identical.
+void BM_SelectiveScan(benchmark::State& state) {
+  const bool pruning = state.range(0) != 0;
+  const std::string& path = SelectiveScanDataset();
+  using namespace hepq::engine;  // NOLINT(build/namespaces)
+  EventQuery query("selective_scan");
+  const int met = query.DeclareScalar("MET.pt");
+  const int jets = query.DeclareList("Jet", {"pt", "eta", "phi", "mass"});
+  query.AddStage(Gt(ScalarRef(met), Lit(700.0)));
+  query.AddHistogram({"njet40", "", 10, 0, 10},
+                     AggOverList(AggKind::kCount, jets, 0,
+                                 Gt(IterMember(jets, 0, 0), Lit(40.0)),
+                                 nullptr));
+  ReaderOptions options;
+  options.scan_pushdown = pruning;
+  options.late_materialization = pruning;
+  int64_t events = 0;
+  SelectiveScanRecord record;
+  for (auto _ : state) {
+    auto result = query.Execute(path, options, 1);
+    result.status().Check();
+    benchmark::DoNotOptimize(result->events_selected);
+    events += result->events_processed;
+    record.set = true;
+    record.cpu_s = result->cpu_seconds;
+    record.bytes_scanned = result->scan.storage_bytes;
+    record.bytes_decoded = result->scan.decoded_bytes;
+    record.rows_pruned = result->scan.rows_pruned;
+  }
+  g_selective_scan[pruning ? 1 : 0] = record;
+  state.SetItemsProcessed(events);
+  state.counters["decoded_bytes"] =
+      static_cast<double>(record.bytes_decoded);
+  state.counters["rows_pruned"] = static_cast<double>(record.rows_pruned);
+  state.SetLabel(pruning ? "pruned" : "full-scan");
+}
+BENCHMARK(BM_SelectiveScan)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------------
 // Expression evaluation: per-row virtual tree walk vs vectorized bytecode
 // (engine/vexpr). Same Expr trees, same bindings, bit-identical outputs —
 // only the execution model differs. These are the micro-scale version of
@@ -558,5 +678,19 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Machine-readable companion for the selective-scan ablation (consumed
+  // by CI as an artifact). Only written when BM_SelectiveScan ran, so
+  // --benchmark_filter on other kernels stays file-free.
+  if (hepq::g_selective_scan[0].set || hepq::g_selective_scan[1].set) {
+    hepq::bench::BenchJson json("micro_kernels");
+    const char* labels[2] = {"full-scan", "pruned"};
+    for (int i = 0; i < 2; ++i) {
+      const auto& r = hepq::g_selective_scan[i];
+      if (!r.set) continue;
+      json.Add("selective_scan", labels[i], r.cpu_s, r.bytes_scanned,
+               r.bytes_decoded, r.rows_pruned);
+    }
+    json.Write();
+  }
   return 0;
 }

@@ -21,6 +21,12 @@ class NumExpr final : public DocExpr {
     ++ctx->steps;
     return Sequence{item_};
   }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kNum;
+    s.num = item_->AsDouble();
+    return s;
+  }
 
  private:
   ItemPtr item_;
@@ -45,6 +51,12 @@ class VarExpr final : public DocExpr {
     ++ctx->steps;
     return ctx->Lookup(name_);
   }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kVar;
+    s.name = name_;
+    return s;
+  }
 
  private:
   std::string name_;
@@ -58,6 +70,11 @@ class ContextItemExpr final : public DocExpr {
       return Status::Invalid("$$ used outside a predicate");
     }
     return Sequence{ctx->ContextItem()};
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kContextItem;
+    return s;
   }
 };
 
@@ -76,6 +93,13 @@ class MemberExpr final : public DocExpr {
       if (member != nullptr) out.push_back(std::move(member));
     }
     return out;
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kMember;
+    s.name = name_;
+    s.input = input_.get();
+    return s;
   }
 
  private:
@@ -97,6 +121,12 @@ class UnboxExpr final : public DocExpr {
       out.insert(out.end(), elements.begin(), elements.end());
     }
     return out;
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kUnbox;
+    s.input = input_.get();
+    return s;
   }
 
  private:
@@ -128,6 +158,13 @@ class PredicateExpr final : public DocExpr {
       }
     }
     return out;
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kPredicate;
+    s.input = input_.get();
+    s.predicate = predicate_.get();
+    return s;
   }
 
  private:
@@ -186,6 +223,13 @@ class BinExpr final : public DocExpr {
         return Status::Invalid("unhandled binary operator");
     }
   }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kBin;
+    s.bin_op = op_;
+    s.args = {lhs_.get(), rhs_.get()};
+    return s;
+  }
 
  private:
   DocBinOp op_;
@@ -209,6 +253,14 @@ class CallExpr final : public DocExpr {
       args.push_back(std::move(value));
     }
     return fn(args);
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kCall;
+    s.name = name_;
+    s.args.reserve(args_.size());
+    for (const DocExprPtr& arg : args_) s.args.push_back(arg.get());
+    return s;
   }
 
  private:
@@ -264,6 +316,13 @@ class IfExpr final : public DocExpr {
     if (EffectiveBooleanValue(cond)) return then_->Eval(ctx);
     if (else_ == nullptr) return Sequence{};
     return else_->Eval(ctx);
+  }
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kIf;
+    s.input = condition_.get();
+    s.args = {then_.get(), else_.get()};  // else_ may be null
+    return s;
   }
 
  private:
@@ -369,6 +428,13 @@ class FlworExpr final : public DocExpr {
       }
     }
     return out;
+  }
+
+  DocShape Shape() const override {
+    DocShape s;
+    s.kind = DocShape::Kind::kFlwor;
+    s.clauses = &clauses_;
+    return s;
   }
 
  private:

@@ -38,15 +38,6 @@ class DocContext {
   std::vector<ItemPtr> context_items_;
 };
 
-/// A JSONiq-style expression: evaluates to a sequence of items.
-class DocExpr {
- public:
-  virtual ~DocExpr() = default;
-  virtual Result<Sequence> Eval(DocContext* ctx) const = 0;
-};
-
-using DocExprPtr = std::shared_ptr<const DocExpr>;
-
 enum class DocBinOp {
   kAdd,
   kSub,
@@ -61,6 +52,50 @@ enum class DocBinOp {
   kAnd,
   kOr,
 };
+
+class DocExpr;
+struct FlworClause;
+
+/// Structural reflection of one expression node, consumed by the
+/// scan-predicate extraction (doc/runner.cc): it pattern-matches FLWOR
+/// guards like `count($event.Jet[][$$.pt > 40]) > 1` without widening the
+/// interpreter's class hierarchy. Nodes the extraction cannot use report
+/// kOther. Child pointers stay owned by the reflected node.
+struct DocShape {
+  enum class Kind {
+    kNum,
+    kVar,
+    kContextItem,
+    kMember,
+    kUnbox,
+    kPredicate,
+    kBin,
+    kCall,
+    kIf,
+    kFlwor,
+    kOther,
+  };
+  Kind kind = Kind::kOther;
+  double num = 0.0;
+  std::string name;  // variable / member / function name
+  DocBinOp bin_op = DocBinOp::kAdd;
+  const DocExpr* input = nullptr;      // member/unbox/predicate input, if cond
+  const DocExpr* predicate = nullptr;  // DPredicate's predicate expression
+  std::vector<const DocExpr*> args;    // bin {lhs,rhs} / call args /
+                                       // if {then,else} (null = absent)
+  const std::vector<FlworClause>* clauses = nullptr;  // kFlwor
+};
+
+/// A JSONiq-style expression: evaluates to a sequence of items.
+class DocExpr {
+ public:
+  virtual ~DocExpr() = default;
+  virtual Result<Sequence> Eval(DocContext* ctx) const = 0;
+  /// Reflects the node for predicate extraction; defaults to opaque.
+  virtual DocShape Shape() const { return DocShape{}; }
+};
+
+using DocExprPtr = std::shared_ptr<const DocExpr>;
 
 // ---- Expression factories -------------------------------------------------
 

@@ -1,6 +1,8 @@
 #include "engine/event_query.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "core/stopwatch.h"
@@ -116,6 +118,168 @@ std::vector<std::string> EventQuery::Projection() const {
     projection.push_back(scalar.leaf_path);
   }
   return projection;
+}
+
+namespace {
+
+/// Flattens nested kAnd nodes into their conjuncts. Every conjunct of a
+/// stage gates all fills (an event must pass the whole stage before any
+/// histogram fill runs), the soundness requirement of predicate.h.
+void SplitConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  const ExprShape s = e->Shape();
+  if (s.kind == ExprShape::Kind::kBin && s.bin_op == BinOp::kAnd) {
+    SplitConjuncts(s.operands[0], out);
+    SplitConjuncts(s.operands[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// `x op lit` as a closed conservative range on x. kNe carries no range
+/// information; the arithmetic/logic ops are not comparisons.
+bool CmpToRange(BinOp op, double lit, double* lo, double* hi) {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (op) {
+    case BinOp::kGt:
+    case BinOp::kGe:
+      *lo = lit;
+      *hi = inf;
+      return true;
+    case BinOp::kLt:
+    case BinOp::kLe:
+      *lo = -inf;
+      *hi = lit;
+      return true;
+    case BinOp::kEq:
+      *lo = lit;
+      *hi = lit;
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Rewrites `lit op x` as `x op' lit`.
+BinOp MirrorCmp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Decomposes a conjunct of the form `var cmp literal` (either operand
+/// order). Returns the variable side and the comparison normalized to
+/// have the variable on the left.
+const Expr* MatchCmpWithLit(const ExprShape& s, BinOp* op, double* lit) {
+  if (s.kind != ExprShape::Kind::kBin) return nullptr;
+  const ExprShape lhs = s.operands[0]->Shape();
+  const ExprShape rhs = s.operands[1]->Shape();
+  if (rhs.kind == ExprShape::Kind::kLit) {
+    *op = s.bin_op;
+    *lit = rhs.lit;
+    return s.operands[0];
+  }
+  if (lhs.kind == ExprShape::Kind::kLit) {
+    *op = MirrorCmp(s.bin_op);
+    *lit = lhs.lit;
+    return s.operands[1];
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ScanPredicateSet EventQuery::ScanPredicates() const {
+  ScanPredicateSet preds;
+  std::vector<const Expr*> conjuncts;
+  for (const ExprPtr& stage : stages_) {
+    SplitConjuncts(stage.get(), &conjuncts);
+  }
+  auto plain_list = [&](int slot) {
+    // Union lists concatenate several storage columns; there is no single
+    // lengths leaf to bound, so they are never extracted.
+    return slot >= 0 && slot < static_cast<int>(lists_.size()) &&
+           lists_[static_cast<size_t>(slot)].union_sources.empty();
+  };
+  for (const Expr* conjunct : conjuncts) {
+    const ExprShape s = conjunct->Shape();
+    if (s.kind == ExprShape::Kind::kAnyCombination ||
+        s.kind == ExprShape::Kind::kBestCombination) {
+      // The stage passes only if some combination exists, so each list
+      // must carry at least as many elements as the loops over it.
+      for (size_t i = 0; i < s.loops.size(); ++i) {
+        const int slot = s.loops[i].list_slot;
+        if (!plain_list(slot)) continue;
+        int64_t over_list = 0;
+        for (const ComboLoop& loop : s.loops) {
+          if (loop.list_slot == slot) ++over_list;
+        }
+        bool first = true;
+        for (size_t j = 0; j < i; ++j) {
+          if (s.loops[j].list_slot == slot) first = false;
+        }
+        if (first) {
+          preds.AddMinCount(lists_[static_cast<size_t>(slot)].column,
+                            over_list);
+        }
+      }
+      continue;
+    }
+    BinOp op;
+    double lit;
+    const Expr* var = MatchCmpWithLit(s, &op, &lit);
+    if (var == nullptr) continue;
+    double lo, hi;
+    const ExprShape v = var->Shape();
+    if (v.kind == ExprShape::Kind::kScalarRef) {
+      if (!CmpToRange(op, lit, &lo, &hi)) continue;
+      preds.AddRange(scalars_[static_cast<size_t>(v.scalar_slot)].leaf_path,
+                     lo, hi);
+    } else if (v.kind == ExprShape::Kind::kListSize) {
+      if (!plain_list(v.list_slot)) continue;
+      if (!CmpToRange(op, lit, &lo, &hi)) continue;
+      preds.AddRange(
+          lists_[static_cast<size_t>(v.list_slot)].column + "#lengths", lo,
+          hi);
+    } else if (v.kind == ExprShape::Kind::kAgg &&
+               v.agg_kind == AggKind::kCount) {
+      // count(elements of list passing filter) >= n: the list must hold
+      // at least ceil(n) elements, and (n >= 1) some element must pass
+      // the filter when the filter is itself a sargable member range.
+      if (op != BinOp::kGe && op != BinOp::kGt) continue;
+      if (!plain_list(v.list_slot)) continue;
+      const double min_count =
+          op == BinOp::kGe ? std::ceil(lit) : std::floor(lit) + 1.0;
+      if (min_count < 1.0) continue;
+      const ListDecl& list = lists_[static_cast<size_t>(v.list_slot)];
+      preds.AddMinCount(list.column, static_cast<int64_t>(min_count));
+      if (v.filter == nullptr) continue;
+      const ExprShape f = v.filter->Shape();
+      BinOp fop;
+      double flit;
+      const Expr* fvar = MatchCmpWithLit(f, &fop, &flit);
+      if (fvar == nullptr) continue;
+      const ExprShape m = fvar->Shape();
+      if (m.kind != ExprShape::Kind::kIterMember ||
+          m.list_slot != v.list_slot || m.iter_slot != v.iter_slot) {
+        continue;
+      }
+      if (!CmpToRange(fop, flit, &lo, &hi)) continue;
+      preds.AddItemRange(
+          list.column + "." +
+              list.members[static_cast<size_t>(m.member_slot)],
+          lo, hi);
+    }
+  }
+  return preds;
 }
 
 std::string EventQuery::Explain() const {
@@ -293,6 +457,7 @@ Status EventQueryResult::Merge(const EventQueryResult& other) {
 Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
   EventQueryResult result = MakeResult();
   const std::vector<std::string> projection = Projection();
+  const ScanPredicateSet preds = ScanPredicates();
   reader->ResetScanStats();
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
@@ -306,10 +471,17 @@ Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
       /*num_threads=*/1, exec::MakeRowGroupTasks(reader->metadata()),
       [&](int /*worker*/, int g) -> Status {
         RecordBatchPtr batch;
-        HEPQ_ASSIGN_OR_RETURN(batch,
-                              reader->ReadRowGroup(g, projection, &scratch));
-        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)],
-                            &vexpr_scratch);
+        HEPQ_ASSIGN_OR_RETURN(
+            batch, reader->ReadRowGroupFiltered(g, projection, preds,
+                                                &scratch));
+        EventQueryResult& partial = partials[static_cast<size_t>(g)];
+        if (batch == nullptr) {
+          // Pruned group: every row provably fails a gating predicate.
+          partial.events_processed +=
+              reader->metadata().row_groups[static_cast<size_t>(g)].num_rows;
+          return Status::OK();
+        }
+        return ExecuteBatch(*batch, &partial, &vexpr_scratch);
       }));
   for (const EventQueryResult& p : partials) {
     HEPQ_RETURN_NOT_OK(result.Merge(p));
@@ -325,6 +497,7 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
                                              int num_threads) const {
   EventQueryResult result = MakeResult();
   const std::vector<std::string> projection = Projection();
+  const ScanPredicateSet preds = ScanPredicates();
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
@@ -346,13 +519,19 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
         HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch,
-            reader->ReadRowGroup(g, projection, readers.scratch(worker)));
+            batch, reader->ReadRowGroupFiltered(g, projection, preds,
+                                                readers.scratch(worker)));
+        EventQueryResult& partial = partials[static_cast<size_t>(g)];
+        if (batch == nullptr) {
+          partial.events_processed +=
+              metadata->row_groups[static_cast<size_t>(g)].num_rows;
+          return Status::OK();
+        }
         // The VM's per-worker buffers live in the exec runtime's scratch
         // slot, reused across every row group this worker processes.
         std::shared_ptr<void>& slot = readers.engine_scratch(worker);
         if (slot == nullptr) slot = std::make_shared<VexprScratch>();
-        return ExecuteBatch(*batch, &partials[static_cast<size_t>(g)],
+        return ExecuteBatch(*batch, &partial,
                             static_cast<VexprScratch*>(slot.get()));
       }));
   for (const EventQueryResult& p : partials) {

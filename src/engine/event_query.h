@@ -86,6 +86,13 @@ class EventQuery {
   /// Storage projection implied by the declarations.
   std::vector<std::string> Projection() const;
 
+  /// Sargable residue of the stage predicates: per-event scalar
+  /// comparisons, list-cardinality bounds (via the lengths leaf), and
+  /// element-existence ranges, extracted from top-level conjuncts only —
+  /// every extracted condition gates all fills, which is what makes
+  /// zone-map pruning result-preserving (see fileio/predicate.h).
+  ScanPredicateSet ScanPredicates() const;
+
   /// EXPLAIN-style plan rendering: declarations, stages, and fills.
   std::string Explain() const;
 

@@ -36,6 +36,12 @@ class FlatLitExpr final : public FlatExpr {
   Result<int> Lower(VProgramBuilder* builder) const override {
     return builder->Const(value_);
   }
+  FlatShape Shape() const override {
+    FlatShape s;
+    s.kind = FlatShape::Kind::kLit;
+    s.lit = value_;
+    return s;
+  }
 
  private:
   double value_;
@@ -60,6 +66,12 @@ class FlatColExpr final : public FlatExpr {
                              "' lowered before Resolve");
     }
     return builder->Load(index_);
+  }
+  FlatShape Shape() const override {
+    FlatShape s;
+    s.kind = FlatShape::Kind::kCol;
+    s.col = name_;
+    return s;
   }
 
  private:
@@ -119,6 +131,14 @@ class FlatBinExpr final : public FlatExpr {
     HEPQ_ASSIGN_OR_RETURN(lhs, lhs_->Lower(builder));
     HEPQ_ASSIGN_OR_RETURN(rhs, rhs_->Lower(builder));
     return builder->Op(VOpFor(op_), {lhs, rhs});
+  }
+  FlatShape Shape() const override {
+    FlatShape s;
+    s.kind = FlatShape::Kind::kBin;
+    s.bin_op = op_;
+    s.lhs = lhs_.get();
+    s.rhs = rhs_.get();
+    return s;
   }
 
  private:
@@ -401,6 +421,213 @@ std::vector<std::string> FlatPipeline::Projection() const {
   return projection;
 }
 
+namespace {
+
+/// Flattens nested kAnd nodes into their conjuncts.
+void SplitFlatConjuncts(const FlatExpr* e,
+                        std::vector<const FlatExpr*>* out) {
+  const FlatShape s = e->Shape();
+  if (s.kind == FlatShape::Kind::kBin && s.bin_op == BinOp::kAnd) {
+    SplitFlatConjuncts(s.lhs, out);
+    SplitFlatConjuncts(s.rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// `x op lit` as a closed conservative range on x (kNe carries nothing).
+bool FlatCmpToRange(BinOp op, double lit, double* lo, double* hi) {
+  const double inf = std::numeric_limits<double>::infinity();
+  switch (op) {
+    case BinOp::kGt:
+    case BinOp::kGe:
+      *lo = lit;
+      *hi = inf;
+      return true;
+    case BinOp::kLt:
+    case BinOp::kLe:
+      *lo = -inf;
+      *hi = lit;
+      return true;
+    case BinOp::kEq:
+      *lo = lit;
+      *hi = lit;
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinOp MirrorFlatCmp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt:
+      return BinOp::kGt;
+    case BinOp::kLe:
+      return BinOp::kGe;
+    case BinOp::kGt:
+      return BinOp::kLt;
+    case BinOp::kGe:
+      return BinOp::kLe;
+    default:
+      return op;
+  }
+}
+
+/// Decomposes `var cmp literal` (either operand order), normalizing the
+/// comparison to have the variable on the left.
+const FlatExpr* MatchFlatCmpWithLit(const FlatShape& s, BinOp* op,
+                                    double* lit) {
+  if (s.kind != FlatShape::Kind::kBin) return nullptr;
+  const FlatShape lhs = s.lhs->Shape();
+  const FlatShape rhs = s.rhs->Shape();
+  if (rhs.kind == FlatShape::Kind::kLit) {
+    *op = s.bin_op;
+    *lit = rhs.lit;
+    return s.lhs;
+  }
+  if (lhs.kind == FlatShape::Kind::kLit) {
+    *op = MirrorFlatCmp(s.bin_op);
+    *lit = lhs.lit;
+    return s.rhs;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ScanPredicateSet FlatPipeline::ScanPredicates() const {
+  ScanPredicateSet preds;
+  std::vector<const FlatExpr*> conjuncts;
+  for (const Step& step : steps_) {
+    if (step.is_filter) SplitFlatConjuncts(step.expr.get(), &conjuncts);
+  }
+
+  // An event emits flat rows only when every unnest list is non-empty
+  // (the Cartesian product is empty otherwise); strict idx-order filters
+  // between aliases of the same column ("m1.idx < m2.idx") mean those
+  // aliases bind distinct elements, so the longest strict chain raises
+  // the cardinality bound (Q5 pairs need 2 muons, Q6 trijets 3 jets).
+  const size_t n_unnests = unnests_.size();
+  std::vector<std::vector<char>> before(n_unnests,
+                                        std::vector<char>(n_unnests, 0));
+  auto alias_index = [&](const std::string& col) -> int {
+    for (size_t u = 0; u < n_unnests; ++u) {
+      if (col == unnests_[u].alias + ".idx") return static_cast<int>(u);
+    }
+    return -1;
+  };
+  for (const FlatExpr* conjunct : conjuncts) {
+    const FlatShape s = conjunct->Shape();
+    if (s.kind != FlatShape::Kind::kBin ||
+        (s.bin_op != BinOp::kLt && s.bin_op != BinOp::kGt)) {
+      continue;
+    }
+    const FlatShape lhs = s.lhs->Shape();
+    const FlatShape rhs = s.rhs->Shape();
+    if (lhs.kind != FlatShape::Kind::kCol ||
+        rhs.kind != FlatShape::Kind::kCol) {
+      continue;
+    }
+    int a = alias_index(lhs.col);
+    int b = alias_index(rhs.col);
+    if (a < 0 || b < 0) continue;
+    if (s.bin_op == BinOp::kGt) std::swap(a, b);
+    if (unnests_[static_cast<size_t>(a)].column ==
+        unnests_[static_cast<size_t>(b)].column) {
+      before[static_cast<size_t>(a)][static_cast<size_t>(b)] = 1;
+    }
+  }
+  // Longest strict chain through each alias (graphs here are 2-3 nodes).
+  std::vector<int> chain(n_unnests, 0);
+  std::function<int(size_t)> longest = [&](size_t u) -> int {
+    if (chain[u] != 0) return chain[u];
+    int best = 1;
+    for (size_t v = 0; v < n_unnests; ++v) {
+      if (before[u][v]) best = std::max(best, 1 + longest(v));
+    }
+    return chain[u] = best;
+  };
+  for (size_t u = 0; u < n_unnests; ++u) {
+    bool first = true;
+    for (size_t v = 0; v < u; ++v) {
+      if (unnests_[v].column == unnests_[u].column) first = false;
+    }
+    if (!first) continue;
+    int bound = 1;
+    for (size_t v = 0; v < n_unnests; ++v) {
+      if (unnests_[v].column == unnests_[u].column) {
+        bound = std::max(bound, longest(v));
+      }
+    }
+    preds.AddMinCount(unnests_[u].column, bound);
+  }
+
+  // WHERE conjuncts comparing a column with a literal: keep-scalars are
+  // event-constant (a failing event contributes no row at all), unnest
+  // members are element-existence conditions.
+  for (const FlatExpr* conjunct : conjuncts) {
+    BinOp op;
+    double lit;
+    const FlatExpr* var = MatchFlatCmpWithLit(conjunct->Shape(), &op, &lit);
+    if (var == nullptr) continue;
+    const FlatShape v = var->Shape();
+    if (v.kind != FlatShape::Kind::kCol) continue;
+    double lo, hi;
+    if (!FlatCmpToRange(op, lit, &lo, &hi)) continue;
+    bool matched = false;
+    for (const std::string& scalar : keep_scalars_) {
+      if (v.col == scalar) {
+        preds.AddRange(scalar, lo, hi);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (const UnnestList& u : unnests_) {
+      for (const std::string& member : u.members) {
+        if (v.col == u.alias + "." + member) {
+          preds.AddItemRange(u.column + "." + member, lo, hi);
+          matched = true;
+          break;
+        }
+      }
+      if (matched) break;
+    }
+  }
+
+  // HAVING COUNT(*) >= n over a single unnest: the count tallies
+  // surviving elements of that one list, so the event needs at least
+  // ceil(n) elements (Listing 4b's n_jets >= 2).
+  if (n_unnests == 1) {
+    for (const FlatExprPtr& predicate : having_) {
+      std::vector<const FlatExpr*> having_conjuncts;
+      SplitFlatConjuncts(predicate.get(), &having_conjuncts);
+      for (const FlatExpr* conjunct : having_conjuncts) {
+        BinOp op;
+        double lit;
+        const FlatExpr* var =
+            MatchFlatCmpWithLit(conjunct->Shape(), &op, &lit);
+        if (var == nullptr || (op != BinOp::kGe && op != BinOp::kGt)) {
+          continue;
+        }
+        const FlatShape v = var->Shape();
+        if (v.kind != FlatShape::Kind::kCol) continue;
+        for (const FlatAggSpec& spec : aggregates_) {
+          if (spec.kind == FlatAggKind::kCount && spec.output == v.col) {
+            const double n =
+                op == BinOp::kGe ? std::ceil(lit) : std::floor(lit) + 1.0;
+            if (n >= 1.0) {
+              preds.AddMinCount(unnests_[0].column,
+                                static_cast<int64_t>(n));
+            }
+          }
+        }
+      }
+    }
+  }
+  return preds;
+}
+
 std::string FlatPipeline::Explain() const {
   std::string out = "FlatPipeline " + name_ + " (unnest + regroup plan)\n";
   for (const UnnestList& u : unnests_) {
@@ -607,6 +834,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
 
   // ---- scan ----
   const std::vector<std::string> projection = Projection();
+  const ScanPredicateSet preds = ScanPredicates();
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       source->num_threads, exec::MakeRowGroupTasks(*metadata),
       [&](int worker, int g) -> Status {
@@ -614,8 +842,15 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
         HEPQ_ASSIGN_OR_RETURN(reader, source->reader(worker));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch,
-            reader->ReadRowGroup(g, projection, source->scratch(worker)));
+            batch, reader->ReadRowGroupFiltered(g, projection, preds,
+                                                source->scratch(worker)));
+        if (batch == nullptr) {
+          // Pruned group: no event in it can emit an output row, but the
+          // events were still processed.
+          partials[static_cast<size_t>(g)].events =
+              metadata->row_groups[static_cast<size_t>(g)].num_rows;
+          return Status::OK();
+        }
         BatchBindings bindings;
         HEPQ_ASSIGN_OR_RETURN(
             bindings, BatchBindings::Bind(*batch, list_decls, scalar_decls));

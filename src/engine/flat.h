@@ -27,6 +27,21 @@ struct FlatBatch {
   uint64_t NumCells() const { return num_rows * columns.size(); }
 };
 
+class FlatExpr;
+
+/// Structural reflection of one flat-expression node, consumed by the
+/// scan-predicate extraction (anything it cannot use reports kOther).
+/// Child pointers stay owned by the reflected node.
+struct FlatShape {
+  enum class Kind { kLit, kCol, kBin, kOther };
+  Kind kind = Kind::kOther;
+  double lit = 0.0;
+  std::string col;  // kCol: the referenced column name
+  BinOp bin_op = BinOp::kAdd;
+  const FlatExpr* lhs = nullptr;  // kBin
+  const FlatExpr* rhs = nullptr;
+};
+
 /// Expression over one flat row.
 class FlatExpr {
  public:
@@ -42,6 +57,8 @@ class FlatExpr {
   /// register. Column references load the flat column as an input slot, so
   /// the compiled program evaluates a whole chunk per instruction.
   virtual Result<int> Lower(VProgramBuilder* builder) const = 0;
+  /// Reflects the node for predicate extraction; defaults to opaque.
+  virtual FlatShape Shape() const { return FlatShape{}; }
 };
 
 using FlatExprPtr = std::shared_ptr<FlatExpr>;
@@ -159,6 +176,12 @@ class FlatPipeline {
                                   int num_threads) const;
 
   std::vector<std::string> Projection() const;
+
+  /// Sargable residue of the WHERE/HAVING steps and the unnest structure
+  /// (an event only emits flat rows when every unnest list is non-empty;
+  /// strict idx-order filters raise that bound). Only conditions every
+  /// output row must satisfy are extracted — see fileio/predicate.h.
+  ScanPredicateSet ScanPredicates() const;
 
   /// EXPLAIN-style plan rendering: unnests, steps, aggregates, having,
   /// fills (expressions are shown by name only; FlatExpr has no

@@ -144,6 +144,18 @@ void SerializeFileMetadata(const FileMetadata& meta,
         PutDouble(out, c.min_value);
         PutDouble(out, c.max_value);
       }
+      PutVarint(out, c.pages.size());
+      for (const PageMeta& p : c.pages) {
+        PutVarint(out, p.num_values);
+        PutVarint(out, p.compressed_size);
+        PutVarint(out, p.encoded_size);
+        PutFixed32(out, p.crc32);
+        out->push_back(p.has_stats ? 1 : 0);
+        if (p.has_stats) {
+          PutDouble(out, p.min_value);
+          PutDouble(out, p.max_value);
+        }
+      }
     }
   }
 }
@@ -152,7 +164,7 @@ Status ParseFileMetadata(const uint8_t* data, size_t size,
                          FileMetadata* out) {
   ByteReader reader(data, size);
   HEPQ_RETURN_NOT_OK(reader.GetFixed32(&out->version));
-  if (out->version != kLaqVersion) {
+  if (out->version < 1 || out->version > kLaqVersion) {
     return Status::Corruption("unsupported laq version");
   }
   uint64_t num_fields = 0;
@@ -209,6 +221,31 @@ Status ParseFileMetadata(const uint8_t* data, size_t size,
       if (cm.has_stats) {
         HEPQ_RETURN_NOT_OK(reader.GetDouble(&cm.min_value));
         HEPQ_RETURN_NOT_OK(reader.GetDouble(&cm.max_value));
+      }
+      if (out->version >= 2) {
+        uint64_t num_pages = 0;
+        HEPQ_RETURN_NOT_OK(reader.GetVarint(&num_pages));
+        // A page holds at least one value, so a chunk can never have more
+        // pages than values; the cap also bounds the allocation below.
+        if (num_pages > cm.num_values || num_pages > (1u << 24)) {
+          return Status::Corruption("bad page count");
+        }
+        cm.pages.reserve(static_cast<size_t>(num_pages));
+        for (uint64_t p = 0; p < num_pages; ++p) {
+          PageMeta pm;
+          HEPQ_RETURN_NOT_OK(reader.GetVarint(&pm.num_values));
+          HEPQ_RETURN_NOT_OK(reader.GetVarint(&pm.compressed_size));
+          HEPQ_RETURN_NOT_OK(reader.GetVarint(&pm.encoded_size));
+          HEPQ_RETURN_NOT_OK(reader.GetFixed32(&pm.crc32));
+          uint8_t page_stats = 0;
+          HEPQ_RETURN_NOT_OK(reader.GetBytes(&page_stats, 1));
+          pm.has_stats = page_stats != 0;
+          if (pm.has_stats) {
+            HEPQ_RETURN_NOT_OK(reader.GetDouble(&pm.min_value));
+            HEPQ_RETURN_NOT_OK(reader.GetDouble(&pm.max_value));
+          }
+          cm.pages.push_back(pm);
+        }
       }
       rg.chunks.push_back(cm);
     }
@@ -376,6 +413,95 @@ Status ValidateFileMetadata(const FileMetadata& meta, uint64_t data_begin,
       if (chunk.has_stats && chunk.min_value > chunk.max_value) {
         return Status::Corruption("inverted min/max statistics" +
                                   ChunkContext(meta, g, c));
+      }
+      // Page partition invariants. Pages are optional (version-1 files and
+      // hand-built footers have none); when present their per-page sizes
+      // must tile the chunk exactly, because the reader seeks inside the
+      // chunk's compressed bytes by summing them.
+      if (!chunk.pages.empty()) {
+        uint64_t sum_values = 0, sum_compressed = 0, sum_encoded = 0;
+        for (size_t p = 0; p < chunk.pages.size(); ++p) {
+          const PageMeta& page = chunk.pages[p];
+          const bool final_page = p + 1 == chunk.pages.size();
+          if (page.num_values == 0) {
+            return Status::Corruption("empty page" + ChunkContext(meta, g, c));
+          }
+          sum_values += page.num_values;
+          sum_compressed += page.compressed_size;
+          sum_encoded += page.encoded_size;
+          if (sum_values > chunk.num_values ||
+              sum_compressed > chunk.compressed_size ||
+              sum_encoded > chunk.encoded_size) {
+            return Status::Corruption("page sizes exceed chunk totals" +
+                                      ChunkContext(meta, g, c));
+          }
+          // Per-page encoding bounds mirror the chunk-level ones: each page
+          // is an independent encoding unit.
+          switch (chunk.encoding) {
+            case Encoding::kPlain:
+              if (page.encoded_size != page.num_values * width) {
+                return Status::Corruption("plain page encoded_size mismatch" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+            case Encoding::kBitPack:
+              // Non-final pages must pack whole bytes, otherwise the
+              // per-page (n+7)/8 sizes would not sum to the chunk's.
+              if (!final_page && page.num_values % 8 != 0) {
+                return Status::Corruption("ragged bitpack page" +
+                                          ChunkContext(meta, g, c));
+              }
+              if (page.encoded_size != (page.num_values + 7) / 8) {
+                return Status::Corruption(
+                    "bitpack page encoded_size mismatch" +
+                    ChunkContext(meta, g, c));
+              }
+              break;
+            case Encoding::kRleVarint:
+              if (page.encoded_size == 0 ||
+                  page.encoded_size >
+                      page.num_values * kMaxRleBytesPerValue) {
+                return Status::Corruption("rle page encoded_size out of "
+                                          "bounds" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+            case Encoding::kDeltaVarint:
+              if (page.encoded_size < page.num_values ||
+                  page.encoded_size >
+                      page.num_values * kMaxDeltaBytesPerValue) {
+                return Status::Corruption("delta page encoded_size out of "
+                                          "bounds" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+          }
+          switch (chunk.codec) {
+            case Codec::kNone:
+              if (page.compressed_size != page.encoded_size) {
+                return Status::Corruption("uncompressed page size mismatch" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+            case Codec::kLz:
+              if (page.compressed_size == 0 ||
+                  page.compressed_size >= page.encoded_size) {
+                return Status::Corruption("lz page size out of bounds" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+          }
+          if (page.has_stats && page.min_value > page.max_value) {
+            return Status::Corruption("inverted page min/max statistics" +
+                                      ChunkContext(meta, g, c));
+          }
+        }
+        if (sum_values != chunk.num_values ||
+            sum_compressed != chunk.compressed_size ||
+            sum_encoded != chunk.encoded_size) {
+          return Status::Corruption("page sizes do not sum to chunk totals" +
+                                    ChunkContext(meta, g, c));
+        }
       }
     }
   }

@@ -27,7 +27,10 @@ namespace hepq {
 // values leaf per struct member.
 
 inline constexpr char kLaqMagic[4] = {'L', 'A', 'Q', '1'};
-inline constexpr uint32_t kLaqVersion = 1;
+/// Version 2 added per-page metadata inside column chunks (see PageMeta).
+/// Version-1 footers (no page lists) still parse; their chunks simply
+/// read as single unpaged units.
+inline constexpr uint32_t kLaqVersion = 2;
 
 /// One primitive leaf of the shredded schema.
 struct LeafDesc {
@@ -44,6 +47,22 @@ struct LeafDesc {
 /// need it).
 Result<std::vector<LeafDesc>> ComputeLeafLayout(const Schema& schema);
 
+/// One page of a column chunk: a run of values encoded and compressed
+/// independently (encodings restart at page boundaries), stored
+/// back-to-back inside the chunk's compressed bytes. Pages are the
+/// granularity of fine-grained zone-map skipping: a page whose
+/// [min_value, max_value] cannot satisfy a scan predicate skips its
+/// checksum + decompress + decode work entirely.
+struct PageMeta {
+  uint64_t num_values = 0;
+  uint64_t compressed_size = 0;  // this page's bytes on storage
+  uint64_t encoded_size = 0;     // this page's bytes before compression
+  uint32_t crc32 = 0;            // over this page's compressed bytes
+  bool has_stats = false;        // false e.g. for an all-NaN page
+  double min_value = 0.0;
+  double max_value = 0.0;
+};
+
 /// Location + properties of one leaf chunk within a row group.
 struct ChunkMeta {
   uint64_t file_offset = 0;
@@ -56,6 +75,10 @@ struct ChunkMeta {
   bool has_stats = false;
   double min_value = 0.0;  // numeric min/max for row-group pruning
   double max_value = 0.0;
+  /// Page partition of the chunk, in value order; page sizes sum to the
+  /// chunk totals. Empty for a version-1 chunk (or a hand-built footer):
+  /// the chunk is then one opaque unit with no interior skipping.
+  std::vector<PageMeta> pages;
 };
 
 struct RowGroupMeta {

@@ -1,0 +1,86 @@
+#include "fileio/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace hepq {
+
+void ScanPredicateSet::Intersect(const std::string& leaf_path, double lo,
+                                 double hi) {
+  // NaN bounds would make every zone comparison false and silently disable
+  // the predicate while still claiming one exists; drop them instead.
+  if (std::isnan(lo) || std::isnan(hi)) return;
+  for (ScanPredicate& p : predicates_) {
+    if (!p.item && p.leaf_path == leaf_path) {
+      p.min_value = std::max(p.min_value, lo);
+      p.max_value = std::min(p.max_value, hi);
+      return;
+    }
+  }
+  predicates_.push_back(ScanPredicate{leaf_path, lo, hi, /*item=*/false});
+}
+
+void ScanPredicateSet::AddRange(const std::string& leaf_path, double lo,
+                                double hi) {
+  Intersect(leaf_path, lo, hi);
+}
+
+void ScanPredicateSet::AddMinCount(const std::string& list_column,
+                                   int64_t n) {
+  Intersect(list_column + "#lengths", static_cast<double>(n),
+            std::numeric_limits<double>::infinity());
+}
+
+void ScanPredicateSet::AddItemRange(const std::string& leaf_path, double lo,
+                                    double hi) {
+  if (std::isnan(lo) || std::isnan(hi)) return;
+  predicates_.push_back(ScanPredicate{leaf_path, lo, hi, /*item=*/true});
+}
+
+void ScanPredicateSet::Merge(const ScanPredicateSet& other) {
+  for (const ScanPredicate& p : other.predicates_) {
+    if (p.item) {
+      AddItemRange(p.leaf_path, p.min_value, p.max_value);
+    } else {
+      Intersect(p.leaf_path, p.min_value, p.max_value);
+    }
+  }
+}
+
+std::string ScanPredicateSet::ToString() const {
+  std::ostringstream os;
+  for (const ScanPredicate& p : predicates_) {
+    os << p.leaf_path << (p.item ? " has element in [" : " in [")
+       << p.min_value << ", " << p.max_value << "]\n";
+  }
+  return os.str();
+}
+
+std::vector<BoundScanPredicate> BindScanPredicates(
+    const ScanPredicateSet& set, const FileMetadata& meta) {
+  std::vector<BoundScanPredicate> bound;
+  bound.reserve(set.size());
+  for (const ScanPredicate& p : set.predicates()) {
+    const int leaf = meta.LeafIndex(p.leaf_path);
+    if (leaf < 0) continue;  // file doesn't carry this leaf: cannot prune
+    const LeafDesc& desc = meta.layout[static_cast<size_t>(leaf)];
+    const DataType& field_type =
+        *meta.schema.field(desc.field_index).type;
+    BoundScanPredicate b;
+    b.leaf_index = leaf;
+    b.min_value = p.min_value;
+    b.max_value = p.max_value;
+    b.is_lengths = desc.is_lengths;
+    b.per_row = desc.is_lengths || field_type.id() != TypeId::kList;
+    // An existence condition on what turns out to be a per-row leaf would
+    // be applied per-row, which is stronger than the frontend asserted;
+    // drop such mislabeled predicates rather than risk over-pruning.
+    if (p.item && b.per_row) continue;
+    bound.push_back(b);
+  }
+  return bound;
+}
+
+}  // namespace hepq

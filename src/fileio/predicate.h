@@ -1,0 +1,112 @@
+#ifndef HEPQUERY_FILEIO_PREDICATE_H_
+#define HEPQUERY_FILEIO_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "fileio/format.h"
+
+namespace hepq {
+
+// Scan-predicate IR: the sargable residue of a query's filters, shared by
+// every frontend (engine stages, flat WHERE steps, rdf Filter hints, doc
+// FLWOR guards) and consumed by the storage layer for zone-map pruning.
+//
+// A ScanPredicate is one conservative *necessary* condition: "leaf value
+// in [min_value, max_value]" must hold for a row to possibly survive the
+// query's own gating predicate. The frontends only extract conjuncts that
+// gate every histogram fill (top-level AND terms of a stage / WHERE /
+// guard that precedes all output), which is what makes zone-map skipping
+// sound:
+//
+//   - a row group whose zone [chunk.min, chunk.max] is disjoint from the
+//     range can be skipped wholesale — no row in it can pass the gate;
+//   - within a chunk, a page whose zone is disjoint can skip its
+//     decompress + decode + checksum work. Its lanes are filled with the
+//     page's min_value, which *also* lies outside the range, so when the
+//     engine evaluates the original (unmodified) gate over the batch those
+//     rows fail exactly as their true values would. Results stay
+//     bit-identical with no cooperation from any executor ("fail-fill").
+//
+// The extraction is best-effort: anything a frontend cannot prove sargable
+// is simply not added, and a predicate naming a leaf the file does not
+// have is ignored at scan time. An empty set disables pruning.
+
+/// One necessary range condition on a leaf column.
+struct ScanPredicate {
+  std::string leaf_path;  // "MET.pt", "Jet#lengths", "Jet.pt", ...
+  /// Closed conservative interval: rows outside [min_value, max_value]
+  /// cannot survive the query gate. Use +-infinity for one-sided bounds.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// True for element-existence conditions (AddItemRange). Per-row ranges
+  /// on one leaf are intersected (the row's single value must satisfy
+  /// all), but existence conditions must stay separate: an element in A
+  /// and an element in B does not imply an element in A intersect B.
+  bool item = false;
+};
+
+/// A conjunction of ScanPredicates, one per distinct leaf (ranges on the
+/// same leaf are intersected as they are added).
+class ScanPredicateSet {
+ public:
+  /// Adds (intersects) the necessary condition `leaf value in [lo, hi]`.
+  void AddRange(const std::string& leaf_path, double lo, double hi);
+
+  /// Adds the necessary condition `|list_column| >= n` via the list's
+  /// lengths leaf ("<col>#lengths" in [n, +inf)).
+  void AddMinCount(const std::string& list_column, int64_t n);
+
+  /// Adds the necessary condition "some element of `list_column`'s member
+  /// leaf lies in [lo, hi]" (from exists/count>=1 style gates). Item
+  /// leaves hold many values per row, so this only ever enables
+  /// *row-group* pruning: if the whole group's zone is disjoint, no event
+  /// in it has a qualifying element and every event fails the gate.
+  void AddItemRange(const std::string& leaf_path, double lo, double hi);
+
+  bool empty() const { return predicates_.empty(); }
+  size_t size() const { return predicates_.size(); }
+  const std::vector<ScanPredicate>& predicates() const { return predicates_; }
+
+  /// Union of the other set's conditions into this one (same-leaf ranges
+  /// intersect, making the conjunction stronger).
+  void Merge(const ScanPredicateSet& other);
+
+  /// Debug rendering, one predicate per line ("Jet#lengths in [2, inf)").
+  std::string ToString() const;
+
+ private:
+  void Intersect(const std::string& leaf_path, double lo, double hi);
+
+  std::vector<ScanPredicate> predicates_;
+};
+
+/// A ScanPredicate resolved against one file's leaf layout.
+struct BoundScanPredicate {
+  int leaf_index = -1;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  /// True when the leaf holds exactly one value per event row (top-level
+  /// primitive, struct member, or a list's lengths leaf). Per-row
+  /// predicates participate in page skipping and batch-time evaluation;
+  /// item-leaf predicates only in row-group pruning.
+  bool per_row = false;
+  bool is_lengths = false;
+};
+
+/// Resolves `set` against `meta`, dropping predicates whose leaf the file
+/// does not carry. Never fails: pruning is an optimization, not a
+/// requirement.
+std::vector<BoundScanPredicate> BindScanPredicates(
+    const ScanPredicateSet& set, const FileMetadata& meta);
+
+/// True when a zone [stats_min, stats_max] is disjoint from the
+/// predicate's range, i.e. nothing under the zone can satisfy it.
+inline bool ZoneDisjoint(double stats_min, double stats_max,
+                         const BoundScanPredicate& pred) {
+  return stats_min > pred.max_value || stats_max < pred.min_value;
+}
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_FILEIO_PREDICATE_H_

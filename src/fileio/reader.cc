@@ -1,8 +1,10 @@
 #include "fileio/reader.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <map>
 
 #include "fileio/crc32.h"
@@ -91,7 +93,96 @@ Status FoldLengthsToOffsets(const std::vector<uint8_t>& values, int64_t rows,
   return Status::OK();
 }
 
+/// Writes `n` lanes of `value` (converted to the leaf's physical type) —
+/// the fail-fill for a zone-map-skipped page. The fill is the page's
+/// recorded minimum, which lies outside the predicate's range, so the
+/// query's own gate rejects these lanes exactly as it would the true
+/// values. Integer casts clamp so an extreme double can never overflow
+/// into UB; clamping keeps the value on the same (failing) side of the
+/// range boundary.
+void FillLanes(TypeId type, double value, size_t n, uint8_t* out) {
+  switch (type) {
+    case TypeId::kFloat32:
+      std::fill_n(reinterpret_cast<float*>(out), n,
+                  static_cast<float>(value));
+      break;
+    case TypeId::kFloat64:
+      std::fill_n(reinterpret_cast<double*>(out), n, value);
+      break;
+    case TypeId::kInt32: {
+      const double c = std::clamp(value, -2147483648.0, 2147483647.0);
+      std::fill_n(reinterpret_cast<int32_t*>(out), n,
+                  static_cast<int32_t>(c));
+      break;
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      if (value >= 9223372036854775808.0) {
+        v = std::numeric_limits<int64_t>::max();
+      } else if (value <= -9223372036854775808.0) {
+        v = std::numeric_limits<int64_t>::min();
+      } else {
+        v = static_cast<int64_t>(value);
+      }
+      std::fill_n(reinterpret_cast<int64_t*>(out), n, v);
+      break;
+    }
+    case TypeId::kBool:
+      std::fill_n(out, n, static_cast<uint8_t>(value != 0.0 ? 1 : 0));
+      break;
+    default:
+      break;  // non-primitive leaves cannot occur (layout is validated)
+  }
+}
+
+/// Clears `alive[r]` for every row whose value falls outside the
+/// predicate's range (NaN counts as outside, matching how a comparison
+/// gate evaluates it).
+template <typename T>
+void MarkDeadTyped(const T* values, size_t rows,
+                   const BoundScanPredicate& pred, uint8_t* alive) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double d = static_cast<double>(values[r]);
+    if (!(d >= pred.min_value && d <= pred.max_value)) alive[r] = 0;
+  }
+}
+
+void MarkDead(TypeId type, const std::vector<uint8_t>& values, size_t rows,
+              const BoundScanPredicate& pred, uint8_t* alive) {
+  switch (type) {
+    case TypeId::kFloat32:
+      MarkDeadTyped(reinterpret_cast<const float*>(values.data()), rows,
+                    pred, alive);
+      break;
+    case TypeId::kFloat64:
+      MarkDeadTyped(reinterpret_cast<const double*>(values.data()), rows,
+                    pred, alive);
+      break;
+    case TypeId::kInt32:
+      MarkDeadTyped(reinterpret_cast<const int32_t*>(values.data()), rows,
+                    pred, alive);
+      break;
+    case TypeId::kInt64:
+      MarkDeadTyped(reinterpret_cast<const int64_t*>(values.data()), rows,
+                    pred, alive);
+      break;
+    case TypeId::kBool:
+      MarkDeadTyped(values.data(), rows, pred, alive);
+      break;
+    default:
+      break;
+  }
+}
+
 }  // namespace
+
+struct LaqReader::FilterState {
+  /// Per-row predicates (at most one per leaf: ranges intersect).
+  std::vector<BoundScanPredicate> per_row;
+  /// Leaf values decoded by the late-materialization pre-pass, consumed
+  /// (moved out) when the projection loop reaches the leaf.
+  std::map<int, std::vector<uint8_t>> cache;
+};
 
 LaqReader::~LaqReader() {
   if (file_ != nullptr) std::fclose(file_);
@@ -162,11 +253,27 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
       new LaqReader(file, std::move(metadata), options));
 }
 
+void LaqReader::BillLeaf(const ChunkMeta& chunk, const LeafDesc& leaf) {
+  if (leaf.is_lengths) {
+    // Offsets are physically read but not billed by BigQuery's
+    // logical-column accounting; they do count toward the ideal bytes a
+    // C++ Parquet reader must fetch.
+    stats_.ideal_bytes += chunk.num_values * 4;
+  } else {
+    stats_.logical_bytes_bq += chunk.num_values * 8;
+    stats_.ideal_bytes +=
+        chunk.num_values *
+        static_cast<uint64_t>(PrimitiveWidth(leaf.physical));
+  }
+}
+
 Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
-                           ScratchBuffers* scratch) {
+                           ScratchBuffers* scratch,
+                           const BoundScanPredicate* pred) {
   const RowGroupMeta& rg = metadata_.row_groups[static_cast<size_t>(group)];
   const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(leaf_index)];
   const LeafDesc& leaf = metadata_.layout[static_cast<size_t>(leaf_index)];
+  const size_t width = static_cast<size_t>(PrimitiveWidth(leaf.physical));
 
   // Every buffer is resized, never recreated: past its high-water mark the
   // scratch pool makes this whole path allocation-free.
@@ -180,39 +287,124 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
           compressed.size()) {
     return Status::IoError("short read of chunk " + leaf.path);
   }
-  if (options_.validate_checksums &&
-      Crc32(compressed.data(), compressed.size()) != chunk.crc32) {
-    return Status::Corruption("checksum mismatch in chunk " + leaf.path);
-  }
-  HEPQ_RETURN_NOT_OK(Decompress(chunk.codec, compressed.data(),
-                                compressed.size(), chunk.encoded_size,
-                                &scratch->encoded));
-  const size_t count = static_cast<size_t>(chunk.num_values);
-  scratch->values.resize(count *
-                         static_cast<size_t>(PrimitiveWidth(leaf.physical)));
-  HEPQ_RETURN_NOT_OK(DecodeValues(leaf.physical, chunk.encoding,
-                                  scratch->encoded.data(),
-                                  scratch->encoded.size(), count,
-                                  scratch->values.data()));
 
-  stats_.storage_bytes += chunk.compressed_size;
-  stats_.encoded_bytes += chunk.encoded_size;
-  stats_.chunks_read += 1;
-  stats_.values_read += chunk.num_values;
-  if (billed) {
-    if (leaf.is_lengths) {
-      // Offsets are physically read but not billed by BigQuery's
-      // logical-column accounting; they do count toward the ideal bytes a
-      // C++ Parquet reader must fetch.
-      stats_.ideal_bytes += chunk.num_values * 4;
-    } else {
-      stats_.logical_bytes_bq += chunk.num_values * 8;
-      stats_.ideal_bytes +=
-          chunk.num_values *
-          static_cast<uint64_t>(PrimitiveWidth(leaf.physical));
+  // Which pages can zone-map skipping rule out? Lengths leaves are never
+  // skipped: their exact values become array offsets and cross-checks.
+  size_t dead_pages = 0;
+  if (pred != nullptr && options_.scan_pushdown && !leaf.is_lengths) {
+    for (const PageMeta& page : chunk.pages) {
+      if (page.has_stats &&
+          ZoneDisjoint(page.min_value, page.max_value, *pred)) {
+        ++dead_pages;
+      }
     }
   }
+
+  const size_t count = static_cast<size_t>(chunk.num_values);
+  scratch->values.resize(count * width);
+
+  if (dead_pages == 0) {
+    // Full read: the chunk-level checksum covers the concatenated page
+    // bytes, so one pass verifies everything exactly as in v1.
+    if (options_.validate_checksums &&
+        Crc32(compressed.data(), compressed.size()) != chunk.crc32) {
+      return Status::Corruption("checksum mismatch in chunk " + leaf.path);
+    }
+    if (chunk.pages.empty()) {
+      HEPQ_RETURN_NOT_OK(Decompress(chunk.codec, compressed.data(),
+                                    compressed.size(), chunk.encoded_size,
+                                    &scratch->encoded));
+      HEPQ_RETURN_NOT_OK(DecodeValues(leaf.physical, chunk.encoding,
+                                      scratch->encoded.data(),
+                                      scratch->encoded.size(), count,
+                                      scratch->values.data()));
+    } else {
+      // Encodings restart per page (delta chains do not cross pages), so
+      // paged chunks always decode page by page.
+      size_t byte_offset = 0, value_offset = 0;
+      for (const PageMeta& page : chunk.pages) {
+        HEPQ_RETURN_NOT_OK(Decompress(chunk.codec,
+                                      compressed.data() + byte_offset,
+                                      page.compressed_size,
+                                      page.encoded_size, &scratch->encoded));
+        HEPQ_RETURN_NOT_OK(DecodeValues(
+            leaf.physical, chunk.encoding, scratch->encoded.data(),
+            scratch->encoded.size(), static_cast<size_t>(page.num_values),
+            scratch->values.data() + value_offset * width));
+        byte_offset += page.compressed_size;
+        value_offset += static_cast<size_t>(page.num_values);
+      }
+      stats_.pages_read += chunk.pages.size();
+    }
+    stats_.encoded_bytes += chunk.encoded_size;
+    stats_.decoded_bytes += count * width;
+  } else {
+    // Partial read: live pages verify their own checksums; dead pages skip
+    // checksum + decompress + decode entirely and fail-fill their lanes.
+    size_t byte_offset = 0, value_offset = 0;
+    for (const PageMeta& page : chunk.pages) {
+      const size_t n = static_cast<size_t>(page.num_values);
+      if (page.has_stats &&
+          ZoneDisjoint(page.min_value, page.max_value, *pred)) {
+        FillLanes(leaf.physical, page.min_value, n,
+                  scratch->values.data() + value_offset * width);
+        stats_.pages_pruned += 1;
+        stats_.rows_pruned += page.num_values;
+      } else {
+        if (options_.validate_checksums &&
+            Crc32(compressed.data() + byte_offset, page.compressed_size) !=
+                page.crc32) {
+          return Status::Corruption("checksum mismatch in page of chunk " +
+                                    leaf.path);
+        }
+        HEPQ_RETURN_NOT_OK(Decompress(chunk.codec,
+                                      compressed.data() + byte_offset,
+                                      page.compressed_size,
+                                      page.encoded_size, &scratch->encoded));
+        HEPQ_RETURN_NOT_OK(DecodeValues(
+            leaf.physical, chunk.encoding, scratch->encoded.data(),
+            scratch->encoded.size(), n,
+            scratch->values.data() + value_offset * width));
+        stats_.pages_read += 1;
+        stats_.encoded_bytes += page.encoded_size;
+        stats_.decoded_bytes += n * width;
+      }
+      byte_offset += page.compressed_size;
+      value_offset += n;
+    }
+  }
+
+  stats_.storage_bytes += chunk.compressed_size;
+  stats_.chunks_read += 1;
+  stats_.values_read += chunk.num_values;
+  if (billed) BillLeaf(chunk, leaf);
   return Status::OK();
+}
+
+Status LaqReader::ReadProjectedLeaf(int group, int leaf_index, bool billed,
+                                    ScratchBuffers* scratch,
+                                    FilterState* filter) {
+  if (filter != nullptr) {
+    const auto it = filter->cache.find(leaf_index);
+    if (it != filter->cache.end()) {
+      // Pre-decoded by the late-materialization pass (unbilled there);
+      // only the requested-column accounting remains to be added.
+      scratch->values = std::move(it->second);
+      filter->cache.erase(it);
+      if (billed) {
+        BillLeaf(metadata_.row_groups[static_cast<size_t>(group)]
+                     .chunks[static_cast<size_t>(leaf_index)],
+                 metadata_.layout[static_cast<size_t>(leaf_index)]);
+      }
+      return Status::OK();
+    }
+    for (const BoundScanPredicate& p : filter->per_row) {
+      if (p.leaf_index == leaf_index) {
+        return ReadLeaf(group, leaf_index, billed, scratch, &p);
+      }
+    }
+  }
+  return ReadLeaf(group, leaf_index, billed, scratch);
 }
 
 Status LaqReader::ReadLeafValues(int group_index, const std::string& leaf_path,
@@ -292,6 +484,12 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
   if (group_index < 0 || group_index >= num_row_groups()) {
     return Status::OutOfRange("row group index out of range");
   }
+  return ReadRowGroupImpl(group_index, projection, scratch, nullptr);
+}
+
+Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
+    int group_index, const std::vector<std::string>& projection,
+    ScratchBuffers* scratch, FilterState* filter) {
   std::vector<ResolvedColumn> resolved;
   HEPQ_RETURN_NOT_OK(ResolveProjection(projection, &resolved));
   if (resolved.empty()) {
@@ -331,8 +529,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
       // lengths leaf for lists).
       if (type.is_primitive()) {
         const int leaf = metadata_.LeafIndex(field.name);
-        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/true,
-                                    scratch));
+        HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, leaf,
+                                             /*billed=*/true, scratch,
+                                             filter));
         ArrayPtr array;
         HEPQ_ASSIGN_OR_RETURN(
             array, BuildPrimitiveArray(type.id(), scratch->values,
@@ -344,8 +543,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
         const int values_leaf = metadata_.LeafIndex(field.name + ".item");
         // Lengths are read first and immediately folded into offsets, so
         // the values read below may reuse the same scratch buffer.
-        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf,
-                                    /*billed=*/true, scratch));
+        HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, lengths_leaf,
+                                             /*billed=*/true, scratch,
+                                             filter));
         std::vector<uint32_t> offsets;
         size_t num_items = 0;
         HEPQ_RETURN_NOT_OK(
@@ -357,8 +557,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
           return Status::Corruption("list lengths of '" + field.name +
                                     "' do not sum to the values leaf count");
         }
-        HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, values_leaf,
-                                    /*billed=*/true, scratch));
+        HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, values_leaf,
+                                             /*billed=*/true, scratch,
+                                             filter));
         ArrayPtr child;
         HEPQ_ASSIGN_OR_RETURN(
             child, BuildPrimitiveArray(type.item_type()->id(), scratch->values,
@@ -387,8 +588,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
     size_t num_items = static_cast<size_t>(rows);
     if (type.id() == TypeId::kList) {
       const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
-      HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, lengths_leaf, /*billed=*/true,
-                                  scratch));
+      HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, lengths_leaf,
+                                           /*billed=*/true, scratch,
+                                           filter));
       HEPQ_RETURN_NOT_OK(
           FoldLengthsToOffsets(scratch->values, rows, &offsets, &num_items));
       // All member leaves of one list column carry the same value count
@@ -421,8 +623,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(
       }
       const bool wanted =
           std::find(selected.begin(), selected.end(), m) != selected.end();
-      HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, leaf, /*billed=*/wanted,
-                                  scratch));
+      HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, leaf,
+                                           /*billed=*/wanted, scratch,
+                                           filter));
       if (!wanted) continue;  // physically read, logically discarded
       ArrayPtr array;
       HEPQ_ASSIGN_OR_RETURN(
@@ -458,6 +661,66 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroup(int group_index) {
   std::vector<std::string> all;
   for (const Field& f : metadata_.schema.fields()) all.push_back(f.name);
   return ReadRowGroup(group_index, all);
+}
+
+Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
+    int group_index, const std::vector<std::string>& projection,
+    const ScanPredicateSet& predicates, ScratchBuffers* scratch) {
+  if (!options_.scan_pushdown || predicates.empty()) {
+    return ReadRowGroup(group_index, projection, scratch);
+  }
+  ScratchBuffers transient;
+  if (scratch == nullptr) scratch = &transient;
+  if (group_index < 0 || group_index >= num_row_groups()) {
+    return Status::OutOfRange("row group index out of range");
+  }
+  const RowGroupMeta& rg =
+      metadata_.row_groups[static_cast<size_t>(group_index)];
+  const std::vector<BoundScanPredicate> bound =
+      BindScanPredicates(predicates, metadata_);
+
+  // Level 1: row-group pruning on the chunk zone maps. Any one violated
+  // necessary condition rules out every row of the group; nothing is read.
+  for (const BoundScanPredicate& b : bound) {
+    const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(b.leaf_index)];
+    if (chunk.has_stats &&
+        ZoneDisjoint(chunk.min_value, chunk.max_value, b)) {
+      stats_.groups_pruned += 1;
+      stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
+      return RecordBatchPtr();
+    }
+  }
+
+  FilterState filter;
+  for (const BoundScanPredicate& b : bound) {
+    if (b.per_row) filter.per_row.push_back(b);
+  }
+
+  // Level 3 (late materialization): decode the predicate-bearing leaves
+  // first — with level-2 page skipping applied — and evaluate the per-row
+  // conjunction over them. A group with no surviving row is dead before
+  // any other projected column is touched. Fail-filled lanes of skipped
+  // pages fall outside their own predicate's range, so they can never
+  // resurrect a row here.
+  if (options_.late_materialization && !filter.per_row.empty()) {
+    const size_t rows = static_cast<size_t>(rg.num_rows);
+    std::vector<uint8_t> alive(rows, 1);
+    for (const BoundScanPredicate& p : filter.per_row) {
+      HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, p.leaf_index,
+                                  /*billed=*/false, scratch, &p));
+      // Per-row leaves hold exactly num_rows values (validated at Open).
+      MarkDead(metadata_.layout[static_cast<size_t>(p.leaf_index)].physical,
+               scratch->values, rows, p, alive.data());
+      filter.cache[p.leaf_index] = std::move(scratch->values);
+    }
+    if (std::find(alive.begin(), alive.end(), uint8_t{1}) == alive.end()) {
+      stats_.groups_pruned += 1;
+      stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
+      return RecordBatchPtr();
+    }
+  }
+
+  return ReadRowGroupImpl(group_index, projection, scratch, &filter);
 }
 
 Result<std::vector<int>> LaqReader::SelectRowGroups(

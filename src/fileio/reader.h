@@ -8,6 +8,7 @@
 
 #include "columnar/array.h"
 #include "fileio/format.h"
+#include "fileio/predicate.h"
 
 namespace hepq {
 
@@ -29,6 +30,17 @@ struct ScanStats {
   uint64_t ideal_bytes = 0;
   uint64_t chunks_read = 0;
   uint64_t values_read = 0;
+  /// Bytes actually decoded to physical values (num_values * width of
+  /// every page or chunk that went through the decoder). This is the
+  /// counter predicate pushdown + late materialization drives down:
+  /// skipped pages and dead row groups decode nothing.
+  uint64_t decoded_bytes = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_pruned = 0;
+  /// Row lanes never decoded: rows of pruned groups plus per-row lanes of
+  /// skipped pages (diagnostic; one row may be counted once per leaf).
+  uint64_t rows_pruned = 0;
+  uint64_t groups_pruned = 0;
 
   void Reset() { *this = ScanStats{}; }
   void Add(const ScanStats& o) {
@@ -38,6 +50,11 @@ struct ScanStats {
     ideal_bytes += o.ideal_bytes;
     chunks_read += o.chunks_read;
     values_read += o.values_read;
+    decoded_bytes += o.decoded_bytes;
+    pages_read += o.pages_read;
+    pages_pruned += o.pages_pruned;
+    rows_pruned += o.rows_pruned;
+    groups_pruned += o.groups_pruned;
   }
 };
 
@@ -69,6 +86,16 @@ struct ReaderOptions {
   bool struct_projection_pushdown = true;
   /// Verify chunk checksums while reading.
   bool validate_checksums = true;
+  /// Honor scan predicates with zone-map pruning: whole row groups whose
+  /// chunk statistics cannot satisfy a predicate are skipped at
+  /// ReadRowGroupFiltered time, and within surviving chunks, pages whose
+  /// page statistics cannot satisfy it skip their checksum + decompress +
+  /// decode work. Results are bit-identical either way (see predicate.h).
+  bool scan_pushdown = true;
+  /// Decode predicate-bearing columns first and evaluate the predicates
+  /// over them; when no row of the group can survive, the remaining
+  /// projected columns are never read at all.
+  bool late_materialization = true;
   /// Upper bound on the decoded size (num_values * physical width) of any
   /// single chunk, enforced by the metadata validation pass in Open(). A
   /// footer — even one whose CRC matches — can otherwise drive multi-GiB
@@ -114,6 +141,20 @@ class LaqReader {
   /// Reads one row group with all columns.
   Result<RecordBatchPtr> ReadRowGroup(int group_index);
 
+  /// Predicate-aware row-group read. Returns a *null* batch pointer when
+  /// the predicates prove no row of the group can survive (the group's
+  /// zone maps are disjoint from a predicate, or late materialization
+  /// found no surviving row); callers must treat a null batch as "group
+  /// processed, zero rows selected" and account its row count themselves.
+  /// A non-null batch is bit-identical to ReadRowGroup's: pages skipped by
+  /// zone maps have their lanes filled with the page minimum, a value that
+  /// provably fails the gating predicate the query itself will evaluate
+  /// (see predicate.h). With scan_pushdown off or no usable predicate this
+  /// is exactly ReadRowGroup.
+  Result<RecordBatchPtr> ReadRowGroupFiltered(
+      int group_index, const std::vector<std::string>& projection,
+      const ScanPredicateSet& predicates, ScratchBuffers* scratch);
+
   /// Runs only the storage decode path (read, checksum, decompress, decode)
   /// for one leaf chunk, leaving the decoded values in `scratch->values`.
   /// No arrays are materialized: with a warmed-up scratch this performs
@@ -145,9 +186,29 @@ class LaqReader {
 
   /// Reads + decodes the chunk of leaf `leaf_index` in `group` into
   /// `scratch->values`. `billed` says whether this leaf was requested
-  /// (affects logical/ideal bytes).
+  /// (affects logical/ideal bytes). When `pred` is non-null (a per-row
+  /// predicate on this very leaf) and the chunk has pages, pages whose
+  /// zone map is disjoint from the predicate skip checksum + decompress +
+  /// decode and have their lanes fail-filled with the page minimum.
   Status ReadLeaf(int group, int leaf_index, bool billed,
-                  ScratchBuffers* scratch);
+                  ScratchBuffers* scratch,
+                  const BoundScanPredicate* pred = nullptr);
+
+  /// Adds the logical/ideal ("requested column") bytes of one leaf chunk.
+  void BillLeaf(const ChunkMeta& chunk, const LeafDesc& leaf);
+
+  /// Per-read state of a filtered read: per-row predicates plus leaf
+  /// values already decoded by the late-materialization pre-pass.
+  struct FilterState;
+
+  Result<RecordBatchPtr> ReadRowGroupImpl(
+      int group_index, const std::vector<std::string>& projection,
+      ScratchBuffers* scratch, FilterState* filter);
+
+  /// ReadLeaf through the filter state: consumes a cached pre-pass decode
+  /// when present, otherwise reads with this leaf's predicate (if any).
+  Status ReadProjectedLeaf(int group, int leaf_index, bool billed,
+                           ScratchBuffers* scratch, FilterState* filter);
 
   struct ResolvedColumn {
     int field_index;

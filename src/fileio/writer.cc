@@ -1,6 +1,7 @@
 #include "fileio/writer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "fileio/crc32.h"
@@ -32,6 +33,11 @@ void AppendTyped(const std::vector<T>& src, LeafValues* out) {
   out->count += src.size();
   for (const T& v : src) {
     const double d = static_cast<double>(v);
+    // NaN is unordered: folding it through std::min/max poisons the zone
+    // map into [NaN, NaN], which compares false against everything and
+    // would make the chunk look prunable by any predicate. Skip NaNs; a
+    // column with no orderable value at all simply carries no stats.
+    if (std::isnan(d)) continue;
     if (!out->has_stats) {
       out->has_stats = true;
       out->min_value = out->max_value = d;
@@ -53,6 +59,11 @@ void AppendSpanTyped(std::span<const T> src, LeafValues* out) {
   out->count += src.size();
   for (const T& v : src) {
     const double d = static_cast<double>(v);
+    // NaN is unordered: folding it through std::min/max poisons the zone
+    // map into [NaN, NaN], which compares false against everything and
+    // would make the chunk look prunable by any predicate. Skip NaNs; a
+    // column with no orderable value at all simply carries no stats.
+    if (std::isnan(d)) continue;
     if (!out->has_stats) {
       out->has_stats = true;
       out->min_value = out->max_value = d;
@@ -116,6 +127,44 @@ Status AppendLeafFromBatch(const LeafDesc& leaf, const RecordBatch& batch,
   return AppendPrimitive(*st.child(leaf.member_index), out);
 }
 
+template <typename T>
+void MinMaxOver(const T* values, size_t count, PageMeta* page) {
+  for (size_t i = 0; i < count; ++i) {
+    const double d = static_cast<double>(values[i]);
+    if (std::isnan(d)) continue;  // same rationale as the chunk-level stats
+    if (!page->has_stats) {
+      page->has_stats = true;
+      page->min_value = page->max_value = d;
+    } else {
+      page->min_value = std::min(page->min_value, d);
+      page->max_value = std::max(page->max_value, d);
+    }
+  }
+}
+
+void ComputePageStats(TypeId physical, const void* data, size_t count,
+                      PageMeta* page) {
+  switch (physical) {
+    case TypeId::kFloat32:
+      MinMaxOver(static_cast<const float*>(data), count, page);
+      break;
+    case TypeId::kFloat64:
+      MinMaxOver(static_cast<const double*>(data), count, page);
+      break;
+    case TypeId::kInt32:
+      MinMaxOver(static_cast<const int32_t*>(data), count, page);
+      break;
+    case TypeId::kInt64:
+      MinMaxOver(static_cast<const int64_t*>(data), count, page);
+      break;
+    case TypeId::kBool:
+      MinMaxOver(static_cast<const uint8_t*>(data), count, page);
+      break;
+    default:
+      break;  // non-primitive leaves cannot occur (layout is validated)
+  }
+}
+
 }  // namespace
 
 LaqWriter::LaqWriter(std::FILE* file, SchemaPtr schema,
@@ -167,31 +216,75 @@ Status LaqWriter::WriteChunk(const LeafDesc& leaf, TypeId physical,
                              const void* data, size_t count,
                              ChunkMeta* meta) {
   const Encoding encoding = ChooseEncoding(physical, data, count);
-  std::vector<uint8_t> encoded;
-  HEPQ_RETURN_NOT_OK(EncodeValues(physical, encoding, data, count, &encoded));
-  std::vector<uint8_t> compressed;
+  const size_t width = static_cast<size_t>(PrimitiveWidth(physical));
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+
+  // Page partition: one encoding unit per `page_values` values (each page
+  // restarts the encoder, so the reader can decode any page on its own).
+  // Rounded down to a multiple of 8 so bit-packed bool pages cover whole
+  // bytes; <= 0 disables interior pages.
+  size_t per_page = options_.page_values > 0
+                        ? static_cast<size_t>(options_.page_values)
+                        : count;
+  per_page = std::max<size_t>(8, per_page - per_page % 8);
+
+  std::vector<PageMeta> pages;
+  std::vector<std::vector<uint8_t>> page_encoded;
+  std::vector<std::vector<uint8_t>> page_compressed;
   Codec codec = options_.codec;
-  HEPQ_RETURN_NOT_OK(
-      Compress(codec, encoded.data(), encoded.size(), &compressed));
-  if (compressed.size() >= encoded.size()) {
-    // Incompressible chunk (common for float columns, as the paper notes):
-    // store plain to avoid paying decompression for nothing.
-    codec = Codec::kNone;
-    compressed = encoded;
+  bool any_expanded = false;
+  for (size_t offset = 0; offset < count; offset += per_page) {
+    const size_t n = std::min(per_page, count - offset);
+    std::vector<uint8_t> encoded;
+    HEPQ_RETURN_NOT_OK(EncodeValues(physical, encoding,
+                                    bytes + offset * width, n, &encoded));
+    std::vector<uint8_t> compressed;
+    HEPQ_RETURN_NOT_OK(
+        Compress(codec, encoded.data(), encoded.size(), &compressed));
+    if (compressed.size() >= encoded.size()) any_expanded = true;
+    PageMeta page;
+    page.num_values = n;
+    if (options_.write_statistics) {
+      ComputePageStats(physical, bytes + offset * width, n, &page);
+    }
+    pages.push_back(page);
+    page_encoded.push_back(std::move(encoded));
+    page_compressed.push_back(std::move(compressed));
   }
+  if (count == 0 || any_expanded) {
+    // Incompressible somewhere (common for float columns, as the paper
+    // notes): store the whole chunk plain. Falling back per chunk rather
+    // than per page keeps the codec a chunk-level property, as in v1.
+    codec = Codec::kNone;
+    page_compressed = page_encoded;
+  }
+
   meta->file_offset = file_pos_;
-  meta->compressed_size = compressed.size();
-  meta->encoded_size = encoded.size();
+  meta->compressed_size = 0;
+  meta->encoded_size = 0;
   meta->num_values = count;
   meta->encoding = encoding;
   meta->codec = codec;
-  meta->crc32 = Crc32(compressed.data(), compressed.size());
-  if (!compressed.empty() &&
-      std::fwrite(compressed.data(), 1, compressed.size(), file_) !=
-          compressed.size()) {
-    return Status::IoError("failed to write chunk for leaf " + leaf.path);
+  uint32_t chunk_crc = 0;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    pages[p].encoded_size = page_encoded[p].size();
+    pages[p].compressed_size = page_compressed[p].size();
+    pages[p].crc32 = Crc32(page_compressed[p].data(), page_compressed[p].size());
+    // The chunk CRC covers the concatenated page bytes, so a full
+    // (skip-free) read can verify the chunk with one pass as before.
+    chunk_crc = Crc32(page_compressed[p].data(), page_compressed[p].size(),
+                      chunk_crc);
+    meta->encoded_size += page_encoded[p].size();
+    meta->compressed_size += page_compressed[p].size();
+    if (!page_compressed[p].empty() &&
+        std::fwrite(page_compressed[p].data(), 1, page_compressed[p].size(),
+                    file_) != page_compressed[p].size()) {
+      return Status::IoError("failed to write chunk for leaf " + leaf.path);
+    }
   }
-  file_pos_ += compressed.size();
+  meta->crc32 = chunk_crc;
+  meta->pages = std::move(pages);
+  file_pos_ += meta->compressed_size;
   return Status::OK();
 }
 

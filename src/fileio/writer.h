@@ -20,7 +20,13 @@ struct WriterOptions {
   int64_t row_group_size = 100000;
   Codec codec = Codec::kLz;
   /// Collect per-chunk min/max statistics (enables row-group pruning).
+  /// Also controls the per-page statistics that drive page skipping.
   bool write_statistics = true;
+  /// Values per page within a chunk. Pages are independently encoded and
+  /// compressed so the reader can skip interior pages whose zone map rules
+  /// them out. Rounded down to a multiple of 8 (bit-packed bool pages must
+  /// pack whole bytes); values <= 0 write one page per chunk.
+  int64_t page_values = 4096;
 };
 
 /// Writes RecordBatches into a .laq columnar file.

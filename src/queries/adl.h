@@ -66,6 +66,17 @@ struct RunOptions {
   /// cross-check tests. Ignored by kRdf and kDoc, which have no
   /// expression trees.
   bool interpret_expressions = false;
+  /// Zone-map predicate pushdown: each frontend extracts the sargable
+  /// residue of its own filters and the reader prunes row groups and pages
+  /// whose min/max statistics cannot satisfy it. Histograms are
+  /// bit-identical with the feature on or off; exposed for the ablation
+  /// and `hepq_run --no-pushdown`.
+  bool scan_pushdown = true;
+  /// Late materialization: decode predicate columns first and skip
+  /// decoding the remaining projected columns for row groups with no
+  /// surviving events. Only observable through ScanStats (decoded bytes);
+  /// exposed for the ablation and `hepq_run --no-late-mat`.
+  bool late_materialization = true;
 };
 
 /// Runs ADL query `q` (1..8) with the given engine over the data set at

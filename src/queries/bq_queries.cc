@@ -197,6 +197,8 @@ Result<QueryRunOutput> RunAdlQueryBq(int q, const std::string& path,
   ReaderOptions reader_options;
   reader_options.struct_projection_pushdown = true;
   reader_options.validate_checksums = options.validate_checksums;
+  reader_options.scan_pushdown = options.scan_pushdown;
+  reader_options.late_materialization = options.late_materialization;
   engine::EventQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result, query.Execute(path, reader_options, options.num_threads));

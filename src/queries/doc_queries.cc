@@ -245,6 +245,8 @@ Result<QueryRunOutput> RunAdlQueryDoc(int q, const std::string& path,
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlDocQuery(q));
   ReaderOptions reader_options;
   reader_options.validate_checksums = options.validate_checksums;
+  reader_options.scan_pushdown = options.scan_pushdown;
+  reader_options.late_materialization = options.late_materialization;
   doc::DocQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result,

@@ -151,6 +151,8 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   ReaderOptions reader_options;
   reader_options.struct_projection_pushdown = false;
   reader_options.validate_checksums = options.validate_checksums;
+  reader_options.scan_pushdown = options.scan_pushdown;
+  reader_options.late_materialization = options.late_materialization;
 
   QueryRunOutput out;
   auto flat_result = BuildAdlFlatPipeline(q);

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include "core/physics.h"
 #include "queries/adl.h"
@@ -71,6 +72,8 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
   rdf::RdfOptions rdf_options;
   rdf_options.num_threads = options.num_threads;
   rdf_options.reader.validate_checksums = options.validate_checksums;
+  rdf_options.reader.scan_pushdown = options.scan_pushdown;
+  rdf_options.reader.late_materialization = options.late_materialization;
   std::unique_ptr<RDataFrame> df;
   HEPQ_ASSIGN_OR_RETURN(df, RDataFrame::Open(path, rdf_options));
   const std::vector<HistogramSpec> specs = AdlHistogramSpecs(q);
@@ -115,6 +118,13 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
       rdf::ParticleColumn<float> jet_pt;
       HEPQ_ASSIGN_OR_RETURN(met, df->Scalar<float>("MET.pt"));
       HEPQ_ASSIGN_OR_RETURN(jet_pt, df->Particles<float>("Jet.pt"));
+      // The hint states necessary conditions of the cut: at least two
+      // jets, at least one of them above 40 GeV. Storage uses it for
+      // zone-map pruning; the lambda stays authoritative.
+      ScanPredicateSet hint;
+      hint.AddMinCount("Jet", 2);
+      hint.AddItemRange("Jet.pt", 40.0,
+                        std::numeric_limits<double>::infinity());
       auto selected =
           df->root().Filter([jet_pt](const EventView& e) {
             int n = 0;
@@ -122,7 +132,7 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
               if (pt > 40.0f) ++n;
             }
             return n >= 2;
-          });
+          }, std::move(hint));
       handles.push_back(selected.Histo1D(
           specs[0], [met](const EventView& e) { return e.Get(met); }));
       break;
@@ -132,6 +142,8 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
       ParticleHandles muon;
       HEPQ_ASSIGN_OR_RETURN(met, df->Scalar<float>("MET.pt"));
       HEPQ_ASSIGN_OR_RETURN(muon, DeclareKinematics(df.get(), "Muon", true));
+      ScanPredicateSet hint;
+      hint.AddMinCount("Muon", 2);  // an opposite-charge pair needs two
       auto selected = df->root().Filter([muon](const EventView& e) {
         const auto pt = e.Get(muon.pt);
         const auto eta = e.Get(muon.eta);
@@ -148,7 +160,7 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
           }
         }
         return false;
-      });
+      }, std::move(hint));
       handles.push_back(selected.Histo1D(
           specs[0], [met](const EventView& e) { return e.Get(met); }));
       break;
@@ -158,9 +170,11 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
       rdf::ParticleColumn<float> btag;
       HEPQ_ASSIGN_OR_RETURN(jet, DeclareKinematics(df.get(), "Jet", false));
       HEPQ_ASSIGN_OR_RETURN(btag, df->Particles<float>("Jet.btag"));
+      ScanPredicateSet hint;
+      hint.AddMinCount("Jet", 3);
       auto three_jets = df->root().Filter([jet](const EventView& e) {
         return e.Get(jet.pt).size() >= 3;
-      });
+      }, std::move(hint));
       // The expensive combination search runs once per event and is shared
       // by the two histograms through a cached vector Define.
       auto best = df->DefineVec("best_trijet", [jet](const EventView& e) {

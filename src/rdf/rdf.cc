@@ -28,10 +28,16 @@ const RVecD& EventView::Get(VecDefineHandle handle) const {
 
 RNode RNode::Filter(std::function<bool(const EventView&)> predicate,
                     std::string label) {
+  return Filter(std::move(predicate), ScanPredicateSet{}, std::move(label));
+}
+
+RNode RNode::Filter(std::function<bool(const EventView&)> predicate,
+                    ScanPredicateSet hint, std::string label) {
   RDataFrame::Node node;
   node.parent = node_;
   node.predicate = std::move(predicate);
   node.label = std::move(label);
+  node.hint = std::move(hint);
   df_->nodes_.push_back(std::move(node));
   return RNode(df_, static_cast<int>(df_->nodes_.size()) - 1);
 }
@@ -357,6 +363,38 @@ Status RDataFrame::Run() {
     p.nodes.assign(nodes_.size(), NodeCounters{});
   }
 
+  // Scan hint: the hint of a filter sitting directly below the root and
+  // above every booked action gates all output, so a row group its hint
+  // proves dead can be skipped with an exact cutflow ledger — the hint is
+  // a necessary condition of that filter, so every skipped row would have
+  // been examined by it and failed, and no deeper node ever ran. Hints
+  // anywhere else in the graph are ignored: skipping there would change
+  // ancestor filters' examined/passed counters in unknowable ways.
+  int hint_node = -1;
+  if (!bookings_.empty()) {
+    for (size_t n = 1; n < nodes_.size(); ++n) {
+      if (nodes_[n].parent != 0 || nodes_[n].hint.empty()) continue;
+      bool covers_all = true;
+      for (const Booking& booking : bookings_) {
+        int cursor = booking.node;
+        while (cursor > 0 && cursor != static_cast<int>(n)) {
+          cursor = nodes_[static_cast<size_t>(cursor)].parent;
+        }
+        if (cursor != static_cast<int>(n)) {
+          covers_all = false;
+          break;
+        }
+      }
+      if (covers_all) {
+        hint_node = static_cast<int>(n);
+        break;
+      }
+    }
+  }
+  const ScanPredicateSet no_hint;
+  const ScanPredicateSet& preds =
+      hint_node >= 0 ? nodes_[static_cast<size_t>(hint_node)].hint : no_hint;
+
   exec::WorkerReaders readers(path_, options_.reader, workers);
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       workers, std::move(tasks), [&](int worker, int g) -> Status {
@@ -364,9 +402,18 @@ Status RDataFrame::Run() {
         HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch,
-            reader->ReadRowGroup(g, projection, readers.scratch(worker)));
+            batch, reader->ReadRowGroupFiltered(g, projection, preds,
+                                                readers.scratch(worker)));
         GroupPartial& p = partials[static_cast<size_t>(g)];
+        if (batch == nullptr) {
+          // Pruned group: every row reaches the hinted filter and fails
+          // it, so only that node's examined counter moves.
+          const int64_t rows =
+              reader->metadata().row_groups[static_cast<size_t>(g)].num_rows;
+          p.events = rows;
+          p.nodes[static_cast<size_t>(hint_node)].examined += rows;
+          return Status::OK();
+        }
         HEPQ_RETURN_NOT_OK(
             ProcessRowGroup(*batch, &p.histos, &p.counts, &p.sums, &p.nodes));
         p.events = batch->num_rows();

@@ -152,6 +152,16 @@ class RNode {
   RNode Filter(std::function<bool(const EventView&)> predicate,
                std::string label = "");
 
+  /// Like Filter, with a machine-readable scan hint: `hint` must hold a
+  /// set of *necessary* conditions of `predicate` (rows outside a hinted
+  /// range cannot pass it). The predicate lambda stays authoritative —
+  /// the hint only lets the storage layer zone-map-prune row groups and
+  /// pages, and it is honored only when this filter sits directly below
+  /// the root and above every booked action, where skipping provably
+  /// failing events cannot change any result or cutflow counter.
+  RNode Filter(std::function<bool(const EventView&)> predicate,
+               ScanPredicateSet hint, std::string label = "");
+
   /// Books a 1-D histogram filled with `value` for every event reaching
   /// this node.
   HistoHandle Histo1D(HistogramSpec spec,
@@ -269,6 +279,9 @@ class RDataFrame {
     int parent = -1;
     std::function<bool(const EventView&)> predicate;  // null for root
     std::string label;
+    /// Necessary conditions of `predicate` for zone-map pruning (empty
+    /// unless the hinted Filter overload was used).
+    ScanPredicateSet hint;
   };
 
   struct Booking {

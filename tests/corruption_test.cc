@@ -14,6 +14,7 @@
 
 #include "columnar/builder.h"
 #include "datagen/dataset.h"
+#include "engine/event_query.h"
 #include "fileio/compression.h"
 #include "fileio/corruption.h"
 #include "fileio/crc32.h"
@@ -412,6 +413,131 @@ TEST(ErrorPropagationTest, FrontendsReportSameErrorForAnyThreadCount) {
     EXPECT_EQ(a.status().ToString(), b.status().ToString())
         << queries::EngineKindName(engine);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Pruning vs. corruption: zone-map pushdown legitimately skips data it can
+// prove irrelevant — including damaged data — but must never mask
+// corruption in any page or group it actually touches.
+// ---------------------------------------------------------------------------
+
+/// A clustered single-scalar file: `groups` row groups of `rows` events
+/// each, MET.pt = 100*g + i (sorted within each group).
+std::string WriteClusteredMet(const std::string& name, int groups, int rows,
+                              const WriterOptions& options) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+  });
+  std::vector<RecordBatchPtr> batches;
+  for (int g = 0; g < groups; ++g) {
+    std::vector<float> met(static_cast<size_t>(rows));
+    for (int i = 0; i < rows; ++i) {
+      met[static_cast<size_t>(i)] = 100.0f * g + static_cast<float>(i);
+    }
+    auto met_col = StructArray::Make({{"pt", DataType::Float32()}},
+                                     {MakeFloat32Array(met)})
+                       .ValueOrDie();
+    batches.push_back(RecordBatch::Make(schema, {met_col}).ValueOrDie());
+  }
+  const std::string path = TempPath(name);
+  WriteLaqFile(path, schema, batches, options).Check();
+  return path;
+}
+
+/// Runs `MET.pt > cut` with pushdown (and late materialization) on or off.
+Result<engine::EventQueryResult> RunMetCut(const std::string& path,
+                                           double cut, bool pushdown) {
+  engine::EventQuery query("met_cut");
+  const int met = query.DeclareScalar("MET.pt");
+  query.AddStage(engine::Gt(engine::ScalarRef(met), engine::Lit(cut)));
+  query.AddHistogram({"met", "", 64, 0, 800}, engine::ScalarRef(met));
+  ReaderOptions options;
+  options.scan_pushdown = pushdown;
+  options.late_materialization = pushdown;
+  return query.Execute(path, options, 1);
+}
+
+TEST(PruningCorruptionTest, PrunedGroupMaySkipDamageButTouchedGroupMustNot) {
+  WriterOptions options;
+  options.row_group_size = 32;
+  const std::string clean =
+      WriteClusteredMet("prune_group_clean.laq", 2, 32, options);
+  auto baseline = RunMetCut(clean, 50.0, true).ValueOrDie();
+  ASSERT_EQ(baseline.events_processed, 64);
+
+  auto image = laqfuzz::LoadLaqImage(clean).ValueOrDie();
+  ASSERT_EQ(image.metadata.row_groups.size(), 2u);
+
+  // Damage group 0 (MET.pt in [0,31], disjoint from the >50 cut): the
+  // pruned scan never touches those bytes and must succeed bit-identically
+  // to the clean file, while a full scan must still report the damage.
+  const uint64_t dead_offset =
+      image.metadata.row_groups[0].chunks[0].file_offset + 3;
+  const std::string dead_path = TempPath("prune_group_dead.laq");
+  laqfuzz::WriteBytes(dead_path, laqfuzz::FlipBit(image, dead_offset, 2))
+      .Check();
+  auto pruned = RunMetCut(dead_path, 50.0, true);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(pruned->scan.groups_pruned, 1u);
+  EXPECT_EQ(pruned->events_processed, baseline.events_processed);
+  EXPECT_EQ(pruned->events_selected, baseline.events_selected);
+  ExpectBitIdentical(pruned->histograms[0], baseline.histograms[0]);
+  auto full = RunMetCut(dead_path, 50.0, false);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kCorruption);
+
+  // Damage group 1 (the surviving group): pruning must not mask it.
+  const uint64_t live_offset =
+      image.metadata.row_groups[1].chunks[0].file_offset + 3;
+  const std::string live_path = TempPath("prune_group_live.laq");
+  laqfuzz::WriteBytes(live_path, laqfuzz::FlipBit(image, live_offset, 2))
+      .Check();
+  auto touched = RunMetCut(live_path, 50.0, true);
+  ASSERT_FALSE(touched.ok());
+  EXPECT_EQ(touched.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(RunMetCut(live_path, 50.0, false).ok());
+}
+
+TEST(PruningCorruptionTest, PageSkipsHideOnlyProvablyIrrelevantDamage) {
+  WriterOptions options;
+  options.row_group_size = 64;
+  options.page_values = 8;  // 8 pages of 8 sorted values each
+  const std::string clean =
+      WriteClusteredMet("prune_page_clean.laq", 1, 64, options);
+  auto baseline = RunMetCut(clean, 56.0, true).ValueOrDie();
+  EXPECT_GE(baseline.scan.pages_pruned, 7u);
+
+  auto image = laqfuzz::LoadLaqImage(clean).ValueOrDie();
+  const ChunkMeta& chunk = image.metadata.row_groups[0].chunks[0];
+  ASSERT_EQ(chunk.pages.size(), 8u);
+
+  // Page 0 holds values 0..7, disjoint from the >56 cut: a pruning scan
+  // skips it (damage and all), a full scan rejects the file.
+  const std::string dead_path = TempPath("prune_page_dead.laq");
+  laqfuzz::WriteBytes(dead_path,
+                      laqfuzz::FlipBit(image, chunk.file_offset + 1, 4))
+      .Check();
+  auto pruned = RunMetCut(dead_path, 56.0, true);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_GE(pruned->scan.pages_pruned, 7u);
+  ExpectBitIdentical(pruned->histograms[0], baseline.histograms[0]);
+  auto full = RunMetCut(dead_path, 56.0, false);
+  ASSERT_FALSE(full.ok());
+  EXPECT_EQ(full.status().code(), StatusCode::kCorruption);
+
+  // Page 7 holds values 56..63 — the only page the cut can select.
+  // Corruption there must surface with pruning on and off alike.
+  uint64_t page7 = chunk.file_offset;
+  for (size_t p = 0; p < 7; ++p) page7 += chunk.pages[p].compressed_size;
+  const std::string live_path = TempPath("prune_page_live.laq");
+  laqfuzz::WriteBytes(live_path, laqfuzz::FlipBit(image, page7 + 1, 4))
+      .Check();
+  auto touched = RunMetCut(live_path, 56.0, true);
+  ASSERT_FALSE(touched.ok());
+  EXPECT_EQ(touched.status().code(), StatusCode::kCorruption);
+  auto touched_full = RunMetCut(live_path, 56.0, false);
+  ASSERT_FALSE(touched_full.ok());
+  EXPECT_EQ(touched_full.status().code(), StatusCode::kCorruption);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include "datagen/dataset.h"
 #include "engine/event_query.h"
 #include "engine/flat.h"
+#include "fileio/writer.h"
 
 namespace hepq::engine {
 namespace {
@@ -416,6 +417,110 @@ TEST(EventQueryTest, ThreadCountNeverChangesResults) {
     EXPECT_EQ(run->scan.storage_bytes, baseline->scan.storage_bytes);
     ExpectSameBits(run->histograms[0], baseline->histograms[0]);
   }
+}
+
+/// A data set whose MET.pt values are clustered: group g holds values in
+/// [100g, 100(g+1)), sorted within the group so pages carry tight zone
+/// maps. Jet.pt rides along as a projected non-predicate column whose
+/// decode late materialization can skip entirely for dead groups.
+const std::string& ClusteredDataset() {
+  static const auto& path = *new std::string([] {
+    auto schema = std::make_shared<Schema>(std::vector<Field>{
+        {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+        {"Jet", DataType::List(DataType::Struct(
+                    {{"pt", DataType::Float32()}}))},
+    });
+    constexpr int kGroups = 4;
+    constexpr int kRows = 256;
+    std::vector<RecordBatchPtr> batches;
+    for (int g = 0; g < kGroups; ++g) {
+      std::vector<float> met(kRows);
+      std::vector<uint32_t> offsets(kRows + 1, 0);
+      std::vector<float> jet_pt;
+      for (int i = 0; i < kRows; ++i) {
+        met[static_cast<size_t>(i)] =
+            100.0f * g + 100.0f * i / kRows;  // sorted within the group
+        jet_pt.push_back(30.0f + i % 20);
+        jet_pt.push_back(15.0f + i % 7);
+        offsets[static_cast<size_t>(i) + 1] =
+            static_cast<uint32_t>(jet_pt.size());
+      }
+      auto met_col =
+          StructArray::Make({{"pt", DataType::Float32()}},
+                            {MakeFloat32Array(met)})
+              .ValueOrDie();
+      auto jets = MakeListOfStructArray({{"pt", DataType::Float32()}},
+                                        offsets,
+                                        {MakeFloat32Array(jet_pt)})
+                      .ValueOrDie();
+      batches.push_back(
+          RecordBatch::Make(schema, {met_col, jets}).ValueOrDie());
+    }
+    const std::string p = ::testing::TempDir() + "/clustered.laq";
+    WriterOptions options;
+    options.row_group_size = kRows;
+    options.page_values = 64;  // 4 pages per 256-row chunk
+    WriteLaqFile(p, schema, batches, options).Check();
+    return p;
+  }());
+  return path;
+}
+
+/// The acceptance check for predicate pushdown + late materialization: a
+/// Q2-style selective MET cut must prune at least half the row groups,
+/// skip pages inside the straddling group, and decode measurably fewer
+/// bytes — with bit-identical histograms and event counters.
+TEST(EventQueryTest, ZoneMapPruningDecodesFewerBytes) {
+  EventQuery query("selective");
+  const int met = query.DeclareScalar("MET.pt");
+  query.DeclareList("Jet", {"pt"});
+  query.AddStage(Gt(ScalarRef(met), Lit(250.0)));
+  query.AddHistogram({"met", "", 100, 0, 400}, ScalarRef(met));
+
+  ReaderOptions with;
+  ReaderOptions without;
+  without.scan_pushdown = false;
+  without.late_materialization = false;
+  auto on = query.Execute(ClusteredDataset(), with, 1);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  auto off = query.Execute(ClusteredDataset(), without, 1);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  // Groups 0/1 ([0,100) and [100,200)) are disjoint from (250, inf);
+  // group 2 straddles 250 so only its trailing pages survive.
+  EXPECT_EQ(on->scan.groups_pruned, 2u);
+  EXPECT_GE(on->scan.pages_pruned, 2u);
+  EXPECT_GT(on->scan.rows_pruned, 0u);
+  EXPECT_LT(on->scan.decoded_bytes, off->scan.decoded_bytes);
+  EXPECT_EQ(off->scan.groups_pruned, 0u);
+  EXPECT_EQ(off->scan.pages_pruned, 0u);
+
+  // Results are bit-identical regardless of pruning.
+  EXPECT_EQ(on->events_processed, 1024);
+  EXPECT_EQ(off->events_processed, 1024);
+  EXPECT_EQ(on->events_selected, off->events_selected);
+  ASSERT_EQ(on->histograms.size(), off->histograms.size());
+  ExpectSameBits(on->histograms[0], off->histograms[0]);
+}
+
+/// Late materialization alone (pushdown on in both runs): disabling it
+/// must change decoded bytes only, never any result.
+TEST(EventQueryTest, LateMaterializationToggleIsInvisibleInResults) {
+  EventQuery query("latemat");
+  const int met = query.DeclareScalar("MET.pt");
+  query.DeclareList("Jet", {"pt"});
+  query.AddStage(Gt(ScalarRef(met), Lit(250.0)));
+  query.AddHistogram({"met", "", 100, 0, 400}, ScalarRef(met));
+
+  ReaderOptions eager;
+  eager.late_materialization = false;
+  auto lazy = query.Execute(ClusteredDataset(), ReaderOptions{}, 1);
+  ASSERT_TRUE(lazy.ok());
+  auto eager_run = query.Execute(ClusteredDataset(), eager, 1);
+  ASSERT_TRUE(eager_run.ok());
+  EXPECT_LE(lazy->scan.decoded_bytes, eager_run->scan.decoded_bytes);
+  EXPECT_EQ(lazy->events_selected, eager_run->events_selected);
+  ExpectSameBits(lazy->histograms[0], eager_run->histograms[0]);
 }
 
 TEST(FlatPipelineTest, ThreadCountNeverChangesResults) {

@@ -1,3 +1,4 @@
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -467,6 +468,116 @@ TEST(ScratchTest, ReadLeafValuesDecodesWithoutMaterializing) {
   EXPECT_EQ(reader->ReadLeafValues(0, "MET.nope", &scratch).code(),
             StatusCode::kKeyError);
   EXPECT_FALSE(reader->ReadLeafValues(7, "MET.pt", &scratch).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Page partitioning and page-level zone maps (the statistics behind page
+// skipping in ReadRowGroupFiltered).
+// ---------------------------------------------------------------------------
+
+TEST(PageStatsTest, PagesPartitionChunksAndCarryZoneMaps) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::Float64()}});
+  std::vector<double> values(64);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<double>(i);
+  }
+  auto batch =
+      RecordBatch::Make(schema, {MakeFloat64Array(values)}).ValueOrDie();
+  const std::string path = TempPath("page_stats.laq");
+  WriterOptions options;
+  options.page_values = 8;  // 64 sorted values -> 8 pages of 8
+  ASSERT_TRUE(WriteLaqFile(path, schema, {batch}, options).ok());
+
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  const ChunkMeta& chunk = reader->metadata().row_groups[0].chunks[0];
+  ASSERT_EQ(chunk.pages.size(), 8u);
+  uint64_t sum_values = 0, sum_compressed = 0, sum_encoded = 0;
+  for (size_t p = 0; p < chunk.pages.size(); ++p) {
+    const PageMeta& page = chunk.pages[p];
+    EXPECT_EQ(page.num_values, 8u);
+    ASSERT_TRUE(page.has_stats);
+    EXPECT_EQ(page.min_value, static_cast<double>(p * 8));
+    EXPECT_EQ(page.max_value, static_cast<double>(p * 8 + 7));
+    sum_values += page.num_values;
+    sum_compressed += page.compressed_size;
+    sum_encoded += page.encoded_size;
+  }
+  // Pages partition the chunk exactly: sizes and counts add up.
+  EXPECT_EQ(sum_values, chunk.num_values);
+  EXPECT_EQ(sum_compressed, chunk.compressed_size);
+  EXPECT_EQ(sum_encoded, chunk.encoded_size);
+  // Chunk-level stats agree with the page envelope.
+  ASSERT_TRUE(chunk.has_stats);
+  EXPECT_EQ(chunk.min_value, 0.0);
+  EXPECT_EQ(chunk.max_value, 63.0);
+
+  // And the data itself round-trips.
+  auto read = reader->ReadRowGroup(0).ValueOrDie();
+  const auto& col = static_cast<const Float64Array&>(*read->column(0));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(col.Value(static_cast<int64_t>(i)), values[i]) << i;
+  }
+}
+
+TEST(PageStatsTest, AllNaNPagesCarryNoStats) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::Float64()}});
+  const double nan = std::nan("");
+  std::vector<double> values(16, nan);
+  // Second page has one real value among the NaNs.
+  values[12] = 5.0;
+  auto batch =
+      RecordBatch::Make(schema, {MakeFloat64Array(values)}).ValueOrDie();
+  const std::string path = TempPath("page_stats_nan.laq");
+  WriterOptions options;
+  options.page_values = 8;
+  ASSERT_TRUE(WriteLaqFile(path, schema, {batch}, options).ok());
+
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  const ChunkMeta& chunk = reader->metadata().row_groups[0].chunks[0];
+  ASSERT_EQ(chunk.pages.size(), 2u);
+  EXPECT_FALSE(chunk.pages[0].has_stats);  // all-NaN: no usable zone map
+  ASSERT_TRUE(chunk.pages[1].has_stats);   // NaNs skipped, not poisoned
+  EXPECT_EQ(chunk.pages[1].min_value, 5.0);
+  EXPECT_EQ(chunk.pages[1].max_value, 5.0);
+
+  auto read = reader->ReadRowGroup(0).ValueOrDie();
+  const auto& col = static_cast<const Float64Array&>(*read->column(0));
+  EXPECT_TRUE(std::isnan(col.Value(0)));
+  EXPECT_EQ(col.Value(12), 5.0);
+}
+
+TEST(PageStatsTest, EmptyListColumnRoundTrips) {
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"v", DataType::List(DataType::Float64())}});
+  // Every list empty: the values leaf has zero values.
+  auto list = ListArray::Make({0, 0, 0, 0},
+                              MakeFloat64Array(std::vector<double>{}))
+                  .ValueOrDie();
+  auto batch = RecordBatch::Make(schema, {ArrayPtr(list)}).ValueOrDie();
+  const std::string path = TempPath("page_stats_empty.laq");
+  WriterOptions options;
+  options.page_values = 8;
+  ASSERT_TRUE(WriteLaqFile(path, schema, {batch}, options).ok());
+
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  const RowGroupMeta& rg = reader->metadata().row_groups[0];
+  for (const ChunkMeta& chunk : rg.chunks) {
+    uint64_t sum_values = 0, sum_compressed = 0;
+    for (const PageMeta& page : chunk.pages) {
+      sum_values += page.num_values;
+      sum_compressed += page.compressed_size;
+    }
+    EXPECT_EQ(sum_values, chunk.num_values);
+    EXPECT_EQ(sum_compressed, chunk.compressed_size);
+  }
+  auto read = reader->ReadRowGroup(0).ValueOrDie();
+  const auto& col = static_cast<const ListArray&>(*read->column(0));
+  ASSERT_EQ(read->num_rows(), 3);
+  for (int64_t row = 0; row < 3; ++row) {
+    EXPECT_EQ(col.list_length(row), 0u) << row;
+  }
 }
 
 }  // namespace

@@ -108,6 +108,58 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeededAgreement,
                          ::testing::Values(7, 42, 271828, 3141592,
                                            20120601, 99999999));
 
+/// The golden acceptance property of predicate pushdown + late
+/// materialization: for every query on every frontend, pruning is
+/// invisible in the results — histograms bit-identical, event counters
+/// equal — and never decodes more than the unpruned scan.
+class PruningBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningBitIdentity, AllFrontendsUnchangedByPushdownToggles) {
+  const int q = GetParam();
+  for (EngineKind engine :
+       {EngineKind::kRdf, EngineKind::kBigQueryShape,
+        EngineKind::kPrestoShape, EngineKind::kDoc}) {
+    RunOptions off;
+    off.scan_pushdown = false;
+    off.late_materialization = false;
+    RunOptions pushdown_only;
+    pushdown_only.late_materialization = false;
+    const auto baseline = RunAdlQuery(engine, q, TestDataset(), off);
+    ASSERT_TRUE(baseline.ok())
+        << EngineKindName(engine) << ": " << baseline.status().ToString();
+    EXPECT_EQ(baseline->scan.groups_pruned, 0u);
+    EXPECT_EQ(baseline->scan.pages_pruned, 0u);
+    for (const RunOptions& options : {RunOptions{}, pushdown_only}) {
+      const auto run = RunAdlQuery(engine, q, TestDataset(), options);
+      ASSERT_TRUE(run.ok())
+          << EngineKindName(engine) << ": " << run.status().ToString();
+      EXPECT_EQ(run->events_processed, baseline->events_processed)
+          << "Q" << q << " on " << EngineKindName(engine);
+      EXPECT_LE(run->scan.decoded_bytes, baseline->scan.decoded_bytes)
+          << "Q" << q << " on " << EngineKindName(engine);
+      ASSERT_EQ(run->histograms.size(), baseline->histograms.size());
+      for (size_t h = 0; h < run->histograms.size(); ++h) {
+        const Histogram1D& a = run->histograms[h];
+        const Histogram1D& b = baseline->histograms[h];
+        ASSERT_EQ(a.num_entries(), b.num_entries())
+            << "Q" << q << " histogram " << h << " on "
+            << EngineKindName(engine);
+        ASSERT_EQ(a.sum_weights(), b.sum_weights());
+        ASSERT_EQ(a.underflow(), b.underflow());
+        ASSERT_EQ(a.overflow(), b.overflow());
+        for (int i = 0; i < a.spec().num_bins; ++i) {
+          ASSERT_EQ(a.BinContent(i), b.BinContent(i))
+              << "Q" << q << " histogram " << h << " bin " << i << " on "
+              << EngineKindName(engine);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, PruningBitIdentity,
+                         ::testing::Range(1, 9));
+
 TEST(QueriesTest, OpsCountersTrackComplexity) {
   // Q6 must explore far more combinations per event than Q2 (Table 2).
   const auto q2 =

@@ -2,10 +2,15 @@
 // resulting histogram plus execution statistics.
 //
 // Usage: hepq_run <query 1..8> [engine] [events] [--threads=N]
+//                 [--no-pushdown] [--no-late-mat]
 //   engine: rdf (default) | bigquery | presto | doc | all | explain
 //   events: data-set size to generate/reuse (default 20000)
 //   --threads=N: scan row groups with N workers of the shared runtime
 //     (results are bit-identical for any N; default 1)
+//   --no-pushdown: disable zone-map predicate pushdown (group/page
+//     pruning); histograms are bit-identical either way
+//   --no-late-mat: disable late materialization (decode every projected
+//     column even for row groups with no surviving events)
 //   "explain" prints the relational plans instead of executing.
 
 #include <cstdio>
@@ -36,6 +41,15 @@ void RunOne(EngineKind engine, int q, const std::string& path,
       static_cast<long long>(result->events_processed),
       result->cpu_seconds, result->wall_seconds,
       static_cast<unsigned long long>(result->scan.storage_bytes));
+  std::printf(
+      "decoded bytes: %llu   groups pruned: %llu   pages pruned: %llu/%llu"
+      "   rows pruned: %llu\n",
+      static_cast<unsigned long long>(result->scan.decoded_bytes),
+      static_cast<unsigned long long>(result->scan.groups_pruned),
+      static_cast<unsigned long long>(result->scan.pages_pruned),
+      static_cast<unsigned long long>(result->scan.pages_pruned +
+                                      result->scan.pages_read),
+      static_cast<unsigned long long>(result->scan.rows_pruned));
   if (result->ops > 0) {
     std::printf("ops/event: %.2f\n",
                 static_cast<double>(result->ops) /
@@ -57,12 +71,21 @@ int main(int argc, char** argv) {
       if (v > 0) options.num_threads = v;
       continue;
     }
+    if (std::strcmp(argv[i], "--no-pushdown") == 0) {
+      options.scan_pushdown = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-late-mat") == 0) {
+      options.late_materialization = false;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
-                         " [events] [--threads=N]\n",
+                         " [events] [--threads=N] [--no-pushdown]"
+                         " [--no-late-mat]\n",
                  argv[0]);
     return 2;
   }

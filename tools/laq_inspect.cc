@@ -1,22 +1,34 @@
 // laq_inspect: dump the metadata of a .laq columnar file — schema, row
-// groups, per-chunk encodings/codecs/sizes/statistics. The moral
-// equivalent of parquet-tools for this repository's format.
+// groups, per-chunk encodings/codecs/sizes/statistics, and page-level zone
+// maps. The moral equivalent of parquet-tools for this repository's format.
 //
-// Usage: laq_inspect <file.laq> [--chunks]
+// Usage: laq_inspect <file.laq> [--chunks] [--pages]
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "fileio/reader.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.laq> [--chunks]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s <file.laq> [--chunks] [--pages]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
-  const bool show_chunks = argc > 2 && std::strcmp(argv[2], "--chunks") == 0;
+  bool show_chunks = false;
+  bool show_pages = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chunks") == 0) show_chunks = true;
+    if (std::strcmp(argv[i], "--pages") == 0) {
+      show_chunks = true;
+      show_pages = true;
+    }
+  }
 
   auto reader_result = hepq::LaqReader::Open(path);
   if (!reader_result.ok()) {
@@ -72,7 +84,70 @@ int main(int argc, char** argv) {
                   EncodingName(chunk.encoding), CodecName(chunk.codec),
                   static_cast<unsigned long long>(chunk.num_values),
                   stats);
+      if (!show_pages || chunk.pages.empty()) continue;
+      for (size_t p = 0; p < chunk.pages.size(); ++p) {
+        const hepq::PageMeta& page = chunk.pages[p];
+        char zone[64] = "-";
+        if (page.has_stats) {
+          std::snprintf(zone, sizeof(zone), "%.4g..%.4g", page.min_value,
+                        page.max_value);
+        }
+        std::printf("    page %-3zu %17llu %10llu %18llu %22s\n", p,
+                    static_cast<unsigned long long>(page.compressed_size),
+                    static_cast<unsigned long long>(page.encoded_size),
+                    static_cast<unsigned long long>(page.num_values), zone);
+      }
     }
+  }
+
+  // Per-column pruning potential: a page can be skipped by some range
+  // predicate iff it carries a zone map strictly narrower than the
+  // column's global value range (a page spanning the full range survives
+  // every predicate any other page survives).
+  struct ColumnPruning {
+    uint64_t pages = 0;
+    uint64_t with_stats = 0;
+    uint64_t prunable = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  std::vector<ColumnPruning> columns(
+      static_cast<size_t>(meta.num_leaves()));
+  for (const hepq::RowGroupMeta& rg : meta.row_groups) {
+    for (size_t c = 0; c < rg.chunks.size(); ++c) {
+      for (const hepq::PageMeta& page : rg.chunks[c].pages) {
+        if (!page.has_stats) continue;
+        columns[c].min = std::min(columns[c].min, page.min_value);
+        columns[c].max = std::max(columns[c].max, page.max_value);
+      }
+    }
+  }
+  for (const hepq::RowGroupMeta& rg : meta.row_groups) {
+    for (size_t c = 0; c < rg.chunks.size(); ++c) {
+      for (const hepq::PageMeta& page : rg.chunks[c].pages) {
+        ++columns[c].pages;
+        if (!page.has_stats) continue;
+        ++columns[c].with_stats;
+        if (page.min_value > columns[c].min ||
+            page.max_value < columns[c].max) {
+          ++columns[c].prunable;
+        }
+      }
+    }
+  }
+  std::printf("\nzone-map pruning potential (per leaf, across all pages):\n");
+  std::printf("  %-24s %8s %8s %9s %9s\n", "leaf", "pages", "stats",
+              "prunable", "fraction");
+  for (size_t c = 0; c < columns.size(); ++c) {
+    const ColumnPruning& col = columns[c];
+    if (col.pages == 0) continue;
+    std::printf("  %-24s %8llu %8llu %9llu %8.1f%%\n",
+                meta.layout[c].path.c_str(),
+                static_cast<unsigned long long>(col.pages),
+                static_cast<unsigned long long>(col.with_stats),
+                static_cast<unsigned long long>(col.prunable),
+                100.0 * static_cast<double>(col.prunable) /
+                    static_cast<double>(col.pages));
   }
   return 0;
 }
