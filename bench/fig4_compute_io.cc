@@ -5,8 +5,11 @@
 //   (c) end-to-end processing throughput per core.
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "queries/adl.h"
 
 using hepq::queries::EngineKind;
@@ -93,12 +96,40 @@ int main(int argc, char** argv) {
   for (int q = 1; q <= 8; ++q) {
     for (int e = 0; e < 4; ++e) {
       const QueryRunOutput& r = results[q][e];
-      json.Add("Q" + std::to_string(q), EngineKindName(engines[e]),
+      json.Add(std::string("Q") + std::to_string(q), EngineKindName(engines[e]),
                r.cpu_seconds, r.scan.storage_bytes, r.scan.decoded_bytes,
                r.scan.rows_pruned);
     }
   }
   json.Write();
+
+  // One traced run per frontend (Q5: the single-jet-cut query exercises
+  // decode, pruning, late materialization, and the event loop) so CI
+  // uploads a RunReport + Chrome trace per engine alongside the tables.
+  for (int e = 0; e < 4; ++e) {
+    const std::string engine_name = EngineKindName(engines[e]);
+    hepq::obs::TraceSession session;
+    session.Start();
+    auto traced = RunAdlQuery(engines[e], 5, path, run_options);
+    session.Stop();
+    traced.status().Check();
+    hepq::obs::RunInfo info;
+    info.query = "Q5";
+    info.engine = engine_name;
+    info.threads = threads;
+    info.events_processed = traced->events_processed;
+    info.wall_seconds = traced->wall_seconds;
+    info.cpu_seconds = traced->cpu_seconds;
+    const hepq::obs::RunReport report =
+        hepq::obs::BuildRunReport(session, info, traced->scan);
+    const std::string report_path = "RUNREPORT_fig4_" + engine_name + ".json";
+    const std::string trace_path = "TRACE_fig4_" + engine_name + ".json";
+    hepq::obs::WriteTextFile(report_path, hepq::obs::ReportToJson(report))
+        .Check();
+    hepq::obs::WriteTextFile(trace_path, hepq::obs::ChromeTraceJson(session))
+        .Check();
+    std::printf("wrote %s and %s\n", report_path.c_str(), trace_path.c_str());
+  }
 
   std::printf(
       "\nExpected shape (paper Figure 4): CPU time ordering doc >> presto\n"

@@ -9,6 +9,7 @@
 #include "doc/convert.h"
 #include "doc/functions.h"
 #include "exec/exec.h"
+#include "obs/trace.h"
 
 namespace hepq::doc {
 
@@ -18,22 +19,43 @@ namespace {
 /// per-group partial (histograms pre-sized by the caller).
 Status RunBatch(const DocQuery& query, const RecordBatch& batch,
                 DocQueryResult* result) {
+  // Per-clause attribution: a span per row (let alone per clause) would
+  // dwarf the work being measured, so clause timings accumulate into
+  // per-batch counters instead. All timing is gated on an active session
+  // — a production run takes only the one `tracing` branch per batch.
+  obs::ScopedSpan batch_span("flwor_batch", obs::Stage::kEventLoop);
+  const bool tracing = batch_span.active();
+  int64_t let_ns = 0, where_ns = 0, return_ns = 0;
+  int64_t let_evals = 0, where_evals = 0, return_fills = 0;
   const int64_t rows = batch.num_rows();
   for (int64_t row = 0; row < rows; ++row) {
     DocContext ctx;
     ctx.Push("event", Sequence{EventToItem(batch, row)});
     size_t pushed = 1;
+    int64_t t0 = tracing ? obs::NowNs() : 0;
     for (const auto& [name, expr] : query.lets) {
       auto value = expr->Eval(&ctx);
       if (!value.ok()) return value.status();
       ctx.Push(name, std::move(*value));
       ++pushed;
+      ++let_evals;
+    }
+    if (tracing) {
+      const int64_t t1 = obs::NowNs();
+      let_ns += t1 - t0;
+      t0 = t1;
     }
     bool selected = true;
     if (query.guard != nullptr) {
       Sequence cond;
       HEPQ_ASSIGN_OR_RETURN(cond, query.guard->Eval(&ctx));
       selected = EffectiveBooleanValue(cond);
+      ++where_evals;
+    }
+    if (tracing) {
+      const int64_t t1 = obs::NowNs();
+      where_ns += t1 - t0;
+      t0 = t1;
     }
     if (selected) {
       ++result->events_selected;
@@ -43,10 +65,20 @@ Status RunBatch(const DocQuery& query, const RecordBatch& batch,
         for (const ItemPtr& item : values) {
           result->histograms[f].Fill(item->AsDouble());
         }
+        ++return_fills;
       }
+      if (tracing) return_ns += obs::NowNs() - t0;
     }
     result->interpreter_steps += ctx.steps;
     for (size_t p = 0; p < pushed; ++p) ctx.Pop();
+  }
+  if (tracing) {
+    obs::CountStage("flwor_let", obs::Stage::kExpr, let_ns,
+                    static_cast<uint64_t>(let_evals));
+    obs::CountStage("flwor_where", obs::Stage::kExpr, where_ns,
+                    static_cast<uint64_t>(where_evals));
+    obs::CountStage("flwor_return", obs::Stage::kExpr, return_ns,
+                    static_cast<uint64_t>(return_fills));
   }
   result->events_processed += rows;
   return Status::OK();
@@ -527,6 +559,7 @@ Result<RecordBatchPtr> ReadGroup(LaqReader* reader, const DocQuery& query,
 }  // namespace
 
 Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   EnsureDocFunctionsRegistered();
   DocQueryResult result = EmptyResult(query);
   reader->ResetScanStats();
@@ -553,8 +586,11 @@ Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
         }
         return RunBatch(query, *batch, &partials[static_cast<size_t>(g)]);
       }));
-  for (const DocQueryResult& p : partials) {
-    HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+  {
+    obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
+    for (const DocQueryResult& p : partials) {
+      HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+    }
   }
 
   result.wall_seconds = wall.Seconds();
@@ -566,6 +602,7 @@ Result<DocQueryResult> RunDocQuery(LaqReader* reader, const DocQuery& query) {
 Result<DocQueryResult> RunDocQuery(const std::string& path,
                                    ReaderOptions reader_options,
                                    int num_threads, const DocQuery& query) {
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   EnsureDocFunctionsRegistered();
   DocQueryResult result = EmptyResult(query);
   Stopwatch wall;
@@ -596,8 +633,11 @@ Result<DocQueryResult> RunDocQuery(const std::string& path,
         }
         return RunBatch(query, *batch, &partials[static_cast<size_t>(g)]);
       }));
-  for (const DocQueryResult& p : partials) {
-    HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+  {
+    obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
+    for (const DocQueryResult& p : partials) {
+      HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+    }
   }
 
   result.wall_seconds = wall.Seconds();

@@ -8,6 +8,7 @@
 #include "core/stopwatch.h"
 #include "engine/vexpr.h"
 #include "exec/exec.h"
+#include "obs/trace.h"
 
 namespace hepq::engine {
 
@@ -343,6 +344,7 @@ EventQueryResult EventQuery::MakeResult() const {
 Status EventQuery::EnsureCompiled() const {
   std::lock_guard<std::mutex> lock(*compile_mu_);
   if (compiled_ != nullptr) return Status::OK();
+  obs::ScopedSpan span("vexpr_compile", obs::Stage::kPlan);
   CompiledQuerySpec spec;
   spec.stages = stages_;
   spec.fills.reserve(fills_.size());
@@ -371,6 +373,7 @@ Status EventQuery::ExecuteBatch(const RecordBatch& batch,
 Status EventQuery::ExecuteBatch(const RecordBatch& batch,
                                 EventQueryResult* result,
                                 VexprScratch* scratch) const {
+  obs::ScopedSpan span("expr_batch", obs::Stage::kExpr);
   if (expr_exec_ == ExprExec::kCompiled) {
     HEPQ_RETURN_NOT_OK(EnsureCompiled());
     if (scratch == nullptr) {
@@ -455,6 +458,7 @@ Status EventQueryResult::Merge(const EventQueryResult& other) {
 }
 
 Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   EventQueryResult result = MakeResult();
   const std::vector<std::string> projection = Projection();
   const ScanPredicateSet preds = ScanPredicates();
@@ -483,8 +487,11 @@ Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
         }
         return ExecuteBatch(*batch, &partial, &vexpr_scratch);
       }));
-  for (const EventQueryResult& p : partials) {
-    HEPQ_RETURN_NOT_OK(result.Merge(p));
+  {
+    obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
+    for (const EventQueryResult& p : partials) {
+      HEPQ_RETURN_NOT_OK(result.Merge(p));
+    }
   }
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;
@@ -495,6 +502,7 @@ Result<EventQueryResult> EventQuery::Execute(LaqReader* reader) const {
 Result<EventQueryResult> EventQuery::Execute(const std::string& path,
                                              ReaderOptions reader_options,
                                              int num_threads) const {
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   EventQueryResult result = MakeResult();
   const std::vector<std::string> projection = Projection();
   const ScanPredicateSet preds = ScanPredicates();
@@ -534,8 +542,11 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
         return ExecuteBatch(*batch, &partial,
                             static_cast<VexprScratch*>(slot.get()));
       }));
-  for (const EventQueryResult& p : partials) {
-    HEPQ_RETURN_NOT_OK(result.Merge(p));
+  {
+    obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
+    for (const EventQueryResult& p : partials) {
+      HEPQ_RETURN_NOT_OK(result.Merge(p));
+    }
   }
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;

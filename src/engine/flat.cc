@@ -11,6 +11,7 @@
 #include "core/stopwatch.h"
 #include "engine/vexpr.h"
 #include "exec/exec.h"
+#include "obs/trace.h"
 
 namespace hepq::engine {
 
@@ -706,12 +707,14 @@ Result<FlatQueryResult> FlatPipeline::Execute(const std::string& path,
 }
 
 Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   FlatQueryResult result;
   for (const auto& [spec, expr] : fills_) {
     result.histograms.emplace_back(spec);
   }
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
+  obs::ScopedSpan plan_span("flat_compile", obs::Stage::kPlan);
 
   // ---- layout of the flat chunk (shared by every worker's chunk) ----
   FlatBatch layout;
@@ -804,6 +807,8 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
     scalar_decls.push_back(ScalarDecl{s});
   }
 
+  plan_span.End();
+
   const FileMetadata* metadata;
   HEPQ_ASSIGN_OR_RETURN(metadata, source->metadata());
   const size_t num_groups = metadata->row_groups.size();
@@ -860,6 +865,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
 
         auto flush_interpreted = [&]() -> Status {
           if (chunk.num_rows == 0) return Status::OK();
+          obs::ScopedSpan flush_span("flat_flush", obs::Stage::kExpr);
           // Apply projections and filters in order. Filters compact all
           // columns materialized so far — the real cost of filtering flat
           // data.
@@ -911,6 +917,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
         // results are bit-identical.
         auto flush_compiled = [&]() -> Status {
           if (chunk.num_rows == 0) return Status::OK();
+          obs::ScopedSpan flush_span("flat_flush", obs::Stage::kExpr);
           VexprScratch::Scope scope(vs);
           std::vector<uint32_t>* sel = vs->AcquireU32();
           std::vector<double>* vals = vs->AcquireF64();
@@ -985,6 +992,11 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
           return compiled ? flush_compiled() : flush_interpreted();
         };
 
+        obs::ScopedSpan loop_span("unnest_emit", obs::Stage::kEventLoop);
+        if (loop_span.active()) {
+          loop_span.set_worker(worker);
+          loop_span.set_group(g);
+        }
         const int64_t rows = batch->num_rows();
         std::vector<uint32_t> cursor(unnests_.size());
         for (int64_t row = 0; row < rows; ++row) {
@@ -1037,6 +1049,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
       }));
 
   // ---- deterministic merge in ascending row-group order ----
+  obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
   for (GroupPartial& p : partials) {
     result.events_processed += p.events;
     result.rows_materialized += p.rows_materialized;
@@ -1066,6 +1079,8 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
       }
     }
   }
+
+  merge_span.End();
 
   result.wall_seconds = wall.Seconds();
   result.cpu_seconds = ProcessCpuSeconds() - cpu0;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.h"
+
 namespace hepq::exec {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -137,9 +139,33 @@ Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
   std::mutex error_mu;
   Status first_error = Status::OK();
   std::atomic<int> error_group{std::numeric_limits<int>::max()};
-  const auto run_one = [&](int worker, int group) {
+  // Scheduling observability: when a trace session is active at job start,
+  // each executed task records a row-group span carrying the worker id,
+  // the task's position in the LPT order (`slot`), and the queue wait —
+  // the gap between this worker finishing its previous task and starting
+  // this one. The decision is latched here so a session starting mid-run
+  // cannot observe half a job (or index a vector sized for no workers).
+  const bool tracing = obs::TracingActive();
+  std::vector<int64_t> last_end;
+  if (tracing) {
+    last_end.assign(static_cast<size_t>(workers), obs::NowNs());
+  }
+  const auto run_one = [&](int worker, int slot, const RowGroupTask& task) {
+    const int group = task.group;
     if (group >= error_group.load(std::memory_order_acquire)) return;
+    obs::ScopedSpan span("row_group", obs::Stage::kRowGroup);
+    if (tracing && span.active()) {
+      span.set_worker(worker);
+      span.set_group(group);
+      span.set_slot(slot);
+      span.set_bytes(task.bytes);
+      span.set_queue_ns(
+          span.start_ns() - last_end[static_cast<size_t>(worker)]);
+    }
     Status status = process(worker, group);
+    if (tracing) {
+      last_end[static_cast<size_t>(worker)] = obs::NowNs();
+    }
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (group < error_group.load(std::memory_order_relaxed)) {
@@ -151,11 +177,13 @@ Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
   if (workers == 1) {
     // Inline path: same task order and per-group accumulation structure as
     // the parallel path, so results match bit for bit.
-    for (const RowGroupTask& task : tasks) run_one(0, task.group);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      run_one(0, static_cast<int>(i), tasks[i]);
+    }
   } else {
     ThreadPool::Shared(workers).ParallelFor(
         workers, static_cast<int>(tasks.size()), [&](int worker, int index) {
-          run_one(worker, tasks[static_cast<size_t>(index)].group);
+          run_one(worker, index, tasks[static_cast<size_t>(index)]);
         });
   }
   return first_error;
@@ -170,6 +198,8 @@ WorkerReaders::WorkerReaders(std::string path, ReaderOptions options,
 Result<LaqReader*> WorkerReaders::reader(int worker) {
   Slot& slot = slots_[static_cast<size_t>(worker)];
   if (slot.reader == nullptr) {
+    obs::ScopedSpan span("open_reader", obs::Stage::kOpen);
+    if (span.active()) span.set_worker(worker);
     HEPQ_ASSIGN_OR_RETURN(slot.reader, LaqReader::Open(path_, options_));
   }
   return slot.reader.get();

@@ -9,6 +9,7 @@
 
 #include "fileio/crc32.h"
 #include "fileio/varint.h"
+#include "obs/trace.h"
 
 namespace hepq {
 
@@ -249,8 +250,15 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
                                           data_end,
                                           options.max_chunk_decoded_bytes));
   guard.release();
-  return std::unique_ptr<LaqReader>(
+  auto reader = std::unique_ptr<LaqReader>(
       new LaqReader(file, std::move(metadata), options));
+  // One per-leaf stats slot per layout leaf, sized here once so the
+  // decode path updates them by index with zero allocations.
+  reader->stats_.leaves.resize(reader->metadata_.layout.size());
+  for (size_t i = 0; i < reader->metadata_.layout.size(); ++i) {
+    reader->stats_.leaves[i].path = reader->metadata_.layout[i].path;
+  }
+  return reader;
 }
 
 void LaqReader::BillLeaf(const ChunkMeta& chunk, const LeafDesc& leaf) {
@@ -275,6 +283,19 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
   const LeafDesc& leaf = metadata_.layout[static_cast<size_t>(leaf_index)];
   const size_t width = static_cast<size_t>(PrimitiveWidth(leaf.physical));
 
+  // The decode span's byte payload is the delta of the decoded-bytes
+  // counter across this call, so the sum of decode-span bytes in a trace
+  // bit-matches ScanStats::decoded_bytes by construction.
+  obs::ScopedSpan span("decode_leaf", obs::Stage::kDecode);
+  if (span.active()) {
+    span.set_group(group);
+    span.set_leaf(leaf_index);
+  }
+  LeafScanStats& leaf_stats = stats_.leaves[static_cast<size_t>(leaf_index)];
+  const uint64_t decoded_before = stats_.decoded_bytes;
+  const uint64_t pages_before = stats_.pages_read;
+  const uint64_t pruned_before = stats_.pages_pruned;
+
   // Every buffer is resized, never recreated: past its high-water mark the
   // scratch pool makes this whole path allocation-free.
   std::vector<uint8_t>& compressed = scratch->compressed;
@@ -292,6 +313,11 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
   // skipped: their exact values become array offsets and cross-checks.
   size_t dead_pages = 0;
   if (pred != nullptr && options_.scan_pushdown && !leaf.is_lengths) {
+    obs::ScopedSpan prune_span("page_zone_scan", obs::Stage::kPagePrune);
+    if (prune_span.active()) {
+      prune_span.set_group(group);
+      prune_span.set_leaf(leaf_index);
+    }
     for (const PageMeta& page : chunk.pages) {
       if (page.has_stats &&
           ZoneDisjoint(page.min_value, page.max_value, *pred)) {
@@ -377,6 +403,12 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
   stats_.storage_bytes += chunk.compressed_size;
   stats_.chunks_read += 1;
   stats_.values_read += chunk.num_values;
+  leaf_stats.storage_bytes += chunk.compressed_size;
+  leaf_stats.chunks_read += 1;
+  leaf_stats.decoded_bytes += stats_.decoded_bytes - decoded_before;
+  leaf_stats.pages_read += stats_.pages_read - pages_before;
+  leaf_stats.pages_pruned += stats_.pages_pruned - pruned_before;
+  if (span.active()) span.set_bytes(stats_.decoded_bytes - decoded_before);
   if (billed) BillLeaf(chunk, leaf);
   return Status::OK();
 }
@@ -681,13 +713,17 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
 
   // Level 1: row-group pruning on the chunk zone maps. Any one violated
   // necessary condition rules out every row of the group; nothing is read.
-  for (const BoundScanPredicate& b : bound) {
-    const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(b.leaf_index)];
-    if (chunk.has_stats &&
-        ZoneDisjoint(chunk.min_value, chunk.max_value, b)) {
-      stats_.groups_pruned += 1;
-      stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
-      return RecordBatchPtr();
+  {
+    obs::ScopedSpan zone_span("group_zone_check", obs::Stage::kPagePrune);
+    if (zone_span.active()) zone_span.set_group(group_index);
+    for (const BoundScanPredicate& b : bound) {
+      const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(b.leaf_index)];
+      if (chunk.has_stats &&
+          ZoneDisjoint(chunk.min_value, chunk.max_value, b)) {
+        stats_.groups_pruned += 1;
+        stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
+        return RecordBatchPtr();
+      }
     }
   }
 
@@ -703,6 +739,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
   // pages fall outside their own predicate's range, so they can never
   // resurrect a row here.
   if (options_.late_materialization && !filter.per_row.empty()) {
+    obs::ScopedSpan latemat_span("late_materialization",
+                                 obs::Stage::kLateMat);
+    if (latemat_span.active()) latemat_span.set_group(group_index);
     const size_t rows = static_cast<size_t>(rg.num_rows);
     std::vector<uint8_t> alive(rows, 1);
     for (const BoundScanPredicate& p : filter.per_row) {

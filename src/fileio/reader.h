@@ -12,6 +12,26 @@
 
 namespace hepq {
 
+/// Per-leaf-column slice of the IO accounting: what `laq_inspect --pages`
+/// shows statically, measured on a live run. Merged by `path` when stats
+/// from several readers are added together.
+struct LeafScanStats {
+  std::string path;
+  uint64_t storage_bytes = 0;
+  uint64_t decoded_bytes = 0;
+  uint64_t chunks_read = 0;
+  uint64_t pages_read = 0;
+  uint64_t pages_pruned = 0;
+
+  void AddCounters(const LeafScanStats& o) {
+    storage_bytes += o.storage_bytes;
+    decoded_bytes += o.decoded_bytes;
+    chunks_read += o.chunks_read;
+    pages_read += o.pages_read;
+    pages_pruned += o.pages_pruned;
+  }
+};
+
 /// IO accounting of a reader, the raw material for the paper's Figure 4b
 /// (bytes scanned per event) and for the two QaaS pricing models.
 struct ScanStats {
@@ -41,8 +61,30 @@ struct ScanStats {
   /// skipped pages (diagnostic; one row may be counted once per leaf).
   uint64_t rows_pruned = 0;
   uint64_t groups_pruned = 0;
+  /// Per-leaf breakdown of storage/decoded bytes and page pruning. A
+  /// LaqReader sizes this once at Open (one slot per leaf of the file's
+  /// layout) so updating it on the decode path is index-addressed and
+  /// allocation-free.
+  std::vector<LeafScanStats> leaves;
 
-  void Reset() { *this = ScanStats{}; }
+  /// Zeroes every counter. Leaf slots keep their paths (counters zeroed
+  /// in place) so a reset on a warmed-up reader stays allocation-free —
+  /// the micro benchmarks assert zero allocations per decoded group.
+  void Reset() {
+    std::vector<LeafScanStats> kept = std::move(leaves);
+    for (LeafScanStats& leaf : kept) {
+      leaf.storage_bytes = 0;
+      leaf.decoded_bytes = 0;
+      leaf.chunks_read = 0;
+      leaf.pages_read = 0;
+      leaf.pages_pruned = 0;
+    }
+    *this = ScanStats{};
+    leaves = std::move(kept);
+  }
+
+  /// Adds `o`, merging per-leaf entries by path (readers over the same
+  /// file produce identically ordered slots, so the merge is linear).
   void Add(const ScanStats& o) {
     storage_bytes += o.storage_bytes;
     encoded_bytes += o.encoded_bytes;
@@ -55,6 +97,21 @@ struct ScanStats {
     pages_pruned += o.pages_pruned;
     rows_pruned += o.rows_pruned;
     groups_pruned += o.groups_pruned;
+    for (size_t i = 0; i < o.leaves.size(); ++i) {
+      if (i < leaves.size() && leaves[i].path == o.leaves[i].path) {
+        leaves[i].AddCounters(o.leaves[i]);
+        continue;
+      }
+      bool found = false;
+      for (LeafScanStats& mine : leaves) {
+        if (mine.path == o.leaves[i].path) {
+          mine.AddCounters(o.leaves[i]);
+          found = true;
+          break;
+        }
+      }
+      if (!found) leaves.push_back(o.leaves[i]);
+    }
   }
 };
 

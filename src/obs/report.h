@@ -1,0 +1,145 @@
+#ifndef HEPQUERY_OBS_REPORT_H_
+#define HEPQUERY_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cloud/simulator.h"
+#include "core/status.h"
+#include "fileio/reader.h"
+#include "obs/trace.h"
+
+namespace hepq::obs {
+
+// Machine- and human-readable run reports built from a stopped
+// TraceSession plus the engine's own end-of-run totals. The report's
+// headline numbers (events, CPU ns, decoded bytes, storage bytes) are
+// copied from the engine result / ScanStats — the same totals every bench
+// prints — so they reconcile exactly; the trace contributes the per-stage,
+// per-worker, and per-leaf attribution underneath them.
+
+/// Identity and end-of-run totals of the traced query execution, supplied
+/// by the caller from the frontend's result struct.
+struct RunInfo {
+  std::string query;   ///< e.g. "Q5"
+  std::string engine;  ///< e.g. "bigquery-shape"
+  int threads = 1;
+  int64_t events_processed = 0;
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+/// Exclusive (self) time of one stage, summed over all spans of that
+/// stage on all threads: a span's time minus the time of spans nested
+/// inside it, so the stage rows partition the traced time and sum to the
+/// total span coverage.
+struct StageSummary {
+  Stage stage = Stage::kOther;
+  int64_t wall_ns = 0;  ///< exclusive wall time
+  int64_t cpu_ns = 0;   ///< exclusive thread-CPU time
+  uint64_t bytes = 0;   ///< sum of span byte payloads (inclusive)
+  uint64_t count = 0;   ///< number of spans
+};
+
+/// Busy/idle accounting of one runtime worker over the run window, from
+/// the row-group spans (the scheduling envelope) stamped with its id.
+struct WorkerSummary {
+  int worker = 0;  ///< runtime worker id (same numbering as stragglers)
+  int64_t busy_ns = 0;        ///< sum of row-group span durations
+  int64_t idle_ns = 0;        ///< window minus busy
+  double busy_fraction = 0.0; ///< busy / window
+  int64_t row_groups = 0;
+  int64_t max_queue_ns = 0;   ///< worst scheduling wait before a group
+  int max_queue_group = -1;
+  /// Timeline of executed row groups in start order (capped; see
+  /// timeline_truncated).
+  struct TimelineEntry {
+    int group = -1;
+    int slot = -1;
+    int64_t start_ns = 0;  ///< relative to the run window start
+    int64_t dur_ns = 0;
+    int64_t queue_ns = 0;
+    uint64_t bytes = 0;
+  };
+  std::vector<TimelineEntry> timeline;
+  bool timeline_truncated = false;
+};
+
+/// One of the slowest row-group spans of the run — the stragglers the
+/// LPT schedule is supposed to keep off the critical path.
+struct Straggler {
+  int group = -1;
+  int worker = -1;
+  int slot = -1;
+  int64_t wall_ns = 0;
+  uint64_t bytes = 0;
+};
+
+/// An aggregated counter with owned storage (CounterRecord points at
+/// string literals; the report owns its strings).
+struct CounterSummary {
+  std::string name;
+  Stage stage = Stage::kOther;
+  int64_t ns = 0;
+  uint64_t count = 0;
+  uint64_t bytes = 0;
+};
+
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  RunInfo info;
+  ScanStats scan;  ///< bit-copied from the engine result
+
+  int64_t run_span_ns = 0;    ///< duration of the root `run` span (0 if none)
+  int64_t total_span_ns = 0;  ///< sum of top-level span durations
+  int64_t window_ns = 0;      ///< session start→stop window
+
+  std::vector<StageSummary> stages;      ///< ordered by Stage enum
+  std::vector<WorkerSummary> workers;    ///< ordered by thread index
+  std::vector<Straggler> stragglers;     ///< slowest row groups, descending
+  std::vector<CounterSummary> counters;  ///< stage/name-merged counters
+
+  /// Cost-model inputs, ready to feed cloud::Simulator — the bridge from
+  /// a profiled run to the paper's price/performance projections.
+  cloud::MeasuredQuery cost_inputs;
+
+  // Figure 4 quantities (a: CPU per event, b: bytes per event, c:
+  // per-core throughput), derived from info + scan.
+  double cpu_ns_per_event() const;
+  double storage_bytes_per_event() const;
+  double decoded_bytes_per_event() const;
+  double events_per_sec_per_core() const;
+  /// CPU seconds as integer nanoseconds (the reconciliation currency).
+  int64_t cpu_ns() const;
+  int64_t wall_ns() const;
+  /// Fraction of the root run span covered by top-level child spans.
+  double span_coverage() const;
+};
+
+/// Builds a report from a stopped session. `max_timeline_entries` caps
+/// each worker's timeline (0 = unlimited); `max_stragglers` caps the
+/// straggler list.
+RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
+                         const ScanStats& scan,
+                         size_t max_timeline_entries = 512,
+                         size_t max_stragglers = 5);
+
+/// The RunReport as a JSON document (schema_version 1; see DESIGN.md).
+std::string ReportToJson(const RunReport& report);
+
+/// Human-readable per-stage/per-worker/per-leaf table for `--profile`.
+std::string ReportToTable(const RunReport& report);
+
+/// All spans of a stopped session in Chrome `trace_event` JSON, loadable
+/// in chrome://tracing and Perfetto. Timestamps are microseconds relative
+/// to the session start; tid is the dense per-session thread index.
+std::string ChromeTraceJson(const TraceSession& session);
+
+/// Writes `content` to `path` (overwrites).
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace hepq::obs
+
+#endif  // HEPQUERY_OBS_REPORT_H_

@@ -5,6 +5,7 @@
 
 #include "core/stopwatch.h"
 #include "exec/exec.h"
+#include "obs/trace.h"
 
 namespace hepq::rdf {
 
@@ -318,6 +319,7 @@ Status RDataFrame::ProcessRowGroup(
 Status RDataFrame::Run() {
   if (ran_) return Status::Invalid("RDataFrame::Run called twice");
   ran_ = true;
+  obs::ScopedSpan run_span("run", obs::Stage::kRun);
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
@@ -414,27 +416,35 @@ Status RDataFrame::Run() {
           p.nodes[static_cast<size_t>(hint_node)].examined += rows;
           return Status::OK();
         }
+        obs::ScopedSpan loop_span("rdf_event_loop", obs::Stage::kEventLoop);
+        if (loop_span.active()) {
+          loop_span.set_worker(worker);
+          loop_span.set_group(g);
+        }
         HEPQ_RETURN_NOT_OK(
             ProcessRowGroup(*batch, &p.histos, &p.counts, &p.sums, &p.nodes));
         p.events = batch->num_rows();
         return Status::OK();
       }));
 
-  for (const GroupPartial& p : partials) {
-    for (size_t b = 0; b < bookings_.size(); ++b) {
-      if (bookings_[b].is_count) {
-        count_results_[b] += p.counts[b];
-      } else if (bookings_[b].is_sum) {
-        sum_results_[b] += p.sums[b];
-      } else {
-        HEPQ_RETURN_NOT_OK(results_[b].Merge(p.histos[b]));
+  {
+    obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
+    for (const GroupPartial& p : partials) {
+      for (size_t b = 0; b < bookings_.size(); ++b) {
+        if (bookings_[b].is_count) {
+          count_results_[b] += p.counts[b];
+        } else if (bookings_[b].is_sum) {
+          sum_results_[b] += p.sums[b];
+        } else {
+          HEPQ_RETURN_NOT_OK(results_[b].Merge(p.histos[b]));
+        }
       }
+      for (size_t n = 0; n < nodes_.size(); ++n) {
+        node_counters_[n].examined += p.nodes[n].examined;
+        node_counters_[n].passed += p.nodes[n].passed;
+      }
+      run_stats_.events_processed += p.events;
     }
-    for (size_t n = 0; n < nodes_.size(); ++n) {
-      node_counters_[n].examined += p.nodes[n].examined;
-      node_counters_[n].passed += p.nodes[n].passed;
-    }
-    run_stats_.events_processed += p.events;
   }
   run_stats_.scan = readers.TotalScanStats();
 

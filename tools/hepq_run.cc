@@ -3,6 +3,7 @@
 //
 // Usage: hepq_run <query 1..8> [engine] [events] [--threads=N]
 //                 [--no-pushdown] [--no-late-mat]
+//                 [--profile[=report.json]] [--trace=trace.json]
 //   engine: rdf (default) | bigquery | presto | doc | all | explain
 //   events: data-set size to generate/reuse (default 20000)
 //   --threads=N: scan row groups with N workers of the shared runtime
@@ -11,6 +12,11 @@
 //     pruning); histograms are bit-identical either way
 //   --no-late-mat: disable late materialization (decode every projected
 //     column even for row groups with no surviving events)
+//   --profile: trace the run and print the per-stage/per-worker/per-leaf
+//     table to stderr (stdout stays pipeable); --profile=path.json writes
+//     the machine-readable RunReport JSON instead
+//   --trace=path.json: write the spans as Chrome trace_event JSON,
+//     loadable in chrome://tracing or Perfetto
 //   "explain" prints the relational plans instead of executing.
 
 #include <cstdio>
@@ -19,6 +25,8 @@
 #include <string>
 
 #include "datagen/dataset.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "queries/adl.h"
 #include "queries/builders.h"
 
@@ -28,9 +36,31 @@ using hepq::queries::RunAdlQuery;
 
 namespace {
 
+struct ProfileOptions {
+  bool enabled = false;       // --profile or --trace given
+  bool table = false;         // --profile with no path: table to stderr
+  std::string report_path;    // --profile=path.json
+  std::string trace_path;     // --trace=path.json
+};
+
+/// "report.json" -> "report.rdataframe.json" so engine=all runs do not
+/// overwrite one another's files.
+std::string WithEngineSuffix(const std::string& path,
+                             const std::string& engine) {
+  const size_t dot = path.rfind('.');
+  if (dot == std::string::npos || path.find('/', dot) != std::string::npos) {
+    return path + "." + engine;
+  }
+  return path.substr(0, dot) + "." + engine + path.substr(dot);
+}
+
 void RunOne(EngineKind engine, int q, const std::string& path,
-            const hepq::queries::RunOptions& options) {
+            const hepq::queries::RunOptions& options,
+            const ProfileOptions& profile, bool suffix_outputs) {
+  hepq::obs::TraceSession session;
+  if (profile.enabled) session.Start();
   auto result = RunAdlQuery(engine, q, path, options);
+  session.Stop();
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     std::exit(1);
@@ -58,13 +88,44 @@ void RunOne(EngineKind engine, int q, const std::string& path,
   for (const hepq::Histogram1D& h : result->histograms) {
     std::printf("%s\n", h.ToString(10).c_str());
   }
+
+  if (!profile.enabled) return;
+  hepq::obs::RunInfo info;
+  info.query = "Q";
+  info.query += std::to_string(q);
+  info.engine = EngineKindName(engine);
+  info.threads = options.num_threads;
+  info.events_processed = result->events_processed;
+  info.wall_seconds = result->wall_seconds;
+  info.cpu_seconds = result->cpu_seconds;
+  const hepq::obs::RunReport report =
+      hepq::obs::BuildRunReport(session, info, result->scan);
+  if (profile.table) {
+    std::fputs(hepq::obs::ReportToTable(report).c_str(), stderr);
+  }
+  if (!profile.report_path.empty()) {
+    const std::string out =
+        suffix_outputs ? WithEngineSuffix(profile.report_path, info.engine)
+                       : profile.report_path;
+    hepq::obs::WriteTextFile(out, hepq::obs::ReportToJson(report)).Check();
+    std::fprintf(stderr, "run report: %s\n", out.c_str());
+  }
+  if (!profile.trace_path.empty()) {
+    const std::string out =
+        suffix_outputs ? WithEngineSuffix(profile.trace_path, info.engine)
+                       : profile.trace_path;
+    hepq::obs::WriteTextFile(out, hepq::obs::ChromeTraceJson(session))
+        .Check();
+    std::fprintf(stderr, "chrome trace: %s\n", out.c_str());
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   hepq::queries::RunOptions options;
-  int kept = 1;  // strip --threads=N wherever it appears
+  ProfileOptions profile;
+  int kept = 1;  // strip option flags wherever they appear
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       const int v = std::atoi(argv[i] + 10);
@@ -79,13 +140,29 @@ int main(int argc, char** argv) {
       options.late_materialization = false;
       continue;
     }
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile.enabled = true;
+      profile.table = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--profile=", 10) == 0) {
+      profile.enabled = true;
+      profile.report_path = argv[i] + 10;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      profile.enabled = true;
+      profile.trace_path = argv[i] + 8;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
                          " [events] [--threads=N] [--no-pushdown]"
-                         " [--no-late-mat]\n",
+                         " [--no-late-mat] [--profile[=report.json]]"
+                         " [--trace=trace.json]\n",
                  argv[0]);
     return 2;
   }
@@ -123,7 +200,7 @@ int main(int argc, char** argv) {
     for (EngineKind engine :
          {EngineKind::kRdf, EngineKind::kBigQueryShape,
           EngineKind::kPrestoShape, EngineKind::kDoc}) {
-      RunOne(engine, q, *path, options);
+      RunOne(engine, q, *path, options, profile, /*suffix_outputs=*/true);
     }
     return 0;
   }
@@ -140,6 +217,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
-  RunOne(engine, q, *path, options);
+  RunOne(engine, q, *path, options, profile, /*suffix_outputs=*/false);
   return 0;
 }
