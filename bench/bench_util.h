@@ -76,6 +76,28 @@ inline int ParseThreadsFlag(int argc, char** argv, int default_threads = 1) {
   return default_threads;
 }
 
+/// Parses `--vexpr-tier=interpret|bytecode|simd` (default simd) — the
+/// expression-execution tier for the bigquery/presto plan shapes, shared
+/// by fig4 and the other bench drivers. Exits with a message on a bad
+/// tier name so typos cannot silently benchmark the wrong tier.
+inline queries::VexprTier ParseVexprTierFlag(
+    int argc, char** argv,
+    queries::VexprTier default_tier = queries::VexprTier::kSimd) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--vexpr-tier=", 13) == 0) {
+      queries::VexprTier tier;
+      if (!queries::ParseVexprTier(arg + 13, &tier)) {
+        std::fprintf(stderr,
+                     "--vexpr-tier must be interpret, bytecode, or simd\n");
+        std::exit(2);
+      }
+      return tier;
+    }
+  }
+  return default_tier;
+}
+
 inline void PrintHeaderLine(const char* title) {
   std::printf("\n%s\n", title);
   for (const char* p = title; *p != '\0'; ++p) std::printf("=");
@@ -102,6 +124,24 @@ class BenchJson {
                   static_cast<unsigned long long>(bytes_scanned),
                   static_cast<unsigned long long>(bytes_decoded),
                   static_cast<unsigned long long>(rows_pruned));
+    records_ += buf;
+  }
+
+  /// Expression-tier record: one (kernel, tier) measurement from the
+  /// micro-benchmarks. ns_per_row is the normalized cost; fused_coverage
+  /// is the fraction of source VOps absorbed into superinstructions
+  /// (simd tier only, 0 otherwise). CI compares the simd/bytecode
+  /// ns_per_row ratio against bench/baselines/micro_kernels_tiers.json.
+  void AddTier(const std::string& kernel, const std::string& tier,
+               double ns_per_row, double vops_per_row,
+               double fused_coverage) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"kernel\": \"%s\", \"tier\": \"%s\", "
+                  "\"ns_per_row\": %.3f, \"vops_per_row\": %.2f, "
+                  "\"fused_coverage\": %.4f}",
+                  records_.empty() ? "" : ",\n", kernel.c_str(),
+                  tier.c_str(), ns_per_row, vops_per_row, fused_coverage);
     records_ += buf;
   }
 

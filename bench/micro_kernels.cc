@@ -10,6 +10,8 @@
 #include <cstring>
 #include <new>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "columnar/builder.h"
 #include "core/fourvector.h"
@@ -20,7 +22,10 @@
 #include "doc/convert.h"
 #include "engine/event_query.h"
 #include "engine/vexpr.h"
+#include "engine/vexpr_fuse.h"
 #include "exec/exec.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "fileio/compression.h"
 #include "fileio/crc32.h"
 #include "fileio/encoding.h"
@@ -386,7 +391,21 @@ void BM_CountJetsNative(benchmark::State& state) {
 }
 BENCHMARK(BM_CountJetsNative);
 
+/// Shared tier decoding for the three-tier expression benchmarks: arg
+/// 0 = interpret (per-row tree walk), 1 = bytecode (per-opcode batch
+/// loops), 2 = simd (fused strip-mined kernels).
+const char* TierLabel(int tier) {
+  return tier == 0 ? "interpret" : tier == 1 ? "bytecode" : "simd";
+}
+
+engine::ExprExec TierExec(int tier) {
+  if (tier == 0) return engine::ExprExec::kInterpreted;
+  if (tier == 1) return engine::ExprExec::kBytecode;
+  return engine::ExprExec::kSimd;
+}
+
 void BM_CountJetsExprTree(benchmark::State& state) {
+  const int tier = static_cast<int>(state.range(0));
   auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
   auto batch = reader->ReadRowGroup(0, {"Jet.pt"}).ValueOrDie();
   engine::EventQuery query("bench");
@@ -398,8 +417,7 @@ void BM_CountJetsExprTree(benchmark::State& state) {
                           nullptr),
       engine::Lit(2.0)));
   query.AddHistogram({"h", "", 10, 0, 10}, engine::Lit(1.0));
-  query.set_expr_exec(state.range(0) != 0 ? engine::ExprExec::kCompiled
-                                          : engine::ExprExec::kInterpreted);
+  query.set_expr_exec(TierExec(tier));
   for (auto _ : state) {
     auto result = query.MakeResult();
     query.ExecuteBatch(*batch, &result).Check();
@@ -407,9 +425,9 @@ void BM_CountJetsExprTree(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           batch->num_rows());
-  state.SetLabel(state.range(0) != 0 ? "compiled" : "interpreted");
+  state.SetLabel(TierLabel(tier));
 }
-BENCHMARK(BM_CountJetsExprTree)->Arg(0)->Arg(1);
+BENCHMARK(BM_CountJetsExprTree)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_CountJetsBoxedItems(benchmark::State& state) {
   auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
@@ -551,18 +569,45 @@ BENCHMARK(BM_SelectiveScan)->Arg(0)->Arg(1);
 
 // ---------------------------------------------------------------------------
 // Expression evaluation: per-row virtual tree walk vs vectorized bytecode
-// (engine/vexpr). Same Expr trees, same bindings, bit-identical outputs —
-// only the execution model differs. These are the micro-scale version of
-// the paper's Rumble-vs-BigQuery interpretation-overhead axis.
+// vs fused strip-mined kernels (engine/vexpr + engine/vexpr_fuse). Same
+// Expr trees, same bindings, bit-identical outputs — only the execution
+// model differs. These are the micro-scale version of the paper's
+// Rumble-vs-BigQuery interpretation-overhead axis, now with the third
+// tier below the bytecode VM. Per-tier costs are exported to
+// BENCH_micro_kernels.json so CI can gate the simd/bytecode ratio
+// against bench/baselines/micro_kernels_tiers.json.
 // ---------------------------------------------------------------------------
+
+/// Measured per-tier cost of one expression kernel (index = tier as in
+/// TierLabel), exported to BENCH_micro_kernels.json by main().
+struct ExprTierRecord {
+  bool set = false;
+  double ns_per_row = 0;
+  double vops_per_row = 0;
+  double fused_coverage = 0;
+};
+constexpr int kNumExprKernels = 2;
+const char* const kExprKernelNames[kNumExprKernels] = {"expr_simple_cut",
+                                                       "expr_trijet_body"};
+ExprTierRecord g_expr_tiers[kNumExprKernels][3];
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// A simple event-level cut over MET scalars (pure arithmetic, one shared
 /// subexpression for the CSE pass to merge). Arg 0 walks the shared_ptr
-/// tree once per row; arg 1 runs the compiled bytecode over the whole
-/// batch. The compiled variant reports allocs_per_eval, which must drop
-/// to 0 in steady state: program, bindings, and scratch are all reused.
+/// tree once per row; arg 1 runs the per-opcode bytecode over the whole
+/// batch; arg 2 runs the fused strip-mined kernels. The compiled variants
+/// report allocs_per_eval, which must drop to 0 in steady state: program,
+/// bindings, and scratch are all reused. The simd variant additionally
+/// reports the fusion pass's coverage (fraction of source VOps absorbed
+/// into superinstructions).
 void BM_ExprSimpleCut(benchmark::State& state) {
-  const bool compiled = state.range(0) != 0;
+  const int tier = static_cast<int>(state.range(0));
+  const bool compiled = tier != 0;
   auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
   auto batch = reader->ReadRowGroup(0, {"MET.pt", "MET.phi"}).ValueOrDie();
   auto bindings = engine::BatchBindings::Bind(
@@ -580,13 +625,16 @@ void BM_ExprSimpleCut(benchmark::State& state) {
   std::vector<double> out(static_cast<size_t>(rows));
   auto kernel = CompiledExprKernel::Compile(cut).ValueOrDie();
   VexprScratch scratch;
+  scratch.vm.set_simd(tier == 2);
   if (compiled) {  // warm the register/lane pools to high-water capacity
     kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
   }
   uint64_t allocations = 0;
+  int64_t kernel_ns = 0;
   for (auto _ : state) {
     const uint64_t allocs_before =
         g_heap_allocations.load(std::memory_order_relaxed);
+    const int64_t t0 = SteadyNowNs();
     if (compiled) {
       kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
     } else {
@@ -597,6 +645,7 @@ void BM_ExprSimpleCut(benchmark::State& state) {
         out[static_cast<size_t>(row)] = cut->Eval(&ctx);
       }
     }
+    kernel_ns += SteadyNowNs() - t0;
     allocations +=
         g_heap_allocations.load(std::memory_order_relaxed) - allocs_before;
     benchmark::DoNotOptimize(out.data());
@@ -606,18 +655,107 @@ void BM_ExprSimpleCut(benchmark::State& state) {
         static_cast<double>(allocations) /
         static_cast<double>(state.iterations());
   }
+  const VFusedPlan* fused = kernel.program().fused();
+  ExprTierRecord record;
+  record.set = true;
+  record.ns_per_row =
+      static_cast<double>(kernel_ns) /
+      static_cast<double>(std::max<int64_t>(
+          1, static_cast<int64_t>(state.iterations()) * rows));
+  record.vops_per_row =
+      fused != nullptr ? static_cast<double>(fused->num_source_ops()) : 0.0;
+  record.fused_coverage =
+      tier == 2 && fused != nullptr ? fused->fused_coverage() : 0.0;
+  g_expr_tiers[0][tier] = record;
+  if (tier == 2 && fused != nullptr) {
+    state.counters["fused_coverage"] = fused->fused_coverage();
+    state.counters["vops_per_row"] =
+        static_cast<double>(fused->num_source_ops());
+  }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
-  state.SetLabel(compiled ? "compiled" : "interpreted");
+  state.SetLabel(TierLabel(tier));
 }
-BENCHMARK(BM_ExprSimpleCut)->Arg(0)->Arg(1);
+BENCHMARK(BM_ExprSimpleCut)->Arg(0)->Arg(1)->Arg(2);
+
+/// The fused gate+fill against the two-pass filter shape it replaces:
+/// arg 0 evaluates the predicate's 0/1 vector with the bytecode VM and
+/// compacts the passing row indices in a second pass; arg 1 runs the
+/// fused RunGate, which emits the indices directly from the last strip
+/// temporaries without materializing the value vector. Selections are
+/// bit-identical (asserted at setup).
+void BM_ExprFusedGateFill(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
+  auto batch = reader->ReadRowGroup(0, {"MET.pt", "MET.phi"}).ValueOrDie();
+  auto bindings = engine::BatchBindings::Bind(
+                      *batch, {}, {{"MET.pt"}, {"MET.phi"}})
+                      .ValueOrDie();
+  using namespace hepq::engine;  // NOLINT(build/namespaces)
+  const ExprPtr met = ScalarRef(0);
+  const ExprPtr cut =
+      And(Gt(met, Lit(25.0)),
+          Lt(Call(Fn::kAbs,
+                  {Call(Fn::kDeltaPhi, {ScalarRef(1), Lit(0.4)})}),
+             Lit(1.5)));
+  const int64_t rows = batch->num_rows();
+  auto kernel = CompiledExprKernel::Compile(cut).ValueOrDie();
+  VexprScratch scratch;
+  scratch.vm.set_simd(fused);
+  std::vector<double> out(static_cast<size_t>(rows));
+  std::vector<uint32_t> sel(static_cast<size_t>(rows));
+  {  // warm-up + cross-check: both shapes select the same rows
+    std::vector<uint32_t> ref(static_cast<size_t>(rows));
+    kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
+    int ref_kept = 0;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (out[static_cast<size_t>(i)] != 0.0) {
+        ref[static_cast<size_t>(ref_kept++)] = static_cast<uint32_t>(i);
+      }
+    }
+    const int kept =
+        kernel.Gate(bindings, rows, &scratch, sel.data(), nullptr)
+            .ValueOrDie();
+    if (kept != ref_kept ||
+        std::memcmp(sel.data(), ref.data(),
+                    static_cast<size_t>(kept) * sizeof(uint32_t)) != 0) {
+      state.SkipWithError("fused gate selection mismatch");
+      return;
+    }
+  }
+  int kept = 0;
+  for (auto _ : state) {
+    if (fused) {
+      kept = kernel.Gate(bindings, rows, &scratch, sel.data(), nullptr)
+                 .ValueOrDie();
+    } else {
+      kernel.Eval(bindings, rows, &scratch, out.data(), nullptr).Check();
+      kept = 0;
+      for (int64_t i = 0; i < rows; ++i) {
+        if (out[static_cast<size_t>(i)] != 0.0) {
+          sel[static_cast<size_t>(kept++)] = static_cast<uint32_t>(i);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sel.data());
+  }
+  state.counters["kept"] = static_cast<double>(kept);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * rows);
+  state.SetLabel(fused ? "fused-gate" : "eval+compact");
+}
+BENCHMARK(BM_ExprFusedGateFill)->Arg(0)->Arg(1);
 
 /// The Q6-style trijet combination body: require >= 3 jets, find the
 /// trijet minimizing |m(3j) - 172.5|, fill pT of the winning system and
 /// the max b-tag of its jets. The inner key runs over every C(J,3)
 /// combination, so this is where batching the combination frame pays the
-/// most — the acceptance bar for the compiled path is >= 2x here.
+/// most — the acceptance bar for the compiled path is >= 2x over the
+/// interpreter, and the fused SoA mass_of_sum3 kernel must beat the
+/// bytecode tier on top of that. Args are tiers as in TierLabel. The
+/// dispatch counters (VOps retired/row, fused coverage) come from one
+/// traced warm-up run's vops_retired / vops_fused counters — the same
+/// numbers a profiled run reports under the vexpr_kernel stage.
 void BM_ExprTrijetBody(benchmark::State& state) {
-  const bool compiled = state.range(0) != 0;
+  const int tier = static_cast<int>(state.range(0));
   auto reader = LaqReader::Open(AblationDataset(Codec::kLz)).ValueOrDie();
   auto batch =
       reader
@@ -644,18 +782,57 @@ void BM_ExprTrijetBody(benchmark::State& state) {
       Call(Fn::kMax2, {Call(Fn::kMax2, {IterMember(jets, 0, kBtag),
                                         IterMember(jets, 1, kBtag)}),
                        IterMember(jets, 2, kBtag)}));
-  query.set_expr_exec(compiled ? ExprExec::kCompiled
-                               : ExprExec::kInterpreted);
-  for (auto _ : state) {
+  query.set_expr_exec(TierExec(tier));
+  double vops_per_row = 0.0;
+  double fused_coverage = 0.0;
+  if (tier == 2) {  // traced warm-up: pull the dispatch counters
+    obs::TraceSession session;
+    session.Start();
     auto result = query.MakeResult();
     query.ExecuteBatch(*batch, &result).Check();
+    session.Stop();
+    const obs::RunReport report =
+        obs::BuildRunReport(session, obs::RunInfo{}, ScanStats{});
+    uint64_t retired = 0;
+    uint64_t fused = 0;
+    for (const obs::CounterSummary& c : report.counters) {
+      if (c.name == "vops_retired") retired += c.count;
+      if (c.name == "vops_fused") fused += c.count;
+    }
+    vops_per_row = static_cast<double>(retired) /
+                   static_cast<double>(std::max<int64_t>(1,
+                                                         batch->num_rows()));
+    if (retired > 0) {
+      fused_coverage =
+          static_cast<double>(fused) / static_cast<double>(retired);
+    }
+  }
+  int64_t kernel_ns = 0;
+  for (auto _ : state) {
+    const int64_t t0 = SteadyNowNs();
+    auto result = query.MakeResult();
+    query.ExecuteBatch(*batch, &result).Check();
+    kernel_ns += SteadyNowNs() - t0;
     benchmark::DoNotOptimize(result.events_selected);
+  }
+  ExprTierRecord record;
+  record.set = true;
+  record.ns_per_row =
+      static_cast<double>(kernel_ns) /
+      static_cast<double>(std::max<int64_t>(
+          1, static_cast<int64_t>(state.iterations()) * batch->num_rows()));
+  record.vops_per_row = vops_per_row;
+  record.fused_coverage = tier == 2 ? fused_coverage : 0.0;
+  g_expr_tiers[1][tier] = record;
+  if (tier == 2) {
+    state.counters["fused_coverage"] = fused_coverage;
+    state.counters["vops_per_row"] = vops_per_row;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           batch->num_rows());
-  state.SetLabel(compiled ? "compiled" : "interpreted");
+  state.SetLabel(TierLabel(tier));
 }
-BENCHMARK(BM_ExprTrijetBody)->Arg(0)->Arg(1);
+BENCHMARK(BM_ExprTrijetBody)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace hepq
@@ -678,10 +855,17 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  // Machine-readable companion for the selective-scan ablation (consumed
-  // by CI as an artifact). Only written when BM_SelectiveScan ran, so
-  // --benchmark_filter on other kernels stays file-free.
-  if (hepq::g_selective_scan[0].set || hepq::g_selective_scan[1].set) {
+  // Machine-readable companion for the selective-scan ablation and the
+  // expression-tier measurements (consumed by CI as an artifact; the
+  // tier records feed the simd-regression gate). Only written when the
+  // producing benchmarks ran, so --benchmark_filter on other kernels
+  // stays file-free.
+  bool any_tier = false;
+  for (int k = 0; k < hepq::kNumExprKernels; ++k) {
+    for (int t = 0; t < 3; ++t) any_tier |= hepq::g_expr_tiers[k][t].set;
+  }
+  if (hepq::g_selective_scan[0].set || hepq::g_selective_scan[1].set ||
+      any_tier) {
     hepq::bench::BenchJson json("micro_kernels");
     const char* labels[2] = {"full-scan", "pruned"};
     for (int i = 0; i < 2; ++i) {
@@ -689,6 +873,14 @@ int main(int argc, char** argv) {
       if (!r.set) continue;
       json.Add("selective_scan", labels[i], r.cpu_s, r.bytes_scanned,
                r.bytes_decoded, r.rows_pruned);
+    }
+    for (int k = 0; k < hepq::kNumExprKernels; ++k) {
+      for (int t = 0; t < 3; ++t) {
+        const auto& r = hepq::g_expr_tiers[k][t];
+        if (!r.set) continue;
+        json.AddTier(hepq::kExprKernelNames[k], hepq::TierLabel(t),
+                     r.ns_per_row, r.vops_per_row, r.fused_coverage);
+      }
     }
     json.Write();
   }

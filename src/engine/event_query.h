@@ -147,7 +147,7 @@ class EventQuery {
   std::vector<ScalarDecl> scalars_;
   std::vector<ExprPtr> stages_;
   std::vector<FillSpec> fills_;
-  ExprExec expr_exec_ = ExprExec::kCompiled;
+  ExprExec expr_exec_ = ExprExec::kSimd;
   // Behind a pointer so EventQuery stays movable (builders return by
   // value); the compiled plan cache moves with the query.
   mutable std::unique_ptr<std::mutex> compile_mu_ =

@@ -49,13 +49,21 @@ struct ComboLoop {
   int iter_slot;
 };
 
-/// Which execution strategy an engine uses for its expression trees:
-/// the vectorized bytecode VM (engine/vexpr, the default) or the per-row
-/// virtual-dispatch tree walk kept as the ablation fallback. Both produce
-/// bit-identical results; only the cost model differs.
+/// Which execution tier an engine uses for its expression trees — the
+/// ablation ladder of DESIGN.md "Expression execution":
+///   kInterpreted — per-row virtual-dispatch tree walk (the Rumble end);
+///   kBytecode    — vectorized bytecode VM, one full-batch register loop
+///                  per opcode (engine/vexpr, PR 3);
+///   kSimd        — the bytecode program after the fusion pass
+///                  (engine/vexpr_fuse): straight-line op runs grouped
+///                  into strip-mined batch kernels (the default).
+/// All three produce bit-identical results; only the cost model differs.
 enum class ExprExec {
-  kCompiled,
   kInterpreted,
+  kBytecode,
+  kSimd,
+  /// Deprecated alias for the default compiled tier (now the fused one).
+  kCompiled = kSimd,
 };
 
 class Expr;

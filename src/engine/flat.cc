@@ -775,7 +775,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
   // pointing VColumns at its chunk's columns through its selection
   // vector. Programs are immutable after this block and shared by all
   // workers; each worker brings its own VexprScratch.
-  const bool compiled = expr_exec_ == ExprExec::kCompiled;
+  const bool compiled = expr_exec_ != ExprExec::kInterpreted;
   std::vector<VProgram> step_programs;
   std::vector<VProgram> fill_programs;
   if (compiled) {
@@ -862,6 +862,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
         GroupPartial& p = partials[static_cast<size_t>(g)];
         FlatBatch chunk = layout;
         VexprScratch* vs = compiled ? source->vexpr(worker) : nullptr;
+        if (vs != nullptr) vs->vm.set_simd(expr_exec_ == ExprExec::kSimd);
 
         auto flush_interpreted = [&]() -> Status {
           if (chunk.num_rows == 0) return Status::OK();
@@ -920,6 +921,7 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
           obs::ScopedSpan flush_span("flat_flush", obs::Stage::kExpr);
           VexprScratch::Scope scope(vs);
           std::vector<uint32_t>* sel = vs->AcquireU32();
+          std::vector<uint32_t>* gate = vs->AcquireU32();
           std::vector<double>* vals = vs->AcquireF64();
           std::vector<VColumn>* cols = vs->AcquireCols();
           cols->assign(chunk.columns.size(), VColumn{});
@@ -935,11 +937,11 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
           size_t live_columns = base_columns;
           for (size_t s = 0; s < steps_.size(); ++s) {
             const Step& step = steps_[s];
-            vals->resize(live);
             bind_cols();
-            step_programs[s].Run(cols->data(), static_cast<int>(live),
-                                 &vs->vm, vals->data());
             if (!step.is_filter) {
+              vals->resize(live);
+              step_programs[s].Run(cols->data(), static_cast<int>(live),
+                                   &vs->vm, vals->data());
               // Scatter through the selection so later gathers see the
               // value at its row position; dead rows stay unwritten (and
               // unread).
@@ -953,17 +955,24 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
               ++live_columns;
               continue;
             }
+            // Fused gate: the passing lane positions come out of the VM
+            // directly (no 0/1 vector). When the selection is still dense
+            // (sel_ptr null, the common first-filter case) lane positions
+            // ARE row indices; otherwise remap through the old selection —
+            // the gate output is ascending, so the rewrite is in-place.
             if (sel_ptr == nullptr) {
-              sel->clear();
-              for (size_t i = 0; i < live; ++i) {
-                if ((*vals)[i] != 0.0) sel->push_back(static_cast<uint32_t>(i));
-              }
+              sel->resize(live);
+              const int kept = step_programs[s].RunGate(
+                  cols->data(), static_cast<int>(live), &vs->vm,
+                  /*negate=*/false, sel->data());
+              sel->resize(static_cast<size_t>(kept));
             } else {
-              size_t kept = 0;
-              for (size_t i = 0; i < live; ++i) {
-                if ((*vals)[i] != 0.0) (*sel)[kept++] = (*sel)[i];
-              }
-              sel->resize(kept);
+              gate->resize(live);
+              const int kept = step_programs[s].RunGate(
+                  cols->data(), static_cast<int>(live), &vs->vm,
+                  /*negate=*/false, gate->data());
+              for (int i = 0; i < kept; ++i) (*sel)[i] = (*sel)[(*gate)[i]];
+              sel->resize(static_cast<size_t>(kept));
             }
             sel_ptr = sel->data();
             live = sel->size();

@@ -206,7 +206,7 @@ class FlatPipeline {
   std::vector<FlatAggSpec> aggregates_;
   std::vector<FlatExprPtr> having_;
   std::vector<std::pair<HistogramSpec, FlatExprPtr>> fills_;
-  ExprExec expr_exec_ = ExprExec::kCompiled;
+  ExprExec expr_exec_ = ExprExec::kSimd;
 };
 
 }  // namespace hepq::engine

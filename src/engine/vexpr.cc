@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "core/physics.h"
+#include "engine/vexpr_fuse.h"
+#include "obs/trace.h"
 
 namespace hepq::engine {
 
@@ -165,6 +167,18 @@ double* VScratch::Reg(int r, int n) {
   return buf.data();
 }
 
+double* VScratch::Block(int num_temps) {
+  // Over-allocate by one cacheline and hand out an aligned pointer: the
+  // fused strip loops then run over 64-byte-aligned temporaries, which the
+  // vectorizer can load without peel loops.
+  const size_t need =
+      static_cast<size_t>(num_temps) * kVexprBlockLanes + 64 / sizeof(double);
+  if (block_.size() < need) block_.resize(need);
+  const uintptr_t addr = reinterpret_cast<uintptr_t>(block_.data());
+  const uintptr_t aligned = (addr + 63) & ~static_cast<uintptr_t>(63);
+  return reinterpret_cast<double*>(aligned);
+}
+
 namespace {
 
 template <typename T>
@@ -303,6 +317,40 @@ void RunInstr(VOp op, const double* const* args, int n, double* d) {
 void VProgram::Run(const VColumn* cols, int n, VScratch* scratch,
                    double* out) const {
   if (n <= 0) return;
+  if (scratch->simd() && fused_ != nullptr) {
+    fused_->Run(cols, n, scratch, out);
+    return;
+  }
+  RunBytecode(cols, n, scratch, out);
+}
+
+int VProgram::RunGate(const VColumn* cols, int n, VScratch* scratch,
+                      bool negate, uint32_t* sel_out) const {
+  if (n <= 0) return 0;
+  if (scratch->simd() && fused_ != nullptr) {
+    return fused_->RunGate(cols, n, scratch, negate, sel_out);
+  }
+  // Bytecode fallback: evaluate the 0/1 vector, then compact — the exact
+  // selection the fused gate produces. The values land in a register one
+  // past the program's own (sized up front so the inner Reg calls cannot
+  // reallocate under the pointer).
+  double* vals = scratch->Reg(num_regs_, n);
+  RunBytecode(cols, n, scratch, vals);
+  int count = 0;
+  for (int i = 0; i < n; ++i) {
+    if ((vals[i] != 0.0) != negate) sel_out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+void VProgram::RunBytecode(const VColumn* cols, int n, VScratch* scratch,
+                           double* out) const {
+  // Same dispatch-overhead counters as the fused tier (vexpr_kernels.cc):
+  // vops_retired counts source VOps x lanes with the time spent, so a
+  // profiled run attributes kernel time identically on either tier. The
+  // bytecode tier fuses nothing, so no vops_fused record is emitted.
+  const bool traced = obs::TracingActive();
+  const int64_t t0 = traced ? obs::NowNs() : 0;
   const double* arg_ptrs[12];
   for (const VInstr& in : code_) {
     double* d = scratch->Reg(in.dst, n);
@@ -356,6 +404,12 @@ void VProgram::Run(const VColumn* cols, int n, VScratch* scratch,
   }
   std::memcpy(out, scratch->Reg(result_reg_, n),
               static_cast<size_t>(n) * sizeof(double));
+  if (traced) {
+    obs::CountStage("vops_retired", obs::Stage::kVexprKernel,
+                    obs::NowNs() - t0,
+                    static_cast<uint64_t>(code_.size()) *
+                        static_cast<uint64_t>(n));
+  }
 }
 
 std::string VProgram::ToString() const {
@@ -486,6 +540,9 @@ bool VProgramBuilder::IsConst(int reg, double* value) const {
 VProgram VProgramBuilder::Finish(int result_reg) {
   Materialize(result_reg);
   program_.result_reg_ = static_cast<uint16_t>(result_reg);
+  // The fusion pass runs once here, so every program carries its simd-tier
+  // plan; which tier Run actually executes is VScratch's decision.
+  program_.fused_ = BuildFusedPlan(program_);
   return std::move(program_);
 }
 

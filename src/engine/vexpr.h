@@ -26,11 +26,22 @@ namespace hepq::engine {
 // tree-walking interpreter (the Rumble end of Figure 1); both are kept and
 // selectable via ExprExec so the gap stays measurable.
 //
-// Results are bit-identical to the interpreter: each arithmetic opcode is
-// the same single IEEE operation on the same operands, and every physics
-// opcode calls the same out-of-line helper in core/physics.cc that the
-// interpreter calls (see the note in core/physics.h on why those are
-// decomposed and out of line).
+// Below the bytecode sits a third tier: Finish() runs the fusion pass
+// (engine/vexpr_fuse), which regroups the whole straight-line program
+// into superinstruction "batch kernels" executed strip-mined over small
+// lane blocks, so intermediates stay in registers/L1 instead of making a
+// full-batch round trip per opcode. Run() picks bytecode or fused
+// execution from the VScratch tier flag (set by the drivers from
+// ExprExec), so every call site gets the selected tier without signature
+// changes.
+//
+// Results are bit-identical to the interpreter across all tiers: each
+// arithmetic opcode is the same single IEEE operation on the same
+// operands, and every physics opcode either calls the same out-of-line
+// helper in core/physics.cc that the interpreter calls, or (the fused
+// structure-of-arrays kernels) repeats the helper's exact operation
+// sequence in a TU compiled with the same contraction rules (see the
+// notes in core/physics.h and engine/vexpr_kernels.cc).
 
 /// VM opcodes. kConst splats a constant-pool entry; kLoad gathers a typed
 /// input slot; everything else consumes argument registers lane-wise.
@@ -99,18 +110,36 @@ struct VColumn {
 };
 
 /// Reusable register buffers for one worker. Buffers keep their capacity
-/// across row groups, so steady-state execution allocates nothing.
+/// across row groups, so steady-state execution allocates nothing. The
+/// scratch also carries the execution-tier flag (drivers set it once per
+/// batch from ExprExec) and the cacheline-aligned strip-block storage of
+/// the fused tier.
 class VScratch {
  public:
   double* Reg(int r, int n);
 
+  /// Tier selector consulted by VProgram::Run: true (the default) runs
+  /// the fused strip-mined kernels, false the per-opcode bytecode loops.
+  void set_simd(bool simd) { simd_ = simd; }
+  bool simd() const { return simd_; }
+
+  /// 64-byte-aligned block storage for `num_temps` fused-kernel strip
+  /// temporaries of kVexprBlockLanes lanes each. Capacity is kept, so
+  /// steady-state fused execution allocates nothing.
+  double* Block(int num_temps);
+
  private:
   std::vector<std::vector<double>> regs_;
+  std::vector<double> block_;
+  bool simd_ = true;
 };
 
+class VFusedPlan;  // engine/vexpr_fuse.h
+
 /// A compiled batch program: flat postfix instruction list over a constant
-/// pool, input slots, and registers. Immutable after Finish; Run is const
-/// and thread-safe (each worker brings its own VScratch).
+/// pool, input slots, and registers, plus the fused superinstruction plan
+/// built from it at Finish time. Immutable after Finish; Run is const and
+/// thread-safe (each worker brings its own VScratch).
 class VProgram {
  public:
   VProgram() = default;
@@ -119,18 +148,41 @@ class VProgram {
   int num_regs() const { return num_regs_; }
   int num_instrs() const { return static_cast<int>(code_.size()); }
 
+  // Read access for the fusion pass and tests.
+  const std::vector<VInstr>& code() const { return code_; }
+  const std::vector<uint16_t>& args() const { return args_; }
+  const std::vector<double>& consts() const { return consts_; }
+  int result_reg() const { return result_reg_; }
+
   /// Evaluates all instructions over lanes [0, n), writing the result
   /// register to out[0..n). cols must provide num_slots() entries.
+  /// Dispatches to the fused tier when scratch->simd() is set and the
+  /// fusion pass produced a plan, else runs the per-opcode bytecode loops.
   void Run(const VColumn* cols, int n, VScratch* scratch, double* out) const;
+
+  /// Fused gate: evaluates the program as a predicate over lanes [0, n)
+  /// and writes the passing lane indices (result != 0, xor `negate`) to
+  /// sel_out[0..return) in ascending order, without materializing the 0/1
+  /// value vector. sel_out must hold n entries. Falls back to Run + a
+  /// compare pass on the bytecode tier — selections are bit-identical
+  /// either way.
+  int RunGate(const VColumn* cols, int n, VScratch* scratch, bool negate,
+              uint32_t* sel_out) const;
+
+  /// The fused plan (null only for default-constructed programs).
+  const VFusedPlan* fused() const { return fused_.get(); }
 
   /// Disassembly for EXPLAIN output and tests.
   std::string ToString() const;
 
  private:
   friend class VProgramBuilder;
+  void RunBytecode(const VColumn* cols, int n, VScratch* scratch,
+                   double* out) const;
   std::vector<VInstr> code_;
   std::vector<uint16_t> args_;
   std::vector<double> consts_;
+  std::shared_ptr<const VFusedPlan> fused_;
   int num_slots_ = 0;
   int num_regs_ = 0;
   uint16_t result_reg_ = 0;
@@ -270,6 +322,20 @@ class CompiledExprKernel {
   /// combination visits as the interpreter would count them.
   Status Eval(const BatchBindings& bindings, int64_t num_rows,
               VexprScratch* scratch, double* out, uint64_t* ops) const;
+
+  /// Predicate form of Eval: writes the passing row indices (result != 0)
+  /// to sel_out[0..return) in ascending order and returns their count —
+  /// the fused gate+fill path the engines use for filter stages. sel_out
+  /// must hold num_rows entries.
+  Result<int> Gate(const BatchBindings& bindings, int64_t num_rows,
+                   VexprScratch* scratch, uint32_t* sel_out,
+                   uint64_t* ops) const;
+
+  /// The compiled batch program — read access for the fused-plan stats
+  /// (coverage, micro-op counts) reported by the expression benchmarks.
+  /// Empty (zero instructions) when the expression fell back to the
+  /// per-lane interpreter (combination searches).
+  const VProgram& program() const;
 
  private:
   std::shared_ptr<const void> impl_;

@@ -136,10 +136,20 @@ struct CompiledScalar {
   bool pure() const { return producers.empty(); }
   void Eval(const Frame& f, VexprScratch* s, double* out,
             uint64_t* ops) const;
+  /// Predicate form: binds and runs the fused gate, writing the passing
+  /// lane positions (ascending) to sel_out and returning their count —
+  /// the 0/1 vector of Eval never materializes.
+  int Gate(const Frame& f, VexprScratch* s, bool negate, uint32_t* sel_out,
+           uint64_t* ops) const;
 
  private:
   void BindCartesian(const Frame& f, VexprScratch* s,
                      std::vector<VColumn>* cols) const;
+  /// Binds every input slot of `program` for frame `f` (cols must hold
+  /// slots.size() entries). Producer slots evaluate here, so `ops`
+  /// accounting is identical for Eval and Gate.
+  void Bind(const Frame& f, VexprScratch* s, std::vector<VColumn>* cols,
+            uint64_t* ops) const;
 };
 
 /// One atom of a conjunction: `scalar` must be nonzero (or zero when
@@ -387,6 +397,21 @@ void CompiledScalar::Eval(const Frame& f, VexprScratch* s, double* out,
   VexprScratch::Scope scope(s);
   std::vector<VColumn>* cols = s->AcquireCols();
   cols->resize(slots.size());
+  Bind(f, s, cols, ops);
+  program.Run(cols->data(), f.n, &s->vm, out);
+}
+
+int CompiledScalar::Gate(const Frame& f, VexprScratch* s, bool negate,
+                         uint32_t* sel_out, uint64_t* ops) const {
+  VexprScratch::Scope scope(s);
+  std::vector<VColumn>* cols = s->AcquireCols();
+  cols->resize(slots.size());
+  Bind(f, s, cols, ops);
+  return program.RunGate(cols->data(), f.n, &s->vm, negate, sel_out);
+}
+
+void CompiledScalar::Bind(const Frame& f, VexprScratch* s,
+                          std::vector<VColumn>* cols, uint64_t* ops) const {
   BindCartesian(f, s, cols);
   for (size_t i = 0; i < slots.size(); ++i) {
     const SlotDesc& d = slots[i];
@@ -461,7 +486,6 @@ void CompiledScalar::Eval(const Frame& f, VexprScratch* s, double* out,
     }
     (*cols)[i] = c;
   }
-  program.Run(cols->data(), f.n, &s->vm, out);
 }
 
 void CompiledPredicate::Narrow(const Frame& f, VexprScratch* s,
@@ -474,15 +498,13 @@ void CompiledPredicate::Narrow(const Frame& f, VexprScratch* s,
     // Live lanes are an ascending subset of [0, f.n), so a full-size set
     // is the identity and the frame can be used as-is.
     const Frame g = m == f.n ? f : GatherFrame(f, live->data(), m, s);
-    std::vector<double>* vals = s->AcquireF64();
-    vals->resize(static_cast<size_t>(m));
-    c.scalar.Eval(g, s, vals->data(), ops);
-    size_t w = 0;
-    for (int i = 0; i < m; ++i) {
-      const bool pass = ((*vals)[i] != 0.0) != c.negate;
-      if (pass) (*live)[w++] = (*live)[static_cast<size_t>(i)];
-    }
-    live->resize(w);
+    // Fused gate+fill: the gate emits passing positions within the live
+    // set directly (ascending), so the narrow is an in-place remap.
+    std::vector<uint32_t>* gate = s->AcquireU32();
+    gate->resize(static_cast<size_t>(m));
+    const int kept = c.scalar.Gate(g, s, c.negate, gate->data(), ops);
+    for (int i = 0; i < kept; ++i) (*live)[i] = (*live)[(*gate)[i]];
+    live->resize(static_cast<size_t>(kept));
   }
 }
 
@@ -1424,6 +1446,35 @@ Status CompiledExprKernel::Eval(const BatchBindings& bindings,
   impl.scalar.Eval(f, scratch, out, &local_ops);
   if (ops != nullptr) *ops += local_ops;
   return Status::OK();
+}
+
+Result<int> CompiledExprKernel::Gate(const BatchBindings& bindings,
+                                     int64_t num_rows, VexprScratch* scratch,
+                                     uint32_t* sel_out, uint64_t* ops) const {
+  const KernelImpl& impl = *static_cast<const KernelImpl*>(impl_.get());
+  scratch->ResetAll();
+  VexprScratch::Scope scope(scratch);
+  std::vector<uint32_t>* ev = scratch->AcquireU32();
+  std::vector<uint32_t>* zero = scratch->AcquireU32();
+  ev->resize(static_cast<size_t>(num_rows));
+  zero->assign(static_cast<size_t>(num_rows), 0);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    (*ev)[static_cast<size_t>(i)] = static_cast<uint32_t>(i);
+  }
+  Frame f;
+  f.bindings = &bindings;
+  f.n = static_cast<int>(num_rows);
+  f.event = ev->data();
+  for (int k = 0; k < kMaxIterators; ++k) f.iter[k] = zero->data();
+  uint64_t local_ops = 0;
+  const int kept =
+      impl.scalar.Gate(f, scratch, /*negate=*/false, sel_out, &local_ops);
+  if (ops != nullptr) *ops += local_ops;
+  return kept;
+}
+
+const VProgram& CompiledExprKernel::program() const {
+  return static_cast<const KernelImpl*>(impl_.get())->scalar.program;
 }
 
 }  // namespace hepq::engine

@@ -121,10 +121,13 @@ class WorkerReaders {
   }
 
   /// Opaque per-worker engine state riding alongside the decode scratch
-  /// (e.g. the expression VM's register and selection buffers). The slot
-  /// starts empty; the engine creates its state on the worker's first row
-  /// group and reuses it for the rest of the run, keeping the hot path
-  /// allocation-free. exec stays ignorant of the concrete type.
+  /// (e.g. the expression VM's register and selection buffers, and the
+  /// 64-byte-aligned strip-block storage of the fused kernel tier —
+  /// engine::VexprScratch). The slot starts empty; the engine creates its
+  /// state on the worker's first row group and reuses it for the rest of
+  /// the run, keeping the hot path allocation-free and every worker's
+  /// kernel scratch thread-private. exec stays ignorant of the concrete
+  /// type.
   std::shared_ptr<void>& engine_scratch(int worker) {
     return slots_[static_cast<size_t>(worker)].engine_scratch;
   }

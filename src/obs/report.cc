@@ -173,6 +173,30 @@ double RunReport::span_coverage() const {
          static_cast<double>(run_span_ns);
 }
 
+double RunReport::vops_per_event() const {
+  if (info.events_processed <= 0) return 0.0;
+  for (const CounterSummary& counter : counters) {
+    if (counter.stage == Stage::kVexprKernel &&
+        counter.name == "vops_retired") {
+      return static_cast<double>(counter.count) /
+             static_cast<double>(info.events_processed);
+    }
+  }
+  return 0.0;
+}
+
+double RunReport::vexpr_fused_coverage() const {
+  uint64_t retired = 0;
+  uint64_t fused = 0;
+  for (const CounterSummary& counter : counters) {
+    if (counter.stage != Stage::kVexprKernel) continue;
+    if (counter.name == "vops_retired") retired = counter.count;
+    if (counter.name == "vops_fused") fused = counter.count;
+  }
+  if (retired == 0) return 0.0;
+  return static_cast<double>(fused) / static_cast<double>(retired);
+}
+
 RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
                          const ScanStats& scan, size_t max_timeline_entries,
                          size_t max_stragglers) {
@@ -341,6 +365,11 @@ std::string ReportToJson(const RunReport& report) {
       fig.Num("storage_bytes_per_event", report.storage_bytes_per_event());
       fig.Num("decoded_bytes_per_event", report.decoded_bytes_per_event());
       fig.Num("events_per_sec_per_core", report.events_per_sec_per_core());
+    }
+    {
+      JsonScope vm(root.Key("expr_vm"), '{', '}');
+      vm.Num("vops_per_event", report.vops_per_event());
+      vm.Num("fused_coverage", report.vexpr_fused_coverage());
     }
     {
       JsonScope scan(root.Key("scan"), '{', '}');

@@ -87,7 +87,10 @@ struct CounterSummary {
 };
 
 struct RunReport {
-  static constexpr int kSchemaVersion = 1;
+  /// v2: added the `expr_vm` object (vops_per_event, fused_coverage) —
+  /// the expression-VM dispatch-overhead quantities derived from the
+  /// vexpr_kernel stage counters.
+  static constexpr int kSchemaVersion = 2;
 
   RunInfo info;
   ScanStats scan;  ///< bit-copied from the engine result
@@ -116,6 +119,12 @@ struct RunReport {
   int64_t wall_ns() const;
   /// Fraction of the root run span covered by top-level child spans.
   double span_coverage() const;
+  /// Expression-VM dispatch overhead, from the vexpr_kernel stage
+  /// counters: source VOps retired per processed event, and the fraction
+  /// of them absorbed into fused superinstructions (0 when untraced, on
+  /// the interpret tier, or when no expression kernels ran).
+  double vops_per_event() const;
+  double vexpr_fused_coverage() const;
 };
 
 /// Builds a report from a stopped session. `max_timeline_entries` caps
@@ -126,7 +135,7 @@ RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
                          size_t max_timeline_entries = 512,
                          size_t max_stragglers = 5);
 
-/// The RunReport as a JSON document (schema_version 1; see DESIGN.md).
+/// The RunReport as a JSON document (schema_version 2; see DESIGN.md).
 std::string ReportToJson(const RunReport& report);
 
 /// Human-readable per-stage/per-worker/per-leaf table for `--profile`.

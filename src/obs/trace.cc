@@ -59,6 +59,7 @@ const char* StageName(Stage stage) {
     case Stage::kExpr: return "expr";
     case Stage::kEventLoop: return "event_loop";
     case Stage::kMerge: return "merge";
+    case Stage::kVexprKernel: return "vexpr_kernel";
     case Stage::kOther: return "other";
   }
   return "other";

@@ -40,10 +40,11 @@ enum class Stage : uint8_t {
   kExpr,        ///< expression / kernel evaluation
   kEventLoop,   ///< per-event interpretation (rdf lambdas, unnest, FLWOR)
   kMerge,       ///< merging per-group partials into the final result
+  kVexprKernel, ///< fused simd-tier batch kernels (engine/vexpr_fuse)
   kOther,
 };
 
-inline constexpr int kNumStages = 11;
+inline constexpr int kNumStages = 12;
 
 /// Stable lowercase name of a stage (e.g. "decode", "row_group").
 const char* StageName(Stage stage);

@@ -51,6 +51,23 @@ struct QueryRunOutput {
   ScanStats scan;
 };
 
+/// Expression-execution tier for the BigQuery/Presto plan shapes — the
+/// ablation ladder interpreter → bytecode VM → fused simd kernels.
+/// Histograms are bit-identical across all three tiers on every query;
+/// only the cost model differs. Ignored by kRdf and kDoc, which have no
+/// expression trees.
+enum class VexprTier {
+  kInterpret,
+  kBytecode,
+  kSimd,
+};
+
+/// Stable lowercase tier name ("interpret" / "bytecode" / "simd").
+const char* VexprTierName(VexprTier tier);
+/// Parses a tier name; returns false (leaving `out` untouched) on any
+/// other string.
+bool ParseVexprTier(const std::string& name, VexprTier* out);
+
 struct RunOptions {
   /// Reader behaviour is forced per engine (pushdown on for BigQuery/RDF,
   /// off for Presto shape, full scans for Doc); checksum validation and
@@ -59,13 +76,19 @@ struct RunOptions {
   /// results are bit-identical for any thread count.
   int num_threads = 1;
   bool validate_checksums = true;
-  /// Forces the BigQuery/Presto plan shapes onto the per-row tree-walking
-  /// expression interpreter instead of the vectorized bytecode VM (the
-  /// default). Histograms are bit-identical either way; used by the
-  /// interpreted-vs-compiled ablation (bench/ablation_plans) and the
-  /// cross-check tests. Ignored by kRdf and kDoc, which have no
-  /// expression trees.
+  /// Expression tier for the BigQuery/Presto plan shapes (the
+  /// `--vexpr-tier` flag). `interpret_expressions` below, when set, wins
+  /// and forces kInterpret.
+  VexprTier vexpr_tier = VexprTier::kSimd;
+  /// Deprecated alias (pre-tier boolean): forces the tree-walking
+  /// interpreter regardless of `vexpr_tier`. Kept for existing callers of
+  /// the interpreted-vs-compiled ablation; new code should set
+  /// `vexpr_tier = VexprTier::kInterpret` instead.
   bool interpret_expressions = false;
+  /// The tier after applying the deprecated alias.
+  VexprTier effective_vexpr_tier() const {
+    return interpret_expressions ? VexprTier::kInterpret : vexpr_tier;
+  }
   /// Zone-map predicate pushdown: each frontend extracts the sargable
   /// residue of its own filters and the reader prunes row groups and pages
   /// whose min/max statistics cannot satisfy it. Histograms are

@@ -191,9 +191,7 @@ Result<QueryRunOutput> RunAdlQueryBq(int q, const std::string& path,
                                      const RunOptions& options) {
   engine::EventQuery query("");
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
-  if (options.interpret_expressions) {
-    query.set_expr_exec(engine::ExprExec::kInterpreted);
-  }
+  query.set_expr_exec(ExprExecFor(options.effective_vexpr_tier()));
   ReaderOptions reader_options;
   reader_options.struct_projection_pushdown = true;
   reader_options.validate_checksums = options.validate_checksums;

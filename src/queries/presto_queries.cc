@@ -157,9 +157,7 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   QueryRunOutput out;
   auto flat_result = BuildAdlFlatPipeline(q);
   if (flat_result.ok()) {
-    if (options.interpret_expressions) {
-      flat_result->set_expr_exec(engine::ExprExec::kInterpreted);
-    }
+    flat_result->set_expr_exec(ExprExecFor(options.effective_vexpr_tier()));
     engine::FlatQueryResult result;
     HEPQ_ASSIGN_OR_RETURN(
         result,
@@ -177,9 +175,7 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   }
   engine::EventQuery query("");
   HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
-  if (options.interpret_expressions) {
-    query.set_expr_exec(engine::ExprExec::kInterpreted);
-  }
+  query.set_expr_exec(ExprExecFor(options.effective_vexpr_tier()));
   engine::EventQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result, query.Execute(path, reader_options, options.num_threads));

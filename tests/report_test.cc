@@ -158,15 +158,26 @@ TEST(ReportJsonSchemaTest, RequiredKeysPresent) {
   const TracedRun run = RunTraced(EngineKind::kBigQueryShape, 5, 1);
   const std::string json = ReportToJson(run.report);
   for (const char* key :
-       {"\"schema_version\":1", "\"query\":\"Q5\"",
+       {"\"schema_version\":2", "\"query\":\"Q5\"",
         "\"engine\":\"bigquery-shape\"", "\"events_processed\"",
         "\"cpu_ns\"", "\"wall_ns\"", "\"run_span_ns\"", "\"span_coverage\"",
         "\"figure4\"", "\"cpu_ns_per_event\"", "\"decoded_bytes_per_event\"",
-        "\"events_per_sec_per_core\"", "\"scan\"", "\"decoded_bytes\"",
+        "\"events_per_sec_per_core\"", "\"expr_vm\"", "\"vops_per_event\"",
+        "\"fused_coverage\"", "\"scan\"", "\"decoded_bytes\"",
         "\"stages\"", "\"workers\"", "\"stragglers\"", "\"per_leaf\"",
         "\"counters\"", "\"cost_inputs\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
+}
+
+TEST(ReportExprVmTest, DispatchOverheadDerivedFromKernelCounters) {
+  // The default tier is simd, so a traced run retires VOps through the
+  // fused kernels: the derived dispatch-overhead quantities must be
+  // populated and the coverage a genuine fraction.
+  const TracedRun run = RunTraced(EngineKind::kBigQueryShape, 5, 1);
+  EXPECT_GT(run.report.vops_per_event(), 0.0);
+  EXPECT_GT(run.report.vexpr_fused_coverage(), 0.0);
+  EXPECT_LE(run.report.vexpr_fused_coverage(), 1.0);
 }
 
 TEST(ReportTableTest, ProfileTableShowsStagesWorkersAndLeaves) {

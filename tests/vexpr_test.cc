@@ -19,6 +19,7 @@
 #include "datagen/dataset.h"
 #include "engine/event_query.h"
 #include "engine/vexpr.h"
+#include "engine/vexpr_fuse.h"
 #include "queries/adl.h"
 
 namespace hepq::engine {
@@ -71,6 +72,78 @@ TEST(VProgramBuilderTest, ToStringDisassembles) {
   EXPECT_NE(text.find("const 40"), std::string::npos);
   EXPECT_NE(text.find("gt"), std::string::npos);
   EXPECT_NE(text.find("ret"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Fusion pass (engine/vexpr_fuse): peephole rewrites, checked on the
+// micro-op disassembly of small hand-built programs.
+// ---------------------------------------------------------------------------
+
+TEST(FusionPassTest, ImmediateAndCompareMaskFusion) {
+  // (x > 40) && (y < 2.5): the comparisons take their constants as
+  // immediates, the And absorbs its single-use rhs comparison, and the
+  // splats die — 7 source ops fuse into 4 micro-ops.
+  VProgramBuilder b;
+  const int cut = b.Op(
+      VOp::kAnd, {b.Op(VOp::kGt, {b.Load(0), b.Const(40.0)}),
+                  b.Op(VOp::kLt, {b.Load(1), b.Const(2.5)})});
+  const VProgram p = b.Finish(cut);
+  ASSERT_NE(p.fused(), nullptr);
+  const std::string text = p.fused()->ToString();
+  SCOPED_TRACE(text);
+  EXPECT_NE(text.find("gt_imm"), std::string::npos);
+  EXPECT_NE(text.find("and_lt_imm"), std::string::npos);
+  EXPECT_EQ(text.find("splat"), std::string::npos);  // dead splats removed
+  EXPECT_EQ(p.fused()->num_micro_ops(), 4);
+  EXPECT_EQ(p.fused()->num_source_ops(), 7);
+}
+
+TEST(FusionPassTest, NanImmediatesAreNeverFolded) {
+  // A NaN comparand must stay a splat + reg-reg op: folding it into an
+  // immediate form could change which NaN payload an arithmetic op
+  // propagates. (The builder's constant folder doesn't touch Load ops,
+  // so the NaN reaches the fusion pass.)
+  VProgramBuilder b;
+  const int r = b.Op(
+      VOp::kAdd, {b.Load(0), b.Const(std::numeric_limits<double>::quiet_NaN())});
+  const VProgram p = b.Finish(r);
+  ASSERT_NE(p.fused(), nullptr);
+  const std::string text = p.fused()->ToString();
+  SCOPED_TRACE(text);
+  EXPECT_NE(text.find("splat"), std::string::npos);
+  EXPECT_EQ(text.find("add_imm"), std::string::npos);
+}
+
+TEST(FusionPassTest, GatherAbsorbsSingleUseLoadsOfCartesianKernels) {
+  // Every operand of the mass kernel is a single-use load, so the loads
+  // are absorbed: one micro-op reading eight slots directly.
+  VProgramBuilder b;
+  std::vector<int> args;
+  for (int s = 0; s < 8; ++s) args.push_back(b.Load(s));
+  const VProgram p = b.Finish(b.Op(VOp::kMassOfSum2, args));
+  ASSERT_NE(p.fused(), nullptr);
+  const std::string text = p.fused()->ToString();
+  SCOPED_TRACE(text);
+  EXPECT_NE(text.find("mass_of_sum2_g slot0"), std::string::npos);
+  EXPECT_NE(text.find("slot7"), std::string::npos);
+  EXPECT_EQ(text.find("load"), std::string::npos);
+  EXPECT_EQ(p.fused()->num_micro_ops(), 1);
+  EXPECT_EQ(p.fused()->num_source_ops(), 9);
+}
+
+TEST(FusionPassTest, GatherAbsorptionRejectsSharedLoads) {
+  // CSE merges the duplicated Load(0), so that operand has two consumers
+  // and absorption must leave the whole kernel in staged form.
+  VProgramBuilder b;
+  std::vector<int> args;
+  for (int s = 0; s < 8; ++s) args.push_back(b.Load(s % 4));
+  const VProgram p = b.Finish(b.Op(VOp::kMassOfSum2, args));
+  ASSERT_NE(p.fused(), nullptr);
+  const std::string text = p.fused()->ToString();
+  SCOPED_TRACE(text);
+  EXPECT_NE(text.find("load"), std::string::npos);
+  EXPECT_EQ(text.find("mass_of_sum2_g"), std::string::npos);
+  EXPECT_NE(text.find("mass_of_sum2"), std::string::npos);
 }
 
 TEST(PhysicsTest, DeltaPhiIsTotalOnNonFiniteInput) {
@@ -283,23 +356,33 @@ TEST(CompiledKernelTest, RandomTreesMatchInterpreterBitForBit) {
 
     auto kernel = CompiledExprKernel::Compile(tree);
     ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
-    uint64_t compiled_ops = 0;
-    ASSERT_TRUE(kernel
-                    ->Eval(bindings, rows, &scratch, compiled.data(),
-                           &compiled_ops)
-                    .ok());
 
     uint64_t interp_ops = 0;
+    std::vector<double> expected(static_cast<size_t>(rows));
     for (int64_t row = 0; row < rows; ++row) {
       EvalContext ctx;
       ctx.bindings = &bindings;
       ctx.row = static_cast<uint32_t>(row);
-      const double expected = tree->Eval(&ctx);
+      expected[static_cast<size_t>(row)] = tree->Eval(&ctx);
       interp_ops += ctx.ops;
-      EXPECT_EQ(Bits(compiled[static_cast<size_t>(row)]), Bits(expected))
-          << "row " << row;
     }
-    EXPECT_EQ(compiled_ops, interp_ops);
+
+    // Both VM tiers: bytecode loops and the fused strip kernels.
+    for (const bool simd : {false, true}) {
+      SCOPED_TRACE(simd ? "simd" : "bytecode");
+      scratch.vm.set_simd(simd);
+      uint64_t compiled_ops = 0;
+      ASSERT_TRUE(kernel
+                      ->Eval(bindings, rows, &scratch, compiled.data(),
+                             &compiled_ops)
+                      .ok());
+      for (int64_t row = 0; row < rows; ++row) {
+        EXPECT_EQ(Bits(compiled[static_cast<size_t>(row)]),
+                  Bits(expected[static_cast<size_t>(row)]))
+            << "row " << row;
+      }
+      EXPECT_EQ(compiled_ops, interp_ops);
+    }
   }
 }
 
@@ -340,6 +423,174 @@ TEST(CompiledKernelTest, CombinationInValuePositionKeepsBindingSemantics) {
   EXPECT_EQ(compiled_ops, interp_ops);
 }
 
+/// Hand-placed adversarial values: NaN and ±inf scalars, NaN jet members,
+/// an empty jet list (aggregate identities ±inf flow out of it), and
+/// signed zeros. Same declarations as RandomBatch.
+RecordBatchPtr AdversarialBatch() {
+  const float finf = std::numeric_limits<float>::infinity();
+  const float fnan = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> met_pt{fnan, finf, -finf, 30.0f, 0.0f, -0.0f, 20.0f,
+                            50.0f};
+  std::vector<float> met_phi{0.3f, -finf, fnan, finf, 3.1f, -3.1f, fnan,
+                             -0.0f};
+  const int num_events = static_cast<int>(met_pt.size());
+  std::vector<uint32_t> offsets{0};
+  std::vector<float> jpt, jeta, jphi, jmass;
+  std::vector<int32_t> jcharge;
+  for (int e = 0; e < num_events; ++e) {
+    const int n = e == 0 ? 3 : (e == 1 ? 0 : 2);  // event 1 is empty
+    for (int j = 0; j < n; ++j) {
+      const bool poison = e >= 4 && j == 0;
+      jpt.push_back(poison ? fnan : 30.0f + static_cast<float>(e + j));
+      jeta.push_back(poison ? finf : 0.1f * static_cast<float>(j - 1));
+      jphi.push_back(poison ? -finf : 0.5f * static_cast<float>(e - 3));
+      jmass.push_back(poison ? fnan : 5.0f);
+      jcharge.push_back(j % 2 == 0 ? 1 : -1);
+    }
+    offsets.push_back(static_cast<uint32_t>(jpt.size()));
+  }
+  const std::vector<Field> jet_fields{{"pt", DataType::Float32()},
+                                      {"eta", DataType::Float32()},
+                                      {"phi", DataType::Float32()},
+                                      {"mass", DataType::Float32()},
+                                      {"charge", DataType::Int32()}};
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"MET", DataType::Struct({{"pt", DataType::Float32()},
+                                {"phi", DataType::Float32()}})},
+      {"Jet", DataType::List(DataType::Struct(jet_fields))},
+  });
+  auto met = StructArray::Make({{"pt", DataType::Float32()},
+                                {"phi", DataType::Float32()}},
+                               {MakeFloat32Array(std::move(met_pt)),
+                                MakeFloat32Array(std::move(met_phi))})
+                 .ValueOrDie();
+  auto jets = MakeListOfStructArray(jet_fields, std::move(offsets),
+                                    {MakeFloat32Array(std::move(jpt)),
+                                     MakeFloat32Array(std::move(jeta)),
+                                     MakeFloat32Array(std::move(jphi)),
+                                     MakeFloat32Array(std::move(jmass)),
+                                     MakeInt32Array(std::move(jcharge))})
+                  .ValueOrDie();
+  return RecordBatch::Make(schema, {met, jets}).ValueOrDie();
+}
+
+TEST(CompiledKernelTest, AdversarialNanInfAgreeAcrossAllTiers) {
+  // Regression companion to the float-ordering audit: NaN payloads,
+  // non-finite aggregate identities, NaN-asymmetric min/max operand
+  // orders, and always-false NaN comparisons must come out bit-identical
+  // from the interpreter, the bytecode loops, and the fused kernels.
+  const RecordBatchPtr batch = AdversarialBatch();
+  const BatchBindings bindings =
+      BatchBindings::Bind(*batch,
+                          {{"Jet", {"pt", "eta", "phi", "mass", "charge"}, {}}},
+                          {{"MET.pt"}, {"MET.phi"}})
+          .ValueOrDie();
+  const int64_t rows = batch->num_rows();
+
+  const auto quad = [](int iter) -> std::vector<ExprPtr> {
+    return {IterMember(0, iter, 0), IterMember(0, iter, 1),
+            IterMember(0, iter, 2), IterMember(0, iter, 3)};
+  };
+  std::vector<ExprPtr> mass_args = quad(1);
+  {
+    std::vector<ExprPtr> b = quad(1);
+    mass_args.insert(mass_args.end(), b.begin(), b.end());
+  }
+  std::vector<ExprPtr> trees;
+  trees.push_back(Call(Fn::kDeltaPhi, {ScalarRef(1), Lit(0.3)}));
+  // max over an empty list is -inf; delta_phi must stay total on it.
+  trees.push_back(Call(
+      Fn::kDeltaPhi,
+      {AggOverList(AggKind::kMax, 0, 1, nullptr, IterMember(0, 1, 2)),
+       ScalarRef(1)}));
+  // std::min/std::max are operand-order-asymmetric under NaN: both orders.
+  trees.push_back(Call(Fn::kMin2, {ScalarRef(0), ScalarRef(1)}));
+  trees.push_back(Call(Fn::kMin2, {ScalarRef(1), ScalarRef(0)}));
+  trees.push_back(Call(Fn::kMax2, {ScalarRef(0), ScalarRef(1)}));
+  // NaN comparisons are false on every tier, also through the fused
+  // compare+mask and immediate forms.
+  trees.push_back(And(Gt(ScalarRef(0), Lit(25.0)),
+                      Lt(Abs(Call(Fn::kDeltaPhi, {ScalarRef(1), Lit(0.4)})),
+                         Lit(1.5))));
+  trees.push_back(Not(Ge(ScalarRef(0), ScalarRef(0))));
+  // NaN members through the SoA mass kernel (m2 clamp sees NaN).
+  trees.push_back(
+      AggOverList(AggKind::kSum, 0, 1, nullptr,
+                  Call(Fn::kInvMass2, std::move(mass_args))));
+  // Float-ordering audit witness: a left-to-right sum over NaN/inf jets.
+  trees.push_back(AggOverList(AggKind::kSum, 0, 1, nullptr,
+                              IterMember(0, 1, 0)));
+
+  VexprScratch scratch;
+  std::vector<double> compiled(static_cast<size_t>(rows));
+  for (const ExprPtr& tree : trees) {
+    SCOPED_TRACE(tree->ToString());
+    auto kernel = CompiledExprKernel::Compile(tree);
+    ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+    for (const bool simd : {false, true}) {
+      SCOPED_TRACE(simd ? "simd" : "bytecode");
+      scratch.vm.set_simd(simd);
+      uint64_t ops = 0;
+      ASSERT_TRUE(
+          kernel->Eval(bindings, rows, &scratch, compiled.data(), &ops).ok());
+      for (int64_t row = 0; row < rows; ++row) {
+        EvalContext ctx;
+        ctx.bindings = &bindings;
+        ctx.row = static_cast<uint32_t>(row);
+        EXPECT_EQ(Bits(compiled[static_cast<size_t>(row)]),
+                  Bits(tree->Eval(&ctx)))
+            << "row " << row;
+      }
+    }
+  }
+}
+
+TEST(CompiledKernelTest, GateMatchesEvalPlusCompactionAcrossDensities) {
+  // The fused gate (evaluate + compact in one strip pass) must select
+  // exactly the lanes an Eval + `!= 0.0` compaction selects, on both VM
+  // tiers, from all-pass through sparse to empty selections.
+  std::mt19937 data_rng(11);
+  const RecordBatchPtr batch = RandomBatch(&data_rng, 96);
+  const BatchBindings bindings =
+      BatchBindings::Bind(*batch,
+                          {{"Jet", {"pt", "eta", "phi", "mass", "charge"}, {}}},
+                          {{"MET.pt"}, {"MET.phi"}})
+          .ValueOrDie();
+  const int64_t rows = batch->num_rows();
+  for (const double threshold : {-1.0, 60.0, 1e9}) {
+    const ExprPtr cut = Gt(ScalarRef(0), Lit(threshold));
+    SCOPED_TRACE(cut->ToString());
+    auto kernel = CompiledExprKernel::Compile(cut);
+    ASSERT_TRUE(kernel.ok()) << kernel.status().ToString();
+    VexprScratch scratch;
+    std::vector<double> values(static_cast<size_t>(rows));
+    std::vector<uint32_t> expect_sel, gate_sel(static_cast<size_t>(rows));
+    for (const bool simd : {false, true}) {
+      SCOPED_TRACE(simd ? "simd" : "bytecode");
+      scratch.vm.set_simd(simd);
+      uint64_t eval_ops = 0;
+      ASSERT_TRUE(
+          kernel->Eval(bindings, rows, &scratch, values.data(), &eval_ops)
+              .ok());
+      expect_sel.clear();
+      for (int64_t row = 0; row < rows; ++row) {
+        if (values[static_cast<size_t>(row)] != 0.0) {
+          expect_sel.push_back(static_cast<uint32_t>(row));
+        }
+      }
+      uint64_t gate_ops = 0;
+      const auto count =
+          kernel->Gate(bindings, rows, &scratch, gate_sel.data(), &gate_ops);
+      ASSERT_TRUE(count.ok()) << count.status().ToString();
+      ASSERT_EQ(static_cast<size_t>(*count), expect_sel.size());
+      for (size_t i = 0; i < expect_sel.size(); ++i) {
+        EXPECT_EQ(gate_sel[i], expect_sel[i]) << "position " << i;
+      }
+      EXPECT_EQ(gate_ops, eval_ops);
+    }
+  }
+}
+
 TEST(BindingsTest, NonPrimitiveLeafRejectedAtBindWithTypeName) {
   std::mt19937 data_rng(3);
   const RecordBatchPtr batch = RandomBatch(&data_rng, 4);
@@ -351,8 +602,8 @@ TEST(BindingsTest, NonPrimitiveLeafRejectedAtBindWithTypeName) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden agreement: 8 queries x both plan shapes x {compiled, interpreted}
-// x {1, 4} threads, all bit-identical.
+// Golden agreement: 8 queries x both plan shapes x all three execution
+// tiers x {1, 4} threads, all bit-identical.
 // ---------------------------------------------------------------------------
 
 const std::string& GoldenDataset() {
@@ -381,24 +632,27 @@ class CompiledInterpretedGolden : public ::testing::TestWithParam<int> {};
 TEST_P(CompiledInterpretedGolden, BitIdenticalAcrossExecModeAndThreads) {
   const int q = GetParam();
   using queries::EngineKind;
+  using queries::VexprTier;
   for (EngineKind engine :
        {EngineKind::kBigQueryShape, EngineKind::kPrestoShape}) {
     queries::RunOptions ref_options;
-    ref_options.interpret_expressions = true;
+    ref_options.vexpr_tier = VexprTier::kInterpret;
     const auto reference =
         queries::RunAdlQuery(engine, q, GoldenDataset(), ref_options);
     ASSERT_TRUE(reference.ok()) << reference.status().ToString();
-    for (const bool interpret : {false, true}) {
+    for (const VexprTier tier :
+         {VexprTier::kInterpret, VexprTier::kBytecode, VexprTier::kSimd}) {
       for (const int threads : {1, 4}) {
-        if (interpret && threads == 1) continue;  // the reference run
+        if (tier == VexprTier::kInterpret && threads == 1)
+          continue;  // the reference run
         queries::RunOptions options;
-        options.interpret_expressions = interpret;
+        options.vexpr_tier = tier;
         options.num_threads = threads;
         const auto run =
             queries::RunAdlQuery(engine, q, GoldenDataset(), options);
         ASSERT_TRUE(run.ok()) << run.status().ToString();
-        SCOPED_TRACE(std::string(queries::EngineKindName(engine)) +
-                     (interpret ? " interpreted" : " compiled") + " threads " +
+        SCOPED_TRACE(std::string(queries::EngineKindName(engine)) + " " +
+                     queries::VexprTierName(tier) + " threads " +
                      std::to_string(threads));
         EXPECT_EQ(run->events_processed, reference->events_processed);
         EXPECT_EQ(run->ops, reference->ops);  // Table 2 counter fidelity

@@ -2,12 +2,17 @@
 // resulting histogram plus execution statistics.
 //
 // Usage: hepq_run <query 1..8> [engine] [events] [--threads=N]
+//                 [--vexpr-tier=interpret|bytecode|simd]
 //                 [--no-pushdown] [--no-late-mat]
 //                 [--profile[=report.json]] [--trace=trace.json]
 //   engine: rdf (default) | bigquery | presto | doc | all | explain
 //   events: data-set size to generate/reuse (default 20000)
 //   --threads=N: scan row groups with N workers of the shared runtime
 //     (results are bit-identical for any N; default 1)
+//   --vexpr-tier=T: expression-execution tier for the bigquery/presto
+//     plan shapes — interpret (tree walk), bytecode (PR 3 VM), or simd
+//     (fused batch kernels, the default); histograms are bit-identical
+//     across tiers. Replaces the old --interpret-expressions boolean.
 //   --no-pushdown: disable zone-map predicate pushdown (group/page
 //     pruning); histograms are bit-identical either way
 //   --no-late-mat: disable late materialization (decode every projected
@@ -132,6 +137,15 @@ int main(int argc, char** argv) {
       if (v > 0) options.num_threads = v;
       continue;
     }
+    if (std::strncmp(argv[i], "--vexpr-tier=", 13) == 0) {
+      if (!hepq::queries::ParseVexprTier(argv[i] + 13,
+                                         &options.vexpr_tier)) {
+        std::fprintf(stderr,
+                     "--vexpr-tier must be interpret, bytecode, or simd\n");
+        return 2;
+      }
+      continue;
+    }
     if (std::strcmp(argv[i], "--no-pushdown") == 0) {
       options.scan_pushdown = false;
       continue;
@@ -160,7 +174,9 @@ int main(int argc, char** argv) {
   argc = kept;
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
-                         " [events] [--threads=N] [--no-pushdown]"
+                         " [events] [--threads=N]"
+                         " [--vexpr-tier=interpret|bytecode|simd]"
+                         " [--no-pushdown]"
                          " [--no-late-mat] [--profile[=report.json]]"
                          " [--trace=trace.json]\n",
                  argv[0]);
