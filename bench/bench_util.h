@@ -41,6 +41,16 @@ inline std::string BenchDataset(int64_t events) {
   return *path;
 }
 
+/// The layout-optimized rewrite of BenchDataset (cached next to it).
+inline std::string BenchOptimizedDataset(int64_t events) {
+  DatasetSpec spec;
+  spec.num_events = events;
+  spec.row_group_size = std::max<int64_t>(1000, events / 4);
+  auto path = EnsureOptimizedDataset(DefaultDataDir(), spec);
+  path.status().Check();
+  return *path;
+}
+
 /// Scales a local measurement up to the paper's data-set size so the
 /// cloud simulation sees full-size work (documented in the bench output).
 inline cloud::MeasuredQuery ExtrapolateToPaperSize(

@@ -66,4 +66,22 @@ Result<std::string> EnsureDataset(const std::string& directory,
   return path;
 }
 
+Result<std::string> EnsureOptimizedDataset(const std::string& directory,
+                                           const DatasetSpec& spec,
+                                           const OptimizeOptions& options) {
+  std::string input;
+  HEPQ_ASSIGN_OR_RETURN(input, EnsureDataset(directory, spec));
+  std::string path = input;
+  const std::string suffix = ".laq";
+  path.replace(path.size() - suffix.size(), suffix.size(), "_opt.laq");
+  if (FileExists(path)) return path;
+  const std::string tmp_path = path + ".tmp";
+  LayoutAnalysis analysis;
+  HEPQ_ASSIGN_OR_RETURN(analysis, OptimizeLaqFile(input, tmp_path, options));
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename temporary optimized data set file");
+  }
+  return path;
+}
+
 }  // namespace hepq

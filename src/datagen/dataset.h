@@ -6,6 +6,7 @@
 
 #include "core/status.h"
 #include "datagen/generator.h"
+#include "fileio/layout_optimizer.h"
 #include "fileio/writer.h"
 
 namespace hepq {
@@ -33,6 +34,16 @@ Result<std::string> EnsureDataset(const std::string& directory,
 /// HEPQ_DATA_DIR environment variable, defaulting to "hepq_data" under the
 /// current working directory.
 std::string DefaultDataDir();
+
+/// Generates the dataset described by `spec` (if needed) and rewrites it
+/// through the layout optimizer (if needed), caching the optimized copy
+/// next to the original under "<name>_opt.laq". Both steps are fully
+/// deterministic, so existing files are reused as-is. The cache name does
+/// not encode `options`; callers varying them should call OptimizeLaqFile
+/// on a path of their own. Returns the path of the optimized copy.
+Result<std::string> EnsureOptimizedDataset(const std::string& directory,
+                                           const DatasetSpec& spec,
+                                           const OptimizeOptions& options = {});
 
 }  // namespace hepq
 

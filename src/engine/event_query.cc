@@ -206,9 +206,21 @@ ScanPredicateSet EventQuery::ScanPredicates() const {
   }
   auto plain_list = [&](int slot) {
     // Union lists concatenate several storage columns; there is no single
-    // lengths leaf to bound, so they are never extracted.
+    // lengths leaf to bound, so they are never extracted as ranges.
     return slot >= 0 && slot < static_cast<int>(lists_.size()) &&
            lists_[static_cast<size_t>(slot)].union_sources.empty();
+  };
+  // For union lists, |union| = sum of the source list sizes, so minimum-
+  // count gates become sum-of-lengths conditions instead.
+  auto union_columns = [&](int slot) {
+    std::vector<std::string> columns;
+    if (slot >= 0 && slot < static_cast<int>(lists_.size())) {
+      for (const UnionSource& source :
+           lists_[static_cast<size_t>(slot)].union_sources) {
+        columns.push_back(source.column);
+      }
+    }
+    return columns;
   };
   for (const Expr* conjunct : conjuncts) {
     const ExprShape s = conjunct->Shape();
@@ -218,7 +230,6 @@ ScanPredicateSet EventQuery::ScanPredicates() const {
       // must carry at least as many elements as the loops over it.
       for (size_t i = 0; i < s.loops.size(); ++i) {
         const int slot = s.loops[i].list_slot;
-        if (!plain_list(slot)) continue;
         int64_t over_list = 0;
         for (const ComboLoop& loop : s.loops) {
           if (loop.list_slot == slot) ++over_list;
@@ -227,9 +238,12 @@ ScanPredicateSet EventQuery::ScanPredicates() const {
         for (size_t j = 0; j < i; ++j) {
           if (s.loops[j].list_slot == slot) first = false;
         }
-        if (first) {
+        if (!first) continue;
+        if (plain_list(slot)) {
           preds.AddMinCount(lists_[static_cast<size_t>(slot)].column,
                             over_list);
+        } else {
+          preds.AddMinCountSum(union_columns(slot), over_list);
         }
       }
       continue;
@@ -245,21 +259,33 @@ ScanPredicateSet EventQuery::ScanPredicates() const {
       preds.AddRange(scalars_[static_cast<size_t>(v.scalar_slot)].leaf_path,
                      lo, hi);
     } else if (v.kind == ExprShape::Kind::kListSize) {
-      if (!plain_list(v.list_slot)) continue;
       if (!CmpToRange(op, lit, &lo, &hi)) continue;
-      preds.AddRange(
-          lists_[static_cast<size_t>(v.list_slot)].column + "#lengths", lo,
-          hi);
+      if (plain_list(v.list_slot)) {
+        preds.AddRange(
+            lists_[static_cast<size_t>(v.list_slot)].column + "#lengths", lo,
+            hi);
+      } else if (lo > 0.0 && std::isfinite(lo)) {
+        // Only the lower bound survives for a union: |union| >= lo means
+        // the source lengths must sum to at least ceil(lo).
+        preds.AddMinCountSum(union_columns(v.list_slot),
+                             static_cast<int64_t>(std::ceil(lo)));
+      }
     } else if (v.kind == ExprShape::Kind::kAgg &&
                v.agg_kind == AggKind::kCount) {
       // count(elements of list passing filter) >= n: the list must hold
       // at least ceil(n) elements, and (n >= 1) some element must pass
       // the filter when the filter is itself a sargable member range.
       if (op != BinOp::kGe && op != BinOp::kGt) continue;
-      if (!plain_list(v.list_slot)) continue;
       const double min_count =
           op == BinOp::kGe ? std::ceil(lit) : std::floor(lit) + 1.0;
       if (min_count < 1.0) continue;
+      if (!plain_list(v.list_slot)) {
+        // Unfiltered counts over a union bound the summed source lengths;
+        // a filtered count still implies the unfiltered one.
+        preds.AddMinCountSum(union_columns(v.list_slot),
+                             static_cast<int64_t>(min_count));
+        continue;
+      }
       const ListDecl& list = lists_[static_cast<size_t>(v.list_slot)];
       preds.AddMinCount(list.column, static_cast<int64_t>(min_count));
       if (v.filter == nullptr) continue;

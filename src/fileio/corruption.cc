@@ -228,8 +228,7 @@ std::vector<FieldMutation> EnumerateFieldMutations(const LaqImage& image) {
       add(MutatedField::kNumValues, chunk.num_values + 1);
       if (chunk.num_values > 0) add(MutatedField::kNumValues, 0);
       add(MutatedField::kNumValues, 1ull << 61);  // allocation bomb
-      for (uint8_t e = 0; e <= static_cast<uint8_t>(Encoding::kDeltaVarint);
-           ++e) {
+      for (uint8_t e = 0; e <= static_cast<uint8_t>(Encoding::kFor); ++e) {
         if (e != static_cast<uint8_t>(chunk.encoding)) {
           add(MutatedField::kEncoding, e);
         }

@@ -17,6 +17,10 @@ const char* EncodingName(Encoding encoding) {
       return "bitpack";
     case Encoding::kDeltaVarint:
       return "delta";
+    case Encoding::kDict:
+      return "dict";
+    case Encoding::kFor:
+      return "for";
   }
   return "unknown";
 }
@@ -142,6 +146,210 @@ Status DecodeBitPack(const uint8_t* data, size_t size, size_t count,
   return Status::OK();
 }
 
+/// Smallest width (in bits) that can hold `v`; 0 for v == 0.
+int BitsFor(uint64_t v) {
+  int bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Appends `count` values of `width` bits each, little-endian bit order
+/// (value i occupies bits [i*width, (i+1)*width) of the stream). Padding
+/// bits in the final byte are zero, which the decoder enforces.
+void PackBits(const uint64_t* values, size_t count, int width,
+              std::vector<uint8_t>* out) {
+  if (width == 0) return;
+  const size_t start = out->size();
+  out->resize(start + (count * static_cast<size_t>(width) + 7) / 8, 0);
+  uint8_t* bytes = out->data() + start;
+  size_t bit = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = values[i];
+    int remaining = width;
+    while (remaining > 0) {
+      const int offset = static_cast<int>(bit % 8);
+      const int take = std::min(remaining, 8 - offset);
+      bytes[bit / 8] |= static_cast<uint8_t>(
+          (v & ((take == 64 ? 0 : (1ull << take)) - 1)) << offset);
+      v >>= take;
+      bit += static_cast<size_t>(take);
+      remaining -= take;
+    }
+  }
+}
+
+/// Reads `count` values of `width` bits from `data` (exactly
+/// ceil(count*width/8) bytes). Rejects short buffers and nonzero padding
+/// bits — an honest encoder always zeroes them, so set bits there mean
+/// the page was damaged in a way the CRC did not catch.
+Status UnpackBits(const uint8_t* data, size_t size, size_t count, int width,
+                  uint64_t* out) {
+  if (width == 0) {
+    std::fill_n(out, count, uint64_t{0});
+    if (size != 0) return Status::Corruption("bitunpack: trailing bytes");
+    return Status::OK();
+  }
+  const size_t total_bits = count * static_cast<size_t>(width);
+  if (size != (total_bits + 7) / 8) {
+    return Status::Corruption("bitunpack: size mismatch");
+  }
+  size_t bit = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    int got = 0;
+    while (got < width) {
+      const int offset = static_cast<int>(bit % 8);
+      const int take = std::min(width - got, 8 - offset);
+      const uint64_t piece =
+          (static_cast<uint64_t>(data[bit / 8]) >> offset) &
+          ((take == 64 ? 0 : (1ull << take)) - 1);
+      v |= piece << got;
+      got += take;
+      bit += static_cast<size_t>(take);
+    }
+    out[i] = v;
+  }
+  if (total_bits % 8 != 0) {
+    const uint8_t tail = data[size - 1];
+    const int used = static_cast<int>(total_bits % 8);
+    if ((tail >> used) != 0) {
+      return Status::Corruption("bitunpack: nonzero padding bits");
+    }
+  }
+  return Status::OK();
+}
+
+/// Dictionary layout: varint distinct-count, the sorted distinct values
+/// as zig-zag varints, then every value's dictionary index bit-packed at
+/// width = BitsFor(distinct_count - 1). The width is derived from the
+/// count on both sides rather than stored, so it cannot disagree.
+template <typename T>
+void EncodeDict(const T* values, size_t count, std::vector<uint8_t>* out) {
+  std::vector<T> dict(values, values + count);
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+  PutVarint(out, dict.size());
+  for (const T v : dict) PutSignedVarint(out, static_cast<int64_t>(v));
+  if (dict.size() <= 1) return;  // width 0: indices carry no information
+  const int width = BitsFor(dict.size() - 1);
+  std::vector<uint64_t> indices(count);
+  for (size_t i = 0; i < count; ++i) {
+    indices[i] = static_cast<uint64_t>(
+        std::lower_bound(dict.begin(), dict.end(), values[i]) - dict.begin());
+  }
+  PackBits(indices.data(), count, width, out);
+}
+
+template <typename T>
+Status DecodeDict(const uint8_t* data, size_t size, size_t count, T* out) {
+  ByteReader reader(data, size);
+  uint64_t dict_count = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetVarint(&dict_count));
+  if (count == 0) {
+    if (dict_count != 0 || !reader.AtEnd()) {
+      return Status::Corruption("dict: nonempty dictionary for empty page");
+    }
+    return Status::OK();
+  }
+  // More distinct entries than values cannot come from an honest encoder
+  // and would let a crafted page force a huge allocation.
+  if (dict_count == 0 || dict_count > count) {
+    return Status::Corruption("dict: dictionary size out of range");
+  }
+  std::vector<T> dict(static_cast<size_t>(dict_count));
+  for (size_t i = 0; i < dict.size(); ++i) {
+    int64_t v = 0;
+    HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&v));
+    if constexpr (sizeof(T) == 4) {
+      if (v < INT32_MIN || v > INT32_MAX) {
+        return Status::Corruption("dict: value out of range for leaf type");
+      }
+    }
+    dict[i] = static_cast<T>(v);
+  }
+  if (dict_count == 1) {
+    std::fill_n(out, count, dict[0]);
+    if (!reader.AtEnd()) return Status::Corruption("dict: trailing bytes");
+    return Status::OK();
+  }
+  const int width = BitsFor(dict_count - 1);
+  std::vector<uint64_t> indices(count);
+  HEPQ_RETURN_NOT_OK(UnpackBits(data + reader.position(),
+                                size - reader.position(), count, width,
+                                indices.data()));
+  for (size_t i = 0; i < count; ++i) {
+    if (indices[i] >= dict_count) {
+      return Status::Corruption("dict: index out of range");
+    }
+    out[i] = dict[indices[i]];
+  }
+  return Status::OK();
+}
+
+/// Frame-of-reference layout: zig-zag varint base (the page minimum), one
+/// width byte, then every value's offset from the base bit-packed at that
+/// width. Offsets are computed in uint64 so the int64 extremes wrap
+/// instead of overflowing.
+template <typename T>
+void EncodeFor(const T* values, size_t count, std::vector<uint8_t>* out) {
+  if (count == 0) {
+    PutSignedVarint(out, 0);
+    out->push_back(0);
+    return;
+  }
+  T lo = values[0];
+  T hi = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    lo = std::min(lo, values[i]);
+    hi = std::max(hi, values[i]);
+  }
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);  // wrapping
+  const int width = BitsFor(span);
+  PutSignedVarint(out, static_cast<int64_t>(lo));
+  out->push_back(static_cast<uint8_t>(width));
+  if (width == 0) return;
+  std::vector<uint64_t> offsets(count);
+  for (size_t i = 0; i < count; ++i) {
+    offsets[i] = static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(lo);
+  }
+  PackBits(offsets.data(), count, width, out);
+}
+
+template <typename T>
+Status DecodeFor(const uint8_t* data, size_t size, size_t count, T* out) {
+  ByteReader reader(data, size);
+  int64_t base = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetSignedVarint(&base));
+  uint8_t width = 0;
+  HEPQ_RETURN_NOT_OK(reader.GetBytes(&width, 1));
+  if (width > 64) return Status::Corruption("for: bit width out of range");
+  if (count == 0) {
+    if (!reader.AtEnd()) return Status::Corruption("for: trailing bytes");
+    return Status::OK();
+  }
+  std::vector<uint64_t> offsets(count);
+  HEPQ_RETURN_NOT_OK(UnpackBits(data + reader.position(),
+                                size - reader.position(), count, width,
+                                offsets.data()));
+  for (size_t i = 0; i < count; ++i) {
+    // Wrapping add: a crafted base + offset pair can exceed any value
+    // range, and signed overflow would be UB the sanitizer jobs trap on.
+    const int64_t value = static_cast<int64_t>(
+        static_cast<uint64_t>(base) + offsets[i]);
+    if constexpr (sizeof(T) == 4) {
+      if (value < INT32_MIN || value > INT32_MAX) {
+        return Status::Corruption("for: value out of range for leaf type");
+      }
+    }
+    out[i] = static_cast<T>(value);
+  }
+  return Status::OK();
+}
+
 /// Values whose delta from the predecessor fits one zig-zag varint byte.
 template <typename T>
 size_t CountSmallDeltas(const T* values, size_t count) {
@@ -163,6 +371,45 @@ size_t CountRuns(const T* values, size_t count) {
     if (values[i] != values[i - 1]) ++runs;
   }
   return runs;
+}
+
+size_t VarintLen(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+size_t SignedVarintLen(int64_t v) {
+  return VarintLen((static_cast<uint64_t>(v) << 1) ^
+                   static_cast<uint64_t>(v >> 63));
+}
+
+/// Exact encoded sizes for the advanced integer encodings (cheap enough
+/// to compute at write time: one sort of the chunk's values).
+template <typename T>
+void AdvancedSizes(const T* values, size_t count, size_t* dict_size,
+                   size_t* for_size) {
+  std::vector<T> sorted(values, values + count);
+  std::sort(sorted.begin(), sorted.end());
+  size_t dict_payload = 0;
+  size_t card = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (i == 0 || sorted[i] != sorted[i - 1]) {
+      dict_payload += SignedVarintLen(static_cast<int64_t>(sorted[i]));
+      ++card;
+    }
+  }
+  const int dict_width = card <= 1 ? 0 : BitsFor(card - 1);
+  *dict_size = VarintLen(card) + dict_payload +
+               (count * static_cast<size_t>(dict_width) + 7) / 8;
+  const uint64_t span = static_cast<uint64_t>(sorted.back()) -
+                        static_cast<uint64_t>(sorted.front());  // wrapping
+  const int for_width = BitsFor(span);
+  *for_size = SignedVarintLen(static_cast<int64_t>(sorted.front())) + 1 +
+              (count * static_cast<size_t>(for_width) + 7) / 8;
 }
 
 }  // namespace
@@ -207,6 +454,28 @@ Status EncodeValues(TypeId type, Encoding encoding, const void* data,
         default:
           return Status::Invalid("delta encoding requires an integer type");
       }
+    case Encoding::kDict:
+      switch (type) {
+        case TypeId::kInt32:
+          EncodeDict(static_cast<const int32_t*>(data), count, out);
+          return Status::OK();
+        case TypeId::kInt64:
+          EncodeDict(static_cast<const int64_t*>(data), count, out);
+          return Status::OK();
+        default:
+          return Status::Invalid("dict encoding requires an integer type");
+      }
+    case Encoding::kFor:
+      switch (type) {
+        case TypeId::kInt32:
+          EncodeFor(static_cast<const int32_t*>(data), count, out);
+          return Status::OK();
+        case TypeId::kInt64:
+          EncodeFor(static_cast<const int64_t*>(data), count, out);
+          return Status::OK();
+        default:
+          return Status::Invalid("for encoding requires an integer type");
+      }
   }
   return Status::Invalid("unknown encoding");
 }
@@ -245,11 +514,30 @@ Status DecodeValues(TypeId type, Encoding encoding, const uint8_t* data,
         default:
           return Status::Invalid("delta decoding requires an integer type");
       }
+    case Encoding::kDict:
+      switch (type) {
+        case TypeId::kInt32:
+          return DecodeDict(data, size, count, static_cast<int32_t*>(out));
+        case TypeId::kInt64:
+          return DecodeDict(data, size, count, static_cast<int64_t*>(out));
+        default:
+          return Status::Invalid("dict decoding requires an integer type");
+      }
+    case Encoding::kFor:
+      switch (type) {
+        case TypeId::kInt32:
+          return DecodeFor(data, size, count, static_cast<int32_t*>(out));
+        case TypeId::kInt64:
+          return DecodeFor(data, size, count, static_cast<int64_t*>(out));
+        default:
+          return Status::Invalid("for decoding requires an integer type");
+      }
   }
   return Status::Invalid("unknown encoding");
 }
 
-Encoding ChooseEncoding(TypeId type, const void* data, size_t count) {
+Encoding ChooseEncoding(TypeId type, const void* data, size_t count,
+                        bool advanced) {
   if (type == TypeId::kBool) return Encoding::kBitPack;
   if (type == TypeId::kInt32 || type == TypeId::kInt64) {
     if (count == 0) return Encoding::kPlain;
@@ -269,10 +557,34 @@ Encoding ChooseEncoding(TypeId type, const void* data, size_t count) {
     const bool delta_viable = small_deltas >= count - count / 8;
     const size_t delta_estimate =
         delta_viable ? count + count / 3 + 16 : plain_size;
+    Encoding classic = Encoding::kPlain;
+    size_t classic_size = plain_size;
     if (delta_estimate < plain_size && delta_estimate <= rle_estimate) {
-      return Encoding::kDeltaVarint;
+      classic = Encoding::kDeltaVarint;
+      classic_size = delta_estimate;
+    } else if (rle_estimate < plain_size) {
+      classic = Encoding::kRleVarint;
+      classic_size = rle_estimate;
     }
-    if (rle_estimate < plain_size) return Encoding::kRleVarint;
+    if (advanced) {
+      // Dict and FOR sizes are exact (one sort of the chunk), so a small
+      // margin over the classic *estimates* is enough to avoid flapping on
+      // leaves where RLE already wins (lengths leaves, near-constant
+      // columns). FOR is preferred at equal size — decode is branch-free.
+      size_t dict_size = 0;
+      size_t for_size = 0;
+      if (is32) {
+        AdvancedSizes(static_cast<const int32_t*>(data), count, &dict_size,
+                      &for_size);
+      } else {
+        AdvancedSizes(static_cast<const int64_t*>(data), count, &dict_size,
+                      &for_size);
+      }
+      const size_t margin = classic_size - classic_size / 8;
+      if (for_size <= dict_size && for_size < margin) return Encoding::kFor;
+      if (dict_size < for_size && dict_size < margin) return Encoding::kDict;
+    }
+    return classic;
   }
   return Encoding::kPlain;
 }

@@ -18,11 +18,23 @@ namespace hepq {
 ///   kDeltaVarint — zig-zag varint of successive differences; chosen for
 ///                near-monotonic integer leaves (event ids, luminosity
 ///                blocks), where deltas are tiny.
+///   kDict      — sorted dictionary of distinct values (zig-zag varints)
+///                followed by bit-packed indices at the minimal width;
+///                chosen for low-cardinality integer leaves (charge,
+///                jetId, decayMode) by the layout optimizer.
+///   kFor       — frame of reference: zig-zag varint base (the minimum)
+///                plus bit-packed offsets at the minimal width; chosen
+///                for narrow-range integer leaves (counts, npvs).
+/// kDict and kFor restart per page like every other encoding; each page
+/// carries its own dictionary/base, so pages stay independently decodable
+/// and zone-map skippable.
 enum class Encoding : uint8_t {
   kPlain = 0,
   kRleVarint = 1,
   kBitPack = 2,
   kDeltaVarint = 3,
+  kDict = 4,
+  kFor = 5,
 };
 
 const char* EncodingName(Encoding encoding);
@@ -32,12 +44,21 @@ Status EncodeValues(TypeId type, Encoding encoding, const void* data,
                     size_t count, std::vector<uint8_t>* out);
 
 /// Inverse of EncodeValues. `out` must have room for `count` values.
+/// Defensive against arbitrary input bytes: every length, dictionary
+/// index, bit width, and padding bit is validated before use, and values
+/// that do not fit the leaf's physical type are rejected as Corruption.
 Status DecodeValues(TypeId type, Encoding encoding, const uint8_t* data,
                     size_t size, size_t count, void* out);
 
 /// Picks an encoding for a chunk: bit-packing for bools, RLE for integer
 /// data whose run structure makes it smaller than plain, plain otherwise.
-Encoding ChooseEncoding(TypeId type, const void* data, size_t count);
+/// With `advanced` set (WriterOptions::advanced_encodings, the layout
+/// optimizer's default), the dictionary and frame-of-reference encodings
+/// join the candidate set; they are picked only when their exact size
+/// estimate beats every classic candidate by a margin, so files written
+/// by default builds are byte-identical to pre-kDict builds.
+Encoding ChooseEncoding(TypeId type, const void* data, size_t count,
+                        bool advanced = false);
 
 }  // namespace hepq
 

@@ -209,7 +209,7 @@ Status ParseFileMetadata(const uint8_t* data, size_t size,
       uint8_t enc = 0, codec = 0, has_stats = 0;
       HEPQ_RETURN_NOT_OK(reader.GetBytes(&enc, 1));
       HEPQ_RETURN_NOT_OK(reader.GetBytes(&codec, 1));
-      if (enc > static_cast<uint8_t>(Encoding::kDeltaVarint) ||
+      if (enc > static_cast<uint8_t>(Encoding::kFor) ||
           codec > static_cast<uint8_t>(Codec::kLz)) {
         return Status::Corruption("invalid encoding or codec id");
       }
@@ -269,6 +269,13 @@ std::string ChunkContext(const FileMetadata& meta, size_t group,
 /// value.
 constexpr uint64_t kMaxRleBytesPerValue = 20;
 constexpr uint64_t kMaxDeltaBytesPerValue = 10;
+/// Dict worst case (all values distinct): <= 10-byte dictionary entry plus
+/// an 8-byte index per value, with the count varint amortized; a one-value
+/// page is 1 + 10 = 11 bytes, so 20/value covers every page size. FOR
+/// worst case is the <= 10-byte base plus width byte plus 8 packed bytes
+/// per value, likewise covered by 20/value down to one-value pages.
+constexpr uint64_t kMaxDictBytesPerValue = 20;
+constexpr uint64_t kMaxForBytesPerValue = 20;
 
 }  // namespace
 
@@ -391,6 +398,32 @@ Status ValidateFileMetadata(const FileMetadata& meta, uint64_t data_begin,
                                       ChunkContext(meta, g, c));
           }
           break;
+        case Encoding::kDict:
+          if (!integer_leaf) {
+            return Status::Corruption("dict on non-integer leaf" +
+                                      ChunkContext(meta, g, c));
+          }
+          // The writer never dict-encodes an empty chunk (ChooseEncoding
+          // returns plain for count 0), and every page carries at least the
+          // dictionary-count varint.
+          if (chunk.num_values == 0 || chunk.encoded_size == 0 ||
+              chunk.encoded_size > chunk.num_values * kMaxDictBytesPerValue) {
+            return Status::Corruption("dict encoded_size out of bounds" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
+        case Encoding::kFor:
+          if (!integer_leaf) {
+            return Status::Corruption("for on non-integer leaf" +
+                                      ChunkContext(meta, g, c));
+          }
+          // Every FOR page carries at least a base varint and a width byte.
+          if (chunk.num_values == 0 || chunk.encoded_size < 2 ||
+              chunk.encoded_size > chunk.num_values * kMaxForBytesPerValue) {
+            return Status::Corruption("for encoded_size out of bounds" +
+                                      ChunkContext(meta, g, c));
+          }
+          break;
       }
       // Codec invariants the writer guarantees.
       switch (chunk.codec) {
@@ -471,6 +504,24 @@ Status ValidateFileMetadata(const FileMetadata& meta, uint64_t data_begin,
                   page.encoded_size >
                       page.num_values * kMaxDeltaBytesPerValue) {
                 return Status::Corruption("delta page encoded_size out of "
+                                          "bounds" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+            case Encoding::kDict:
+              if (page.encoded_size == 0 ||
+                  page.encoded_size >
+                      page.num_values * kMaxDictBytesPerValue) {
+                return Status::Corruption("dict page encoded_size out of "
+                                          "bounds" +
+                                          ChunkContext(meta, g, c));
+              }
+              break;
+            case Encoding::kFor:
+              if (page.encoded_size < 2 ||
+                  page.encoded_size >
+                      page.num_values * kMaxForBytesPerValue) {
+                return Status::Corruption("for page encoded_size out of "
                                           "bounds" +
                                           ChunkContext(meta, g, c));
               }

@@ -1,0 +1,99 @@
+#ifndef HEPQUERY_FILEIO_LAYOUT_OPTIMIZER_H_
+#define HEPQUERY_FILEIO_LAYOUT_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "fileio/format.h"
+#include "fileio/writer.h"
+
+namespace hepq {
+
+/// Layout optimization pass: rewrites a laq file into a pruning-friendly
+/// copy. Events are reordered by a composite cluster key (trigger-skim
+/// style), the reorder applied consistently to every leaf, so zone maps
+/// become selective while every histogram stays bit-identical — fills are
+/// weight-1 sums and all per-event quantities are permutation-invariant
+/// under the deterministic merge.
+struct OptimizeOptions {
+  /// Leaf paths that form the composite sort key, most significant first.
+  /// Accepted forms mirror the storage layout: "Muon#lengths" (list
+  /// length), "MET.pt" (struct member), "PV.npvs", top-level primitives
+  /// ("event"), and list item leaves like "Jet.pt", which sort by the
+  /// per-event maximum (leading object) with empty lists first.
+  ///
+  /// The default clusters by the multiplicity gates the ADL queries
+  /// actually push down (Q5 cuts nMuon >= 2, Q8 cuts nElectron + nMuon >=
+  /// 3, Q4/Q6/Q7 cut nJet >= 2..3) with MET.pt as the kinematic
+  /// tiebreaker that narrows its page zones. Lepton lengths lead so the
+  /// lexicographic strata keep the summed lepton multiplicity coherent
+  /// per row group, which the union sum-of-zone-maxima prune feeds on.
+  std::vector<std::string> cluster_keys = {"Muon#lengths",
+                                           "Electron#lengths",
+                                           "Jet#lengths", "MET.pt"};
+  /// Rows per output row group; 0 derives it from the data statistics
+  /// (enough groups that a multiplicity cut can skip whole groups, but
+  /// large enough to amortize per-group decode setup).
+  int64_t row_group_size = 0;
+  /// Values per output page; 0 derives it so every chunk gets multiple
+  /// independently skippable pages.
+  int64_t page_values = 0;
+  Codec codec = Codec::kLz;
+  /// Dictionary/frame-of-reference integer encodings (see encoding.h).
+  bool advanced_encodings = true;
+  bool write_statistics = true;
+};
+
+/// Per-leaf layout summary. A page is "prunable" when its zone map is
+/// strictly narrower than the column's overall page-stat range — the same
+/// rule `laq_inspect --pages` reports, a layout-quality proxy that needs
+/// no query: a predicate with a cut inside the column range can skip such
+/// a page, never a full-range one.
+struct LeafLayoutSummary {
+  std::string path;
+  TypeId physical = TypeId::kFloat32;
+  Encoding encoding = Encoding::kPlain;
+  uint64_t storage_bytes = 0;
+  uint64_t pages = 0;
+  uint64_t prunable_pages = 0;
+
+  double prunable_fraction() const {
+    return pages == 0 ? 0.0
+                      : static_cast<double>(prunable_pages) /
+                            static_cast<double>(pages);
+  }
+};
+
+/// Whole-file layout summary, computed from footer metadata only.
+struct LayoutAnalysis {
+  int64_t total_rows = 0;
+  int row_groups = 0;
+  uint64_t storage_bytes = 0;
+  std::vector<LeafLayoutSummary> leaves;
+};
+
+/// Summarizes `path`'s layout from its footer (no chunk data is read).
+Result<LayoutAnalysis> AnalyzeLaqFile(const std::string& path);
+
+/// Rewrites `input` into `output` per `options` and returns the analysis
+/// of the written file. The output is a complete, self-contained laq file
+/// with the same schema and rows; only order, partitioning, and encodings
+/// differ.
+Result<LayoutAnalysis> OptimizeLaqFile(const std::string& input,
+                                       const std::string& output,
+                                       const OptimizeOptions& options = {});
+
+/// Extracts the per-event sort key for `path` from a batch (exposed for
+/// tests). List item leaves reduce to the per-event maximum; events with
+/// empty lists get -infinity so they cluster together at the front.
+Result<std::vector<double>> ExtractClusterKey(const RecordBatch& batch,
+                                              const std::string& path);
+
+/// The derived sizing used when OptimizeOptions leaves a field at 0
+/// (exposed so tools can print what a rewrite would choose).
+int64_t DeriveRowGroupSize(int64_t total_rows);
+int64_t DerivePageValues(int64_t row_group_size);
+
+}  // namespace hepq
+
+#endif  // HEPQUERY_FILEIO_LAYOUT_OPTIMIZER_H_

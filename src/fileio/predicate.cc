@@ -39,12 +39,43 @@ void ScanPredicateSet::AddItemRange(const std::string& leaf_path, double lo,
   predicates_.push_back(ScanPredicate{leaf_path, lo, hi, /*item=*/true});
 }
 
+void ScanPredicateSet::AddMinCountSum(
+    const std::vector<std::string>& list_columns, int64_t n) {
+  if (list_columns.empty() || n < 1) return;
+  SumMinCountPredicate pred;
+  pred.min_total = n;
+  for (const std::string& column : list_columns) {
+    pred.lengths_leaves.push_back(column + "#lengths");
+  }
+  // Keep only the tightest bound over an identical leaf set; different
+  // sets stay separate conjuncts.
+  for (SumMinCountPredicate& existing : sum_predicates_) {
+    if (existing.lengths_leaves == pred.lengths_leaves) {
+      existing.min_total = std::max(existing.min_total, pred.min_total);
+      return;
+    }
+  }
+  sum_predicates_.push_back(std::move(pred));
+}
+
 void ScanPredicateSet::Merge(const ScanPredicateSet& other) {
   for (const ScanPredicate& p : other.predicates_) {
     if (p.item) {
       AddItemRange(p.leaf_path, p.min_value, p.max_value);
     } else {
       Intersect(p.leaf_path, p.min_value, p.max_value);
+    }
+  }
+  for (const SumMinCountPredicate& p : other.sum_predicates_) {
+    auto same_leaves = [&p](const SumMinCountPredicate& existing) {
+      return existing.lengths_leaves == p.lengths_leaves;
+    };
+    const auto it = std::find_if(sum_predicates_.begin(),
+                                 sum_predicates_.end(), same_leaves);
+    if (it != sum_predicates_.end()) {
+      it->min_total = std::max(it->min_total, p.min_total);
+    } else {
+      sum_predicates_.push_back(p);
     }
   }
 }
@@ -54,6 +85,12 @@ std::string ScanPredicateSet::ToString() const {
   for (const ScanPredicate& p : predicates_) {
     os << p.leaf_path << (p.item ? " has element in [" : " in [")
        << p.min_value << ", " << p.max_value << "]\n";
+  }
+  for (const SumMinCountPredicate& p : sum_predicates_) {
+    for (size_t i = 0; i < p.lengths_leaves.size(); ++i) {
+      os << (i == 0 ? "" : " + ") << p.lengths_leaves[i];
+    }
+    os << " >= " << p.min_total << "\n";
   }
   return os.str();
 }
@@ -79,6 +116,27 @@ std::vector<BoundScanPredicate> BindScanPredicates(
     // drop such mislabeled predicates rather than risk over-pruning.
     if (p.item && b.per_row) continue;
     bound.push_back(b);
+  }
+  return bound;
+}
+
+std::vector<BoundSumPredicate> BindSumPredicates(const ScanPredicateSet& set,
+                                                 const FileMetadata& meta) {
+  std::vector<BoundSumPredicate> bound;
+  for (const SumMinCountPredicate& p : set.sum_predicates()) {
+    BoundSumPredicate b;
+    b.min_total = p.min_total;
+    bool complete = !p.lengths_leaves.empty();
+    for (const std::string& leaf_path : p.lengths_leaves) {
+      const int leaf = meta.LeafIndex(leaf_path);
+      if (leaf < 0 ||
+          !meta.layout[static_cast<size_t>(leaf)].is_lengths) {
+        complete = false;
+        break;
+      }
+      b.leaf_indices.push_back(leaf);
+    }
+    if (complete) bound.push_back(std::move(b));
   }
   return bound;
 }

@@ -46,6 +46,16 @@ struct ScanPredicate {
   bool item = false;
 };
 
+/// One necessary lower bound on the combined size of several lists (union
+/// lists like "Lepton" = Electron + Muon): the sum of the lists' lengths
+/// must reach `min_total` for a row to survive. No single lengths leaf
+/// bounds a union, but the sum of the *zone maxima* of all source lengths
+/// leaves bounds the per-row sum, which enables row-group pruning.
+struct SumMinCountPredicate {
+  std::vector<std::string> lengths_leaves;  // "Electron#lengths", ...
+  int64_t min_total = 0;
+};
+
 /// A conjunction of ScanPredicates, one per distinct leaf (ranges on the
 /// same leaf are intersected as they are added).
 class ScanPredicateSet {
@@ -64,9 +74,21 @@ class ScanPredicateSet {
   /// in it has a qualifying element and every event fails the gate.
   void AddItemRange(const std::string& leaf_path, double lo, double hi);
 
-  bool empty() const { return predicates_.empty(); }
-  size_t size() const { return predicates_.size(); }
+  /// Adds the necessary condition `sum over columns of |list| >= n` for a
+  /// union list concatenating several storage columns. Enables row-group
+  /// pruning only (see SumMinCountPredicate); n < 1 or an empty column
+  /// set adds nothing.
+  void AddMinCountSum(const std::vector<std::string>& list_columns,
+                      int64_t n);
+
+  bool empty() const {
+    return predicates_.empty() && sum_predicates_.empty();
+  }
+  size_t size() const { return predicates_.size() + sum_predicates_.size(); }
   const std::vector<ScanPredicate>& predicates() const { return predicates_; }
+  const std::vector<SumMinCountPredicate>& sum_predicates() const {
+    return sum_predicates_;
+  }
 
   /// Union of the other set's conditions into this one (same-leaf ranges
   /// intersect, making the conjunction stronger).
@@ -79,6 +101,7 @@ class ScanPredicateSet {
   void Intersect(const std::string& leaf_path, double lo, double hi);
 
   std::vector<ScanPredicate> predicates_;
+  std::vector<SumMinCountPredicate> sum_predicates_;
 };
 
 /// A ScanPredicate resolved against one file's leaf layout.
@@ -94,10 +117,22 @@ struct BoundScanPredicate {
   bool is_lengths = false;
 };
 
+/// A SumMinCountPredicate resolved against one file's leaf layout.
+struct BoundSumPredicate {
+  std::vector<int> leaf_indices;  // all lengths leaves, all present
+  int64_t min_total = 0;
+};
+
 /// Resolves `set` against `meta`, dropping predicates whose leaf the file
 /// does not carry. Never fails: pruning is an optimization, not a
 /// requirement.
 std::vector<BoundScanPredicate> BindScanPredicates(
+    const ScanPredicateSet& set, const FileMetadata& meta);
+
+/// Resolves the sum-of-lengths conditions. A condition is dropped unless
+/// *every* source lengths leaf exists (a missing term would make the
+/// zone-sum bound unsound).
+std::vector<BoundSumPredicate> BindSumPredicates(
     const ScanPredicateSet& set, const FileMetadata& meta);
 
 /// True when a zone [stats_min, stats_max] is disjoint from the

@@ -375,7 +375,7 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
         FillLanes(leaf.physical, page.min_value, n,
                   scratch->values.data() + value_offset * width);
         stats_.pages_pruned += 1;
-        stats_.rows_pruned += page.num_values;
+        stats_.lanes_pruned += page.num_values;
       } else {
         if (options_.validate_checksums &&
             Crc32(compressed.data() + byte_offset, page.compressed_size) !=
@@ -530,6 +530,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
   const Schema& schema = metadata_.schema;
   const int64_t rows =
       metadata_.row_groups[static_cast<size_t>(group_index)].num_rows;
+  // Every group reaches here at most once per scan (pruned groups return
+  // before this point), so rows_pruned + rows_read == total rows.
+  stats_.rows_read += static_cast<uint64_t>(rows);
 
   std::vector<Field> out_fields;
   std::vector<ArrayPtr> out_columns;
@@ -720,6 +723,27 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
       const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(b.leaf_index)];
       if (chunk.has_stats &&
           ZoneDisjoint(chunk.min_value, chunk.max_value, b)) {
+        stats_.groups_pruned += 1;
+        stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
+        return RecordBatchPtr();
+      }
+    }
+    // Union min-counts: a row's combined list size is bounded above by
+    // the sum of the per-leaf zone maxima, so if even that bound misses
+    // the threshold, no row in the group can pass.
+    for (const BoundSumPredicate& s :
+         BindSumPredicates(predicates, metadata_)) {
+      double max_total = 0.0;
+      bool all_stats = true;
+      for (const int leaf : s.leaf_indices) {
+        const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(leaf)];
+        if (!chunk.has_stats) {
+          all_stats = false;
+          break;
+        }
+        max_total += chunk.max_value;
+      }
+      if (all_stats && max_total < static_cast<double>(s.min_total)) {
         stats_.groups_pruned += 1;
         stats_.rows_pruned += static_cast<uint64_t>(rg.num_rows);
         return RecordBatchPtr();

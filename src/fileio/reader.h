@@ -57,9 +57,20 @@ struct ScanStats {
   uint64_t decoded_bytes = 0;
   uint64_t pages_read = 0;
   uint64_t pages_pruned = 0;
-  /// Row lanes never decoded: rows of pruned groups plus per-row lanes of
-  /// skipped pages (diagnostic; one row may be counted once per leaf).
+  /// Rows of row groups skipped whole (group zone map, or a late-
+  /// materialization pre-pass that proved the group dead). Group-level
+  /// only — page skips never touch it — so the invariant
+  /// `rows_pruned + rows_read == total rows` holds exactly per scan.
+  /// (Before PR 7 this also accrued per-leaf page-skip lanes, which
+  /// double-counted rows when a dead group's pre-pass skipped pages.)
   uint64_t rows_pruned = 0;
+  /// Rows of row groups that reached the decoder, counted once per
+  /// ReadRowGroup/ReadRowGroupFiltered call even if every predicate
+  /// leaf's pages were skipped.
+  uint64_t rows_read = 0;
+  /// Per-leaf value lanes of pages skipped by the page zone map
+  /// (diagnostic; one row may count once per predicate leaf).
+  uint64_t lanes_pruned = 0;
   uint64_t groups_pruned = 0;
   /// Per-leaf breakdown of storage/decoded bytes and page pruning. A
   /// LaqReader sizes this once at Open (one slot per leaf of the file's
@@ -96,6 +107,8 @@ struct ScanStats {
     pages_read += o.pages_read;
     pages_pruned += o.pages_pruned;
     rows_pruned += o.rows_pruned;
+    rows_read += o.rows_read;
+    lanes_pruned += o.lanes_pruned;
     groups_pruned += o.groups_pruned;
     for (size_t i = 0; i < o.leaves.size(); ++i) {
       if (i < leaves.size() && leaves[i].path == o.leaves[i].path) {

@@ -181,9 +181,20 @@ LaqWriter::~LaqWriter() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+Status ValidateWriterOptions(const WriterOptions& options) {
+  if (options.row_group_size <= 0) {
+    return Status::Invalid("WriterOptions: row_group_size must be positive");
+  }
+  if (options.page_values <= 0) {
+    return Status::Invalid("WriterOptions: page_values must be positive");
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<LaqWriter>> LaqWriter::Open(const std::string& path,
                                                    SchemaPtr schema,
                                                    WriterOptions options) {
+  HEPQ_RETURN_NOT_OK(ValidateWriterOptions(options));
   std::vector<LeafDesc> layout;
   HEPQ_ASSIGN_OR_RETURN(layout, ComputeLeafLayout(*schema));
   std::FILE* file = std::fopen(path.c_str(), "wb");
@@ -215,17 +226,16 @@ Status LaqWriter::WriteBatch(const RecordBatch& batch) {
 Status LaqWriter::WriteChunk(const LeafDesc& leaf, TypeId physical,
                              const void* data, size_t count,
                              ChunkMeta* meta) {
-  const Encoding encoding = ChooseEncoding(physical, data, count);
+  const Encoding encoding =
+      ChooseEncoding(physical, data, count, options_.advanced_encodings);
   const size_t width = static_cast<size_t>(PrimitiveWidth(physical));
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
 
   // Page partition: one encoding unit per `page_values` values (each page
   // restarts the encoder, so the reader can decode any page on its own).
   // Rounded down to a multiple of 8 so bit-packed bool pages cover whole
-  // bytes; <= 0 disables interior pages.
-  size_t per_page = options_.page_values > 0
-                        ? static_cast<size_t>(options_.page_values)
-                        : count;
+  // bytes. page_values is validated positive at Open.
+  size_t per_page = static_cast<size_t>(options_.page_values);
   per_page = std::max<size_t>(8, per_page - per_page % 8);
 
   std::vector<PageMeta> pages;

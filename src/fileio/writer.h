@@ -25,9 +25,22 @@ struct WriterOptions {
   /// Values per page within a chunk. Pages are independently encoded and
   /// compressed so the reader can skip interior pages whose zone map rules
   /// them out. Rounded down to a multiple of 8 (bit-packed bool pages must
-  /// pack whole bytes); values <= 0 write one page per chunk.
+  /// pack whole bytes, with a floor of 8).
   int64_t page_values = 4096;
+  /// Adds the dictionary (kDict) and frame-of-reference (kFor) encodings
+  /// to the writer's candidate set for integer leaves. Off by default so
+  /// ordinary writes stay byte-identical across versions; the layout
+  /// optimizer turns it on.
+  bool advanced_encodings = false;
 };
+
+/// Rejects option combinations the writer cannot honor: non-positive
+/// `row_group_size` (every batch would flush as its own degenerate row
+/// group) and non-positive `page_values` (would silently fall back to a
+/// single page per chunk, defeating page pruning). Called by
+/// LaqWriter::Open; exposed so tools can validate flags before touching
+/// the output path.
+Status ValidateWriterOptions(const WriterOptions& options);
 
 /// Writes RecordBatches into a .laq columnar file.
 class LaqWriter {

@@ -383,6 +383,8 @@ std::string ReportToJson(const RunReport& report) {
       scan.UInt("pages_read", report.scan.pages_read);
       scan.UInt("pages_pruned", report.scan.pages_pruned);
       scan.UInt("rows_pruned", report.scan.rows_pruned);
+      scan.UInt("rows_read", report.scan.rows_read);
+      scan.UInt("lanes_pruned", report.scan.lanes_pruned);
       scan.UInt("groups_pruned", report.scan.groups_pruned);
     }
     {

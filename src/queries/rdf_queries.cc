@@ -311,9 +311,13 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
                           static_cast<double>(best_j),
                           static_cast<double>(other)};
       });
+      // A Z candidate plus a third lepton needs three leptons across both
+      // flavors combined.
+      ScanPredicateSet hint;
+      hint.AddMinCountSum({"Electron", "Muon"}, 3);
       auto selected = df->root().Filter([best](const EventView& e) {
         return e.Get(best)[0] != 0.0;
-      });
+      }, std::move(hint));
       handles.push_back(selected.Histo1D(
           specs[0],
           [met_pt, met_phi, electron, muon, best](const EventView& e) {

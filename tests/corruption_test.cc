@@ -244,7 +244,8 @@ TEST(DecodeBoundsTest, TruncatedStreamsRejected) {
   // Every encoding, fed half a stream: clean error, no over-read.
   const std::vector<int64_t> values = {5, 5, 5, 9, 12, 12, 40, 41};
   for (Encoding encoding :
-       {Encoding::kPlain, Encoding::kRleVarint, Encoding::kDeltaVarint}) {
+       {Encoding::kPlain, Encoding::kRleVarint, Encoding::kDeltaVarint,
+        Encoding::kDict, Encoding::kFor}) {
     std::vector<uint8_t> stream;
     EncodeValues(TypeId::kInt64, encoding, values.data(), values.size(),
                  &stream)
@@ -344,6 +345,90 @@ TEST(MutationSweepTest, ChunkDataBitFlipsCaughtByChecksum) {
         << "offset " << offset;
     // Without checksums the read may succeed with altered values, but it
     // must return; this is the no-crash half of the guarantee.
+    laqfuzz::ReadEverything(path, no_checksums);
+  }
+  EXPECT_GT(flips, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The same sweeps over a layout-optimized file, whose chunks carry the
+// dictionary and frame-of-reference encodings: the mutation enumeration
+// flips encodings into and out of kDict/kFor and rewrites sizes around
+// their headers, so this is the hardening gate for the new decode paths.
+// ---------------------------------------------------------------------------
+
+/// A small optimized file (advanced encodings on by default) with at
+/// least one dict- or for-encoded chunk, or the sweep proves nothing.
+Result<laqfuzz::LaqImage> SmallOptimizedImage(const std::string& name) {
+  DatasetSpec spec;
+  spec.num_events = 120;
+  spec.row_group_size = 40;
+  auto path = EnsureOptimizedDataset(::testing::TempDir() + "/" + name, spec);
+  HEPQ_RETURN_NOT_OK(path.status());
+  return laqfuzz::LoadLaqImage(*path);
+}
+
+bool UsesAdvancedEncodings(const laqfuzz::LaqImage& image) {
+  for (const RowGroupMeta& rg : image.metadata.row_groups) {
+    for (const ChunkMeta& chunk : rg.chunks) {
+      if (chunk.encoding == Encoding::kDict ||
+          chunk.encoding == Encoding::kFor) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(MutationSweepTest, AdvancedEncodingFieldMutationsHandledPerClass) {
+  auto image = SmallOptimizedImage("adv_fields").ValueOrDie();
+  ASSERT_TRUE(UsesAdvancedEncodings(image));
+  const std::string path = TempPath("adv_field_mutated.laq");
+  ReaderOptions with, without;
+  with.validate_checksums = true;
+  without.validate_checksums = false;
+  for (const laqfuzz::FieldMutation& m :
+       laqfuzz::EnumerateFieldMutations(image)) {
+    laqfuzz::WriteBytes(path, laqfuzz::ApplyFieldMutation(image, m)).Check();
+    const Status checked = laqfuzz::ReadEverything(path, with);
+    const Status unchecked = laqfuzz::ReadEverything(path, without);
+    const std::string what =
+        std::string(laqfuzz::MutatedFieldName(m.field)) + " of group " +
+        std::to_string(m.group) + " leaf " + std::to_string(m.leaf) +
+        " := " + std::to_string(m.value);
+    switch (m.mclass) {
+      case laqfuzz::MutationClass::kStructural:
+        EXPECT_FALSE(checked.ok()) << what;
+        EXPECT_FALSE(unchecked.ok()) << what << " (checksums off)";
+        break;
+      case laqfuzz::MutationClass::kChecksummed:
+        EXPECT_FALSE(checked.ok()) << what;
+        break;
+      case laqfuzz::MutationClass::kBestEffort:
+        break;  // reaching this line without crashing is the assertion
+    }
+  }
+}
+
+TEST(MutationSweepTest, AdvancedEncodingDataFlipsNeverCrash) {
+  auto image = SmallOptimizedImage("adv_flips").ValueOrDie();
+  ASSERT_TRUE(UsesAdvancedEncodings(image));
+  const std::string path = TempPath("adv_data_flipped.laq");
+  ReaderOptions no_checksums;
+  no_checksums.validate_checksums = false;
+  int flips = 0;
+  for (uint64_t offset = 4; offset < image.data_end && flips < 64;
+       offset += 499, ++flips) {
+    if (laqfuzz::FlipClass(image, offset) !=
+        laqfuzz::MutationClass::kChecksummed) {
+      continue;
+    }
+    laqfuzz::WriteBytes(path, laqfuzz::FlipBit(image, offset, 5)).Check();
+    EXPECT_FALSE(laqfuzz::ReadEverything(path, ReaderOptions{}).ok())
+        << "offset " << offset;
+    // The defensive dict/for decoders must turn any surviving damage into
+    // a clean Status (or altered values), never UB — this is the line the
+    // sanitizer jobs watch.
     laqfuzz::ReadEverything(path, no_checksums);
   }
   EXPECT_GT(flips, 0);

@@ -195,6 +195,287 @@ TEST(EncodingTest, DeltaRejectsFloats) {
           .ok());
 }
 
+// ---------------------------------------------------------------------------
+// Dictionary and frame-of-reference encodings (the advanced integer set)
+// ---------------------------------------------------------------------------
+
+TEST(EncodingTest, DictRoundTripLowCardinality) {
+  // Scattered magnitudes with only four distinct values: the dictionary
+  // case that plain/RLE/delta all handle badly.
+  std::vector<int32_t> values(4096);
+  const int32_t alphabet[] = {-2000000, 13, 999999, INT32_MAX};
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = alphabet[(i * 7 + i / 3) % 4];
+  }
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kDict, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  // Two index bits per value plus a tiny dictionary.
+  EXPECT_LT(encoded.size(), values.size() / 2);
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DictRoundTripInt64Extremes) {
+  const std::vector<int64_t> values = {INT64_MIN, 0, INT64_MAX, 0,
+                                       INT64_MIN, INT64_MAX, -1};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt64, Encoding::kDict, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  std::vector<int64_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt64, Encoding::kDict, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DictSingleValueCarriesNoIndices) {
+  std::vector<int32_t> values(1000, 42);
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kDict, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  // varint(1) + zig-zag varint(42): the indices are width 0.
+  EXPECT_EQ(encoded.size(), 2u);
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DictAllDistinctRoundTrips) {
+  std::vector<int32_t> values(257);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int32_t>(static_cast<uint32_t>(i) * 2654435761u);
+  }
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kDict, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, DictRejectsFloat) {
+  const float v = 1.0f;
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(
+      EncodeValues(TypeId::kFloat32, Encoding::kDict, &v, 1, &out).ok());
+}
+
+TEST(EncodingTest, DecodeDictRejectsOversizedDictionary) {
+  // A dictionary larger than the page's value count cannot come from an
+  // honest encoder; a crafted count must not trigger a huge allocation.
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 1u << 30);
+  int32_t out[4];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                         encoded.size(), 4, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeDictRejectsIndexOutOfRange) {
+  // Three dictionary entries -> width 2; a packed index of 3 points past
+  // the dictionary.
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 3);
+  PutSignedVarint(&encoded, 10);
+  PutSignedVarint(&encoded, 20);
+  PutSignedVarint(&encoded, 30);
+  encoded.push_back(0x03);  // indices {3, 0}; padding bits zero
+  int32_t out[2];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                         encoded.size(), 2, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeDictRejectsValueOutsideInt32) {
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 1);
+  PutSignedVarint(&encoded, int64_t{1} << 40);
+  int32_t out[3];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                         encoded.size(), 3, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeDictRejectsTrailingBytes) {
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 1);
+  PutSignedVarint(&encoded, 5);
+  encoded.push_back(0xff);
+  int32_t out[4];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                         encoded.size(), 4, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeDictRejectsNonzeroPaddingBits) {
+  // Two entries -> width 1; three values use 3 bits, so bits 3..7 of the
+  // single index byte are padding and must be zero.
+  std::vector<uint8_t> encoded;
+  PutVarint(&encoded, 2);
+  PutSignedVarint(&encoded, 1);
+  PutSignedVarint(&encoded, 2);
+  encoded.push_back(0xf8);
+  int32_t out[3];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                         encoded.size(), 3, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, ForRoundTripNarrowSpan) {
+  // A large base with a narrow spread: frame-of-reference's home turf.
+  std::vector<int32_t> values(4096);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1000000000 + static_cast<int32_t>((i * 37) % 8192);
+  }
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kFor, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  // 13 offset bits per value instead of 32.
+  EXPECT_LT(encoded.size(), values.size() * 2);
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kFor, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, ForRoundTripInt64FullSpan) {
+  // INT64_MIN..INT64_MAX spans the whole 64-bit range; the offsets must
+  // wrap in uint64 arithmetic rather than overflow.
+  const std::vector<int64_t> values = {INT64_MIN, -1, 0, 1, INT64_MAX};
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt64, Encoding::kFor, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  std::vector<int64_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt64, Encoding::kFor, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, ForConstantIsTwoBytes) {
+  std::vector<int32_t> values(5000, -7);
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(EncodeValues(TypeId::kInt32, Encoding::kFor, values.data(),
+                           values.size(), &encoded)
+                  .ok());
+  EXPECT_EQ(encoded.size(), 2u);  // base varint + width byte 0
+  std::vector<int32_t> decoded(values.size());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kFor, encoded.data(),
+                           encoded.size(), values.size(), decoded.data())
+                  .ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(EncodingTest, ForRejectsFloat) {
+  const float v = 1.0f;
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(
+      EncodeValues(TypeId::kFloat32, Encoding::kFor, &v, 1, &out).ok());
+}
+
+TEST(EncodingTest, DecodeForRejectsWidthOver64) {
+  std::vector<uint8_t> encoded;
+  PutSignedVarint(&encoded, 0);
+  encoded.push_back(65);
+  int32_t out[1];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kFor, encoded.data(),
+                         encoded.size(), 1, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeForRejectsValueOutsideInt32) {
+  // base INT32_MAX + offset 1 lands outside the leaf's physical type.
+  std::vector<uint8_t> encoded;
+  PutSignedVarint(&encoded, INT32_MAX);
+  encoded.push_back(1);
+  encoded.push_back(0x01);
+  int32_t out[1];
+  EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kFor, encoded.data(),
+                         encoded.size(), 1, out)
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(EncodingTest, DecodeForRejectsSizeMismatch) {
+  // Width 8 with two values needs exactly two offset bytes; one is short,
+  // three has a trailing byte — both must be rejected.
+  for (const size_t extra : {size_t{1}, size_t{3}}) {
+    std::vector<uint8_t> encoded;
+    PutSignedVarint(&encoded, 100);
+    encoded.push_back(8);
+    for (size_t i = 0; i < extra; ++i) encoded.push_back(0);
+    int32_t out[2];
+    EXPECT_EQ(DecodeValues(TypeId::kInt32, Encoding::kFor, encoded.data(),
+                           encoded.size(), 2, out)
+                  .code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST(EncodingTest, DictAndForEmptyPages) {
+  std::vector<uint8_t> encoded;
+  ASSERT_TRUE(
+      EncodeValues(TypeId::kInt32, Encoding::kDict, nullptr, 0, &encoded)
+          .ok());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt32, Encoding::kDict, encoded.data(),
+                           encoded.size(), 0, nullptr)
+                  .ok());
+  ASSERT_TRUE(
+      EncodeValues(TypeId::kInt64, Encoding::kFor, nullptr, 0, &encoded)
+          .ok());
+  ASSERT_TRUE(DecodeValues(TypeId::kInt64, Encoding::kFor, encoded.data(),
+                           encoded.size(), 0, nullptr)
+                  .ok());
+}
+
+/// Property sweep: dict and FOR round-trip random low-cardinality data
+/// (the distribution the optimizer targets them at).
+class AdvancedEncodingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdvancedEncodingProperty, RoundTripRandom) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131);
+  const size_t n = 1 + rng.NextBelow(3000);
+  const uint64_t cardinality = 1 + rng.NextBelow(40);
+  std::vector<int64_t> values(n);
+  for (auto& v : values) {
+    v = static_cast<int64_t>(rng.NextBelow(cardinality)) * 1000003 - 500;
+  }
+  for (const Encoding enc : {Encoding::kDict, Encoding::kFor}) {
+    std::vector<uint8_t> encoded;
+    ASSERT_TRUE(
+        EncodeValues(TypeId::kInt64, enc, values.data(), n, &encoded).ok());
+    std::vector<int64_t> decoded(n);
+    ASSERT_TRUE(DecodeValues(TypeId::kInt64, enc, encoded.data(),
+                             encoded.size(), n, decoded.data())
+                    .ok());
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdvancedEncodingProperty,
+                         ::testing::Range(1, 9));
+
 TEST(EncodingTest, ChooseEncodingPicksDeltaForMonotonicData) {
   std::vector<int64_t> ids(4096);
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -220,6 +501,80 @@ TEST(EncodingTest, ChooseEncodingHeuristics) {
   EXPECT_EQ(ChooseEncoding(TypeId::kFloat32, &f, 1), Encoding::kPlain);
   const uint8_t b = 1;
   EXPECT_EQ(ChooseEncoding(TypeId::kBool, &b, 1), Encoding::kBitPack);
+}
+
+TEST(EncodingTest, ChooseEncodingAdvancedPicksDictAndFor) {
+  // Low cardinality, scattered magnitudes: classic selection settles on
+  // plain, advanced finds the dictionary.
+  std::vector<int32_t> low_card(4096);
+  const int32_t alphabet[] = {-2000000, 13, 999999, 77};
+  for (size_t i = 0; i < low_card.size(); ++i) {
+    // (i*3)%4 cycles with period 4: no runs for RLE, no small deltas.
+    low_card[i] = alphabet[(i * 3) % 4];
+  }
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, low_card.data(), low_card.size()),
+            Encoding::kPlain);
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, low_card.data(), low_card.size(),
+                           /*advanced=*/true),
+            Encoding::kDict);
+
+  // High cardinality, narrow span on a large base, scattered order (so
+  // delta cannot claim it): the dictionary is bigger than the data,
+  // frame-of-reference wins.
+  std::vector<int32_t> narrow(4096);
+  for (size_t i = 0; i < narrow.size(); ++i) {
+    narrow[i] = 1000000000 +
+                static_cast<int32_t>((static_cast<uint32_t>(i) * 2654435761u) %
+                                     8192u);
+  }
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, narrow.data(), narrow.size(),
+                           /*advanced=*/true),
+            Encoding::kFor);
+}
+
+TEST(EncodingTest, ChooseEncodingAdvancedKeepsClassicUnlessClearlyBetter) {
+  // Span just under 2^28 -> 28 offset bits -> exactly 7/8 of plain's 32.
+  // That misses the "at least 1/8 smaller" margin, so plain stays.
+  std::vector<int32_t> wide(4096);
+  for (size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<int32_t>((static_cast<uint32_t>(i) * 2654435761u) &
+                                   0x0fffffffu);
+  }
+  EXPECT_EQ(ChooseEncoding(TypeId::kInt32, wide.data(), wide.size(),
+                           /*advanced=*/true),
+            Encoding::kPlain);
+  // Advanced selection never touches floats or bools.
+  const float f = 0.0f;
+  EXPECT_EQ(ChooseEncoding(TypeId::kFloat32, &f, 1, /*advanced=*/true),
+            Encoding::kPlain);
+  const uint8_t b = 1;
+  EXPECT_EQ(ChooseEncoding(TypeId::kBool, &b, 1, /*advanced=*/true),
+            Encoding::kBitPack);
+}
+
+/// Whatever ChooseEncoding picks must round-trip: sweep distributions
+/// through the full pick-encode-decode path with advanced selection on.
+TEST(EncodingTest, ChooseEncodingAdvancedAlwaysRoundTrips) {
+  Rng rng(977);
+  for (int trial = 0; trial < 24; ++trial) {
+    const size_t n = 1 + rng.NextBelow(2000);
+    const uint64_t cardinality = 1 + rng.NextBelow(1 + (trial * 97) % 512);
+    std::vector<int64_t> values(n);
+    for (auto& v : values) {
+      v = static_cast<int64_t>(rng.NextBelow(cardinality)) * 37 +
+          (trial % 3 == 0 ? 1000000000 : -64);
+    }
+    const Encoding enc = ChooseEncoding(TypeId::kInt64, values.data(), n,
+                                        /*advanced=*/true);
+    std::vector<uint8_t> encoded;
+    ASSERT_TRUE(
+        EncodeValues(TypeId::kInt64, enc, values.data(), n, &encoded).ok());
+    std::vector<int64_t> decoded(n);
+    ASSERT_TRUE(DecodeValues(TypeId::kInt64, enc, encoded.data(),
+                             encoded.size(), n, decoded.data())
+                    .ok());
+    EXPECT_EQ(decoded, values);
+  }
 }
 
 /// Property sweep: RLE round-trips arbitrary int sequences with varying

@@ -244,6 +244,83 @@ TEST(WriterReaderTest, StatisticsAreRecorded) {
   EXPECT_FLOAT_EQ(static_cast<float>(chunk.max_value), 30.5f);
 }
 
+TEST(WriterOptionsTest, RejectsNonPositiveSizes) {
+  // Regression: these used to be accepted and silently degraded —
+  // row_group_size <= 0 flushed every batch as its own degenerate group,
+  // page_values <= 0 collapsed each chunk into one unprunable page.
+  for (const int64_t bad : {int64_t{0}, int64_t{-1}, int64_t{-4096}}) {
+    WriterOptions rg;
+    rg.row_group_size = bad;
+    EXPECT_EQ(ValidateWriterOptions(rg).code(), StatusCode::kInvalid);
+    EXPECT_EQ(
+        WriteLaqFile(TempPath("bad_rg.laq"), TestSchema(), {TestBatch(0)}, rg)
+            .code(),
+        StatusCode::kInvalid);
+    WriterOptions pv;
+    pv.page_values = bad;
+    EXPECT_EQ(ValidateWriterOptions(pv).code(), StatusCode::kInvalid);
+    EXPECT_EQ(
+        WriteLaqFile(TempPath("bad_pv.laq"), TestSchema(), {TestBatch(0)}, pv)
+            .code(),
+        StatusCode::kInvalid);
+  }
+  EXPECT_TRUE(ValidateWriterOptions(WriterOptions{}).ok());
+}
+
+TEST(WriterReaderTest, AdvancedEncodingsRoundTripThroughFile) {
+  // Integer leaves shaped for the advanced set: low-cardinality scattered
+  // charges (dictionary) and a narrow-span id on a large base (FOR).
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"charge", DataType::Int32()},
+      {"lumi", DataType::Int64()},
+  });
+  std::vector<int32_t> charges(1024);
+  std::vector<int64_t> lumis(1024);
+  const int32_t alphabet[] = {-2000000, 13, 999999, 77};
+  for (size_t i = 0; i < charges.size(); ++i) {
+    charges[i] = alphabet[(i * 3) % 4];
+    lumis[i] = 5000000000ll +
+               static_cast<int64_t>((static_cast<uint32_t>(i) * 2654435761u) %
+                                    8192u);
+  }
+  auto batch =
+      RecordBatch::Make(schema, {MakeInt32Array(charges),
+                                 MakeInt64Array(lumis)})
+          .ValueOrDie();
+
+  const std::string path = TempPath("advanced.laq");
+  WriterOptions options;
+  options.advanced_encodings = true;
+  ASSERT_TRUE(WriteLaqFile(path, schema, {batch}, options).ok());
+
+  auto reader = LaqReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  const FileMetadata& meta = (*reader)->metadata();
+  const int charge_idx = meta.LeafIndex("charge");
+  const int lumi_idx = meta.LeafIndex("lumi");
+  ASSERT_GE(charge_idx, 0);
+  ASSERT_GE(lumi_idx, 0);
+  EXPECT_EQ(meta.row_groups[0].chunks[static_cast<size_t>(charge_idx)].encoding,
+            Encoding::kDict);
+  EXPECT_EQ(meta.row_groups[0].chunks[static_cast<size_t>(lumi_idx)].encoding,
+            Encoding::kFor);
+
+  auto read = (*reader)->ReadRowGroup(0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE((*read)->Equals(*batch));
+
+  // The same data written without the flag must not use the new
+  // encodings: default writes stay byte-compatible with old readers.
+  const std::string classic_path = TempPath("classic.laq");
+  ASSERT_TRUE(WriteLaqFile(classic_path, schema, {batch}).ok());
+  auto classic = LaqReader::Open(classic_path);
+  ASSERT_TRUE(classic.ok());
+  for (const ChunkMeta& chunk : (*classic)->metadata().row_groups[0].chunks) {
+    EXPECT_LE(static_cast<uint8_t>(chunk.encoding),
+              static_cast<uint8_t>(Encoding::kDeltaVarint));
+  }
+}
+
 TEST(WriterReaderTest, RowGroupSplitting) {
   const std::string path = TempPath("groups.laq");
   WriterOptions options;

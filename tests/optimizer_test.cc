@@ -1,0 +1,291 @@
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "columnar/builder.h"
+#include "datagen/dataset.h"
+#include "fileio/layout_optimizer.h"
+#include "fileio/predicate.h"
+#include "fileio/reader.h"
+#include "fileio/writer.h"
+#include "queries/adl.h"
+
+namespace hepq {
+namespace {
+
+using queries::EngineKind;
+using queries::RunAdlQuery;
+using queries::RunOptions;
+
+DatasetSpec TestSpec() {
+  DatasetSpec spec;
+  spec.num_events = 4000;
+  spec.row_group_size = 1000;
+  return spec;
+}
+
+/// The generator's layout: events in generation order, nothing clustered.
+const std::string& OriginalDataset() {
+  static const auto& path = *new std::string(
+      EnsureDataset(::testing::TempDir() + "/hepq_optimizer", TestSpec())
+          .ValueOrDie());
+  return path;
+}
+
+/// The same events after the layout optimization pass (default options).
+const std::string& OptimizedDataset() {
+  static const auto& path = *new std::string(
+      EnsureOptimizedDataset(::testing::TempDir() + "/hepq_optimizer",
+                             TestSpec())
+          .ValueOrDie());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// The optimizer's acceptance gate: rewriting the layout must be invisible
+// in every result. All 8 benchmark queries, all four frontends, pruning on
+// and off, single- and multi-threaded — histograms bit-identical between
+// the original file and its optimized copy.
+// ---------------------------------------------------------------------------
+
+class OptimizerBitIdentity : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerBitIdentity, RewrittenLayoutIsInvisibleInResults) {
+  const int q = GetParam();
+  for (EngineKind engine :
+       {EngineKind::kRdf, EngineKind::kBigQueryShape,
+        EngineKind::kPrestoShape, EngineKind::kDoc}) {
+    for (bool pushdown : {true, false}) {
+      for (int threads : {1, 4}) {
+        RunOptions options;
+        options.scan_pushdown = pushdown;
+        options.num_threads = threads;
+        const auto original =
+            RunAdlQuery(engine, q, OriginalDataset(), options);
+        const auto optimized =
+            RunAdlQuery(engine, q, OptimizedDataset(), options);
+        ASSERT_TRUE(original.ok()) << original.status().ToString();
+        ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+        EXPECT_EQ(original->events_processed, optimized->events_processed);
+        ASSERT_EQ(original->histograms.size(), optimized->histograms.size());
+        for (size_t h = 0; h < original->histograms.size(); ++h) {
+          const Histogram1D& a = original->histograms[h];
+          const Histogram1D& b = optimized->histograms[h];
+          ASSERT_EQ(a.num_entries(), b.num_entries())
+              << "Q" << q << " histogram " << h << " on "
+              << queries::EngineKindName(engine) << " pushdown=" << pushdown
+              << " threads=" << threads;
+          ASSERT_EQ(a.sum_weights(), b.sum_weights());
+          ASSERT_EQ(a.underflow(), b.underflow());
+          ASSERT_EQ(a.overflow(), b.overflow());
+          for (int i = 0; i < a.spec().num_bins; ++i) {
+            ASSERT_EQ(a.BinContent(i), b.BinContent(i))
+                << "Q" << q << " histogram " << h << " bin " << i << " on "
+                << queries::EngineKindName(engine);
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, OptimizerBitIdentity,
+                         ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// The point of the rewrite: zone maps that actually prune.
+// ---------------------------------------------------------------------------
+
+TEST(LayoutOptimizerTest, OptimizedLayoutMakesKinematicPagesPrunable) {
+  const auto before = AnalyzeLaqFile(OriginalDataset()).ValueOrDie();
+  const auto after = AnalyzeLaqFile(OptimizedDataset()).ValueOrDie();
+  EXPECT_EQ(before.total_rows, after.total_rows);
+
+  auto fraction = [](const LayoutAnalysis& analysis,
+                     const std::string& path) {
+    for (const LeafLayoutSummary& leaf : analysis.leaves) {
+      if (leaf.path == path) return leaf.prunable_fraction();
+    }
+    ADD_FAILURE() << "leaf not found: " << path;
+    return -1.0;
+  };
+  // The primary cluster key goes from "every page spans the full
+  // multiplicity range" to near-constant pages.
+  EXPECT_EQ(fraction(before, "Muon#lengths"), 0.0);
+  EXPECT_GT(fraction(after, "Muon#lengths"), 0.5);
+}
+
+TEST(LayoutOptimizerTest, SelectiveQueriesDecodeFewerBytesAfterRewrite) {
+  // Q5 gates on nMuon >= 2, Q8 on nElectron + nMuon >= 3; both should
+  // skip whole row groups on the clustered copy and none on the original.
+  for (int q : {5, 8}) {
+    const auto original =
+        RunAdlQuery(EngineKind::kBigQueryShape, q, OriginalDataset());
+    const auto optimized =
+        RunAdlQuery(EngineKind::kBigQueryShape, q, OptimizedDataset());
+    ASSERT_TRUE(original.ok()) << original.status().ToString();
+    ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+    EXPECT_EQ(original->scan.groups_pruned, 0u) << "Q" << q;
+    EXPECT_GT(optimized->scan.groups_pruned, 0u) << "Q" << q;
+    EXPECT_LT(optimized->scan.decoded_bytes, original->scan.decoded_bytes)
+        << "Q" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-key extraction units.
+// ---------------------------------------------------------------------------
+
+SchemaPtr KeySchema() {
+  return std::make_shared<Schema>(std::vector<Field>{
+      {"event", DataType::Int64()},
+      {"MET", DataType::Struct({{"pt", DataType::Float32()}})},
+      {"Jet", DataType::List(DataType::Struct({{"pt", DataType::Float32()}}))},
+  });
+}
+
+RecordBatchPtr KeyBatch() {
+  auto met = StructArray::Make({{"pt", DataType::Float32()}},
+                               {MakeFloat32Array({5.f, 25.f, 15.f})})
+                 .ValueOrDie();
+  // Row 0: jets {3, 9}; row 1: empty; row 2: jets {7}.
+  auto jets = MakeListOfStructArray({{"pt", DataType::Float32()}},
+                                    {0, 2, 2, 3},
+                                    {MakeFloat32Array({3.f, 9.f, 7.f})})
+                  .ValueOrDie();
+  return RecordBatch::Make(KeySchema(), {MakeInt64Array({11, 22, 33}),
+                                         met, ArrayPtr(jets)})
+      .ValueOrDie();
+}
+
+TEST(ClusterKeyTest, ExtractsEveryAcceptedKeyForm) {
+  const RecordBatchPtr batch = KeyBatch();
+
+  const auto lengths = ExtractClusterKey(*batch, "Jet#lengths").ValueOrDie();
+  EXPECT_EQ(lengths, (std::vector<double>{2, 0, 1}));
+
+  const auto met = ExtractClusterKey(*batch, "MET.pt").ValueOrDie();
+  EXPECT_EQ(met, (std::vector<double>{5, 25, 15}));
+
+  const auto event = ExtractClusterKey(*batch, "event").ValueOrDie();
+  EXPECT_EQ(event, (std::vector<double>{11, 22, 33}));
+
+  // Item leaves reduce to the per-event maximum; empty lists sort first.
+  const auto jet_pt = ExtractClusterKey(*batch, "Jet.pt").ValueOrDie();
+  ASSERT_EQ(jet_pt.size(), 3u);
+  EXPECT_EQ(jet_pt[0], 9.0);
+  EXPECT_TRUE(std::isinf(jet_pt[1]) && jet_pt[1] < 0);
+  EXPECT_EQ(jet_pt[2], 7.0);
+
+  EXPECT_FALSE(ExtractClusterKey(*batch, "nope").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Union min-count predicates (sum-of-lengths over several lists).
+// ---------------------------------------------------------------------------
+
+TEST(SumPredicateTest, KeepsTightestBoundPerLeafSet) {
+  ScanPredicateSet set;
+  EXPECT_TRUE(set.empty());
+  set.AddMinCountSum({"Electron", "Muon"}, 2);
+  set.AddMinCountSum({"Electron", "Muon"}, 3);  // tightens
+  set.AddMinCountSum({"Electron", "Muon"}, 1);  // weaker: ignored
+  EXPECT_FALSE(set.empty());
+  ASSERT_EQ(set.sum_predicates().size(), 1u);
+  EXPECT_EQ(set.sum_predicates()[0].min_total, 3);
+  EXPECT_EQ(set.size(), 1u);
+
+  set.AddMinCountSum({"Muon"}, 2);  // different leaf set: new conjunct
+  EXPECT_EQ(set.sum_predicates().size(), 2u);
+
+  set.AddMinCountSum({}, 3);           // no-ops
+  set.AddMinCountSum({"Photon"}, 0);
+  EXPECT_EQ(set.sum_predicates().size(), 2u);
+
+  ScanPredicateSet other;
+  other.AddMinCountSum({"Electron", "Muon"}, 5);
+  set.Merge(other);
+  EXPECT_EQ(set.sum_predicates()[0].min_total, 5);
+
+  EXPECT_NE(set.ToString().find(
+                "Electron#lengths + Muon#lengths >= 5"),
+            std::string::npos);
+}
+
+TEST(SumPredicateTest, BindRequiresEverySourceLeaf) {
+  const std::string path =
+      ::testing::TempDir() + "/sum_predicate_bind.laq";
+  ASSERT_TRUE(WriteLaqFile(path, KeySchema(), {KeyBatch()}).ok());
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  const FileMetadata& meta = reader->metadata();
+
+  ScanPredicateSet present;
+  present.AddMinCountSum({"Jet"}, 2);
+  const auto bound = BindSumPredicates(present, meta);
+  ASSERT_EQ(bound.size(), 1u);
+  EXPECT_EQ(bound[0].min_total, 2);
+  ASSERT_EQ(bound[0].leaf_indices.size(), 1u);
+  EXPECT_EQ(bound[0].leaf_indices[0], meta.LeafIndex("Jet#lengths"));
+
+  // A missing term would make the zone-sum bound unsound, so the whole
+  // condition is dropped — not applied on the leaves that do exist.
+  ScanPredicateSet partial;
+  partial.AddMinCountSum({"Jet", "Photon"}, 2);
+  EXPECT_TRUE(BindSumPredicates(partial, meta).empty());
+}
+
+TEST(SumPredicateTest, ZoneSumPrunesOnlyImpossibleGroups) {
+  auto schema = std::make_shared<Schema>(std::vector<Field>{
+      {"A", DataType::List(DataType::Float64())},
+      {"B", DataType::List(DataType::Float64())},
+  });
+  auto make_batch = [&](std::vector<uint32_t> a_offsets,
+                        std::vector<uint32_t> b_offsets) {
+    const uint32_t a_total = a_offsets.back();
+    const uint32_t b_total = b_offsets.back();
+    auto a = ListArray::Make(
+                 a_offsets,
+                 MakeFloat64Array(std::vector<double>(
+                     static_cast<size_t>(a_total), 1.0)))
+                 .ValueOrDie();
+    auto b = ListArray::Make(
+                 b_offsets,
+                 MakeFloat64Array(std::vector<double>(
+                     static_cast<size_t>(b_total), 2.0)))
+                 .ValueOrDie();
+    return RecordBatch::Make(schema, {ArrayPtr(a), ArrayPtr(b)})
+        .ValueOrDie();
+  };
+  // Group 0: per-row sums max out at 1 + 1 = 2. Group 1: a row reaches 3.
+  const std::string path = ::testing::TempDir() + "/sum_predicate_prune.laq";
+  WriterOptions options;
+  options.row_group_size = 3;
+  ASSERT_TRUE(WriteLaqFile(path, schema,
+                           {make_batch({0, 1, 1, 2}, {0, 1, 2, 2}),
+                            make_batch({0, 2, 2, 3}, {0, 1, 2, 2})},
+                           options)
+                  .ok());
+
+  auto reader = LaqReader::Open(path).ValueOrDie();
+  ScanPredicateSet preds;
+  preds.AddMinCountSum({"A", "B"}, 3);
+
+  const auto pruned = reader->ReadRowGroupFiltered(0, {"A", "B"}, preds,
+                                                   nullptr);
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(*pruned, nullptr);  // no row can reach a combined size of 3
+  EXPECT_EQ(reader->scan_stats().groups_pruned, 1u);
+  EXPECT_EQ(reader->scan_stats().rows_pruned, 3u);
+
+  const auto kept = reader->ReadRowGroupFiltered(1, {"A", "B"}, preds,
+                                                 nullptr);
+  ASSERT_TRUE(kept.ok()) << kept.status().ToString();
+  ASSERT_NE(*kept, nullptr);  // zone sum reaches 2 + 1 = 3: cannot prune
+  EXPECT_EQ((*kept)->num_rows(), 3);
+  EXPECT_EQ(reader->scan_stats().groups_pruned, 1u);
+}
+
+}  // namespace
+}  // namespace hepq

@@ -160,6 +160,37 @@ TEST_P(PruningBitIdentity, AllFrontendsUnchangedByPushdownToggles) {
 INSTANTIATE_TEST_SUITE_P(AllQueries, PruningBitIdentity,
                          ::testing::Range(1, 9));
 
+/// Row accounting closes: every event in the file is either skipped by a
+/// row-group zone map (rows_pruned) or enters decode (rows_read). Page
+/// skips within a surviving group land in lanes_pruned instead, so the
+/// two row counters cannot double-count (the regression this pins down:
+/// page skips used to add into rows_pruned on top of the group skips).
+class RowAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowAccounting, PrunedPlusReadEqualsTotal) {
+  const int q = GetParam();
+  for (EngineKind engine :
+       {EngineKind::kRdf, EngineKind::kBigQueryShape,
+        EngineKind::kPrestoShape, EngineKind::kDoc}) {
+    for (const bool pushdown : {true, false}) {
+      RunOptions options;
+      options.scan_pushdown = pushdown;
+      const auto run = RunAdlQuery(engine, q, TestDataset(), options);
+      ASSERT_TRUE(run.ok())
+          << EngineKindName(engine) << ": " << run.status().ToString();
+      EXPECT_EQ(run->scan.rows_pruned + run->scan.rows_read, 6000u)
+          << "Q" << q << " on " << EngineKindName(engine)
+          << " pushdown=" << pushdown;
+      if (!pushdown) {
+        EXPECT_EQ(run->scan.rows_pruned, 0u);
+        EXPECT_EQ(run->scan.lanes_pruned, 0u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, RowAccounting, ::testing::Range(1, 9));
+
 TEST(QueriesTest, OpsCountersTrackComplexity) {
   // Q6 must explore far more combinations per event than Q2 (Table 2).
   const auto q2 =

@@ -22,6 +22,8 @@
 //     the machine-readable RunReport JSON instead
 //   --trace=path.json: write the spans as Chrome trace_event JSON,
 //     loadable in chrome://tracing or Perfetto
+//   --data=path.laq: run over an existing laq file (e.g. a laq_optimize'd
+//     copy) instead of generating one from the events count
 //   "explain" prints the relational plans instead of executing.
 
 #include <cstdio>
@@ -130,8 +132,13 @@ void RunOne(EngineKind engine, int q, const std::string& path,
 int main(int argc, char** argv) {
   hepq::queries::RunOptions options;
   ProfileOptions profile;
+  std::string data_path;
   int kept = 1;  // strip option flags wherever they appear
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--data=", 7) == 0) {
+      data_path = argv[i] + 7;
+      continue;
+    }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       const int v = std::atoi(argv[i] + 10);
       if (v > 0) options.num_threads = v;
@@ -178,7 +185,7 @@ int main(int argc, char** argv) {
                          " [--vexpr-tier=interpret|bytecode|simd]"
                          " [--no-pushdown]"
                          " [--no-late-mat] [--profile[=report.json]]"
-                         " [--trace=trace.json]\n",
+                         " [--trace=trace.json] [--data=path.laq]\n",
                  argv[0]);
     return 2;
   }
@@ -190,14 +197,20 @@ int main(int argc, char** argv) {
   const std::string engine_name = argc > 2 ? argv[2] : "rdf";
   const int64_t events = argc > 3 ? std::atoll(argv[3]) : 20000;
 
-  hepq::DatasetSpec spec;
-  spec.num_events = events;
-  spec.row_group_size = std::max<int64_t>(1000, events / 4);
-  auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
-  path.status().Check();
+  std::string data;
+  if (!data_path.empty()) {
+    data = data_path;
+  } else {
+    hepq::DatasetSpec spec;
+    spec.num_events = events;
+    spec.row_group_size = std::max<int64_t>(1000, events / 4);
+    auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
+    path.status().Check();
+    data = *path;
+  }
 
   std::printf("Q%d: %s\ndata: %s\n\n", q, hepq::queries::AdlQueryTitle(q),
-              path->c_str());
+              data.c_str());
 
   if (engine_name == "explain") {
     auto expr_plan = hepq::queries::BuildAdlEventQuery(q);
@@ -216,7 +229,7 @@ int main(int argc, char** argv) {
     for (EngineKind engine :
          {EngineKind::kRdf, EngineKind::kBigQueryShape,
           EngineKind::kPrestoShape, EngineKind::kDoc}) {
-      RunOne(engine, q, *path, options, profile, /*suffix_outputs=*/true);
+      RunOne(engine, q, data, options, profile, /*suffix_outputs=*/true);
     }
     return 0;
   }
@@ -233,6 +246,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
-  RunOne(engine, q, *path, options, profile, /*suffix_outputs=*/false);
+  RunOne(engine, q, data, options, profile, /*suffix_outputs=*/false);
   return 0;
 }

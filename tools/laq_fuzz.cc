@@ -140,6 +140,59 @@ int CheckPristine(const std::string& path) {
   return failures;
 }
 
+/// Runs the full mutation corpus (truncations, footer field mutations,
+/// seeded bit flips) over one base image. Shared by the classic-encoding
+/// and advanced-encoding (layout-optimized) passes.
+void SweepImage(const LaqImage& image, const char* tag,
+                const Options& options, Tally* tally) {
+  const std::string mutated_path = options.dir + "/mutated.laq";
+
+  // 1. Truncations at every structural boundary, and one byte to each
+  // side: every "half-written file" shape a crashed writer leaves behind.
+  const std::vector<uint64_t> boundaries =
+      hepq::laqfuzz::StructuralBoundaries(image);
+  const int before_truncations = tally->total;
+  for (uint64_t b : boundaries) {
+    for (uint64_t size : {b > 0 ? b - 1 : b, b, b + 1}) {
+      if (size >= image.bytes.size()) continue;
+      CheckMutation(mutated_path, hepq::laqfuzz::TruncateAt(image, size),
+                    MutationClass::kStructural,
+                    "truncate to " + std::to_string(size) + " bytes", options,
+                    tally);
+    }
+  }
+  std::printf("[%s] truncations: %d boundaries, %d files\n", tag,
+              static_cast<int>(boundaries.size()),
+              tally->total - before_truncations);
+
+  // 2. Targeted footer field mutations under a valid footer CRC.
+  const std::vector<FieldMutation> field_mutations =
+      hepq::laqfuzz::EnumerateFieldMutations(image);
+  for (const FieldMutation& m : field_mutations) {
+    CheckMutation(
+        mutated_path, hepq::laqfuzz::ApplyFieldMutation(image, m), m.mclass,
+        std::string("footer field ") +
+            hepq::laqfuzz::MutatedFieldName(m.field) + " of group " +
+            std::to_string(m.group) + " leaf " + std::to_string(m.leaf) +
+            " := " + std::to_string(m.value),
+        options, tally);
+  }
+  std::printf("[%s] footer field mutations: %d\n", tag,
+              static_cast<int>(field_mutations.size()));
+
+  // 3. Seeded bit flips over the whole file.
+  hepq::Rng rng(options.seed);
+  for (int i = 0; i < options.flips; ++i) {
+    const uint64_t offset = rng.NextBelow(image.bytes.size());
+    const int bit = static_cast<int>(rng.NextBelow(8));
+    CheckMutation(mutated_path, hepq::laqfuzz::FlipBit(image, offset, bit),
+                  hepq::laqfuzz::FlipClass(image, offset),
+                  "flip bit " + std::to_string(bit) + " of byte " +
+                      std::to_string(offset),
+                  options, tally);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -195,49 +248,44 @@ int main(int argc, char** argv) {
 
   Tally tally;
   int pristine_failures = CheckPristine(*base);
-  const std::string mutated_path = options.dir + "/mutated.laq";
+  SweepImage(image, "classic", options, &tally);
 
-  // 1. Truncations at every structural boundary, and one byte to each
-  // side: every "half-written file" shape a crashed writer leaves behind.
-  const std::vector<uint64_t> boundaries =
-      hepq::laqfuzz::StructuralBoundaries(image);
-  for (uint64_t b : boundaries) {
-    for (uint64_t size : {b > 0 ? b - 1 : b, b, b + 1}) {
-      if (size >= image.bytes.size()) continue;
-      CheckMutation(mutated_path, hepq::laqfuzz::TruncateAt(image, size),
-                    MutationClass::kStructural,
-                    "truncate to " + std::to_string(size) + " bytes",
-                    options, &tally);
+  // The same corpus over the layout-optimized rewrite of the base file,
+  // whose chunks carry the dictionary / frame-of-reference encodings; the
+  // footer enumeration flips encodings into and out of kDict/kFor, so
+  // this pass is what exercises the defensive decode kernels end to end.
+  auto optimized = hepq::EnsureOptimizedDataset(options.dir, spec);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "cannot optimize base file: %s\n",
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+  auto optimized_image = hepq::laqfuzz::LoadLaqImage(*optimized);
+  if (!optimized_image.ok()) {
+    std::fprintf(stderr, "optimized file does not load: %s\n",
+                 optimized_image.status().ToString().c_str());
+    return 1;
+  }
+  bool has_advanced = false;
+  for (const hepq::RowGroupMeta& rg :
+       optimized_image->metadata.row_groups) {
+    for (const hepq::ChunkMeta& chunk : rg.chunks) {
+      if (chunk.encoding == hepq::Encoding::kDict ||
+          chunk.encoding == hepq::Encoding::kFor) {
+        has_advanced = true;
+      }
     }
   }
-  std::printf("truncations: %d boundaries, %d files\n",
-              static_cast<int>(boundaries.size()), tally.total);
-
-  // 2. Targeted footer field mutations under a valid footer CRC.
-  const std::vector<FieldMutation> field_mutations =
-      hepq::laqfuzz::EnumerateFieldMutations(image);
-  for (const FieldMutation& m : field_mutations) {
-    CheckMutation(
-        mutated_path, hepq::laqfuzz::ApplyFieldMutation(image, m), m.mclass,
-        std::string("footer field ") + hepq::laqfuzz::MutatedFieldName(m.field) +
-            " of group " + std::to_string(m.group) + " leaf " +
-            std::to_string(m.leaf) + " := " + std::to_string(m.value),
-        options, &tally);
+  if (!has_advanced) {
+    std::fprintf(stderr,
+                 "optimized file carries no dict/for chunks; the advanced "
+                 "sweep would not cover the new decoders\n");
+    return 1;
   }
-  std::printf("footer field mutations: %d\n",
-              static_cast<int>(field_mutations.size()));
-
-  // 3. Seeded bit flips over the whole file.
-  hepq::Rng rng(options.seed);
-  for (int i = 0; i < options.flips; ++i) {
-    const uint64_t offset = rng.NextBelow(image.bytes.size());
-    const int bit = static_cast<int>(rng.NextBelow(8));
-    CheckMutation(mutated_path, hepq::laqfuzz::FlipBit(image, offset, bit),
-                  hepq::laqfuzz::FlipClass(image, offset),
-                  "flip bit " + std::to_string(bit) + " of byte " +
-                      std::to_string(offset),
-                  options, &tally);
-  }
+  std::printf("optimized file: %s (%zu bytes)\n", optimized->c_str(),
+              optimized_image->bytes.size());
+  pristine_failures += CheckPristine(*optimized);
+  SweepImage(*optimized_image, "advanced", options, &tally);
 
   std::printf(
       "\n%d mutated files: %d structural, %d checksummed, %d best-effort "

@@ -2,7 +2,10 @@
 // groups, per-chunk encodings/codecs/sizes/statistics, and page-level zone
 // maps. The moral equivalent of parquet-tools for this repository's format.
 //
-// Usage: laq_inspect <file.laq> [--chunks] [--pages]
+// Usage: laq_inspect <file.laq> [--chunks] [--pages] [--json]
+//
+// --json replaces the human-readable dump with a machine-readable layout
+// summary (per-leaf pages/prunable-fraction/encoding) for CI gating.
 
 #include <algorithm>
 #include <cstdio>
@@ -11,23 +14,56 @@
 #include <string>
 #include <vector>
 
+#include "fileio/layout_optimizer.h"
 #include "fileio/reader.h"
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <file.laq> [--chunks] [--pages]\n",
+    std::fprintf(stderr,
+                 "usage: %s <file.laq> [--chunks] [--pages] [--json]\n",
                  argv[0]);
     return 2;
   }
   const std::string path = argv[1];
   bool show_chunks = false;
   bool show_pages = false;
+  bool json = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chunks") == 0) show_chunks = true;
     if (std::strcmp(argv[i], "--pages") == 0) {
       show_chunks = true;
       show_pages = true;
     }
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+
+  if (json) {
+    auto analysis_result = hepq::AnalyzeLaqFile(path);
+    if (!analysis_result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   analysis_result.status().ToString().c_str());
+      return 1;
+    }
+    const hepq::LayoutAnalysis& analysis = *analysis_result;
+    std::printf("{\"file\": \"%s\", \"rows\": %lld, \"row_groups\": %d, "
+                "\"storage_bytes\": %llu, \"leaves\": [",
+                path.c_str(), static_cast<long long>(analysis.total_rows),
+                analysis.row_groups,
+                static_cast<unsigned long long>(analysis.storage_bytes));
+    for (size_t l = 0; l < analysis.leaves.size(); ++l) {
+      const hepq::LeafLayoutSummary& leaf = analysis.leaves[l];
+      std::printf("%s{\"path\": \"%s\", \"encoding\": \"%s\", "
+                  "\"storage_bytes\": %llu, \"pages\": %llu, "
+                  "\"prunable_pages\": %llu, \"prunable_fraction\": %.4f}",
+                  l == 0 ? "" : ", ", leaf.path.c_str(),
+                  EncodingName(leaf.encoding),
+                  static_cast<unsigned long long>(leaf.storage_bytes),
+                  static_cast<unsigned long long>(leaf.pages),
+                  static_cast<unsigned long long>(leaf.prunable_pages),
+                  leaf.prunable_fraction());
+    }
+    std::printf("]}\n");
+    return 0;
   }
 
   auto reader_result = hepq::LaqReader::Open(path);

@@ -1,0 +1,265 @@
+// laq_optimize: rewrite a .laq dataset into a pruning-friendly copy —
+// events reordered by a cluster key (trigger-skim style), dictionary /
+// frame-of-reference encodings for low-cardinality integer leaves, and
+// data-statistics-driven row-group and page sizing. Histograms computed
+// over the copy are bit-identical to the original (reordering commutes
+// with weight-1 fills under the deterministic merge); only the zone maps
+// get sharper, so predicate pushdown finally skips real data.
+//
+// Usage: laq_optimize <input.laq> <output.laq>
+//          [--key=leaf1,leaf2,...]  cluster key, most significant first
+//                                   (default Muon#lengths,Jet#lengths,MET.pt)
+//          [--row-group=N]          rows per output row group (default: derived)
+//          [--page-values=N]        values per output page (default: derived)
+//          [--codec=lz|none]        block codec for the copy (default lz)
+//          [--no-advanced-encodings]  stick to the classic encoding set
+//          [--report=run.json]      RunReport from `hepq_run --profile=`;
+//                                   its hottest-decoded leaves are appended
+//                                   to the cluster key as tiebreakers
+//          [--verify]               after rewriting, run all 8 ADL queries
+//                                   on all 4 frontends with pruning on and
+//                                   off over input and output and require
+//                                   bit-identical histograms (exit 1 if not)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fileio/layout_optimizer.h"
+#include "queries/adl.h"
+
+using hepq::AnalyzeLaqFile;
+using hepq::LayoutAnalysis;
+using hepq::LeafLayoutSummary;
+using hepq::OptimizeLaqFile;
+using hepq::OptimizeOptions;
+
+namespace {
+
+/// Pulls the per-leaf decoded-byte ranking out of a RunReport JSON with a
+/// tolerant string scan (the repo has no JSON parser; the report writer
+/// emits exactly this shape). Returns leaf paths hottest-first.
+std::vector<std::string> HottestLeaves(const std::string& report_path) {
+  std::ifstream in(report_path);
+  if (!in) {
+    std::fprintf(stderr, "warning: cannot read --report=%s, ignoring\n",
+                 report_path.c_str());
+    return {};
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  std::vector<std::pair<unsigned long long, std::string>> ranked;
+  size_t pos = 0;
+  while ((pos = text.find("{\"leaf\": \"", pos)) != std::string::npos) {
+    pos += 10;
+    const size_t end = text.find('"', pos);
+    if (end == std::string::npos) break;
+    const std::string leaf = text.substr(pos, end - pos);
+    const size_t bytes_key = text.find("\"decoded_bytes\": ", end);
+    if (bytes_key == std::string::npos) break;
+    const unsigned long long bytes =
+        std::strtoull(text.c_str() + bytes_key + 17, nullptr, 10);
+    ranked.emplace_back(bytes, leaf);
+    pos = end;
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> leaves;
+  for (const auto& [bytes, leaf] : ranked) {
+    if (bytes > 0) leaves.push_back(leaf);
+  }
+  return leaves;
+}
+
+std::vector<std::string> SplitKeys(const std::string& csv) {
+  std::vector<std::string> keys;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string key =
+        csv.substr(start, comma == std::string::npos ? std::string::npos
+                                                     : comma - start);
+    if (!key.empty()) keys.push_back(key);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return keys;
+}
+
+const LeafLayoutSummary* FindLeaf(const LayoutAnalysis& analysis,
+                                  const std::string& path) {
+  for (const LeafLayoutSummary& leaf : analysis.leaves) {
+    if (leaf.path == path) return &leaf;
+  }
+  return nullptr;
+}
+
+void PrintComparison(const LayoutAnalysis& before,
+                     const LayoutAnalysis& after) {
+  std::printf("%-24s %9s %9s %10s %10s %9s %9s\n", "leaf", "enc", "enc'",
+              "prunable", "prunable'", "stored", "stored'");
+  for (const LeafLayoutSummary& b : before.leaves) {
+    const LeafLayoutSummary* a = FindLeaf(after, b.path);
+    if (a == nullptr) continue;
+    std::printf("%-24s %9s %9s %9.1f%% %9.1f%% %9llu %9llu\n",
+                b.path.c_str(), EncodingName(b.encoding),
+                EncodingName(a->encoding), 100.0 * b.prunable_fraction(),
+                100.0 * a->prunable_fraction(),
+                static_cast<unsigned long long>(b.storage_bytes),
+                static_cast<unsigned long long>(a->storage_bytes));
+  }
+  std::printf("%-24s %9d %9d %10s %10s %9llu %9llu\n", "(row groups / bytes)",
+              before.row_groups, after.row_groups, "", "",
+              static_cast<unsigned long long>(before.storage_bytes),
+              static_cast<unsigned long long>(after.storage_bytes));
+}
+
+/// Exact (bitwise) histogram equality — the contract the rewrite upholds.
+bool BitIdentical(const hepq::Histogram1D& a, const hepq::Histogram1D& b) {
+  if (a.num_entries() != b.num_entries()) return false;
+  if (a.sum_weights() != b.sum_weights()) return false;
+  if (a.underflow() != b.underflow() || a.overflow() != b.overflow()) {
+    return false;
+  }
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    if (a.BinContent(i) != b.BinContent(i)) return false;
+  }
+  return true;
+}
+
+int Verify(const std::string& input, const std::string& output) {
+  using hepq::queries::EngineKind;
+  using hepq::queries::EngineKindName;
+  using hepq::queries::RunAdlQuery;
+  int failures = 0;
+  for (int q = 1; q <= hepq::queries::kNumAdlQueries; ++q) {
+    for (EngineKind engine :
+         {EngineKind::kRdf, EngineKind::kBigQueryShape,
+          EngineKind::kPrestoShape, EngineKind::kDoc}) {
+      for (const bool pushdown : {true, false}) {
+        hepq::queries::RunOptions options;
+        options.scan_pushdown = pushdown;
+        auto original = RunAdlQuery(engine, q, input, options);
+        original.status().Check();
+        auto optimized = RunAdlQuery(engine, q, output, options);
+        optimized.status().Check();
+        bool identical =
+            original->histograms.size() == optimized->histograms.size() &&
+            original->events_processed == optimized->events_processed;
+        for (size_t h = 0; identical && h < original->histograms.size();
+             ++h) {
+          identical = BitIdentical(original->histograms[h],
+                                   optimized->histograms[h]);
+        }
+        if (!identical) {
+          ++failures;
+          std::fprintf(stderr,
+                       "verify FAILED: Q%d %s pushdown=%s differs on the "
+                       "optimized copy\n",
+                       q, EngineKindName(engine), pushdown ? "on" : "off");
+        }
+      }
+    }
+  }
+  if (failures == 0) {
+    std::printf("verify: all 8 queries x 4 frontends x pruning on/off "
+                "bit-identical\n");
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptimizeOptions options;
+  bool verify = false;
+  std::string report_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--key=", 6) == 0) {
+      options.cluster_keys = SplitKeys(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--row-group=", 12) == 0) {
+      options.row_group_size = std::atoll(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--page-values=", 14) == 0) {
+      options.page_values = std::atoll(argv[i] + 14);
+    } else if (std::strncmp(argv[i], "--codec=", 8) == 0) {
+      const std::string name = argv[i] + 8;
+      if (name == "none") {
+        options.codec = hepq::Codec::kNone;
+      } else if (name == "lz") {
+        options.codec = hepq::Codec::kLz;
+      } else {
+        std::fprintf(stderr, "--codec must be lz or none\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--no-advanced-encodings") == 0) {
+      options.advanced_encodings = false;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input.laq> <output.laq> [--key=a,b,...]"
+                 " [--row-group=N] [--page-values=N] [--codec=lz|none]"
+                 " [--no-advanced-encodings] [--report=run.json]"
+                 " [--verify]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string input = positional[0];
+  const std::string output = positional[1];
+
+  if (!report_path.empty()) {
+    // RunReport feedback: the hottest-decoded leaves are where sharper
+    // zone maps pay most, so append them (deduplicated) as tiebreakers.
+    for (const std::string& leaf : HottestLeaves(report_path)) {
+      if (std::find(options.cluster_keys.begin(), options.cluster_keys.end(),
+                    leaf) == options.cluster_keys.end()) {
+        options.cluster_keys.push_back(leaf);
+      }
+      if (options.cluster_keys.size() >= 6) break;  // diminishing returns
+    }
+  }
+
+  auto before = AnalyzeLaqFile(input);
+  if (!before.ok()) {
+    std::fprintf(stderr, "error: %s\n", before.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("optimizing %s -> %s\n", input.c_str(), output.c_str());
+  std::printf("cluster key:");
+  for (const std::string& key : options.cluster_keys) {
+    std::printf(" %s", key.c_str());
+  }
+  std::printf("\nrow group: %lld   page values: %lld (0 = derived)\n\n",
+              static_cast<long long>(options.row_group_size),
+              static_cast<long long>(options.page_values));
+
+  auto after = OptimizeLaqFile(input, output, options);
+  if (!after.ok()) {
+    std::fprintf(stderr, "error: %s\n", after.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintComparison(*before, *after);
+
+  if (verify) {
+    return Verify(input, output) == 0 ? 0 : 1;
+  }
+  return 0;
+}
