@@ -155,6 +155,26 @@ class BenchJson {
     records_ += buf;
   }
 
+  /// Scale-out record: one (query, procs, threads) measurement from a
+  /// real multi-process run, with the cloud simulator's wall time for the
+  /// same measured work as the reconciliation column. CI gates the shape
+  /// of these records in BENCH_fig2.json.
+  void AddScaling(const std::string& query, const std::string& engine,
+                  int procs, int threads, int64_t events, double wall_s,
+                  double cpu_s, double speedup, double sim_wall_s) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"query\": \"%s\", \"engine\": \"%s\", "
+                  "\"procs\": %d, \"threads\": %d, \"events\": %lld, "
+                  "\"wall_s\": %.6f, \"cpu_s\": %.6f, \"speedup\": %.4f, "
+                  "\"sim_wall_s\": %.6f}",
+                  records_.empty() ? "" : ",\n", query.c_str(),
+                  engine.c_str(), procs, threads,
+                  static_cast<long long>(events), wall_s, cpu_s, speedup,
+                  sim_wall_s);
+    records_ += buf;
+  }
+
   /// Writes the accumulated records; returns false (with a message on
   /// stderr) if the file cannot be created.
   bool Write() const {

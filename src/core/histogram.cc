@@ -77,6 +77,37 @@ Status Histogram1D::Merge(const Histogram1D& other) {
   return Status::OK();
 }
 
+HistogramParts Histogram1D::ToParts() const {
+  HistogramParts parts;
+  parts.spec = spec_;
+  parts.bins = bins_;
+  parts.underflow = underflow_;
+  parts.overflow = overflow_;
+  parts.num_entries = num_entries_;
+  parts.sum_w = sum_w_;
+  parts.sum_wx = sum_wx_;
+  parts.sum_wx2 = sum_wx2_;
+  return parts;
+}
+
+Result<Histogram1D> Histogram1D::FromParts(const HistogramParts& parts) {
+  Histogram1D h(parts.spec);
+  if (parts.bins.size() != h.bins_.size()) {
+    return Status::Invalid("histogram parts for '" + parts.spec.name +
+                           "' carry " + std::to_string(parts.bins.size()) +
+                           " bins, spec has " +
+                           std::to_string(h.bins_.size()));
+  }
+  h.bins_ = parts.bins;
+  h.underflow_ = parts.underflow;
+  h.overflow_ = parts.overflow;
+  h.num_entries_ = parts.num_entries;
+  h.sum_w_ = parts.sum_w;
+  h.sum_wx_ = parts.sum_wx;
+  h.sum_wx2_ = parts.sum_wx2;
+  return h;
+}
+
 bool Histogram1D::ApproxEquals(const Histogram1D& other,
                                double tolerance) const {
   if (spec_.num_bins != other.spec_.num_bins) return false;

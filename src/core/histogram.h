@@ -22,6 +22,22 @@ struct HistogramSpec {
   bool operator==(const HistogramSpec&) const = default;
 };
 
+/// Exploded state of a Histogram1D — every accumulator a histogram carries,
+/// with nothing derived. This is the unit the scatter/gather IPC layer
+/// moves between worker processes: serializing the parts with raw IEEE-754
+/// bits and rebuilding via FromParts reproduces the source histogram
+/// exactly, so a cross-process merge is bit-identical to an in-process one.
+struct HistogramParts {
+  HistogramSpec spec;
+  std::vector<double> bins;
+  double underflow = 0.0;
+  double overflow = 0.0;
+  uint64_t num_entries = 0;
+  double sum_w = 0.0;
+  double sum_wx = 0.0;
+  double sum_wx2 = 0.0;
+};
+
 /// Equi-width 1-D histogram with under-/overflow bins, weighted fills, and
 /// first/second moments. This is the terminal aggregation of every ADL
 /// benchmark query, equivalent to ROOT's TH1D for our purposes.
@@ -61,6 +77,12 @@ class Histogram1D {
 
   /// Adds the contents of `other`; specs must match.
   Status Merge(const Histogram1D& other);
+
+  /// Explodes the full accumulator state (see HistogramParts).
+  HistogramParts ToParts() const;
+  /// Rebuilds a histogram from exploded state; the inverse of ToParts.
+  /// `parts.bins` must match the spec's bin count.
+  static Result<Histogram1D> FromParts(const HistogramParts& parts);
 
   /// True if bin contents, flow bins, and entry counts are all within
   /// `tolerance` of each other. Used by cross-engine result checks.

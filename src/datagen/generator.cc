@@ -48,7 +48,9 @@ double BreitWigner(Rng* rng, double mean, double width) {
 }  // namespace
 
 EventGenerator::EventGenerator(GeneratorConfig config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config),
+      rng_(config.seed),
+      next_event_id_(config.first_event_id) {}
 
 SchemaPtr EventGenerator::CmsSchema() {
   const auto f32 = DataType::Float32();

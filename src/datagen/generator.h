@@ -18,6 +18,11 @@ namespace hepq {
 struct GeneratorConfig {
   uint64_t seed = 20120601;
 
+  /// Event id of the first generated event. Sharded datasets set this to
+  /// the shard's global offset so `event` stays unique across shards; the
+  /// kinematics stream depends only on `seed`, not on this offset.
+  int64_t first_event_id = 0;
+
   // Jet multiplicity: mixture of a soft Poisson component and two
   // progressively busier components producing the several-dozen-jet tail
   // of Figure 3.
@@ -65,7 +70,9 @@ class EventGenerator {
   /// Generates the next `num_events` events as one RecordBatch.
   RecordBatchPtr GenerateBatch(int64_t num_events);
 
-  int64_t events_generated() const { return next_event_id_; }
+  int64_t events_generated() const {
+    return next_event_id_ - config_.first_event_id;
+  }
 
  private:
   GeneratorConfig config_;

@@ -608,35 +608,46 @@ Result<DocQueryResult> RunDocQuery(const std::string& path,
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
-  exec::WorkerReaders readers(path, reader_options,
+  exec::DatasetLayout layout;
+  HEPQ_ASSIGN_OR_RETURN(layout,
+                        exec::ResolveDatasetLayout(path, reader_options));
+  exec::WorkerReaders readers(&layout, reader_options,
                               std::max(num_threads, 1));
-  const FileMetadata* metadata;
-  HEPQ_ASSIGN_OR_RETURN(metadata, readers.metadata());
-  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(*metadata);
+  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(layout);
   const int workers = exec::EffectiveWorkers(num_threads, tasks.size());
 
   const ScanPredicateSet preds = ExtractDocScanPredicates(query);
-  std::vector<DocQueryResult> partials(metadata->row_groups.size());
+  std::vector<DocQueryResult> partials(layout.groups.size());
   for (DocQueryResult& p : partials) p = EmptyResult(query);
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       workers, std::move(tasks), [&](int worker, int g) -> Status {
+        const exec::DatasetLayout::Group& loc =
+            layout.groups[static_cast<size_t>(g)];
         LaqReader* reader;
-        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker, loc.file));
         RecordBatchPtr batch;
-        HEPQ_ASSIGN_OR_RETURN(
-            batch,
-            ReadGroup(reader, query, preds, g, readers.scratch(worker)));
+        HEPQ_ASSIGN_OR_RETURN(batch, ReadGroup(reader, query, preds,
+                                               loc.local_group,
+                                               readers.scratch(worker)));
         if (batch == nullptr) {
-          partials[static_cast<size_t>(g)].events_processed +=
-              metadata->row_groups[static_cast<size_t>(g)].num_rows;
+          partials[static_cast<size_t>(g)].events_processed += loc.num_rows;
           return Status::OK();
         }
         return RunBatch(query, *batch, &partials[static_cast<size_t>(g)]);
       }));
   {
+    // Two-level deterministic merge (per-file subtotal in local group
+    // order, then file order) — matches the scatter/gather coordinator's
+    // association exactly, so P-process runs are bit-identical (see
+    // exec::DatasetLayout).
     obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
-    for (const DocQueryResult& p : partials) {
-      HEPQ_RETURN_NOT_OK(MergeResult(&result, p));
+    size_t g = 0;
+    for (int file = 0; file < layout.num_files(); ++file) {
+      DocQueryResult file_total = EmptyResult(query);
+      for (; g < partials.size() && layout.groups[g].file == file; ++g) {
+        HEPQ_RETURN_NOT_OK(MergeResult(&file_total, partials[g]));
+      }
+      HEPQ_RETURN_NOT_OK(MergeResult(&result, file_total));
     }
   }
 

@@ -536,30 +536,34 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
   Stopwatch wall;
   const double cpu0 = ProcessCpuSeconds();
 
-  // Opening worker 0's reader up front gives us the row-group layout; the
-  // remaining workers open lazily on their first task.
-  exec::WorkerReaders readers(path, reader_options,
+  // Resolving the layout up front (a footer read per dataset file) gives
+  // us the global row-group map; workers open shard readers lazily on
+  // their first task touching each file.
+  exec::DatasetLayout layout;
+  HEPQ_ASSIGN_OR_RETURN(layout,
+                        exec::ResolveDatasetLayout(path, reader_options));
+  exec::WorkerReaders readers(&layout, reader_options,
                               std::max(num_threads, 1));
-  const FileMetadata* metadata;
-  HEPQ_ASSIGN_OR_RETURN(metadata, readers.metadata());
-  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(*metadata);
+  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(layout);
   const int workers = exec::EffectiveWorkers(num_threads, tasks.size());
 
-  std::vector<EventQueryResult> partials(metadata->row_groups.size());
+  std::vector<EventQueryResult> partials(layout.groups.size());
   for (EventQueryResult& p : partials) p = MakeResult();
   if (expr_exec_ != ExprExec::kInterpreted) HEPQ_RETURN_NOT_OK(EnsureCompiled());
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       workers, std::move(tasks), [&](int worker, int g) -> Status {
+        const exec::DatasetLayout::Group& loc =
+            layout.groups[static_cast<size_t>(g)];
         LaqReader* reader;
-        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker, loc.file));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch, reader->ReadRowGroupFiltered(g, projection, preds,
-                                                readers.scratch(worker)));
+            batch,
+            reader->ReadRowGroupFiltered(loc.local_group, projection, preds,
+                                         readers.scratch(worker)));
         EventQueryResult& partial = partials[static_cast<size_t>(g)];
         if (batch == nullptr) {
-          partial.events_processed +=
-              metadata->row_groups[static_cast<size_t>(g)].num_rows;
+          partial.events_processed += loc.num_rows;
           return Status::OK();
         }
         // The VM's per-worker buffers live in the exec runtime's scratch
@@ -570,9 +574,19 @@ Result<EventQueryResult> EventQuery::Execute(const std::string& path,
                             static_cast<VexprScratch*>(slot.get()));
       }));
   {
+    // Two-level deterministic merge: group partials fold into a per-file
+    // subtotal in local group order, subtotals fold into the result in
+    // file order. The scatter/gather coordinator reproduces exactly this
+    // association from per-shard results, so P-process runs are
+    // bit-identical to this path (see exec::DatasetLayout).
     obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
-    for (const EventQueryResult& p : partials) {
-      HEPQ_RETURN_NOT_OK(result.Merge(p));
+    size_t g = 0;
+    for (int f = 0; f < layout.num_files(); ++f) {
+      EventQueryResult file_total = MakeResult();
+      for (; g < layout.groups.size() && layout.groups[g].file == f; ++g) {
+        HEPQ_RETURN_NOT_OK(file_total.Merge(partials[g]));
+      }
+      HEPQ_RETURN_NOT_OK(result.Merge(file_total));
     }
   }
   result.wall_seconds = wall.Seconds();

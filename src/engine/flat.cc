@@ -664,8 +664,8 @@ std::string FlatPipeline::Explain() const {
 
 struct FlatPipeline::ScanSource {
   int num_threads = 1;
-  std::function<Result<const FileMetadata*>()> metadata;
-  std::function<Result<LaqReader*>(int worker)> reader;
+  const exec::DatasetLayout* layout = nullptr;
+  std::function<Result<LaqReader*>(int worker, int file)> reader;
   std::function<ScratchBuffers*(int worker)> scratch;
   std::function<VexprScratch*(int worker)> vexpr;
   std::function<ScanStats()> scan_stats;
@@ -675,12 +675,12 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
   reader->ResetScanStats();
   ScratchBuffers scratch;
   VexprScratch vexpr_scratch;
+  const exec::DatasetLayout layout =
+      exec::MakeSingleFileLayout("<open reader>", reader->metadata());
   ScanSource source;
   source.num_threads = 1;
-  source.metadata = [reader]() -> Result<const FileMetadata*> {
-    return &reader->metadata();
-  };
-  source.reader = [reader](int) -> Result<LaqReader*> { return reader; };
+  source.layout = &layout;
+  source.reader = [reader](int, int) -> Result<LaqReader*> { return reader; };
   source.scratch = [&scratch](int) { return &scratch; };
   source.vexpr = [&vexpr_scratch](int) { return &vexpr_scratch; };
   source.scan_stats = [reader]() { return reader->scan_stats(); };
@@ -690,12 +690,17 @@ Result<FlatQueryResult> FlatPipeline::Execute(LaqReader* reader) const {
 Result<FlatQueryResult> FlatPipeline::Execute(const std::string& path,
                                               ReaderOptions reader_options,
                                               int num_threads) const {
-  exec::WorkerReaders readers(path, reader_options,
+  exec::DatasetLayout layout;
+  HEPQ_ASSIGN_OR_RETURN(layout,
+                        exec::ResolveDatasetLayout(path, reader_options));
+  exec::WorkerReaders readers(&layout, reader_options,
                               std::max(num_threads, 1));
   ScanSource source;
   source.num_threads = num_threads;
-  source.metadata = [&readers] { return readers.metadata(); };
-  source.reader = [&readers](int worker) { return readers.reader(worker); };
+  source.layout = &layout;
+  source.reader = [&readers](int worker, int file) {
+    return readers.reader(worker, file);
+  };
   source.scratch = [&readers](int worker) { return readers.scratch(worker); };
   source.vexpr = [&readers](int worker) -> VexprScratch* {
     std::shared_ptr<void>& slot = readers.engine_scratch(worker);
@@ -809,13 +814,13 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
 
   plan_span.End();
 
-  const FileMetadata* metadata;
-  HEPQ_ASSIGN_OR_RETURN(metadata, source->metadata());
-  const size_t num_groups = metadata->row_groups.size();
-  // Event ids are global row numbers: per-group bases from the footer.
+  const exec::DatasetLayout& layout_map = *source->layout;
+  const size_t num_groups = layout_map.groups.size();
+  // Event ids are global row numbers across the whole dataset: per-group
+  // bases accumulated over the layout's file-major group order.
   std::vector<int64_t> event_base(num_groups + 1, 0);
   for (size_t g = 0; g < num_groups; ++g) {
-    event_base[g + 1] = event_base[g] + metadata->row_groups[g].num_rows;
+    event_base[g + 1] = event_base[g] + layout_map.groups[g].num_rows;
   }
 
   // Per-row-group partial state, merged in ascending group order below.
@@ -841,19 +846,21 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
   const std::vector<std::string> projection = Projection();
   const ScanPredicateSet preds = ScanPredicates();
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
-      source->num_threads, exec::MakeRowGroupTasks(*metadata),
+      source->num_threads, exec::MakeRowGroupTasks(layout_map),
       [&](int worker, int g) -> Status {
+        const exec::DatasetLayout::Group& loc =
+            layout_map.groups[static_cast<size_t>(g)];
         LaqReader* reader;
-        HEPQ_ASSIGN_OR_RETURN(reader, source->reader(worker));
+        HEPQ_ASSIGN_OR_RETURN(reader, source->reader(worker, loc.file));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch, reader->ReadRowGroupFiltered(g, projection, preds,
-                                                source->scratch(worker)));
+            batch,
+            reader->ReadRowGroupFiltered(loc.local_group, projection, preds,
+                                         source->scratch(worker)));
         if (batch == nullptr) {
           // Pruned group: no event in it can emit an output row, but the
           // events were still processed.
-          partials[static_cast<size_t>(g)].events =
-              metadata->row_groups[static_cast<size_t>(g)].num_rows;
+          partials[static_cast<size_t>(g)].events = loc.num_rows;
           return Status::OK();
         }
         BatchBindings bindings;
@@ -1057,35 +1064,50 @@ Result<FlatQueryResult> FlatPipeline::ExecuteImpl(ScanSource* source) const {
         return Status::OK();
       }));
 
-  // ---- deterministic merge in ascending row-group order ----
+  // ---- two-level deterministic merge ----
+  // Group partials fold into a per-file histogram subtotal in local group
+  // order, subtotals fold into the result in file order — the exact FP
+  // association a scatter/gather coordinator reproduces when it merges
+  // per-shard worker results, so P-process runs stay bit-identical (see
+  // exec::DatasetLayout).
   obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
-  for (GroupPartial& p : partials) {
-    result.events_processed += p.events;
-    result.rows_materialized += p.rows_materialized;
-    result.cells_materialized += p.cells_materialized;
-    if (!grouped) {
-      for (size_t f = 0; f < fills_.size(); ++f) {
-        HEPQ_RETURN_NOT_OK(result.histograms[f].Merge(p.histos[f]));
+  size_t gi = 0;
+  for (int file = 0; file < layout_map.num_files(); ++file) {
+    std::vector<Histogram1D> file_histos;
+    file_histos.reserve(fills_.size());
+    for (const auto& [spec, expr] : fills_) file_histos.emplace_back(spec);
+    for (; gi < num_groups && layout_map.groups[gi].file == file; ++gi) {
+      GroupPartial& p = partials[gi];
+      result.events_processed += p.events;
+      result.rows_materialized += p.rows_materialized;
+      result.cells_materialized += p.cells_materialized;
+      if (!grouped) {
+        for (size_t f = 0; f < fills_.size(); ++f) {
+          HEPQ_RETURN_NOT_OK(file_histos[f].Merge(p.histos[f]));
+        }
+        continue;
       }
-      continue;
-    }
-    // Event keys are disjoint across row groups, so concatenating the
-    // per-group aggregate outputs in group order reproduces the sequential
-    // scan's group order exactly.
-    FlatBatch groups = p.aggregator.Finish();
-    result.groups += static_cast<int64_t>(groups.num_rows);
-    for (size_t row = 0; row < groups.num_rows; ++row) {
-      bool pass = true;
-      for (const FlatExprPtr& predicate : having_) {
-        if (!predicate->EvalBool(groups, row)) {
-          pass = false;
-          break;
+      // Event keys are disjoint across row groups, so concatenating the
+      // per-group aggregate outputs in group order reproduces the
+      // sequential scan's group order exactly.
+      FlatBatch groups = p.aggregator.Finish();
+      result.groups += static_cast<int64_t>(groups.num_rows);
+      for (size_t row = 0; row < groups.num_rows; ++row) {
+        bool pass = true;
+        for (const FlatExprPtr& predicate : having_) {
+          if (!predicate->EvalBool(groups, row)) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        for (size_t f = 0; f < fills_.size(); ++f) {
+          file_histos[f].Fill(fills_[f].second->Eval(groups, row));
         }
       }
-      if (!pass) continue;
-      for (size_t f = 0; f < fills_.size(); ++f) {
-        result.histograms[f].Fill(fills_[f].second->Eval(groups, row));
-      }
+    }
+    for (size_t f = 0; f < fills_.size(); ++f) {
+      HEPQ_RETURN_NOT_OK(result.histograms[f].Merge(file_histos[f]));
     }
   }
 

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "fileio/dataset_reader.h"
 #include "obs/trace.h"
 
 namespace hepq::exec {
@@ -108,6 +109,68 @@ std::vector<RowGroupTask> MakeRowGroupTasks(const FileMetadata& metadata) {
   return tasks;
 }
 
+namespace {
+
+void AppendFileGroups(DatasetLayout* layout, int file,
+                      const FileMetadata& metadata) {
+  for (size_t g = 0; g < metadata.row_groups.size(); ++g) {
+    DatasetLayout::Group group;
+    group.file = file;
+    group.local_group = static_cast<int>(g);
+    group.num_rows = metadata.row_groups[g].num_rows;
+    for (const ChunkMeta& chunk : metadata.row_groups[g].chunks) {
+      group.bytes += chunk.compressed_size;
+    }
+    layout->total_rows += group.num_rows;
+    layout->groups.push_back(group);
+  }
+}
+
+}  // namespace
+
+Result<DatasetLayout> ResolveDatasetLayout(const std::string& path,
+                                           const ReaderOptions& options) {
+  DatasetLayout layout;
+  if (IsDirectory(path)) {
+    HEPQ_ASSIGN_OR_RETURN(layout.files, ListLaqFiles(path));
+  } else {
+    layout.files.push_back(path);
+  }
+  Schema first_schema;
+  for (size_t f = 0; f < layout.files.size(); ++f) {
+    std::unique_ptr<LaqReader> reader;
+    HEPQ_ASSIGN_OR_RETURN(reader,
+                          LaqReader::Open(layout.files[f], options));
+    if (f == 0) {
+      first_schema = reader->schema();
+    } else if (!reader->schema().Equals(first_schema)) {
+      return Status::Invalid("dataset file '" + layout.files[f] +
+                             "' has a different schema than '" +
+                             layout.files[0] + "'");
+    }
+    AppendFileGroups(&layout, static_cast<int>(f), reader->metadata());
+  }
+  return layout;
+}
+
+DatasetLayout MakeSingleFileLayout(const std::string& path,
+                                   const FileMetadata& metadata) {
+  DatasetLayout layout;
+  layout.files.push_back(path);
+  AppendFileGroups(&layout, 0, metadata);
+  return layout;
+}
+
+std::vector<RowGroupTask> MakeRowGroupTasks(const DatasetLayout& layout) {
+  std::vector<RowGroupTask> tasks;
+  tasks.reserve(layout.groups.size());
+  for (size_t g = 0; g < layout.groups.size(); ++g) {
+    tasks.push_back(
+        RowGroupTask{static_cast<int>(g), layout.groups[g].bytes});
+  }
+  return tasks;
+}
+
 void SortLpt(std::vector<RowGroupTask>* tasks) {
   std::sort(tasks->begin(), tasks->end(),
             [](const RowGroupTask& a, const RowGroupTask& b) {
@@ -191,16 +254,33 @@ Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
 
 WorkerReaders::WorkerReaders(std::string path, ReaderOptions options,
                              int num_workers)
-    : path_(std::move(path)), options_(options) {
+    : options_(options) {
+  files_.push_back(std::move(path));
   slots_.resize(static_cast<size_t>(std::max(num_workers, 1)));
 }
 
-Result<LaqReader*> WorkerReaders::reader(int worker) {
+WorkerReaders::WorkerReaders(const DatasetLayout* layout,
+                             ReaderOptions options, int num_workers)
+    : files_(layout->files), options_(options) {
+  slots_.resize(static_cast<size_t>(std::max(num_workers, 1)));
+}
+
+Result<LaqReader*> WorkerReaders::reader(int worker, int file) {
   Slot& slot = slots_[static_cast<size_t>(worker)];
+  if (slot.reader != nullptr && slot.open_file != file) {
+    // Out-of-core discipline: one open shard per worker. Bank the closed
+    // reader's stats so TotalScanStats still sees every byte.
+    slot.closed_stats.Add(slot.reader->scan_stats());
+    slot.reader.reset();
+    slot.open_file = -1;
+  }
   if (slot.reader == nullptr) {
     obs::ScopedSpan span("open_reader", obs::Stage::kOpen);
     if (span.active()) span.set_worker(worker);
-    HEPQ_ASSIGN_OR_RETURN(slot.reader, LaqReader::Open(path_, options_));
+    HEPQ_ASSIGN_OR_RETURN(
+        slot.reader,
+        LaqReader::Open(files_[static_cast<size_t>(file)], options_));
+    slot.open_file = file;
   }
   return slot.reader.get();
 }
@@ -214,6 +294,7 @@ Result<const FileMetadata*> WorkerReaders::metadata() {
 ScanStats WorkerReaders::TotalScanStats() const {
   ScanStats total;
   for (const Slot& slot : slots_) {
+    total.Add(slot.closed_stats);
     if (slot.reader != nullptr) total.Add(slot.reader->scan_stats());
   }
   return total;

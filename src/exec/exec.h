@@ -84,6 +84,44 @@ struct RowGroupTask {
 /// group's compressed chunk sizes (what a worker actually reads).
 std::vector<RowGroupTask> MakeRowGroupTasks(const FileMetadata& metadata);
 
+/// Resolved physical layout of a dataset: one .laq file, or every shard of
+/// a dataset directory, with row groups numbered globally in file-major
+/// order (file order is the sorted shard list — the same order
+/// DatasetReader, the scatter/gather coordinator, and the tools use). The
+/// layout is the frontends' one source of truth for scheduling and for
+/// the two-level deterministic merge: per-group partials fold into a
+/// per-file subtotal in local group order, and file subtotals fold into
+/// the result in file order. A P-process scatter/gather run gathers
+/// exactly those per-file subtotals in the same order, so single-process
+/// and multi-process results are bit-identical by construction.
+struct DatasetLayout {
+  struct Group {
+    int file = 0;         // index into `files`
+    int local_group = 0;  // row group index within that file
+    int64_t num_rows = 0;
+    uint64_t bytes = 0;   // compressed chunk bytes (the LPT weight)
+  };
+  std::vector<std::string> files;
+  std::vector<Group> groups;  // global group order: file-major
+  int64_t total_rows = 0;
+
+  int num_files() const { return static_cast<int>(files.size()); }
+  int num_groups() const { return static_cast<int>(groups.size()); }
+};
+
+/// Resolves `path` — a .laq file or a dataset directory of "*.laq" shards
+/// — by opening each member file once for its footer. All shards must
+/// share the first file's schema.
+Result<DatasetLayout> ResolveDatasetLayout(const std::string& path,
+                                           const ReaderOptions& options);
+
+/// Layout of one already-open file (the single-reader execution paths).
+DatasetLayout MakeSingleFileLayout(const std::string& path,
+                                   const FileMetadata& metadata);
+
+/// Tasks for every global row group of `layout`.
+std::vector<RowGroupTask> MakeRowGroupTasks(const DatasetLayout& layout);
+
 /// LPT (longest processing time first) order: descending byte size, ties
 /// broken by ascending group index so the order is deterministic.
 void SortLpt(std::vector<RowGroupTask>* tasks);
@@ -103,17 +141,33 @@ int EffectiveWorkers(int num_threads, size_t num_tasks);
 Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
                     const std::function<Status(int worker, int group)>& process);
 
-/// Per-worker readers over one .laq file: each worker slot lazily opens
-/// its own LaqReader (file handles are not shareable across threads) and
-/// owns a ScratchBuffers pool so decode buffers are reused across all row
-/// groups the worker processes.
+/// Per-worker readers over a dataset: each worker slot lazily opens its
+/// own LaqReader (file handles are not shareable across threads) and owns
+/// a ScratchBuffers pool so decode buffers are reused across all row
+/// groups the worker processes. A slot keeps at most ONE file of the
+/// dataset open at a time — switching files closes the previous reader
+/// after banking its scan stats — so per-worker memory and descriptor
+/// usage stay bounded by a single shard's working set no matter how many
+/// shards the dataset has (the out-of-core contract of the scale-out
+/// runtime).
 class WorkerReaders {
  public:
+  /// Single-file dataset (the pre-dataset constructor, kept for callers
+  /// that schedule over one file's metadata).
   WorkerReaders(std::string path, ReaderOptions options, int num_workers);
 
-  /// The worker's reader, opened on first use. Only worker `worker` may
-  /// call this with its own id during a parallel run.
-  Result<LaqReader*> reader(int worker);
+  /// Dataset-aware: `layout` must outlive the WorkerReaders.
+  WorkerReaders(const DatasetLayout* layout, ReaderOptions options,
+                int num_workers);
+
+  /// The worker's reader over dataset file `file`, opened on first use.
+  /// Only worker `worker` may call this with its own id during a parallel
+  /// run. Opening a different file than the slot currently holds closes
+  /// the held reader (its ScanStats are retained).
+  Result<LaqReader*> reader(int worker, int file);
+
+  /// The worker's reader over file 0 (single-file datasets).
+  Result<LaqReader*> reader(int worker) { return reader(worker, 0); }
 
   /// The worker's scratch buffer pool.
   ScratchBuffers* scratch(int worker) {
@@ -132,21 +186,25 @@ class WorkerReaders {
     return slots_[static_cast<size_t>(worker)].engine_scratch;
   }
 
-  /// File metadata, via worker 0's reader (opens it if needed).
+  /// Metadata of file 0, via worker 0's reader (opens it if needed).
   Result<const FileMetadata*> metadata();
 
-  /// Sum of the scan stats of every opened reader. Integer counters, so
-  /// the total is independent of scheduling. Call only after a run.
+  /// Sum of the scan stats of every reader this run opened, including
+  /// readers already closed by a file switch. Integer counters, so the
+  /// total is independent of scheduling. Call only after a run.
   ScanStats TotalScanStats() const;
 
  private:
   struct Slot {
     std::unique_ptr<LaqReader> reader;
+    int open_file = -1;
+    /// Stats banked from readers this slot closed on a file switch.
+    ScanStats closed_stats;
     ScratchBuffers scratch;
     std::shared_ptr<void> engine_scratch;
   };
 
-  std::string path_;
+  std::vector<std::string> files_;
   ReaderOptions options_;
   std::vector<Slot> slots_;
 };

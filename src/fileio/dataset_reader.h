@@ -9,6 +9,16 @@
 
 namespace hepq {
 
+/// True if `path` names an existing directory (a sharded dataset root).
+bool IsDirectory(const std::string& path);
+
+/// Every "*.laq" file in `directory`, sorted by name — the canonical shard
+/// order shared by DatasetReader, the exec dataset runtime, the
+/// scatter/gather coordinator, and the dataset-aware tools (all of them
+/// must agree on shard numbering). A missing or empty directory is an
+/// Invalid error naming the path.
+Result<std::vector<std::string>> ListLaqFiles(const std::string& directory);
+
 /// A partitioned data set: an ordered collection of .laq files exposed as
 /// one logical table whose row groups are globally numbered across files.
 /// This mirrors how the paper's systems see the benchmark data — external

@@ -94,11 +94,20 @@ SumHandle RNode::Sum(std::function<double(const EventView&)> value) {
 
 Result<std::unique_ptr<RDataFrame>> RDataFrame::Open(const std::string& path,
                                                      RdfOptions options) {
+  // `path` is a .laq file or a sharded dataset directory. The resolved
+  // layout is the run's source of truth; the first file stays open as the
+  // schema source for leaf declarations (all shards share its schema —
+  // ResolveDatasetLayout enforces that).
+  exec::DatasetLayout layout;
+  HEPQ_ASSIGN_OR_RETURN(layout,
+                        exec::ResolveDatasetLayout(path, options.reader));
   std::unique_ptr<LaqReader> reader;
-  HEPQ_ASSIGN_OR_RETURN(reader, LaqReader::Open(path, options.reader));
+  HEPQ_ASSIGN_OR_RETURN(reader,
+                        LaqReader::Open(layout.files[0], options.reader));
   auto df = std::unique_ptr<RDataFrame>(
       new RDataFrame(std::move(reader), options));
   df->path_ = path;
+  df->layout_ = std::move(layout);
   return df;
 }
 
@@ -341,9 +350,8 @@ Status RDataFrame::Run() {
     }
   }
 
-  const int num_groups = reader_->num_row_groups();
-  std::vector<exec::RowGroupTask> tasks =
-      exec::MakeRowGroupTasks(reader_->metadata());
+  const int num_groups = layout_.num_groups();
+  std::vector<exec::RowGroupTask> tasks = exec::MakeRowGroupTasks(layout_);
   const int workers =
       exec::EffectiveWorkers(options_.num_threads, tasks.size());
 
@@ -397,23 +405,24 @@ Status RDataFrame::Run() {
   const ScanPredicateSet& preds =
       hint_node >= 0 ? nodes_[static_cast<size_t>(hint_node)].hint : no_hint;
 
-  exec::WorkerReaders readers(path_, options_.reader, workers);
+  exec::WorkerReaders readers(&layout_, options_.reader, workers);
   HEPQ_RETURN_NOT_OK(exec::RunRowGroups(
       workers, std::move(tasks), [&](int worker, int g) -> Status {
+        const exec::DatasetLayout::Group& loc =
+            layout_.groups[static_cast<size_t>(g)];
         LaqReader* reader;
-        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker));
+        HEPQ_ASSIGN_OR_RETURN(reader, readers.reader(worker, loc.file));
         RecordBatchPtr batch;
         HEPQ_ASSIGN_OR_RETURN(
-            batch, reader->ReadRowGroupFiltered(g, projection, preds,
-                                                readers.scratch(worker)));
+            batch,
+            reader->ReadRowGroupFiltered(loc.local_group, projection, preds,
+                                         readers.scratch(worker)));
         GroupPartial& p = partials[static_cast<size_t>(g)];
         if (batch == nullptr) {
           // Pruned group: every row reaches the hinted filter and fails
           // it, so only that node's examined counter moves.
-          const int64_t rows =
-              reader->metadata().row_groups[static_cast<size_t>(g)].num_rows;
-          p.events = rows;
-          p.nodes[static_cast<size_t>(hint_node)].examined += rows;
+          p.events = loc.num_rows;
+          p.nodes[static_cast<size_t>(hint_node)].examined += loc.num_rows;
           return Status::OK();
         }
         obs::ScopedSpan loop_span("rdf_event_loop", obs::Stage::kEventLoop);
@@ -428,22 +437,45 @@ Status RDataFrame::Run() {
       }));
 
   {
+    // Two-level deterministic merge: per-file subtotals in local group
+    // order, then file subtotals in file order — the FP association a
+    // scatter/gather coordinator reproduces from per-shard worker results,
+    // keeping P-process runs bit-identical (see exec::DatasetLayout).
+    // Histograms AND sums are FP; counts and node counters are integers
+    // but flow through the same structure for uniformity.
     obs::ScopedSpan merge_span("merge", obs::Stage::kMerge);
-    for (const GroupPartial& p : partials) {
+    const std::vector<Histogram1D> histo_proto = results_;
+    size_t g = 0;
+    for (int file = 0; file < layout_.num_files(); ++file) {
+      std::vector<Histogram1D> file_histos = histo_proto;
+      std::vector<int64_t> file_counts(bookings_.size(), 0);
+      std::vector<double> file_sums(bookings_.size(), 0.0);
+      for (; g < partials.size() && layout_.groups[g].file == file; ++g) {
+        const GroupPartial& p = partials[g];
+        for (size_t b = 0; b < bookings_.size(); ++b) {
+          if (bookings_[b].is_count) {
+            file_counts[b] += p.counts[b];
+          } else if (bookings_[b].is_sum) {
+            file_sums[b] += p.sums[b];
+          } else {
+            HEPQ_RETURN_NOT_OK(file_histos[b].Merge(p.histos[b]));
+          }
+        }
+        for (size_t n = 0; n < nodes_.size(); ++n) {
+          node_counters_[n].examined += p.nodes[n].examined;
+          node_counters_[n].passed += p.nodes[n].passed;
+        }
+        run_stats_.events_processed += p.events;
+      }
       for (size_t b = 0; b < bookings_.size(); ++b) {
         if (bookings_[b].is_count) {
-          count_results_[b] += p.counts[b];
+          count_results_[b] += file_counts[b];
         } else if (bookings_[b].is_sum) {
-          sum_results_[b] += p.sums[b];
+          sum_results_[b] += file_sums[b];
         } else {
-          HEPQ_RETURN_NOT_OK(results_[b].Merge(p.histos[b]));
+          HEPQ_RETURN_NOT_OK(results_[b].Merge(file_histos[b]));
         }
       }
-      for (size_t n = 0; n < nodes_.size(); ++n) {
-        node_counters_[n].examined += p.nodes[n].examined;
-        node_counters_[n].passed += p.nodes[n].passed;
-      }
-      run_stats_.events_processed += p.events;
     }
   }
   run_stats_.scan = readers.TotalScanStats();

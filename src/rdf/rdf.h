@@ -10,6 +10,7 @@
 #include "columnar/array.h"
 #include "core/histogram.h"
 #include "core/status.h"
+#include "exec/exec.h"
 #include "fileio/reader.h"
 #include "rdf/rvec.h"
 
@@ -250,8 +251,8 @@ class RDataFrame {
   /// order (the root is omitted). Only valid after Run().
   std::vector<FilterReport> Report() const;
   const RdfRunStats& run_stats() const { return run_stats_; }
-  int64_t total_rows() const { return reader_->total_rows(); }
-  int num_row_groups() const { return reader_->num_row_groups(); }
+  int64_t total_rows() const { return layout_.total_rows; }
+  int num_row_groups() const { return layout_.num_groups(); }
 
  private:
   friend class RNode;
@@ -312,8 +313,9 @@ class RDataFrame {
                          std::vector<double>* sums,
                          std::vector<NodeCounters>* node_counters) const;
 
-  std::unique_ptr<LaqReader> reader_;
+  std::unique_ptr<LaqReader> reader_;  // first dataset file (schema source)
   std::string path_;
+  exec::DatasetLayout layout_;
   RdfOptions options_;
   std::vector<DeclaredLeaf> leaves_;
   std::vector<internal::DefineSlot> defines_;

@@ -1,0 +1,87 @@
+#ifndef HEPQUERY_SCATTER_IPC_H_
+#define HEPQUERY_SCATTER_IPC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "queries/adl.h"
+
+namespace hepq::scatter {
+
+// Wire protocol between scatter workers and the gather coordinator. A
+// worker writes a stream of length-prefixed frames to its pipe:
+//
+//   magic(u32) version(u32) type(u32) payload_len(u64) payload crc32(u32)
+//
+// All integers little-endian; the CRC (fileio's IEEE polynomial) covers
+// the payload bytes only. Doubles travel as raw IEEE-754 bits, so a
+// decoded fragment reproduces the worker's accumulators exactly — the
+// cross-process merge is bit-identical to an in-process one.
+//
+// A healthy worker emits one kFragment frame per shard file of its range,
+// in shard order, then one kDone frame. A worker that fails on shard k
+// emits a kError frame naming k and exits; a crashed worker just stops
+// mid-stream. The coordinator turns either into a deterministic error
+// keyed by shard index (never by worker id), so the report is identical
+// for any worker count.
+
+inline constexpr uint32_t kFrameMagic = 0x48515346;  // "FSQH" on disk (LE)
+inline constexpr uint32_t kFrameVersion = 1;
+/// Hard payload bound (1 GiB): a malformed length prefix must not make the
+/// coordinator try to buffer arbitrary garbage.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+enum class FrameType : uint32_t {
+  kFragment = 1,
+  kDone = 2,
+  kError = 3,
+};
+
+struct Frame {
+  FrameType type = FrameType::kDone;
+  std::vector<uint8_t> payload;
+};
+
+/// One shard's complete query result: the unit the gather merges. The
+/// shard (= dataset file) index is global, assigned from the sorted shard
+/// list every process resolves identically.
+struct ShardFragment {
+  int file_index = 0;
+  queries::QueryRunOutput output;
+};
+
+/// Serializes one frame (header + payload + CRC).
+std::vector<uint8_t> EncodeFrame(FrameType type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Attempts to parse one frame from `data`. Returns true and fills
+/// `frame`/`consumed` when a complete, well-formed frame is present;
+/// false when more bytes are needed (nothing consumed). Malformed input
+/// (bad magic, unsupported version, oversized length, CRC mismatch) is a
+/// Corruption/Invalid error.
+Result<bool> TryParseFrame(const uint8_t* data, size_t size, Frame* frame,
+                           size_t* consumed);
+
+/// Serializes a shard fragment (every QueryRunOutput accumulator,
+/// histograms exploded via Histogram1D::ToParts, raw IEEE-754 doubles).
+std::vector<uint8_t> EncodeFragmentPayload(const ShardFragment& fragment);
+/// Inverse of EncodeFragmentPayload.
+Result<ShardFragment> DecodeFragmentPayload(const std::vector<uint8_t>& payload);
+
+/// kError payload: the failing global shard index and the error message.
+std::vector<uint8_t> EncodeErrorPayload(int file_index,
+                                        const std::string& message);
+Status DecodeErrorPayload(const std::vector<uint8_t>& payload,
+                          int* file_index, std::string* message);
+
+/// kDone payload: the number of fragments the worker emitted.
+std::vector<uint8_t> EncodeDonePayload(int num_fragments);
+Status DecodeDonePayload(const std::vector<uint8_t>& payload,
+                         int* num_fragments);
+
+}  // namespace hepq::scatter
+
+#endif  // HEPQUERY_SCATTER_IPC_H_

@@ -94,11 +94,41 @@ TEST_F(DatasetReaderTest, RejectsSchemaMismatch) {
 
 TEST_F(DatasetReaderTest, ErrorsOnEmptyInputs) {
   EXPECT_FALSE(DatasetReader::Open({}).ok());
-  EXPECT_FALSE(
-      DatasetReader::OpenDirectory(::testing::TempDir() + "/no_such").ok());
+  // A nonexistent directory and a directory with no .laq files both fail
+  // with Invalid, and the message names the offending path.
+  const std::string missing = ::testing::TempDir() + "/no_such";
+  const auto no_such = DatasetReader::OpenDirectory(missing);
+  EXPECT_EQ(no_such.status().code(), StatusCode::kInvalid);
+  EXPECT_NE(no_such.status().message().find(missing), std::string::npos)
+      << no_such.status().message();
   const std::string empty_dir = ::testing::TempDir() + "/hepq_empty_dir";
   ::mkdir(empty_dir.c_str(), 0755);
-  EXPECT_FALSE(DatasetReader::OpenDirectory(empty_dir).ok());
+  const auto empty = DatasetReader::OpenDirectory(empty_dir);
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalid);
+  EXPECT_NE(empty.status().message().find(empty_dir), std::string::npos)
+      << empty.status().message();
+  EXPECT_NE(empty.status().message().find("no .laq files"),
+            std::string::npos)
+      << empty.status().message();
+}
+
+TEST_F(DatasetReaderTest, OpenDirectoryRejectsSchemaMismatch) {
+  const std::string mixed_dir = ::testing::TempDir() + "/hepq_mixed_schema";
+  ::mkdir(mixed_dir.c_str(), 0755);
+  auto schema = std::make_shared<Schema>(
+      std::vector<Field>{{"x", DataType::Int32()}});
+  auto batch =
+      RecordBatch::Make(schema, {MakeInt32Array({1})}).ValueOrDie();
+  WriteLaqFile(mixed_dir + "/a.laq", schema, {RecordBatchPtr(batch)})
+      .Check();
+  EventGenerator generator;
+  WriteLaqFile(mixed_dir + "/b.laq", EventGenerator::CmsSchema(),
+               {generator.GenerateBatch(10)})
+      .Check();
+  const auto dataset = DatasetReader::OpenDirectory(mixed_dir);
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalid);
+  EXPECT_NE(dataset.status().message().find("schema"), std::string::npos)
+      << dataset.status().message();
 }
 
 TEST_F(DatasetReaderTest, PerFilePruningStillAvailable) {

@@ -1,0 +1,438 @@
+// Tests for the multi-process scatter/gather layer: shard-range
+// partitioning, sharded-generation determinism, the IPC frame protocol
+// (bit-exact doubles, malformed-frame detection), deterministic fault
+// attribution in the gather, and the core contract — a scattered merge is
+// bit-identical to the in-process dataset run.
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset.h"
+#include "fileio/dataset_reader.h"
+#include "queries/adl.h"
+#include "scatter/ipc.h"
+#include "scatter/scatter.h"
+
+namespace hepq {
+namespace {
+
+using scatter::CombineWorkerStreams;
+using scatter::DecodeFragmentPayload;
+using scatter::EncodeFragmentPayload;
+using scatter::EncodeFrame;
+using scatter::Frame;
+using scatter::FrameType;
+using scatter::MergeShardOutputs;
+using scatter::ParseWorkerStream;
+using scatter::RunWorker;
+using scatter::ShardFragment;
+using scatter::ShardRange;
+using scatter::ShardRangeFor;
+using scatter::TryParseFrame;
+using scatter::WorkerStream;
+
+TEST(ShardRangeTest, PartitionsExactlyForAnyWorkerCount) {
+  for (int files : {1, 3, 4, 7, 16}) {
+    for (int workers : {1, 2, 3, 5, 16, 20}) {
+      int covered = 0;
+      int prev_end = 0;
+      int max_size = 0;
+      int min_size = files;  // over nonempty ranges
+      for (int w = 0; w < workers; ++w) {
+        const ShardRange range = ShardRangeFor(files, workers, w);
+        EXPECT_EQ(range.begin, prev_end)
+            << "files=" << files << " workers=" << workers << " w=" << w;
+        EXPECT_GE(range.size(), 0);
+        prev_end = range.end;
+        covered += range.size();
+        max_size = std::max(max_size, range.size());
+        if (range.size() > 0) min_size = std::min(min_size, range.size());
+      }
+      EXPECT_EQ(prev_end, files);
+      EXPECT_EQ(covered, files);
+      // Balanced: nonempty ranges differ by at most one shard.
+      if (workers <= files) EXPECT_LE(max_size - min_size, 1);
+    }
+  }
+}
+
+TEST(ShardSeedTest, DeterministicAndDecorrelated) {
+  EXPECT_EQ(ShardSeed(20120601, 3), ShardSeed(20120601, 3));
+  EXPECT_NE(ShardSeed(20120601, 0), ShardSeed(20120601, 1));
+  EXPECT_NE(ShardSeed(20120601, 0), ShardSeed(20120602, 0));
+  // The mix must not collapse to the identity: consecutive shard seeds
+  // should not be consecutive integers.
+  EXPECT_NE(ShardSeed(1, 1), ShardSeed(1, 0) + 1);
+}
+
+std::string SlurpFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_FALSE(bytes.empty()) << path;
+  return bytes;
+}
+
+TEST(ShardedDatasetTest, ShardBytesIndependentOfShardCount) {
+  ShardedDatasetSpec small;
+  small.num_shards = 2;
+  small.events_per_shard = 400;
+  small.row_group_size = 200;
+  ShardedDatasetSpec large = small;
+  large.num_shards = 3;
+  const std::string dir = ::testing::TempDir() + "/hepq_shard_stable";
+  auto small_path = EnsureShardedDataset(dir, small);
+  ASSERT_TRUE(small_path.ok()) << small_path.status().message();
+  auto large_path = EnsureShardedDataset(dir, large);
+  ASSERT_TRUE(large_path.ok()) << large_path.status().message();
+  ASSERT_NE(*small_path, *large_path);
+  for (int shard = 0; shard < small.num_shards; ++shard) {
+    const std::string name = small.ShardFileName(shard);
+    EXPECT_EQ(SlurpFile(*small_path + "/" + name),
+              SlurpFile(*large_path + "/" + name))
+        << name << " changed when the shard count grew";
+  }
+}
+
+/// A fragment with adversarial doubles: NaN, infinities, a denormal,
+/// negative zero. The wire format must reproduce every bit pattern.
+ShardFragment MakeFragment(int shard) {
+  ShardFragment fragment;
+  fragment.file_index = shard;
+  fragment.output.events_processed = 100 + shard;
+  fragment.output.cpu_seconds = 0.25 * shard;
+  fragment.output.wall_seconds = 0.5 + shard;
+  fragment.output.ops = 7u * static_cast<uint64_t>(shard + 1);
+  fragment.output.scan.storage_bytes = 1000u + static_cast<uint64_t>(shard);
+  fragment.output.scan.values_read = 10u;
+  Histogram1D histogram(HistogramSpec{"h", "title", 4, 0.0, 4.0});
+  histogram.Fill(0.5 + shard, 1.0);
+  histogram.Fill(std::numeric_limits<double>::quiet_NaN());
+  histogram.Fill(std::numeric_limits<double>::infinity());
+  histogram.Fill(-std::numeric_limits<double>::infinity());
+  histogram.Fill(std::numeric_limits<double>::denorm_min(), -0.0);
+  fragment.output.histograms.push_back(std::move(histogram));
+  return fragment;
+}
+
+uint64_t Bits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitEqual(const Histogram1D& a, const Histogram1D& b) {
+  ASSERT_EQ(a.spec(), b.spec());
+  EXPECT_EQ(a.num_entries(), b.num_entries());
+  EXPECT_EQ(Bits(a.underflow()), Bits(b.underflow()));
+  EXPECT_EQ(Bits(a.overflow()), Bits(b.overflow()));
+  EXPECT_EQ(Bits(a.sum_weights()), Bits(b.sum_weights()));
+  EXPECT_EQ(Bits(a.mean()), Bits(b.mean()));
+  for (int i = 0; i < a.spec().num_bins; ++i) {
+    EXPECT_EQ(Bits(a.BinContent(i)), Bits(b.BinContent(i))) << "bin " << i;
+  }
+}
+
+TEST(ScatterIpcTest, FragmentFrameRoundTripsBitExactly) {
+  const ShardFragment original = MakeFragment(3);
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameType::kFragment, EncodeFragmentPayload(original));
+  Frame frame;
+  size_t consumed = 0;
+  auto complete = TryParseFrame(wire.data(), wire.size(), &frame, &consumed);
+  ASSERT_TRUE(complete.ok()) << complete.status().message();
+  ASSERT_TRUE(*complete);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(frame.type, FrameType::kFragment);
+  auto decoded = DecodeFragmentPayload(frame.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+  EXPECT_EQ(decoded->file_index, 3);
+  EXPECT_EQ(decoded->output.events_processed, 103);
+  EXPECT_EQ(decoded->output.ops, original.output.ops);
+  EXPECT_EQ(Bits(decoded->output.cpu_seconds),
+            Bits(original.output.cpu_seconds));
+  EXPECT_EQ(decoded->output.scan.storage_bytes,
+            original.output.scan.storage_bytes);
+  ASSERT_EQ(decoded->output.histograms.size(), 1u);
+  ExpectBitEqual(decoded->output.histograms[0],
+                 original.output.histograms[0]);
+}
+
+TEST(ScatterIpcTest, PartialFrameAsksForMoreBytes) {
+  const std::vector<uint8_t> wire =
+      EncodeFrame(FrameType::kFragment,
+                  EncodeFragmentPayload(MakeFragment(0)));
+  Frame frame;
+  for (size_t size : {size_t{0}, size_t{3}, size_t{19}, wire.size() - 1}) {
+    size_t consumed = 99;
+    auto complete = TryParseFrame(wire.data(), size, &frame, &consumed);
+    ASSERT_TRUE(complete.ok()) << "size=" << size;
+    EXPECT_FALSE(*complete) << "size=" << size;
+    EXPECT_EQ(consumed, 0u) << "size=" << size;
+  }
+}
+
+TEST(ScatterIpcTest, MalformedFramesAreErrors) {
+  const std::vector<uint8_t> good =
+      EncodeFrame(FrameType::kFragment,
+                  EncodeFragmentPayload(MakeFragment(0)));
+  Frame frame;
+  size_t consumed = 0;
+
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] ^= 0xFF;
+  auto magic_result =
+      TryParseFrame(bad_magic.data(), bad_magic.size(), &frame, &consumed);
+  ASSERT_FALSE(magic_result.ok());
+  EXPECT_NE(magic_result.status().message().find("magic"),
+            std::string::npos);
+
+  std::vector<uint8_t> bad_version = good;
+  bad_version[4] = 42;  // version field, little-endian low byte
+  auto version_result = TryParseFrame(bad_version.data(),
+                                      bad_version.size(), &frame, &consumed);
+  ASSERT_FALSE(version_result.ok());
+  EXPECT_NE(version_result.status().message().find("version 42, expected 1"),
+            std::string::npos);
+
+  std::vector<uint8_t> bad_crc = good;
+  bad_crc[bad_crc.size() - 1] ^= 0x01;
+  auto crc_result =
+      TryParseFrame(bad_crc.data(), bad_crc.size(), &frame, &consumed);
+  ASSERT_FALSE(crc_result.ok());
+  EXPECT_NE(crc_result.status().message().find("CRC"), std::string::npos);
+}
+
+/// Serializes `fragments` (+ optional done frame) as one worker's stream.
+std::vector<uint8_t> StreamOf(const std::vector<ShardFragment>& fragments,
+                              bool done) {
+  std::vector<uint8_t> bytes;
+  for (const ShardFragment& fragment : fragments) {
+    const std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kFragment, EncodeFragmentPayload(fragment));
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  if (done) {
+    const std::vector<uint8_t> frame = EncodeFrame(
+        FrameType::kDone, scatter::EncodeDonePayload(
+                              static_cast<int>(fragments.size())));
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  return bytes;
+}
+
+TEST(ScatterGatherTest, TruncatedStreamKeepsWholeFragments) {
+  std::vector<uint8_t> bytes = StreamOf({MakeFragment(0), MakeFragment(1)},
+                                        /*done=*/false);
+  bytes.resize(bytes.size() - 7);  // break the second fragment's frame
+  const WorkerStream stream = ParseWorkerStream(bytes.data(), bytes.size());
+  ASSERT_EQ(stream.fragments.size(), 1u);
+  EXPECT_EQ(stream.fragments[0].file_index, 0);
+  EXPECT_FALSE(stream.done);
+  ASSERT_FALSE(stream.parse_error.ok());
+  EXPECT_NE(stream.parse_error.message().find("ends mid-frame"),
+            std::string::npos);
+}
+
+/// The gather's determinism contract: the same missing shard produces the
+/// same error for any grouping of shards into workers.
+TEST(ScatterGatherTest, MissingShardErrorIndependentOfWorkerCount) {
+  const std::vector<std::string> files = {"fa", "fb", "fc", "fd"};
+  // Shard 2's worker died before emitting it; shard 3 was never reached.
+  auto broken = [&](int num_workers) {
+    std::vector<WorkerStream> streams;
+    for (int w = 0; w < num_workers; ++w) {
+      const ShardRange range = ShardRangeFor(4, num_workers, w);
+      std::vector<ShardFragment> fragments;
+      for (int s = range.begin; s < range.end && s < 2; ++s) {
+        fragments.push_back(MakeFragment(s));
+      }
+      const std::vector<uint8_t> bytes =
+          StreamOf(fragments, /*done=*/range.end <= 2);
+      WorkerStream stream = ParseWorkerStream(bytes.data(), bytes.size());
+      stream.range = range;
+      streams.push_back(std::move(stream));
+    }
+    return CombineWorkerStreams(streams, files).status();
+  };
+  const Status one = broken(1);
+  const Status two = broken(2);
+  const Status four = broken(4);
+  ASSERT_FALSE(one.ok());
+  EXPECT_EQ(one.ToString(), two.ToString());
+  EXPECT_EQ(one.ToString(), four.ToString());
+  EXPECT_NE(one.message().find("before completing shard 2 ('fc')"),
+            std::string::npos)
+      << one.message();
+}
+
+TEST(ScatterGatherTest, ParseErrorAttributedToWorkersOwnRange) {
+  const std::vector<std::string> files = {"fa", "fb", "fc", "fd"};
+  // Worker 0 owns shards [0,2) and completes; worker 1 owns [2,4) and its
+  // stream breaks before any fragment. The error must name shard 2, not
+  // shard 0.
+  std::vector<uint8_t> ok_bytes =
+      StreamOf({MakeFragment(0), MakeFragment(1)}, /*done=*/true);
+  WorkerStream ok_stream =
+      ParseWorkerStream(ok_bytes.data(), ok_bytes.size());
+  ok_stream.range = {0, 2};
+  std::vector<uint8_t> broken_bytes =
+      StreamOf({MakeFragment(2)}, /*done=*/false);
+  broken_bytes.resize(broken_bytes.size() / 2);
+  WorkerStream broken_stream =
+      ParseWorkerStream(broken_bytes.data(), broken_bytes.size());
+  broken_stream.range = {2, 4};
+  const Status status =
+      CombineWorkerStreams({ok_stream, broken_stream}, files).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("shard 2 ('fc')"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("ends mid-frame"), std::string::npos);
+}
+
+TEST(ScatterGatherTest, DuplicateFragmentIsCorruption) {
+  const std::vector<std::string> files = {"fa", "fb"};
+  std::vector<uint8_t> bytes =
+      StreamOf({MakeFragment(0), MakeFragment(0), MakeFragment(1)},
+               /*done=*/true);
+  WorkerStream stream = ParseWorkerStream(bytes.data(), bytes.size());
+  stream.range = {0, 2};
+  const Status status = CombineWorkerStreams({stream}, files).status();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ScatterWorkerTest, EmitsFragmentPerShardThenDone) {
+  const std::vector<std::string> files = {"fa", "fb", "fc"};
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const Status status = RunWorker(
+      files, ShardRange{1, 3},
+      [&](const std::string& file) -> Result<queries::QueryRunOutput> {
+        const int shard = file == "fb" ? 1 : 2;
+        return MakeFragment(shard).output;
+      },
+      fds[1]);
+  ::close(fds[1]);
+  ASSERT_TRUE(status.ok()) << status.message();
+  std::vector<uint8_t> bytes(1 << 16);
+  size_t total = 0;
+  for (;;) {
+    const ssize_t n =
+        ::read(fds[0], bytes.data() + total, bytes.size() - total);
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    total += static_cast<size_t>(n);
+  }
+  ::close(fds[0]);
+  const WorkerStream stream = ParseWorkerStream(bytes.data(), total);
+  ASSERT_TRUE(stream.parse_error.ok()) << stream.parse_error.message();
+  EXPECT_TRUE(stream.done);
+  ASSERT_EQ(stream.fragments.size(), 2u);
+  EXPECT_EQ(stream.fragments[0].file_index, 1);
+  EXPECT_EQ(stream.fragments[1].file_index, 2);
+}
+
+TEST(ScatterWorkerTest, ShardFailureEmitsErrorFrame) {
+  const std::vector<std::string> files = {"fa", "fb"};
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const Status status = RunWorker(
+      files, ShardRange{0, 2},
+      [&](const std::string& file) -> Result<queries::QueryRunOutput> {
+        if (file == "fb") return Status::Invalid("boom");
+        return MakeFragment(0).output;
+      },
+      fds[1]);
+  ::close(fds[1]);
+  EXPECT_FALSE(status.ok());
+  std::vector<uint8_t> bytes(1 << 16);
+  size_t total = 0;
+  for (;;) {
+    const ssize_t n =
+        ::read(fds[0], bytes.data() + total, bytes.size() - total);
+    ASSERT_GE(n, 0);
+    if (n == 0) break;
+    total += static_cast<size_t>(n);
+  }
+  ::close(fds[0]);
+  WorkerStream stream = ParseWorkerStream(bytes.data(), total);
+  stream.range = {0, 2};
+  ASSERT_EQ(stream.fragments.size(), 1u);
+  ASSERT_EQ(stream.errors.size(), 1u);
+  EXPECT_EQ(stream.errors[0].first, 1);
+  const Status combined =
+      CombineWorkerStreams({stream}, files).status();
+  ASSERT_FALSE(combined.ok());
+  EXPECT_NE(combined.message().find("shard 1 ('fb') failed: boom"),
+            std::string::npos)
+      << combined.message();
+}
+
+// ---------------------------------------------------------------------------
+// The end-to-end contract: merging per-shard results reproduces the
+// in-process dataset run bit for bit.
+// ---------------------------------------------------------------------------
+
+class ScatterMergeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ShardedDatasetSpec spec;
+    spec.num_shards = 3;
+    spec.events_per_shard = 600;
+    spec.row_group_size = 250;
+    dataset_ = new std::string(
+        EnsureShardedDataset(::testing::TempDir() + "/hepq_scatter", spec)
+            .ValueOrDie());
+  }
+
+  static std::string* dataset_;
+};
+
+std::string* ScatterMergeTest::dataset_ = nullptr;
+
+TEST_F(ScatterMergeTest, MergedShardFragmentsMatchDatasetRun) {
+  using queries::EngineKind;
+  const auto files = ListLaqFiles(*dataset_).ValueOrDie();
+  ASSERT_EQ(files.size(), 3u);
+  const EngineKind engines[] = {EngineKind::kRdf, EngineKind::kBigQueryShape,
+                                EngineKind::kPrestoShape, EngineKind::kDoc};
+  for (int q : {1, 5}) {
+    for (EngineKind engine : engines) {
+      SCOPED_TRACE("q" + std::to_string(q) + " engine " +
+                   std::string(queries::EngineKindName(engine)));
+      auto whole = queries::RunAdlQuery(engine, q, *dataset_);
+      ASSERT_TRUE(whole.ok()) << whole.status().message();
+      std::vector<ShardFragment> fragments;
+      for (size_t shard = 0; shard < files.size(); ++shard) {
+        auto part = queries::RunAdlQuery(engine, q, files[shard]);
+        ASSERT_TRUE(part.ok()) << part.status().message();
+        ShardFragment fragment;
+        fragment.file_index = static_cast<int>(shard);
+        fragment.output = std::move(*part);
+        fragments.push_back(std::move(fragment));
+      }
+      auto merged = MergeShardOutputs(fragments);
+      ASSERT_TRUE(merged.ok()) << merged.status().message();
+      EXPECT_EQ(merged->events_processed, whole->events_processed);
+      EXPECT_EQ(merged->ops, whole->ops);
+      EXPECT_EQ(merged->scan.storage_bytes, whole->scan.storage_bytes);
+      ASSERT_EQ(merged->histograms.size(), whole->histograms.size());
+      for (size_t h = 0; h < merged->histograms.size(); ++h) {
+        ExpectBitEqual(merged->histograms[h], whole->histograms[h]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hepq

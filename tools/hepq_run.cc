@@ -23,19 +23,32 @@
 //   --trace=path.json: write the spans as Chrome trace_event JSON,
 //     loadable in chrome://tracing or Perfetto
 //   --data=path.laq: run over an existing laq file (e.g. a laq_optimize'd
-//     copy) instead of generating one from the events count
+//     copy) OR a sharded dataset directory of "*.laq" files, instead of
+//     generating one from the events count
+//   --procs=P: scatter/gather coordinator — spawn P worker processes
+//     (this binary re-invoked with --worker-shards), each owning a
+//     contiguous range of the dataset's shards, and merge their results
+//     in shard order. Bit-identical to --procs=1 (in-process) for any P.
+//   --worker-shards=a:b: worker mode (used by --procs; scriptable for
+//     debugging) — run shards [a, b) of the dataset and write result
+//     frames to stdout instead of human-readable output.
 //   "explain" prints the relational plans instead of executing.
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "datagen/dataset.h"
+#include "fileio/dataset_reader.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "queries/adl.h"
 #include "queries/builders.h"
+#include "scatter/scatter.h"
 
 using hepq::queries::EngineKind;
 using hepq::queries::EngineKindName;
@@ -61,6 +74,33 @@ std::string WithEngineSuffix(const std::string& path,
   return path.substr(0, dot) + "." + engine + path.substr(dot);
 }
 
+void PrintRunOutput(EngineKind engine,
+                    const hepq::queries::QueryRunOutput& result) {
+  std::printf("--- %s ---\n", EngineKindName(engine));
+  std::printf(
+      "events: %lld   cpu: %.4f s   wall: %.4f s   storage bytes: %llu\n",
+      static_cast<long long>(result.events_processed),
+      result.cpu_seconds, result.wall_seconds,
+      static_cast<unsigned long long>(result.scan.storage_bytes));
+  std::printf(
+      "decoded bytes: %llu   groups pruned: %llu   pages pruned: %llu/%llu"
+      "   rows pruned: %llu\n",
+      static_cast<unsigned long long>(result.scan.decoded_bytes),
+      static_cast<unsigned long long>(result.scan.groups_pruned),
+      static_cast<unsigned long long>(result.scan.pages_pruned),
+      static_cast<unsigned long long>(result.scan.pages_pruned +
+                                      result.scan.pages_read),
+      static_cast<unsigned long long>(result.scan.rows_pruned));
+  if (result.ops > 0) {
+    std::printf("ops/event: %.2f\n",
+                static_cast<double>(result.ops) /
+                    static_cast<double>(result.events_processed));
+  }
+  for (const hepq::Histogram1D& h : result.histograms) {
+    std::printf("%s\n", h.ToString(10).c_str());
+  }
+}
+
 void RunOne(EngineKind engine, int q, const std::string& path,
             const hepq::queries::RunOptions& options,
             const ProfileOptions& profile, bool suffix_outputs) {
@@ -72,29 +112,7 @@ void RunOne(EngineKind engine, int q, const std::string& path,
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     std::exit(1);
   }
-  std::printf("--- %s ---\n", EngineKindName(engine));
-  std::printf(
-      "events: %lld   cpu: %.4f s   wall: %.4f s   storage bytes: %llu\n",
-      static_cast<long long>(result->events_processed),
-      result->cpu_seconds, result->wall_seconds,
-      static_cast<unsigned long long>(result->scan.storage_bytes));
-  std::printf(
-      "decoded bytes: %llu   groups pruned: %llu   pages pruned: %llu/%llu"
-      "   rows pruned: %llu\n",
-      static_cast<unsigned long long>(result->scan.decoded_bytes),
-      static_cast<unsigned long long>(result->scan.groups_pruned),
-      static_cast<unsigned long long>(result->scan.pages_pruned),
-      static_cast<unsigned long long>(result->scan.pages_pruned +
-                                      result->scan.pages_read),
-      static_cast<unsigned long long>(result->scan.rows_pruned));
-  if (result->ops > 0) {
-    std::printf("ops/event: %.2f\n",
-                static_cast<double>(result->ops) /
-                    static_cast<double>(result->events_processed));
-  }
-  for (const hepq::Histogram1D& h : result->histograms) {
-    std::printf("%s\n", h.ToString(10).c_str());
-  }
+  PrintRunOutput(engine, *result);
 
   if (!profile.enabled) return;
   hepq::obs::RunInfo info;
@@ -127,16 +145,106 @@ void RunOne(EngineKind engine, int q, const std::string& path,
   }
 }
 
+/// The dataset's sorted shard list: every "*.laq" of a directory, or the
+/// single file itself.
+hepq::Result<std::vector<std::string>> ShardFilesFor(const std::string& data) {
+  if (hepq::IsDirectory(data)) return hepq::ListLaqFiles(data);
+  return std::vector<std::string>{data};
+}
+
+/// Worker half of --procs: run shards [range) and stream frames to
+/// stdout. Human output is suppressed — stdout is the wire.
+int RunWorkerMode(EngineKind engine, int q, const std::string& data,
+                  const hepq::queries::RunOptions& options,
+                  hepq::scatter::ShardRange range) {
+  auto files = ShardFilesFor(data);
+  if (!files.ok()) {
+    std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
+    return 1;
+  }
+  if (range.begin < 0 || range.end > static_cast<int>(files->size()) ||
+      range.begin >= range.end) {
+    std::fprintf(stderr, "error: --worker-shards range [%d, %d) out of "
+                         "bounds for %zu shards\n",
+                 range.begin, range.end, files->size());
+    return 1;
+  }
+  const hepq::Status status = hepq::scatter::RunWorker(
+      *files, range,
+      [&](const std::string& shard) {
+        return RunAdlQuery(engine, q, shard, options);
+      },
+      STDOUT_FILENO);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// Coordinator half of --procs: spawn workers (this binary re-invoked
+/// with --worker-shards), gather, merge in shard order, print.
+void RunScatteredOne(const char* self, EngineKind engine,
+                     const std::string& engine_name, int q,
+                     const std::string& data,
+                     const hepq::queries::RunOptions& options, int procs) {
+  auto files = ShardFilesFor(data);
+  if (!files.ok()) {
+    std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto make_argv = [&](hepq::scatter::ShardRange range) {
+    std::vector<std::string> argv;
+    argv.push_back(self);
+    argv.push_back(std::to_string(q));
+    argv.push_back(engine_name);
+    argv.push_back("--data=" + data);
+    argv.push_back("--threads=" + std::to_string(options.num_threads));
+    argv.push_back(std::string("--vexpr-tier=") +
+                   hepq::queries::VexprTierName(options.vexpr_tier));
+    if (!options.scan_pushdown) argv.push_back("--no-pushdown");
+    if (!options.late_materialization) argv.push_back("--no-late-mat");
+    argv.push_back("--worker-shards=" + std::to_string(range.begin) + ":" +
+                   std::to_string(range.end));
+    return argv;
+  };
+  auto result = hepq::scatter::RunScattered(*files, procs, make_argv);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  PrintRunOutput(engine, *result);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   hepq::queries::RunOptions options;
   ProfileOptions profile;
   std::string data_path;
+  int procs = 0;
+  hepq::scatter::ShardRange worker_shards;
+  bool worker_mode = false;
   int kept = 1;  // strip option flags wherever they appear
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--data=", 7) == 0) {
       data_path = argv[i] + 7;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--procs=", 8) == 0) {
+      procs = std::atoi(argv[i] + 8);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--worker-shards=", 16) == 0) {
+      const char* spec = argv[i] + 16;
+      const char* colon = std::strchr(spec, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--worker-shards must be <begin>:<end>\n");
+        return 2;
+      }
+      worker_shards.begin = std::atoi(spec);
+      worker_shards.end = std::atoi(colon + 1);
+      worker_mode = true;
       continue;
     }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
@@ -209,6 +317,25 @@ int main(int argc, char** argv) {
     data = *path;
   }
 
+  if (worker_mode) {
+    // Stdout is the frame wire; nothing human-readable may touch it.
+    EngineKind engine;
+    if (engine_name == "rdf") {
+      engine = EngineKind::kRdf;
+    } else if (engine_name == "bigquery") {
+      engine = EngineKind::kBigQueryShape;
+    } else if (engine_name == "presto") {
+      engine = EngineKind::kPrestoShape;
+    } else if (engine_name == "doc") {
+      engine = EngineKind::kDoc;
+    } else {
+      std::fprintf(stderr, "--worker-shards needs a single engine, got '%s'\n",
+                   engine_name.c_str());
+      return 2;
+    }
+    return RunWorkerMode(engine, q, data, options, worker_shards);
+  }
+
   std::printf("Q%d: %s\ndata: %s\n\n", q, hepq::queries::AdlQueryTitle(q),
               data.c_str());
 
@@ -226,10 +353,20 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (engine_name == "all") {
-    for (EngineKind engine :
-         {EngineKind::kRdf, EngineKind::kBigQueryShape,
-          EngineKind::kPrestoShape, EngineKind::kDoc}) {
-      RunOne(engine, q, data, options, profile, /*suffix_outputs=*/true);
+    const struct {
+      EngineKind kind;
+      const char* cli_name;  // what --worker-shards children parse
+    } engines[] = {{EngineKind::kRdf, "rdf"},
+                   {EngineKind::kBigQueryShape, "bigquery"},
+                   {EngineKind::kPrestoShape, "presto"},
+                   {EngineKind::kDoc, "doc"}};
+    for (const auto& e : engines) {
+      if (procs > 1) {
+        RunScatteredOne(argv[0], e.kind, e.cli_name, q, data, options,
+                        procs);
+      } else {
+        RunOne(e.kind, q, data, options, profile, /*suffix_outputs=*/true);
+      }
     }
     return 0;
   }
@@ -246,6 +383,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
     return 2;
   }
-  RunOne(engine, q, data, options, profile, /*suffix_outputs=*/false);
+  if (procs > 1) {
+    RunScatteredOne(argv[0], engine, engine_name, q, data, options, procs);
+  } else {
+    RunOne(engine, q, data, options, profile, /*suffix_outputs=*/false);
+  }
   return 0;
 }

@@ -2,10 +2,12 @@
 // groups, per-chunk encodings/codecs/sizes/statistics, and page-level zone
 // maps. The moral equivalent of parquet-tools for this repository's format.
 //
-// Usage: laq_inspect <file.laq> [--chunks] [--pages] [--json]
+// Usage: laq_inspect <file.laq | dataset-dir> [--chunks] [--pages] [--json]
 //
 // --json replaces the human-readable dump with a machine-readable layout
 // summary (per-leaf pages/prunable-fraction/encoding) for CI gating.
+// Given a sharded dataset directory, both modes aggregate per-file
+// analyses across every shard.
 
 #include <algorithm>
 #include <cstdio>
@@ -14,13 +16,122 @@
 #include <string>
 #include <vector>
 
+#include "fileio/dataset_reader.h"
 #include "fileio/layout_optimizer.h"
 #include "fileio/reader.h"
+
+namespace {
+
+/// Dataset-directory inspection: per-shard analysis rows plus per-leaf
+/// totals summed over every shard (JSON mirrors the single-file schema
+/// with an extra "files" count; encodings that differ across shards
+/// report as "mixed").
+int InspectDirectory(const std::string& dir, bool json) {
+  auto files_result = hepq::ListLaqFiles(dir);
+  if (!files_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 files_result.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string>& files = *files_result;
+  struct LeafTotal {
+    std::string path;
+    std::string encoding;
+    uint64_t storage_bytes = 0;
+    uint64_t pages = 0;
+    uint64_t prunable_pages = 0;
+  };
+  std::vector<LeafTotal> leaves;
+  long long total_rows = 0;
+  int total_groups = 0;
+  unsigned long long total_bytes = 0;
+  if (!json) {
+    std::printf("dataset:     %s\n", dir.c_str());
+    std::printf("shards:      %zu\n\n", files.size());
+    std::printf("%-44s %10s %8s %12s\n", "shard", "rows", "groups",
+                "bytes");
+  }
+  for (const std::string& file : files) {
+    auto analysis_result = hepq::AnalyzeLaqFile(file);
+    if (!analysis_result.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", file.c_str(),
+                   analysis_result.status().ToString().c_str());
+      return 1;
+    }
+    const hepq::LayoutAnalysis& analysis = *analysis_result;
+    total_rows += analysis.total_rows;
+    total_groups += analysis.row_groups;
+    total_bytes += analysis.storage_bytes;
+    if (leaves.empty()) {
+      for (const hepq::LeafLayoutSummary& leaf : analysis.leaves) {
+        leaves.push_back(LeafTotal{leaf.path, EncodingName(leaf.encoding),
+                                   0, 0, 0});
+      }
+    }
+    for (size_t l = 0; l < analysis.leaves.size() && l < leaves.size();
+         ++l) {
+      const hepq::LeafLayoutSummary& leaf = analysis.leaves[l];
+      if (leaves[l].encoding != EncodingName(leaf.encoding)) {
+        leaves[l].encoding = "mixed";
+      }
+      leaves[l].storage_bytes += leaf.storage_bytes;
+      leaves[l].pages += leaf.pages;
+      leaves[l].prunable_pages += leaf.prunable_pages;
+    }
+    if (!json) {
+      const size_t slash = file.rfind('/');
+      std::printf("%-44s %10lld %8d %12llu\n",
+                  (slash == std::string::npos ? file : file.substr(slash + 1))
+                      .c_str(),
+                  static_cast<long long>(analysis.total_rows),
+                  analysis.row_groups,
+                  static_cast<unsigned long long>(analysis.storage_bytes));
+    }
+  }
+  if (json) {
+    std::printf("{\"dataset\": \"%s\", \"files\": %zu, \"rows\": %lld, "
+                "\"row_groups\": %d, \"storage_bytes\": %llu, \"leaves\": [",
+                dir.c_str(), files.size(), total_rows, total_groups,
+                total_bytes);
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      const LeafTotal& leaf = leaves[l];
+      std::printf("%s{\"path\": \"%s\", \"encoding\": \"%s\", "
+                  "\"storage_bytes\": %llu, \"pages\": %llu, "
+                  "\"prunable_pages\": %llu, \"prunable_fraction\": %.4f}",
+                  l == 0 ? "" : ", ", leaf.path.c_str(),
+                  leaf.encoding.c_str(),
+                  static_cast<unsigned long long>(leaf.storage_bytes),
+                  static_cast<unsigned long long>(leaf.pages),
+                  static_cast<unsigned long long>(leaf.prunable_pages),
+                  leaf.pages > 0 ? static_cast<double>(leaf.prunable_pages) /
+                                       static_cast<double>(leaf.pages)
+                                 : 0.0);
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+  std::printf("\ntotals: %lld rows, %d row groups, %llu bytes\n\n",
+              total_rows, total_groups, total_bytes);
+  std::printf("per-leaf totals across all shards:\n");
+  std::printf("  %-24s %10s %8s %10s %9s\n", "leaf", "bytes", "enc",
+              "pages", "prunable");
+  for (const LeafTotal& leaf : leaves) {
+    std::printf("  %-24s %10llu %8s %10llu %9llu\n", leaf.path.c_str(),
+                static_cast<unsigned long long>(leaf.storage_bytes),
+                leaf.encoding.c_str(),
+                static_cast<unsigned long long>(leaf.pages),
+                static_cast<unsigned long long>(leaf.prunable_pages));
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <file.laq> [--chunks] [--pages] [--json]\n",
+                 "usage: %s <file.laq | dataset-dir> [--chunks] [--pages]"
+                 " [--json]\n",
                  argv[0]);
     return 2;
   }
@@ -36,6 +147,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0) json = true;
   }
+
+  if (hepq::IsDirectory(path)) return InspectDirectory(path, json);
 
   if (json) {
     auto analysis_result = hepq::AnalyzeLaqFile(path);

@@ -6,7 +6,7 @@
 // with weight-1 fills under the deterministic merge); only the zone maps
 // get sharper, so predicate pushdown finally skips real data.
 //
-// Usage: laq_optimize <input.laq> <output.laq>
+// Usage: laq_optimize <input.laq | dataset-dir> <output.laq | output-dir>
 //          [--key=leaf1,leaf2,...]  cluster key, most significant first
 //                                   (default Muon#lengths,Jet#lengths,MET.pt)
 //          [--row-group=N]          rows per output row group (default: derived)
@@ -21,7 +21,10 @@
 //                                   off over input and output and require
 //                                   bit-identical histograms (exit 1 if not)
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "fileio/dataset_reader.h"
 #include "fileio/layout_optimizer.h"
 #include "queries/adl.h"
 
@@ -133,6 +137,25 @@ bool BitIdentical(const hepq::Histogram1D& a, const hepq::Histogram1D& b) {
   return true;
 }
 
+/// Folds one shard's analysis into a dataset-wide total (leaf order is
+/// schema order, identical across shards of one dataset; the aggregate
+/// keeps the first shard's encoding labels).
+void Accumulate(LayoutAnalysis* total, const LayoutAnalysis& shard) {
+  total->total_rows += shard.total_rows;
+  total->row_groups += shard.row_groups;
+  total->storage_bytes += shard.storage_bytes;
+  if (total->leaves.empty()) {
+    total->leaves = shard.leaves;
+    return;
+  }
+  for (size_t l = 0; l < shard.leaves.size() && l < total->leaves.size();
+       ++l) {
+    total->leaves[l].storage_bytes += shard.leaves[l].storage_bytes;
+    total->leaves[l].pages += shard.leaves[l].pages;
+    total->leaves[l].prunable_pages += shard.leaves[l].prunable_pages;
+  }
+}
+
 int Verify(const std::string& input, const std::string& output) {
   using hepq::queries::EngineKind;
   using hepq::queries::EngineKindName;
@@ -233,6 +256,51 @@ int main(int argc, char** argv) {
       }
       if (options.cluster_keys.size() >= 6) break;  // diminishing returns
     }
+  }
+
+  if (hepq::IsDirectory(input)) {
+    // Dataset directory: optimize every shard into a mirrored directory.
+    // Each shard is rewritten independently (same per-file bit-identity
+    // contract), and --verify compares directory-level query results.
+    auto files = hepq::ListLaqFiles(input);
+    if (!files.ok()) {
+      std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
+      return 1;
+    }
+    if (::mkdir(output.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "error: cannot create output directory '%s'\n",
+                   output.c_str());
+      return 1;
+    }
+    LayoutAnalysis total_before;
+    LayoutAnalysis total_after;
+    for (const std::string& shard : *files) {
+      const size_t slash = shard.rfind('/');
+      const std::string base =
+          slash == std::string::npos ? shard : shard.substr(slash + 1);
+      const std::string out_path = output + "/" + base;
+      auto shard_before = AnalyzeLaqFile(shard);
+      if (!shard_before.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     shard_before.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("optimizing %s -> %s\n", shard.c_str(), out_path.c_str());
+      auto shard_after = OptimizeLaqFile(shard, out_path, options);
+      if (!shard_after.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     shard_after.status().ToString().c_str());
+        return 1;
+      }
+      Accumulate(&total_before, *shard_before);
+      Accumulate(&total_after, *shard_after);
+    }
+    std::printf("\ndataset totals (%zu shards):\n", files->size());
+    PrintComparison(total_before, total_after);
+    if (verify) {
+      return Verify(input, output) == 0 ? 0 : 1;
+    }
+    return 0;
   }
 
   auto before = AnalyzeLaqFile(input);
