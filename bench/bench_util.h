@@ -175,6 +175,30 @@ class BenchJson {
     records_ += buf;
   }
 
+  /// Cache-warmth record: one full 8-query suite pass under a given cache
+  /// state. `warm_speedup` is cold wall / this pass's wall (1.0 for the
+  /// cold pass itself). CI gates warm passes on decoded_bytes == 0 and
+  /// warm_speedup >= 2 in BENCH_cache.json.
+  void AddCachePass(const std::string& label, int pass, double wall_s,
+                    uint64_t decoded_bytes, uint64_t cache_bytes_served,
+                    uint64_t chunk_cache_hits, uint64_t footer_cache_hits,
+                    int result_cache_hits, double warm_speedup) {
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "%s  {\"label\": \"%s\", \"pass\": %d, "
+                  "\"wall_s\": %.6f, \"decoded_bytes\": %llu, "
+                  "\"cache_bytes_served\": %llu, \"chunk_cache_hits\": %llu, "
+                  "\"footer_cache_hits\": %llu, \"result_cache_hits\": %d, "
+                  "\"warm_speedup\": %.4f}",
+                  records_.empty() ? "" : ",\n", label.c_str(), pass, wall_s,
+                  static_cast<unsigned long long>(decoded_bytes),
+                  static_cast<unsigned long long>(cache_bytes_served),
+                  static_cast<unsigned long long>(chunk_cache_hits),
+                  static_cast<unsigned long long>(footer_cache_hits),
+                  result_cache_hits, warm_speedup);
+    records_ += buf;
+  }
+
   /// Writes the accumulated records; returns false (with a message on
   /// stderr) if the file cannot be created.
   bool Write() const {

@@ -269,7 +269,12 @@ Result<LaqReader*> WorkerReaders::reader(int worker, int file) {
   Slot& slot = slots_[static_cast<size_t>(worker)];
   if (slot.reader != nullptr && slot.open_file != file) {
     // Out-of-core discipline: one open shard per worker. Bank the closed
-    // reader's stats so TotalScanStats still sees every byte.
+    // reader's stats so TotalScanStats still sees every byte. The
+    // validated FileMetadata itself is NOT thrown away: it stays banked
+    // in the process-wide footer cache, so re-opening this shard later —
+    // by this slot, another worker, or another query — skips footer
+    // parse + validation entirely (ScanStats::footer_cache_hits counts
+    // the reuses).
     slot.closed_stats.Add(slot.reader->scan_stats());
     slot.reader.reset();
     slot.open_file = -1;

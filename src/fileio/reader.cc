@@ -1,5 +1,7 @@
 #include "fileio/reader.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -7,6 +9,7 @@
 #include <limits>
 #include <map>
 
+#include "cache/cache.h"
 #include "fileio/crc32.h"
 #include "fileio/varint.h"
 #include "obs/trace.h"
@@ -237,26 +240,68 @@ Result<std::unique_ptr<LaqReader>> LaqReader::Open(const std::string& path,
   if (Crc32(footer.data(), footer.size()) != footer_crc) {
     return Status::Corruption("footer checksum mismatch");
   }
-  FileMetadata metadata;
-  HEPQ_RETURN_NOT_OK(ParseFileMetadata(footer.data(), footer.size(),
-                                       &metadata));
-  // A CRC-valid footer can still describe an impossible file (crafted
-  // input, or a correct footer over truncated data). Validate every
-  // metadata-derived integer once, here, so the read path below never has
-  // to re-check offsets, sizes, or counts against the file.
-  const uint64_t data_end = static_cast<uint64_t>(file_size) - 12 -
-                            static_cast<uint64_t>(footer_size);
-  HEPQ_RETURN_NOT_OK(ValidateFileMetadata(metadata, /*data_begin=*/4,
-                                          data_end,
-                                          options.max_chunk_decoded_bytes));
+
+  // Footer/metadata cache: everything above — magics, trailer, footer
+  // read, CRC recompute over the *current* bytes — ran unconditionally,
+  // so any corruption a cold open would report has already been reported.
+  // What a hit skips is only the parse + validation of footer bytes
+  // proven byte-identical (same recomputed CRC over the same size) to a
+  // previously validated open, which is deterministic: same bytes, same
+  // outcome.
+  cache::FileIdentity identity;
+  identity.size = static_cast<uint64_t>(file_size);
+  struct stat st;
+  if (::fstat(fileno(file), &st) == 0) {
+    identity.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                        st.st_mtim.tv_nsec;
+  }
+  identity.footer_crc = footer_crc;
+
+  std::shared_ptr<const FileMetadata> metadata;
+  uint64_t file_id = 0;
+  bool footer_hit = false;
+  if (options.footer_cache) {
+    obs::ScopedSpan span("footer_cache", obs::Stage::kCacheLookup);
+    if (auto entry = cache::FooterCache::Process().Find(
+            path, identity, options.max_chunk_decoded_bytes)) {
+      metadata = entry->metadata;
+      file_id = entry->file_id;
+      footer_hit = true;
+    }
+  }
+  if (metadata == nullptr) {
+    auto parsed = std::make_shared<FileMetadata>();
+    HEPQ_RETURN_NOT_OK(ParseFileMetadata(footer.data(), footer.size(),
+                                         parsed.get()));
+    // A CRC-valid footer can still describe an impossible file (crafted
+    // input, or a correct footer over truncated data). Validate every
+    // metadata-derived integer once, here, so the read path below never
+    // has to re-check offsets, sizes, or counts against the file.
+    const uint64_t data_end = static_cast<uint64_t>(file_size) - 12 -
+                              static_cast<uint64_t>(footer_size);
+    HEPQ_RETURN_NOT_OK(ValidateFileMetadata(*parsed, /*data_begin=*/4,
+                                            data_end,
+                                            options.max_chunk_decoded_bytes));
+    metadata = std::move(parsed);
+    if (options.footer_cache) {
+      file_id = cache::FooterCache::Process()
+                    .Insert(path, identity, options.max_chunk_decoded_bytes,
+                            metadata)
+                    ->file_id;
+    }
+  }
   guard.release();
   auto reader = std::unique_ptr<LaqReader>(
-      new LaqReader(file, std::move(metadata), options));
+      new LaqReader(file, std::move(metadata), std::move(options), file_id));
+  if (reader->options_.footer_cache) {
+    reader->stats_.footer_cache_hits = footer_hit ? 1 : 0;
+    reader->stats_.footer_cache_misses = footer_hit ? 0 : 1;
+  }
   // One per-leaf stats slot per layout leaf, sized here once so the
   // decode path updates them by index with zero allocations.
-  reader->stats_.leaves.resize(reader->metadata_.layout.size());
-  for (size_t i = 0; i < reader->metadata_.layout.size(); ++i) {
-    reader->stats_.leaves[i].path = reader->metadata_.layout[i].path;
+  reader->stats_.leaves.resize(reader->meta().layout.size());
+  for (size_t i = 0; i < reader->meta().layout.size(); ++i) {
+    reader->stats_.leaves[i].path = reader->meta().layout[i].path;
   }
   return reader;
 }
@@ -278,9 +323,9 @@ void LaqReader::BillLeaf(const ChunkMeta& chunk, const LeafDesc& leaf) {
 Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
                            ScratchBuffers* scratch,
                            const BoundScanPredicate* pred) {
-  const RowGroupMeta& rg = metadata_.row_groups[static_cast<size_t>(group)];
+  const RowGroupMeta& rg = meta().row_groups[static_cast<size_t>(group)];
   const ChunkMeta& chunk = rg.chunks[static_cast<size_t>(leaf_index)];
-  const LeafDesc& leaf = metadata_.layout[static_cast<size_t>(leaf_index)];
+  const LeafDesc& leaf = meta().layout[static_cast<size_t>(leaf_index)];
   const size_t width = static_cast<size_t>(PrimitiveWidth(leaf.physical));
 
   // The decode span's byte payload is the delta of the decoded-bytes
@@ -295,6 +340,32 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
   const uint64_t decoded_before = stats_.decoded_bytes;
   const uint64_t pages_before = stats_.pages_read;
   const uint64_t pruned_before = stats_.pages_pruned;
+
+  // Decoded-chunk cache. The key's file generation id pins the exact
+  // bytes (path + size + mtime + footer CRC) the cached decode came
+  // from, so a hit is the same buffer a full cold decode would produce —
+  // including under a predicate: serving the complete chunk where a cold
+  // read would fail-fill skipped pages is the bit-identity-safe direction
+  // (the true values of a zone-disjoint page fail the gating predicate
+  // too, by the zone-map invariant). Only fully decoded clean chunks are
+  // inserted below, so corrupt chunks always decode — and fail — cold.
+  cache::ChunkCache* chunk_cache =
+      file_id_ != 0 ? options_.chunk_cache.get() : nullptr;
+  const cache::ChunkKey cache_key{file_id_, leaf_index, group};
+  if (chunk_cache != nullptr) {
+    obs::ScopedSpan lookup("chunk_cache", obs::Stage::kCacheLookup);
+    if (chunk_cache->Get(cache_key, &scratch->values)) {
+      const uint64_t served = scratch->values.size();
+      if (lookup.active()) lookup.set_bytes(served);
+      stats_.values_read += chunk.num_values;
+      stats_.chunk_cache_hits += 1;
+      stats_.cache_bytes_served += served;
+      leaf_stats.cache_bytes_served += served;
+      if (billed) BillLeaf(chunk, leaf);
+      return Status::OK();
+    }
+    stats_.chunk_cache_misses += 1;
+  }
 
   // Every buffer is resized, never recreated: past its high-water mark the
   // scratch pool makes this whole path allocation-free.
@@ -410,6 +481,13 @@ Status LaqReader::ReadLeaf(int group, int leaf_index, bool billed,
   leaf_stats.pages_pruned += stats_.pages_pruned - pruned_before;
   if (span.active()) span.set_bytes(stats_.decoded_bytes - decoded_before);
   if (billed) BillLeaf(chunk, leaf);
+  // Admit only complete clean decodes: a partial (fail-filled) buffer is
+  // option-dependent, and an errored decode never reaches this line —
+  // both properties the corruption-determinism argument relies on.
+  if (chunk_cache != nullptr && dead_pages == 0) {
+    chunk_cache->Insert(cache_key, scratch->values.data(),
+                        scratch->values.size());
+  }
   return Status::OK();
 }
 
@@ -424,9 +502,9 @@ Status LaqReader::ReadProjectedLeaf(int group, int leaf_index, bool billed,
       scratch->values = std::move(it->second);
       filter->cache.erase(it);
       if (billed) {
-        BillLeaf(metadata_.row_groups[static_cast<size_t>(group)]
+        BillLeaf(meta().row_groups[static_cast<size_t>(group)]
                      .chunks[static_cast<size_t>(leaf_index)],
-                 metadata_.layout[static_cast<size_t>(leaf_index)]);
+                 meta().layout[static_cast<size_t>(leaf_index)]);
       }
       return Status::OK();
     }
@@ -444,7 +522,7 @@ Status LaqReader::ReadLeafValues(int group_index, const std::string& leaf_path,
   if (group_index < 0 || group_index >= num_row_groups()) {
     return Status::OutOfRange("row group index out of range");
   }
-  const int leaf = metadata_.LeafIndex(leaf_path);
+  const int leaf = meta().LeafIndex(leaf_path);
   if (leaf < 0) {
     return Status::KeyError("no leaf column '" + leaf_path + "'");
   }
@@ -454,7 +532,7 @@ Status LaqReader::ReadLeafValues(int group_index, const std::string& leaf_path,
 Status LaqReader::ResolveProjection(
     const std::vector<std::string>& projection,
     std::vector<ResolvedColumn>* out) const {
-  const Schema& schema = metadata_.schema;
+  const Schema& schema = meta().schema;
   std::map<int, ResolvedColumn> by_field;
   for (const std::string& entry : projection) {
     const size_t dot = entry.find('.');
@@ -527,9 +605,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
   if (resolved.empty()) {
     return Status::Invalid("empty projection");
   }
-  const Schema& schema = metadata_.schema;
+  const Schema& schema = meta().schema;
   const int64_t rows =
-      metadata_.row_groups[static_cast<size_t>(group_index)].num_rows;
+      meta().row_groups[static_cast<size_t>(group_index)].num_rows;
   // Every group reaches here at most once per scan (pruned groups return
   // before this point), so rows_pruned + rows_read == total rows.
   stats_.rows_read += static_cast<uint64_t>(rows);
@@ -563,7 +641,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
       // Primitive or list-of-primitive column: read its value leaf (and
       // lengths leaf for lists).
       if (type.is_primitive()) {
-        const int leaf = metadata_.LeafIndex(field.name);
+        const int leaf = meta().LeafIndex(field.name);
         HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, leaf,
                                              /*billed=*/true, scratch,
                                              filter));
@@ -574,8 +652,8 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
         out_fields.push_back(field);
         out_columns.push_back(std::move(array));
       } else {
-        const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
-        const int values_leaf = metadata_.LeafIndex(field.name + ".item");
+        const int lengths_leaf = meta().LeafIndex(field.name + "#lengths");
+        const int values_leaf = meta().LeafIndex(field.name + ".item");
         // Lengths are read first and immediately folded into offsets, so
         // the values read below may reuse the same scratch buffer.
         HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, lengths_leaf,
@@ -586,7 +664,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
         HEPQ_RETURN_NOT_OK(
             FoldLengthsToOffsets(scratch->values, rows, &offsets, &num_items));
         const ChunkMeta& values_chunk =
-            metadata_.row_groups[static_cast<size_t>(group_index)]
+            meta().row_groups[static_cast<size_t>(group_index)]
                 .chunks[static_cast<size_t>(values_leaf)];
         if (num_items != static_cast<size_t>(values_chunk.num_values)) {
           return Status::Corruption("list lengths of '" + field.name +
@@ -622,7 +700,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
     std::vector<uint32_t> offsets;
     size_t num_items = static_cast<size_t>(rows);
     if (type.id() == TypeId::kList) {
-      const int lengths_leaf = metadata_.LeafIndex(field.name + "#lengths");
+      const int lengths_leaf = meta().LeafIndex(field.name + "#lengths");
       HEPQ_RETURN_NOT_OK(ReadProjectedLeaf(group_index, lengths_leaf,
                                            /*billed=*/true, scratch,
                                            filter));
@@ -631,12 +709,12 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
       // All member leaves of one list column carry the same value count
       // (enforced at Open); the decoded lengths must agree with it.
       if (!to_read.empty()) {
-        const int first_leaf = metadata_.LeafIndex(
+        const int first_leaf = meta().LeafIndex(
             field.name + "." +
             struct_type->fields()[static_cast<size_t>(to_read.front())].name);
         if (first_leaf >= 0) {
           const ChunkMeta& member_chunk =
-              metadata_.row_groups[static_cast<size_t>(group_index)]
+              meta().row_groups[static_cast<size_t>(group_index)]
                   .chunks[static_cast<size_t>(first_leaf)];
           if (num_items != static_cast<size_t>(member_chunk.num_values)) {
             return Status::Corruption(
@@ -651,7 +729,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
     std::vector<ArrayPtr> member_arrays;
     for (int m : to_read) {
       const Field& member = struct_type->fields()[static_cast<size_t>(m)];
-      const int leaf = metadata_.LeafIndex(field.name + "." + member.name);
+      const int leaf = meta().LeafIndex(field.name + "." + member.name);
       if (leaf < 0) {
         return Status::Corruption("missing leaf for " + field.name + "." +
                                   member.name);
@@ -694,7 +772,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupImpl(
 
 Result<RecordBatchPtr> LaqReader::ReadRowGroup(int group_index) {
   std::vector<std::string> all;
-  for (const Field& f : metadata_.schema.fields()) all.push_back(f.name);
+  for (const Field& f : meta().schema.fields()) all.push_back(f.name);
   return ReadRowGroup(group_index, all);
 }
 
@@ -710,9 +788,9 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
     return Status::OutOfRange("row group index out of range");
   }
   const RowGroupMeta& rg =
-      metadata_.row_groups[static_cast<size_t>(group_index)];
+      meta().row_groups[static_cast<size_t>(group_index)];
   const std::vector<BoundScanPredicate> bound =
-      BindScanPredicates(predicates, metadata_);
+      BindScanPredicates(predicates, meta());
 
   // Level 1: row-group pruning on the chunk zone maps. Any one violated
   // necessary condition rules out every row of the group; nothing is read.
@@ -732,7 +810,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
     // the sum of the per-leaf zone maxima, so if even that bound misses
     // the threshold, no row in the group can pass.
     for (const BoundSumPredicate& s :
-         BindSumPredicates(predicates, metadata_)) {
+         BindSumPredicates(predicates, meta())) {
       double max_total = 0.0;
       bool all_stats = true;
       for (const int leaf : s.leaf_indices) {
@@ -772,7 +850,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
       HEPQ_RETURN_NOT_OK(ReadLeaf(group_index, p.leaf_index,
                                   /*billed=*/false, scratch, &p));
       // Per-row leaves hold exactly num_rows values (validated at Open).
-      MarkDead(metadata_.layout[static_cast<size_t>(p.leaf_index)].physical,
+      MarkDead(meta().layout[static_cast<size_t>(p.leaf_index)].physical,
                scratch->values, rows, p, alive.data());
       filter.cache[p.leaf_index] = std::move(scratch->values);
     }
@@ -789,7 +867,7 @@ Result<RecordBatchPtr> LaqReader::ReadRowGroupFiltered(
 Result<std::vector<int>> LaqReader::SelectRowGroups(
     const std::string& leaf_path, double min_value,
     double max_value) const {
-  const int leaf = metadata_.LeafIndex(leaf_path);
+  const int leaf = meta().LeafIndex(leaf_path);
   if (leaf < 0) {
     return Status::KeyError("no leaf column '" + leaf_path + "'");
   }
@@ -799,7 +877,7 @@ Result<std::vector<int>> LaqReader::SelectRowGroups(
   std::vector<int> groups;
   for (int g = 0; g < num_row_groups(); ++g) {
     const ChunkMeta& chunk =
-        metadata_.row_groups[static_cast<size_t>(g)]
+        meta().row_groups[static_cast<size_t>(g)]
             .chunks[static_cast<size_t>(leaf)];
     if (!chunk.has_stats || (chunk.min_value <= max_value &&
                              chunk.max_value >= min_value)) {
@@ -814,15 +892,15 @@ Result<uint64_t> LaqReader::IdealBytesForProjection(
   std::vector<ResolvedColumn> resolved;
   HEPQ_RETURN_NOT_OK(ResolveProjection(projection, &resolved));
   uint64_t total = 0;
-  for (const RowGroupMeta& rg : metadata_.row_groups) {
+  for (const RowGroupMeta& rg : meta().row_groups) {
     for (const ResolvedColumn& rc : resolved) {
-      const Field& field = metadata_.schema.field(rc.field_index);
+      const Field& field = meta().schema.field(rc.field_index);
       const DataType& type = *field.type;
       auto leaf_bytes = [&](const std::string& path) -> uint64_t {
-        const int leaf = metadata_.LeafIndex(path);
+        const int leaf = meta().LeafIndex(path);
         if (leaf < 0) return 0;
         const ChunkMeta& c = rg.chunks[static_cast<size_t>(leaf)];
-        const LeafDesc& d = metadata_.layout[static_cast<size_t>(leaf)];
+        const LeafDesc& d = meta().layout[static_cast<size_t>(leaf)];
         return c.num_values * static_cast<uint64_t>(PrimitiveWidth(d.physical));
       };
       if (type.is_primitive()) {

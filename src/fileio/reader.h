@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "columnar/array.h"
 #include "fileio/format.h"
 #include "fileio/predicate.h"
@@ -22,6 +23,9 @@ struct LeafScanStats {
   uint64_t chunks_read = 0;
   uint64_t pages_read = 0;
   uint64_t pages_pruned = 0;
+  /// Decoded bytes served from the process-wide chunk cache instead of
+  /// storage (such chunks contribute nothing to the counters above).
+  uint64_t cache_bytes_served = 0;
 
   void AddCounters(const LeafScanStats& o) {
     storage_bytes += o.storage_bytes;
@@ -29,6 +33,7 @@ struct LeafScanStats {
     chunks_read += o.chunks_read;
     pages_read += o.pages_read;
     pages_pruned += o.pages_pruned;
+    cache_bytes_served += o.cache_bytes_served;
   }
 };
 
@@ -72,6 +77,18 @@ struct ScanStats {
   /// (diagnostic; one row may count once per predicate leaf).
   uint64_t lanes_pruned = 0;
   uint64_t groups_pruned = 0;
+  /// Footer/metadata cache outcome of this reader's Open (at most one of
+  /// the two is 1 per reader; totals accumulate across readers).
+  uint64_t footer_cache_hits = 0;
+  uint64_t footer_cache_misses = 0;
+  /// Decoded-chunk cache outcomes. A hit serves the full decoded chunk
+  /// without touching storage, so it adds to none of storage/encoded/
+  /// decoded_bytes; `cache_bytes_served` carries its byte volume instead.
+  /// The reconciliation `decoded_bytes + cache_bytes_served == bytes
+  /// consumed by the query` holds by construction.
+  uint64_t chunk_cache_hits = 0;
+  uint64_t chunk_cache_misses = 0;
+  uint64_t cache_bytes_served = 0;
   /// Per-leaf breakdown of storage/decoded bytes and page pruning. A
   /// LaqReader sizes this once at Open (one slot per leaf of the file's
   /// layout) so updating it on the decode path is index-addressed and
@@ -89,6 +106,7 @@ struct ScanStats {
       leaf.chunks_read = 0;
       leaf.pages_read = 0;
       leaf.pages_pruned = 0;
+      leaf.cache_bytes_served = 0;
     }
     *this = ScanStats{};
     leaves = std::move(kept);
@@ -110,6 +128,11 @@ struct ScanStats {
     rows_read += o.rows_read;
     lanes_pruned += o.lanes_pruned;
     groups_pruned += o.groups_pruned;
+    footer_cache_hits += o.footer_cache_hits;
+    footer_cache_misses += o.footer_cache_misses;
+    chunk_cache_hits += o.chunk_cache_hits;
+    chunk_cache_misses += o.chunk_cache_misses;
+    cache_bytes_served += o.cache_bytes_served;
     for (size_t i = 0; i < o.leaves.size(); ++i) {
       if (i < leaves.size() && leaves[i].path == o.leaves[i].path) {
         leaves[i].AddCounters(o.leaves[i]);
@@ -172,6 +195,18 @@ struct ReaderOptions {
   /// allocations from a few mutated varint bytes. The checksum toggle does
   /// not affect this: metadata validation always runs.
   uint64_t max_chunk_decoded_bytes = 1ull << 30;
+  /// Consult the process-wide footer/metadata cache in Open(): a shard
+  /// whose (size, mtime, recomputed footer CRC) matches a previously
+  /// validated open skips footer parse + validation. All the cheap
+  /// integrity checks (magics, trailer, footer read, CRC recompute)
+  /// still run on every open, so a cached open reports exactly the same
+  /// error as a cold open for any corruption. Off only for tests and
+  /// ablations — the cache costs no data bytes.
+  bool footer_cache = true;
+  /// Decoded-chunk LRU shared across readers, workers, and frontends;
+  /// null disables chunk caching. Requires `footer_cache` (the cache key
+  /// is the footer cache's file generation id).
+  std::shared_ptr<cache::ChunkCache> chunk_cache;
 };
 
 /// Reads .laq columnar files with projection pushdown.
@@ -185,12 +220,17 @@ class LaqReader {
   static Result<std::unique_ptr<LaqReader>> Open(const std::string& path,
                                                  ReaderOptions options = {});
 
-  const FileMetadata& metadata() const { return metadata_; }
-  const Schema& schema() const { return metadata_.schema; }
+  const FileMetadata& metadata() const { return *metadata_; }
+  const Schema& schema() const { return metadata_->schema; }
   int num_row_groups() const {
-    return static_cast<int>(metadata_.row_groups.size());
+    return static_cast<int>(metadata_->row_groups.size());
   }
-  int64_t total_rows() const { return metadata_.total_rows; }
+  int64_t total_rows() const { return metadata_->total_rows; }
+
+  /// Footer-cache generation id of the bytes this reader was opened on
+  /// (0 when the footer cache was bypassed). Chunk-cache keys embed it,
+  /// so entries of replaced file contents are unreachable by design.
+  uint64_t file_id() const { return file_id_; }
 
   /// Reads one row group with a column projection. Each projection entry is
   /// either a top-level column name ("MET", "Jet") selecting the whole
@@ -251,8 +291,15 @@ class LaqReader {
   void ResetScanStats() { stats_.Reset(); }
 
  private:
-  LaqReader(std::FILE* file, FileMetadata metadata, ReaderOptions options)
-      : file_(file), metadata_(std::move(metadata)), options_(options) {}
+  LaqReader(std::FILE* file, std::shared_ptr<const FileMetadata> metadata,
+            ReaderOptions options, uint64_t file_id)
+      : file_(file),
+        metadata_(std::move(metadata)),
+        options_(std::move(options)),
+        file_id_(file_id) {}
+
+  /// Shorthand for the shared (possibly cache-banked) metadata.
+  const FileMetadata& meta() const { return *metadata_; }
 
   /// Reads + decodes the chunk of leaf `leaf_index` in `group` into
   /// `scratch->values`. `billed` says whether this leaf was requested
@@ -289,8 +336,12 @@ class LaqReader {
                            std::vector<ResolvedColumn>* out) const;
 
   std::FILE* file_;
-  FileMetadata metadata_;
+  /// Shared with the process-wide footer cache: metadata is parsed and
+  /// validated once per file generation and referenced by every reader
+  /// opened on the same bytes.
+  std::shared_ptr<const FileMetadata> metadata_;
   ReaderOptions options_;
+  uint64_t file_id_ = 0;
   ScanStats stats_;
 };
 

@@ -388,6 +388,19 @@ std::string ReportToJson(const RunReport& report) {
       scan.UInt("groups_pruned", report.scan.groups_pruned);
     }
     {
+      // decoded_bytes (from disk, this run) + cache_bytes_served == the
+      // bytes the query consumed — the cache hierarchy's reconciliation
+      // invariant, emitted pre-summed so consumers need no arithmetic.
+      JsonScope cache(root.Key("cache"), '{', '}');
+      cache.UInt("footer_hits", report.scan.footer_cache_hits);
+      cache.UInt("footer_misses", report.scan.footer_cache_misses);
+      cache.UInt("chunk_hits", report.scan.chunk_cache_hits);
+      cache.UInt("chunk_misses", report.scan.chunk_cache_misses);
+      cache.UInt("cache_bytes_served", report.scan.cache_bytes_served);
+      cache.UInt("consumed_bytes",
+                 report.scan.decoded_bytes + report.scan.cache_bytes_served);
+    }
+    {
       JsonScope stages(root.Key("stages"), '[', ']');
       for (const StageSummary& stage : report.stages) {
         JsonScope s(stages.Sep(), '{', '}');
@@ -439,7 +452,8 @@ std::string ReportToJson(const RunReport& report) {
       JsonScope leaves(root.Key("per_leaf"), '[', ']');
       for (const LeafScanStats& leaf : report.scan.leaves) {
         if (leaf.decoded_bytes == 0 && leaf.pages_read == 0 &&
-            leaf.chunks_read == 0 && leaf.pages_pruned == 0) {
+            leaf.chunks_read == 0 && leaf.pages_pruned == 0 &&
+            leaf.cache_bytes_served == 0) {
           continue;
         }
         JsonScope l(leaves.Sep(), '{', '}');
@@ -449,6 +463,7 @@ std::string ReportToJson(const RunReport& report) {
         l.UInt("chunks_read", leaf.chunks_read);
         l.UInt("pages_read", leaf.pages_read);
         l.UInt("pages_pruned", leaf.pages_pruned);
+        l.UInt("cache_bytes_served", leaf.cache_bytes_served);
       }
     }
     {

@@ -90,7 +90,13 @@ struct RunReport {
   /// v2: added the `expr_vm` object (vops_per_event, fused_coverage) —
   /// the expression-VM dispatch-overhead quantities derived from the
   /// vexpr_kernel stage counters.
-  static constexpr int kSchemaVersion = 2;
+  /// v3: added the `cache` object (footer/chunk hit+miss counters,
+  /// cache_bytes_served, consumed_bytes) and `cache_bytes_served` on
+  /// per_leaf entries. `consumed_bytes = decoded_bytes +
+  /// cache_bytes_served` reconciles by construction: every byte a query
+  /// consumes was either decoded from storage this run or served from
+  /// the process-wide chunk cache.
+  static constexpr int kSchemaVersion = 3;
 
   RunInfo info;
   ScanStats scan;  ///< bit-copied from the engine result

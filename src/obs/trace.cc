@@ -60,6 +60,7 @@ const char* StageName(Stage stage) {
     case Stage::kEventLoop: return "event_loop";
     case Stage::kMerge: return "merge";
     case Stage::kVexprKernel: return "vexpr_kernel";
+    case Stage::kCacheLookup: return "cache_lookup";
     case Stage::kOther: return "other";
   }
   return "other";

@@ -41,10 +41,11 @@ enum class Stage : uint8_t {
   kEventLoop,   ///< per-event interpretation (rdf lambdas, unnest, FLWOR)
   kMerge,       ///< merging per-group partials into the final result
   kVexprKernel, ///< fused simd-tier batch kernels (engine/vexpr_fuse)
+  kCacheLookup, ///< footer/chunk/result cache probes (src/cache)
   kOther,
 };
 
-inline constexpr int kNumStages = 12;
+inline constexpr int kNumStages = 13;
 
 /// Stable lowercase name of a stage (e.g. "decode", "row_group").
 const char* StageName(Stage stage);

@@ -1,5 +1,12 @@
 #include "queries/adl.h"
 
+#include <chrono>
+#include <cstdio>
+
+#include "cache/cache.h"
+#include "obs/trace.h"
+#include "queries/builders.h"
+
 namespace hepq::queries {
 
 const char* EngineKindName(EngineKind kind) {
@@ -93,23 +100,116 @@ const char* AdlQueryTitle(int q) {
   }
 }
 
+namespace {
+
+/// The canonical plan text of (engine, q): what the engine would execute,
+/// rendered independently of the expression tier, thread count, checksum
+/// and pushdown toggles — every knob that is bit-identity-gated stays out
+/// of the fingerprint, so e.g. an interpret-tier run hits a result cached
+/// by a simd-tier run.
+Result<std::string> CanonicalPlanText(EngineKind engine, int q) {
+  switch (engine) {
+    case EngineKind::kBigQueryShape: {
+      engine::EventQuery query("");
+      HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
+      return "expr:" + query.Explain();
+    }
+    case EngineKind::kPrestoShape: {
+      auto flat = BuildAdlFlatPipeline(q);
+      if (flat.ok()) return "flat:" + flat->Explain();
+      if (flat.status().code() != StatusCode::kNotImplemented) {
+        return flat.status();
+      }
+      // Array-function fallback (Q7/Q8): same plan tree as the BigQuery
+      // shape, but fingerprinted under its own prefix because the engines
+      // report different op counters.
+      engine::EventQuery query("");
+      HEPQ_ASSIGN_OR_RETURN(query, BuildAdlEventQuery(q));
+      return "flat-fallback:" + query.Explain();
+    }
+    case EngineKind::kRdf:
+    case EngineKind::kDoc:
+      // Hand-built per-query event loops: the query id (plus its
+      // documented semantics, for readable keys) is the whole plan.
+      return "q" + std::to_string(q) + ":" + AdlQueryTitle(q);
+  }
+  return Status::Invalid("unknown engine kind");
+}
+
+}  // namespace
+
 Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
                                    const std::string& path,
                                    const RunOptions& options) {
   if (q < 1 || q > kNumAdlQueries) {
     return Status::Invalid("ADL query id must be in 1..8");
   }
-  switch (engine) {
-    case EngineKind::kRdf:
-      return RunAdlQueryRdf(q, path, options);
-    case EngineKind::kBigQueryShape:
-      return RunAdlQueryBq(q, path, options);
-    case EngineKind::kPrestoShape:
-      return RunAdlQueryPresto(q, path, options);
-    case EngineKind::kDoc:
-      return RunAdlQueryDoc(q, path, options);
+
+  // Result-cache probe. The fingerprint is an exact string (never a bare
+  // hash of the plan), so a hit cannot be a collision; the dataset
+  // version folds every shard's footer CRC, so regenerated data misses.
+  // Probe failures (unreadable dataset, unknown plan) fall through to the
+  // engine, which reports its own canonical error.
+  std::string fingerprint;
+  if (options.result_cache != nullptr) {
+    obs::ScopedSpan span("result_cache", obs::Stage::kCacheLookup);
+    const auto lookup_start = std::chrono::steady_clock::now();
+    const auto version = cache::DatasetVersion(path);
+    const auto plan = CanonicalPlanText(engine, q);
+    if (version.ok() && plan.ok()) {
+      char version_hex[24];
+      std::snprintf(version_hex, sizeof(version_hex), "%016llx",
+                    static_cast<unsigned long long>(*version));
+      fingerprint = std::string(EngineKindName(engine)) + "|" + *plan +
+                    "|dataset:" + version_hex;
+      cache::CachedResult cached;
+      if (options.result_cache->Get(fingerprint, &cached)) {
+        QueryRunOutput out;
+        out.histograms.reserve(cached.histograms.size());
+        for (const HistogramParts& parts : cached.histograms) {
+          Histogram1D h;
+          HEPQ_ASSIGN_OR_RETURN(h, Histogram1D::FromParts(parts));
+          out.histograms.push_back(std::move(h));
+        }
+        out.events_processed = cached.events_processed;
+        out.ops = cached.ops;
+        out.from_result_cache = true;
+        out.wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          lookup_start)
+                .count();
+        return out;
+      }
+    }
   }
-  return Status::Invalid("unknown engine kind");
+
+  auto dispatch = [&]() -> Result<QueryRunOutput> {
+    switch (engine) {
+      case EngineKind::kRdf:
+        return RunAdlQueryRdf(q, path, options);
+      case EngineKind::kBigQueryShape:
+        return RunAdlQueryBq(q, path, options);
+      case EngineKind::kPrestoShape:
+        return RunAdlQueryPresto(q, path, options);
+      case EngineKind::kDoc:
+        return RunAdlQueryDoc(q, path, options);
+    }
+    return Status::Invalid("unknown engine kind");
+  };
+  QueryRunOutput out;
+  HEPQ_ASSIGN_OR_RETURN(out, dispatch());
+
+  if (!fingerprint.empty()) {
+    cache::CachedResult cached;
+    cached.histograms.reserve(out.histograms.size());
+    for (const Histogram1D& h : out.histograms) {
+      cached.histograms.push_back(h.ToParts());
+    }
+    cached.events_processed = out.events_processed;
+    cached.ops = out.ops;
+    options.result_cache->Insert(fingerprint, std::move(cached));
+  }
+  return out;
 }
 
 }  // namespace hepq::queries

@@ -49,6 +49,10 @@ struct QueryRunOutput {
   /// (Table 2); 0 when the engine does not instrument this.
   uint64_t ops = 0;
   ScanStats scan;
+  /// True when the whole output came from the result cache: histograms
+  /// are the bit-identical cached parts, wall/cpu are the (near-zero)
+  /// lookup costs, and `scan` is empty — no reader was opened at all.
+  bool from_result_cache = false;
 };
 
 /// Expression-execution tier for the BigQuery/Presto plan shapes — the
@@ -100,6 +104,21 @@ struct RunOptions {
   /// surviving events. Only observable through ScanStats (decoded bytes);
   /// exposed for the ablation and `hepq_run --no-late-mat`.
   bool late_materialization = true;
+  /// Consult the process-wide footer/metadata cache when opening shards
+  /// (see ReaderOptions::footer_cache). On by default: it costs no data
+  /// bytes and a cached open reports the same errors as a cold one.
+  bool footer_cache = true;
+  /// Shared decoded-chunk LRU threaded into every reader the run opens;
+  /// null (the default) disables chunk caching. Histograms are
+  /// bit-identical with the cache cold, warm, or absent — the CI gate
+  /// asserts this across all engines and thread counts.
+  std::shared_ptr<cache::ChunkCache> chunk_cache;
+  /// Query-fingerprint result cache consulted by RunAdlQuery before
+  /// dispatching to an engine; null disables result caching. The key is
+  /// engine + canonical plan text + dataset content version, so a hit is
+  /// the bit-identical histogram set of a previous run over the same
+  /// bytes; regenerating the dataset changes its version and misses.
+  std::shared_ptr<cache::ResultCache> result_cache;
 };
 
 /// Runs ADL query `q` (1..8) with the given engine over the data set at

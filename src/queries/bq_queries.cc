@@ -197,6 +197,8 @@ Result<QueryRunOutput> RunAdlQueryBq(int q, const std::string& path,
   reader_options.validate_checksums = options.validate_checksums;
   reader_options.scan_pushdown = options.scan_pushdown;
   reader_options.late_materialization = options.late_materialization;
+  reader_options.footer_cache = options.footer_cache;
+  reader_options.chunk_cache = options.chunk_cache;
   engine::EventQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result, query.Execute(path, reader_options, options.num_threads));

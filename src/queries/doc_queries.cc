@@ -247,6 +247,8 @@ Result<QueryRunOutput> RunAdlQueryDoc(int q, const std::string& path,
   reader_options.validate_checksums = options.validate_checksums;
   reader_options.scan_pushdown = options.scan_pushdown;
   reader_options.late_materialization = options.late_materialization;
+  reader_options.footer_cache = options.footer_cache;
+  reader_options.chunk_cache = options.chunk_cache;
   doc::DocQueryResult result;
   HEPQ_ASSIGN_OR_RETURN(
       result,

@@ -153,6 +153,8 @@ Result<QueryRunOutput> RunAdlQueryPresto(int q, const std::string& path,
   reader_options.validate_checksums = options.validate_checksums;
   reader_options.scan_pushdown = options.scan_pushdown;
   reader_options.late_materialization = options.late_materialization;
+  reader_options.footer_cache = options.footer_cache;
+  reader_options.chunk_cache = options.chunk_cache;
 
   QueryRunOutput out;
   auto flat_result = BuildAdlFlatPipeline(q);

@@ -74,6 +74,8 @@ Result<QueryRunOutput> RunAdlQueryRdf(int q, const std::string& path,
   rdf_options.reader.validate_checksums = options.validate_checksums;
   rdf_options.reader.scan_pushdown = options.scan_pushdown;
   rdf_options.reader.late_materialization = options.late_materialization;
+  rdf_options.reader.footer_cache = options.footer_cache;
+  rdf_options.reader.chunk_cache = options.chunk_cache;
   std::unique_ptr<RDataFrame> df;
   HEPQ_ASSIGN_OR_RETURN(df, RDataFrame::Open(path, rdf_options));
   const std::vector<HistogramSpec> specs = AdlHistogramSpecs(q);

@@ -158,7 +158,9 @@ TEST(ReportJsonSchemaTest, RequiredKeysPresent) {
   const TracedRun run = RunTraced(EngineKind::kBigQueryShape, 5, 1);
   const std::string json = ReportToJson(run.report);
   for (const char* key :
-       {"\"schema_version\":2", "\"query\":\"Q5\"",
+       {"\"schema_version\":3", "\"query\":\"Q5\"",
+        "\"cache\"", "\"footer_hits\"", "\"chunk_hits\"",
+        "\"cache_bytes_served\"", "\"consumed_bytes\"",
         "\"engine\":\"bigquery-shape\"", "\"events_processed\"",
         "\"cpu_ns\"", "\"wall_ns\"", "\"run_span_ns\"", "\"span_coverage\"",
         "\"figure4\"", "\"cpu_ns_per_event\"", "\"decoded_bytes_per_event\"",

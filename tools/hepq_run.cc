@@ -32,6 +32,17 @@
 //   --worker-shards=a:b: worker mode (used by --procs; scriptable for
 //     debugging) — run shards [a, b) of the dataset and write result
 //     frames to stdout instead of human-readable output.
+//   --cache[=BYTES]: enable the process-wide cache hierarchy for this
+//     invocation — a decoded-chunk LRU (BYTES budget, default 256 MiB)
+//     shared by every reader plus a query-fingerprint result cache.
+//     The footer/metadata cache is always on (it costs no data bytes).
+//     Off by default so single-query ablation runs stay cold-path.
+//   --queries=all: batch driver — run the whole 8-query suite in one
+//     process (compact per-query lines instead of histograms), so
+//     queries share the caches. Positionals shift: [engine] [events].
+//   --repeat=N: run the suite N times (with --queries=all); under
+//     --cache the second pass is served from the caches and decodes 0
+//     bytes from storage.
 //   "explain" prints the relational plans instead of executing.
 
 #include <unistd.h>
@@ -42,6 +53,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "datagen/dataset.h"
 #include "fileio/dataset_reader.h"
 #include "obs/report.h"
@@ -96,8 +108,87 @@ void PrintRunOutput(EngineKind engine,
                 static_cast<double>(result.ops) /
                     static_cast<double>(result.events_processed));
   }
+  if (result.from_result_cache) {
+    std::printf("result cache: hit (bit-identical cached histograms; no "
+                "reader opened)\n");
+  } else if (result.scan.chunk_cache_hits + result.scan.chunk_cache_misses >
+             0) {
+    std::printf(
+        "chunk cache: %llu hits / %llu misses   served: %llu B   "
+        "consumed: %llu B\n",
+        static_cast<unsigned long long>(result.scan.chunk_cache_hits),
+        static_cast<unsigned long long>(result.scan.chunk_cache_misses),
+        static_cast<unsigned long long>(result.scan.cache_bytes_served),
+        static_cast<unsigned long long>(result.scan.decoded_bytes +
+                                        result.scan.cache_bytes_served));
+  }
   for (const hepq::Histogram1D& h : result.histograms) {
     std::printf("%s\n", h.ToString(10).c_str());
+  }
+}
+
+/// Batch driver (--queries=all): the 8-query suite, `repeat` passes, one
+/// process — the access pattern the cache hierarchy exists for. Compact
+/// per-query lines; machine-parsable per-pass totals (the CI warm-run
+/// gate greps `decoded_bytes=0` off the repeat pass's totals line).
+void RunSuite(EngineKind engine, const std::string& data,
+              const hepq::queries::RunOptions& options, int repeat) {
+  std::printf("--- %s ---\n", EngineKindName(engine));
+  for (int pass = 0; pass < repeat; ++pass) {
+    double wall = 0.0;
+    unsigned long long decoded = 0, served = 0;
+    int result_hits = 0;
+    for (int q = 1; q <= hepq::queries::kNumAdlQueries; ++q) {
+      auto result = RunAdlQuery(engine, q, data, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "error: Q%d: %s\n", q,
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      wall += result->wall_seconds;
+      decoded += result->scan.decoded_bytes;
+      served += result->scan.cache_bytes_served;
+      result_hits += result->from_result_cache ? 1 : 0;
+      std::printf("pass %d Q%d: wall %9.4f s   decoded %12llu B   "
+                  "served %12llu B%s\n",
+                  pass, q, result->wall_seconds,
+                  static_cast<unsigned long long>(
+                      result->scan.decoded_bytes),
+                  static_cast<unsigned long long>(
+                      result->scan.cache_bytes_served),
+                  result->from_result_cache ? "   [result cache]" : "");
+    }
+    std::printf("pass %d totals: wall_s=%.6f decoded_bytes=%llu "
+                "cache_bytes_served=%llu result_hits=%d/%d\n",
+                pass, wall, decoded, served, result_hits,
+                hepq::queries::kNumAdlQueries);
+  }
+  const hepq::cache::CacheCounters footer =
+      hepq::cache::FooterCache::Process().counters();
+  std::printf("footer cache: %llu hits / %llu misses (%llu entries)\n",
+              static_cast<unsigned long long>(footer.hits),
+              static_cast<unsigned long long>(footer.misses),
+              static_cast<unsigned long long>(footer.entries));
+  if (options.chunk_cache != nullptr) {
+    const hepq::cache::CacheCounters chunk = options.chunk_cache->counters();
+    std::printf("chunk cache: %llu hits / %llu misses   %llu inserts   "
+                "%llu evictions   resident %llu B in %llu entries "
+                "(budget %llu B)\n",
+                static_cast<unsigned long long>(chunk.hits),
+                static_cast<unsigned long long>(chunk.misses),
+                static_cast<unsigned long long>(chunk.inserts),
+                static_cast<unsigned long long>(chunk.evictions),
+                static_cast<unsigned long long>(chunk.bytes_held),
+                static_cast<unsigned long long>(chunk.entries),
+                static_cast<unsigned long long>(
+                    options.chunk_cache->budget_bytes()));
+  }
+  if (options.result_cache != nullptr) {
+    const hepq::cache::CacheCounters res = options.result_cache->counters();
+    std::printf("result cache: %llu hits / %llu misses (%llu entries)\n",
+                static_cast<unsigned long long>(res.hits),
+                static_cast<unsigned long long>(res.misses),
+                static_cast<unsigned long long>(res.entries));
   }
 }
 
@@ -223,6 +314,8 @@ int main(int argc, char** argv) {
   ProfileOptions profile;
   std::string data_path;
   int procs = 0;
+  bool queries_all = false;
+  int repeat = 1;
   hepq::scatter::ShardRange worker_shards;
   bool worker_mode = false;
   int kept = 1;  // strip option flags wherever they appear
@@ -261,6 +354,34 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (std::strcmp(argv[i], "--cache") == 0 ||
+        std::strncmp(argv[i], "--cache=", 8) == 0) {
+      hepq::cache::CacheOptions cache_options;
+      if (argv[i][7] == '=') {
+        const long long bytes = std::atoll(argv[i] + 8);
+        if (bytes <= 0) {
+          std::fprintf(stderr, "--cache=BYTES needs a positive byte count\n");
+          return 2;
+        }
+        cache_options.decoded_budget_bytes = static_cast<uint64_t>(bytes);
+      }
+      options.chunk_cache =
+          std::make_shared<hepq::cache::ChunkCache>(cache_options);
+      options.result_cache = std::make_shared<hepq::cache::ResultCache>();
+      continue;
+    }
+    if (std::strcmp(argv[i], "--queries=all") == 0) {
+      queries_all = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      repeat = std::atoi(argv[i] + 9);
+      if (repeat < 1) {
+        std::fprintf(stderr, "--repeat needs a positive pass count\n");
+        return 2;
+      }
+      continue;
+    }
     if (std::strcmp(argv[i], "--no-pushdown") == 0) {
       options.scan_pushdown = false;
       continue;
@@ -287,23 +408,33 @@ int main(int argc, char** argv) {
     argv[kept++] = argv[i];
   }
   argc = kept;
-  if (argc < 2) {
+  if (argc < 2 && !queries_all) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
                          " [events] [--threads=N]"
                          " [--vexpr-tier=interpret|bytecode|simd]"
                          " [--no-pushdown]"
                          " [--no-late-mat] [--profile[=report.json]]"
-                         " [--trace=trace.json] [--data=path.laq]\n",
+                         " [--trace=trace.json] [--data=path.laq]"
+                         " [--cache[=BYTES]] [--queries=all] [--repeat=N]\n",
                  argv[0]);
     return 2;
   }
-  const int q = std::atoi(argv[1]);
-  if (q < 1 || q > 8) {
-    std::fprintf(stderr, "query id must be 1..8\n");
-    return 2;
+  int q = 0;
+  std::string engine_name;
+  int64_t events = 20000;
+  if (queries_all) {
+    // Suite mode drops the query positional: [engine] [events].
+    engine_name = argc > 1 ? argv[1] : "rdf";
+    if (argc > 2) events = std::atoll(argv[2]);
+  } else {
+    q = std::atoi(argv[1]);
+    if (q < 1 || q > 8) {
+      std::fprintf(stderr, "query id must be 1..8\n");
+      return 2;
+    }
+    engine_name = argc > 2 ? argv[2] : "rdf";
+    if (argc > 3) events = std::atoll(argv[3]);
   }
-  const std::string engine_name = argc > 2 ? argv[2] : "rdf";
-  const int64_t events = argc > 3 ? std::atoll(argv[3]) : 20000;
 
   std::string data;
   if (!data_path.empty()) {
@@ -315,6 +446,36 @@ int main(int argc, char** argv) {
     auto path = hepq::EnsureDataset(hepq::DefaultDataDir(), spec);
     path.status().Check();
     data = *path;
+  }
+
+  if (queries_all) {
+    if (worker_mode || procs > 1) {
+      std::fprintf(stderr,
+                   "--queries=all runs in one process (no --procs/worker)\n");
+      return 2;
+    }
+    std::printf("8-query suite   data: %s   passes: %d   cache: %s\n\n",
+                data.c_str(), repeat,
+                options.chunk_cache != nullptr ? "on" : "off");
+    const struct {
+      EngineKind kind;
+      const char* cli_name;
+    } engines[] = {{EngineKind::kRdf, "rdf"},
+                   {EngineKind::kBigQueryShape, "bigquery"},
+                   {EngineKind::kPrestoShape, "presto"},
+                   {EngineKind::kDoc, "doc"}};
+    bool ran = false;
+    for (const auto& e : engines) {
+      if (engine_name == "all" || engine_name == e.cli_name) {
+        RunSuite(e.kind, data, options, repeat);
+        ran = true;
+      }
+    }
+    if (!ran) {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
+      return 2;
+    }
+    return 0;
   }
 
   if (worker_mode) {

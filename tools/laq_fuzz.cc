@@ -16,15 +16,28 @@
 // The corpus is a pure function of --seed (default 20120601), so a CI run
 // is reproducible bit for bit.
 //
+// --cache re-reads every mutated file with the cache hierarchy enabled
+// (footer cache on, a fresh decoded-chunk cache per read) and asserts the
+// first error is IDENTICAL to the cache-off read — the cache must never
+// change which corruption is reported, or whether one is. It also runs
+// dedicated cache-poisoning cases: same path, mutated bytes, mtime
+// restored with utimensat so only the footer-CRC and size legs of the
+// cache identity stand between a stale entry and the mutated file.
+//
 // Usage: laq_fuzz [--seed=N] [--flips=N] [--events=N] [--row-group=N]
-//                 [--dir=PATH] [--keep-failures] [--verbose]
+//                 [--dir=PATH] [--keep-failures] [--verbose] [--cache]
+
+#include <fcntl.h>
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "core/rng.h"
 #include "datagen/dataset.h"
 #include "fileio/corruption.h"
@@ -44,6 +57,7 @@ struct Options {
   std::string dir = "laq_fuzz_work";
   bool keep_failures = false;
   bool verbose = false;
+  bool cache = false;
 };
 
 struct Tally {
@@ -52,6 +66,7 @@ struct Tally {
   int checksummed = 0;
   int best_effort = 0;
   int best_effort_survived = 0;  // best-effort mutations that read OK
+  int cache_mismatches = 0;      // cached read reported a different error
   int failures = 0;
 };
 
@@ -66,8 +81,41 @@ void CheckMutation(const std::string& path, const std::vector<uint8_t>& bytes,
   hepq::ReaderOptions with, without;
   with.validate_checksums = true;
   without.validate_checksums = false;
+  if (options.cache) {
+    // In --cache mode the baseline pair is a true cache-off read; the
+    // cached pair below must report the exact same statuses.
+    with.footer_cache = false;
+    without.footer_cache = false;
+  }
   const hepq::Status checked = hepq::laqfuzz::ReadEverything(path, with);
   const hepq::Status unchecked = hepq::laqfuzz::ReadEverything(path, without);
+
+  if (options.cache) {
+    hepq::ReaderOptions with_cache = with, without_cache = without;
+    with_cache.footer_cache = true;
+    without_cache.footer_cache = true;
+    // A fresh chunk cache per read: cross-file reuse is what the
+    // poisoning cases probe; here the question is whether caching
+    // changes the first error on a single read.
+    with_cache.chunk_cache = std::make_shared<hepq::cache::ChunkCache>();
+    without_cache.chunk_cache = std::make_shared<hepq::cache::ChunkCache>();
+    const hepq::Status checked_cached =
+        hepq::laqfuzz::ReadEverything(path, with_cache);
+    const hepq::Status unchecked_cached =
+        hepq::laqfuzz::ReadEverything(path, without_cache);
+    if (checked_cached.ToString() != checked.ToString() ||
+        unchecked_cached.ToString() != unchecked.ToString()) {
+      tally->cache_mismatches += 1;
+      tally->failures += 1;
+      std::fprintf(stderr,
+                   "FAIL [cache] %s\n  plain  on/off: %s / %s\n"
+                   "  cached on/off: %s / %s\n",
+                   what.c_str(), checked.ToString().c_str(),
+                   unchecked.ToString().c_str(),
+                   checked_cached.ToString().c_str(),
+                   unchecked_cached.ToString().c_str());
+    }
+  }
 
   bool ok = true;
   switch (mclass) {
@@ -137,6 +185,123 @@ int CheckPristine(const std::string& path) {
       failures += 1;
     }
   }
+  return failures;
+}
+
+/// Restores the {a,m}time stamps captured in `st`. The cache identity is
+/// (size, mtime_ns, footer CRC); restoring the mtime after a rewrite
+/// removes the leg an attacker (or an unlucky same-granularity rewrite)
+/// cannot control, so the poisoning cases below test the CRC/size legs
+/// in isolation.
+bool RestoreTimes(const std::string& path, const struct stat& st) {
+  const struct timespec times[2] = {st.st_atim, st.st_mtim};
+  return utimensat(AT_FDCWD, path.c_str(), times, 0) == 0;
+}
+
+/// Cache-poisoning cases: rewrite mutated bytes at the SAME path a warm
+/// cache already knows, with the mtime restored to the pristine stamp.
+/// The footer cache must never serve metadata for bytes that changed
+/// (the per-open footer-CRC recompute and the size leg catch every
+/// footer-visible change); a warm chunk cache over an unchanged footer
+/// has OS-page-cache semantics — it may serve the previously decoded
+/// values — but a fresh chunk cache must report the exact cache-off
+/// error.
+int CheckCachePoisoning(const LaqImage& image, const Options& options) {
+  int failures = 0;
+  const std::string path = options.dir + "/poison.laq";
+  auto fail = [&failures](const char* what, const std::string& detail) {
+    std::fprintf(stderr, "FAIL [cache-poison] %s: %s\n", what,
+                 detail.c_str());
+    failures += 1;
+  };
+
+  hepq::ReaderOptions plain;  // no caches at all
+  plain.validate_checksums = true;
+  plain.footer_cache = false;
+  hepq::ReaderOptions cached;  // footer cache + warm shared chunk cache
+  cached.validate_checksums = true;
+  auto warm_chunks = std::make_shared<hepq::cache::ChunkCache>();
+  cached.chunk_cache = warm_chunks;
+
+  // Warm the footer and chunk caches on the pristine bytes.
+  hepq::laqfuzz::WriteBytes(path, image.bytes).Check();
+  struct stat pristine_stat;
+  if (stat(path.c_str(), &pristine_stat) != 0) {
+    fail("stat", "cannot stat pristine file");
+    return failures;
+  }
+  const hepq::Status warm = hepq::laqfuzz::ReadEverything(path, cached);
+  if (!warm.ok()) {
+    fail("warm read", warm.ToString());
+    return failures;
+  }
+
+  // Case 1: footer byte flipped, size unchanged, mtime restored. The
+  // footer CRC is recomputed over the CURRENT bytes on every open, so
+  // the structural check fires before any cache probe — identically
+  // with the cache on or off.
+  {
+    const uint64_t offset = image.data_end + image.footer_size / 2;
+    hepq::laqfuzz::WriteBytes(path, hepq::laqfuzz::FlipBit(image, offset, 3))
+        .Check();
+    RestoreTimes(path, pristine_stat);
+    const hepq::Status c = hepq::laqfuzz::ReadEverything(path, cached);
+    const hepq::Status p = hepq::laqfuzz::ReadEverything(path, plain);
+    if (c.ok() || p.ok() || c.ToString() != p.ToString()) {
+      fail("footer flip + stale mtime",
+           "cached='" + c.ToString() + "' plain='" + p.ToString() + "'");
+    }
+  }
+
+  // Case 2: truncation. The size leg of the identity changes, so even a
+  // restored mtime cannot resurrect the stale entry.
+  {
+    hepq::laqfuzz::WriteBytes(
+        path, hepq::laqfuzz::TruncateAt(image, image.bytes.size() - 5))
+        .Check();
+    RestoreTimes(path, pristine_stat);
+    const hepq::Status c = hepq::laqfuzz::ReadEverything(path, cached);
+    const hepq::Status p = hepq::laqfuzz::ReadEverything(path, plain);
+    if (c.ok() || p.ok() || c.ToString() != p.ToString()) {
+      fail("truncation + stale mtime",
+           "cached='" + c.ToString() + "' plain='" + p.ToString() + "'");
+    }
+  }
+
+  // Case 3: data byte flipped under an unchanged footer, mtime restored.
+  // The footer identity legitimately matches (the footer bytes ARE
+  // identical), so the warm chunk cache serves the previously decoded
+  // values — deterministic stale-serve, same as the OS page cache would
+  // give a writer that bypasses the cache's view. A FRESH chunk cache
+  // decodes the mutated bytes and must report the exact cache-off error.
+  {
+    uint64_t offset = 8;
+    while (offset < image.data_end &&
+           hepq::laqfuzz::FlipClass(image, offset) !=
+               MutationClass::kChecksummed) {
+      ++offset;
+    }
+    hepq::laqfuzz::WriteBytes(path, hepq::laqfuzz::FlipBit(image, offset, 0))
+        .Check();
+    RestoreTimes(path, pristine_stat);
+    const hepq::Status stale = hepq::laqfuzz::ReadEverything(path, cached);
+    if (!stale.ok()) {
+      fail("data flip warm stale-serve",
+           "expected deterministic stale serve, got " + stale.ToString());
+    }
+    hepq::ReaderOptions fresh = cached;
+    fresh.chunk_cache = std::make_shared<hepq::cache::ChunkCache>();
+    const hepq::Status f = hepq::laqfuzz::ReadEverything(path, fresh);
+    const hepq::Status p = hepq::laqfuzz::ReadEverything(path, plain);
+    if (f.ok() || p.ok() || f.ToString() != p.ToString()) {
+      fail("data flip + fresh chunk cache",
+           "cached='" + f.ToString() + "' plain='" + p.ToString() + "'");
+    }
+  }
+
+  std::printf("[cache] poisoning cases: 3 (footer flip, truncation, data "
+              "flip), %d failures\n",
+              failures);
   return failures;
 }
 
@@ -213,11 +378,13 @@ int main(int argc, char** argv) {
       options.keep_failures = true;
     } else if (std::strcmp(arg, "--verbose") == 0) {
       options.verbose = true;
+    } else if (std::strcmp(arg, "--cache") == 0) {
+      options.cache = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N] [--flips=N] [--events=N] "
                    "[--row-group=N] [--dir=PATH] [--keep-failures] "
-                   "[--verbose]\n",
+                   "[--verbose] [--cache]\n",
                    argv[0]);
       return 2;
     }
@@ -287,14 +454,27 @@ int main(int argc, char** argv) {
   pristine_failures += CheckPristine(*optimized);
   SweepImage(*optimized_image, "advanced", options, &tally);
 
+  int poison_failures = 0;
+  if (options.cache) {
+    poison_failures = CheckCachePoisoning(image, options) +
+                      CheckCachePoisoning(*optimized_image, options);
+  }
+
   std::printf(
       "\n%d mutated files: %d structural, %d checksummed, %d best-effort "
       "(%d read OK)\n",
       tally.total, tally.structural, tally.checksummed, tally.best_effort,
       tally.best_effort_survived);
-  if (tally.failures > 0 || pristine_failures > 0) {
-    std::fprintf(stderr, "%d corruption failures, %d pristine failures\n",
-                 tally.failures, pristine_failures);
+  if (options.cache) {
+    std::printf("cache determinism: %d/%d mutations reported identical "
+                "first errors cache-on vs cache-off\n",
+                tally.total - tally.cache_mismatches, tally.total);
+  }
+  if (tally.failures > 0 || pristine_failures > 0 || poison_failures > 0) {
+    std::fprintf(stderr,
+                 "%d corruption failures, %d pristine failures, "
+                 "%d cache-poisoning failures\n",
+                 tally.failures, pristine_failures, poison_failures);
     return 1;
   }
   std::printf("all mutations handled safely; pristine reads bit-identical\n");

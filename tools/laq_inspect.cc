@@ -3,11 +3,17 @@
 // maps. The moral equivalent of parquet-tools for this repository's format.
 //
 // Usage: laq_inspect <file.laq | dataset-dir> [--chunks] [--pages] [--json]
+//                    [--cache-stats]
 //
 // --json replaces the human-readable dump with a machine-readable layout
 // summary (per-leaf pages/prunable-fraction/encoding) for CI gating.
 // Given a sharded dataset directory, both modes aggregate per-file
 // analyses across every shard.
+// --cache-stats walks the metadata a second time and prints the
+// process-wide footer-cache hit/miss totals to stderr (stdout stays
+// pipeable): the first walk banks every shard's validated footer, the
+// second is served from the cache — observable from tooling, not just
+// RunReports.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,17 +22,35 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.h"
 #include "fileio/dataset_reader.h"
 #include "fileio/layout_optimizer.h"
 #include "fileio/reader.h"
 
 namespace {
 
+/// The --cache-stats epilogue: one more metadata-only pass over every
+/// shard (footer-cache-served, no data bytes), then the process totals.
+void PrintFooterCacheStats(const std::vector<std::string>& files) {
+  for (const std::string& file : files) {
+    auto reopened = hepq::LaqReader::Open(file);
+    (void)reopened;  // metadata pass only; errors already reported above
+  }
+  const hepq::cache::CacheCounters c =
+      hepq::cache::FooterCache::Process().counters();
+  std::fprintf(stderr,
+               "footer cache: hits=%llu misses=%llu entries=%llu "
+               "(second walk of %zu shard(s) served from cache)\n",
+               static_cast<unsigned long long>(c.hits),
+               static_cast<unsigned long long>(c.misses),
+               static_cast<unsigned long long>(c.entries), files.size());
+}
+
 /// Dataset-directory inspection: per-shard analysis rows plus per-leaf
 /// totals summed over every shard (JSON mirrors the single-file schema
 /// with an extra "files" count; encodings that differ across shards
 /// report as "mixed").
-int InspectDirectory(const std::string& dir, bool json) {
+int InspectDirectory(const std::string& dir, bool json, bool cache_stats) {
   auto files_result = hepq::ListLaqFiles(dir);
   if (!files_result.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -108,6 +132,7 @@ int InspectDirectory(const std::string& dir, bool json) {
                                  : 0.0);
     }
     std::printf("]}\n");
+    if (cache_stats) PrintFooterCacheStats(files);
     return 0;
   }
   std::printf("\ntotals: %lld rows, %d row groups, %llu bytes\n\n",
@@ -122,6 +147,7 @@ int InspectDirectory(const std::string& dir, bool json) {
                 static_cast<unsigned long long>(leaf.pages),
                 static_cast<unsigned long long>(leaf.prunable_pages));
   }
+  if (cache_stats) PrintFooterCacheStats(files);
   return 0;
 }
 
@@ -131,7 +157,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file.laq | dataset-dir> [--chunks] [--pages]"
-                 " [--json]\n",
+                 " [--json] [--cache-stats]\n",
                  argv[0]);
     return 2;
   }
@@ -139,6 +165,7 @@ int main(int argc, char** argv) {
   bool show_chunks = false;
   bool show_pages = false;
   bool json = false;
+  bool cache_stats = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chunks") == 0) show_chunks = true;
     if (std::strcmp(argv[i], "--pages") == 0) {
@@ -146,9 +173,10 @@ int main(int argc, char** argv) {
       show_pages = true;
     }
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--cache-stats") == 0) cache_stats = true;
   }
 
-  if (hepq::IsDirectory(path)) return InspectDirectory(path, json);
+  if (hepq::IsDirectory(path)) return InspectDirectory(path, json, cache_stats);
 
   if (json) {
     auto analysis_result = hepq::AnalyzeLaqFile(path);
@@ -176,6 +204,7 @@ int main(int argc, char** argv) {
                   leaf.prunable_fraction());
     }
     std::printf("]}\n");
+    if (cache_stats) PrintFooterCacheStats({path});
     return 0;
   }
 
@@ -298,5 +327,6 @@ int main(int argc, char** argv) {
                 100.0 * static_cast<double>(col.prunable) /
                     static_cast<double>(col.pages));
   }
+  if (cache_stats) PrintFooterCacheStats({path});
   return 0;
 }
