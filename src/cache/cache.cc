@@ -7,7 +7,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace hepq::cache {
+
+namespace metrics = hepq::obs::metrics;
 
 namespace {
 
@@ -41,12 +45,16 @@ std::shared_ptr<const FooterCache::Entry> FooterCache::Find(
   // and have validated them under a limit at least as strict as the
   // caller's: metadata that passed a smaller limit passes a larger one,
   // never the other way around.
+  static auto& hits = metrics::GetCounter("hepq_cache_footer_hits_total");
+  static auto& misses = metrics::GetCounter("hepq_cache_footer_misses_total");
   if (entry != nullptr && entry->identity == identity &&
       entry->validated_chunk_limit <= chunk_limit) {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    hits.Add(1);
     return entry;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  misses.Add(1);
   return nullptr;
 }
 
@@ -71,7 +79,12 @@ std::shared_ptr<const FooterCache::Entry> FooterCache::Insert(
     // banked generation so both openers share one chunk-cache keyspace.
     return slot;
   }
-  if (slot != nullptr) evictions_.fetch_add(1, std::memory_order_relaxed);
+  static auto& evictions =
+      metrics::GetCounter("hepq_cache_footer_evictions_total");
+  if (slot != nullptr) {
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions.Add(1);
+  }
   inserts_.fetch_add(1, std::memory_order_relaxed);
   slot = std::move(entry);
   return slot;
@@ -116,12 +129,19 @@ bool ChunkCache::Get(const ChunkKey& key, std::vector<uint8_t>* out) {
       data = it->second->data;
     }
   }
+  static auto& hits = metrics::GetCounter("hepq_cache_chunk_hits_total");
+  static auto& misses = metrics::GetCounter("hepq_cache_chunk_misses_total");
+  static auto& served =
+      metrics::GetCounter("hepq_cache_chunk_bytes_served_total");
   if (data == nullptr) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    misses.Add(1);
     return false;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hits.Add(1);
   bytes_served_.fetch_add(data->size(), std::memory_order_relaxed);
+  served.Add(static_cast<int64_t>(data->size()));
   // Copy outside the lock: the shared_ptr keeps the bytes alive even if
   // another thread evicts the node meanwhile.
   out->resize(data->size());
@@ -156,7 +176,12 @@ void ChunkCache::Insert(const ChunkKey& key, const uint8_t* data,
     }
   }
   inserts_.fetch_add(1, std::memory_order_relaxed);
-  if (evicted != 0) evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  if (evicted != 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    static auto& evictions =
+        metrics::GetCounter("hepq_cache_chunk_evictions_total");
+    evictions.Add(static_cast<int64_t>(evicted));
+  }
 }
 
 CacheCounters ChunkCache::counters() const {
@@ -190,14 +215,18 @@ ResultCache::ResultCache(size_t max_entries)
 
 bool ResultCache::Get(const std::string& key, CachedResult* out) {
   std::lock_guard<std::mutex> lock(mu_);
+  static auto& hits = metrics::GetCounter("hepq_cache_result_hits_total");
+  static auto& misses = metrics::GetCounter("hepq_cache_result_misses_total");
   auto it = index_.find(key);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    misses.Add(1);
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
   *out = it->second->value;
   hits_.fetch_add(1, std::memory_order_relaxed);
+  hits.Add(1);
   return true;
 }
 
@@ -212,10 +241,13 @@ void ResultCache::Insert(const std::string& key, CachedResult value) {
   lru_.push_front(Node{key, std::move(value)});
   index_[key] = lru_.begin();
   inserts_.fetch_add(1, std::memory_order_relaxed);
+  static auto& evictions =
+      metrics::GetCounter("hepq_cache_result_evictions_total");
   while (lru_.size() > max_entries_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions.Add(1);
   }
 }
 

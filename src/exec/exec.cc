@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "fileio/dataset_reader.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace hepq::exec {
@@ -209,26 +210,46 @@ Status RunRowGroups(int num_threads, std::vector<RowGroupTask> tasks,
   // this one. The decision is latched here so a session starting mid-run
   // cannot observe half a job (or index a vector sized for no workers).
   const bool tracing = obs::TracingActive();
+  // The metrics registry wants the same queue-wait numbers, so the
+  // per-worker last-end clock runs when either consumer is on.
+  const bool timing = tracing || obs::metrics::MetricsEnabled();
   std::vector<int64_t> last_end;
-  if (tracing) {
+  if (timing) {
     last_end.assign(static_cast<size_t>(workers), obs::NowNs());
   }
+  static auto& groups_run =
+      obs::metrics::GetCounter("hepq_exec_groups_run_total");
+  static auto& queue_depth = obs::metrics::GetGauge("hepq_exec_queue_depth");
+  static auto& queue_wait =
+      obs::metrics::GetHistogram("hepq_exec_queue_wait_ns");
+  queue_depth.Add(static_cast<int64_t>(tasks.size()));
   const auto run_one = [&](int worker, int slot, const RowGroupTask& task) {
     const int group = task.group;
-    if (group >= error_group.load(std::memory_order_acquire)) return;
+    if (group >= error_group.load(std::memory_order_acquire)) {
+      queue_depth.Sub(1);
+      return;
+    }
     obs::ScopedSpan span("row_group", obs::Stage::kRowGroup);
+    int64_t wait_ns = 0;
+    if (timing) {
+      const int64_t start =
+          (tracing && span.active()) ? span.start_ns() : obs::NowNs();
+      wait_ns = start - last_end[static_cast<size_t>(worker)];
+    }
     if (tracing && span.active()) {
       span.set_worker(worker);
       span.set_group(group);
       span.set_slot(slot);
       span.set_bytes(task.bytes);
-      span.set_queue_ns(
-          span.start_ns() - last_end[static_cast<size_t>(worker)]);
+      span.set_queue_ns(wait_ns);
     }
+    groups_run.Add(1);
+    queue_wait.Observe(wait_ns);
     Status status = process(worker, group);
-    if (tracing) {
+    if (timing) {
       last_end[static_cast<size_t>(worker)] = obs::NowNs();
     }
+    queue_depth.Sub(1);
     if (!status.ok()) {
       std::lock_guard<std::mutex> lock(error_mu);
       if (group < error_group.load(std::memory_order_relaxed)) {

@@ -323,9 +323,13 @@ RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
             });
   for (size_t i = 0; i < row_groups.size() && i < max_stragglers; ++i) {
     const SpanRecord* span = row_groups[i];
-    report.stragglers.push_back(Straggler{span->group, span->worker,
-                                          span->slot, span->duration_ns(),
-                                          span->bytes});
+    Straggler straggler;
+    straggler.group = span->group;
+    straggler.worker = span->worker;
+    straggler.slot = span->slot;
+    straggler.wall_ns = span->duration_ns();
+    straggler.bytes = span->bytes;
+    report.stragglers.push_back(straggler);
   }
 
   for (const CounterRecord& counter : session.MergedCounters()) {
@@ -340,6 +344,7 @@ RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
   report.cost_inputs.row_groups =
       static_cast<int>(std::max<size_t>(row_groups.size(), 1));
   report.cost_inputs.events = info.events_processed;
+  report.metrics = metrics::SnapshotMetrics();
   return report;
 }
 
@@ -412,9 +417,35 @@ std::string ReportToJson(const RunReport& report) {
       }
     }
     {
+      JsonScope processes(root.Key("processes"), '[', ']');
+      for (const RunReport::ProcessSummary& process : report.processes) {
+        JsonScope p(processes.Sep(), '{', '}');
+        p.Int("proc", process.proc);
+        p.Int("shard_begin", process.shard_begin);
+        p.Int("shard_end", process.shard_end);
+        p.Int("threads", process.threads);
+        p.Int("events", process.events);
+        p.Num("wall_seconds", process.wall_seconds);
+        p.Num("cpu_seconds", process.cpu_seconds);
+        p.UInt("storage_bytes", process.storage_bytes);
+        p.UInt("decoded_bytes", process.decoded_bytes);
+        p.UInt("cache_bytes_served", process.cache_bytes_served);
+        p.Bool("report_received", process.report_received);
+      }
+    }
+    root.Bool("partial", report.partial);
+    {
+      JsonScope warnings(root.Key("warnings"), '[', ']');
+      for (const std::string& warning : report.warnings) {
+        AppendEscaped(warnings.Sep(), warning);
+      }
+    }
+    *root.Key("metrics") += metrics::MetricSamplesJsonArray(report.metrics);
+    {
       JsonScope workers(root.Key("workers"), '[', ']');
       for (const WorkerSummary& worker : report.workers) {
         JsonScope w(workers.Sep(), '{', '}');
+        w.Int("proc", worker.proc);
         w.Int("worker", worker.worker);
         w.Int("busy_ns", worker.busy_ns);
         w.Int("idle_ns", worker.idle_ns);
@@ -442,6 +473,7 @@ std::string ReportToJson(const RunReport& report) {
       for (const Straggler& straggler : report.stragglers) {
         JsonScope s(stragglers.Sep(), '{', '}');
         s.Int("group", straggler.group);
+        s.Int("proc", straggler.proc);
         s.Int("worker", straggler.worker);
         s.Int("slot", straggler.slot);
         s.Int("wall_ns", straggler.wall_ns);
@@ -503,6 +535,26 @@ std::string ReportToTable(const RunReport& report) {
                 100.0 * report.span_coverage());
   out += line;
 
+  if (!report.processes.empty()) {
+    out += "  proc  shards        events        decoded      served    "
+           "cpu\n";
+    for (const RunReport::ProcessSummary& process : report.processes) {
+      std::snprintf(line, sizeof(line),
+                    "  p%-4d [%d,%d)%*s %10lld %s %s %9.3f ms%s\n",
+                    process.proc, process.shard_begin, process.shard_end,
+                    process.shard_end >= 10 ? 4 : 6, "",
+                    static_cast<long long>(process.events),
+                    FormatBytes(process.decoded_bytes).c_str(),
+                    FormatBytes(process.cache_bytes_served).c_str(),
+                    process.cpu_seconds * 1e3,
+                    process.report_received ? "" : "   [no report]");
+      out += line;
+    }
+  }
+  for (const std::string& warning : report.warnings) {
+    out += "  warning: " + warning + "\n";
+  }
+
   out += "  stage          self wall      self cpu         bytes    spans\n";
   for (const StageSummary& stage : report.stages) {
     std::snprintf(line, sizeof(line), "  %-10s %s %s  %s %8llu\n",
@@ -517,9 +569,16 @@ std::string ReportToTable(const RunReport& report) {
     out += "  worker     busy        idle        busy%   groups   "
            "max queue (group)\n";
     for (const WorkerSummary& worker : report.workers) {
+      char label[24];
+      if (report.processes.empty()) {
+        std::snprintf(label, sizeof(label), "w%d", worker.worker);
+      } else {
+        std::snprintf(label, sizeof(label), "p%d:w%d", worker.proc,
+                      worker.worker);
+      }
       std::snprintf(line, sizeof(line),
-                    "  w%-4d %s %s %7.1f%% %8lld %s (%d)\n",
-                    worker.worker, FormatNs(worker.busy_ns).c_str(),
+                    "  %-5s %s %s %7.1f%% %8lld %s (%d)\n",
+                    label, FormatNs(worker.busy_ns).c_str(),
                     FormatNs(worker.idle_ns).c_str(),
                     100.0 * worker.busy_fraction,
                     static_cast<long long>(worker.row_groups),
@@ -618,6 +677,212 @@ std::string ChromeTraceJson(const TraceSession& session) {
                   static_cast<double>(span.queue_ns) / 1e3,
                   static_cast<double>(span.cpu_ns) / 1e3);
     out += buf;
+  }
+  out += "]}\n";
+  return out;
+}
+
+const char* ProcessReport::InternName(const std::string& name) {
+  for (const auto& owned : name_pool) {
+    if (*owned == name) return owned->c_str();
+  }
+  name_pool.push_back(std::make_unique<std::string>(name));
+  return name_pool.back()->c_str();
+}
+
+ProcessReport BuildProcessReport(const TraceSession& session,
+                                 const RunInfo& info, const ScanStats& scan,
+                                 int shard_begin, int shard_end) {
+  ProcessReport process;
+  process.shard_begin = shard_begin;
+  process.shard_end = shard_end;
+  process.session_start_ns = session.start_ns();
+  process.session_stop_ns = session.stop_ns();
+  process.report = BuildRunReport(session, info, scan);
+  // Span names are string literals here (the in-process case); the wire
+  // decoder reroutes them through name_pool instead.
+  process.spans = session.MergedSpans();
+  return process;
+}
+
+RunReport MergeProcessReports(const RunInfo& info, const ScanStats& merged_scan,
+                              const std::vector<ProcessReport>& reports,
+                              size_t max_stragglers) {
+  RunReport merged;
+  merged.info = info;
+  merged.scan = merged_scan;
+
+  std::vector<StageSummary> stages(kNumStages);
+  for (int s = 0; s < kNumStages; ++s) {
+    stages[static_cast<size_t>(s)].stage = static_cast<Stage>(s);
+  }
+
+  for (size_t p = 0; p < reports.size(); ++p) {
+    const ProcessReport& process = reports[p];
+    RunReport::ProcessSummary summary;
+    summary.proc = static_cast<int>(p);
+    summary.shard_begin = process.shard_begin;
+    summary.shard_end = process.shard_end;
+    if (!process.received) {
+      summary.report_received = false;
+      merged.partial = true;
+      merged.warnings.push_back(
+          "worker for shards [" + std::to_string(process.shard_begin) + "," +
+          std::to_string(process.shard_end) +
+          ") sent no run report; per-process attribution is incomplete");
+      merged.processes.push_back(summary);
+      continue;
+    }
+    const RunReport& r = process.report;
+    summary.threads = r.info.threads;
+    summary.events = r.info.events_processed;
+    summary.wall_seconds = r.info.wall_seconds;
+    summary.cpu_seconds = r.info.cpu_seconds;
+    summary.storage_bytes = r.scan.storage_bytes;
+    summary.decoded_bytes = r.scan.decoded_bytes;
+    summary.cache_bytes_served = r.scan.cache_bytes_served;
+    merged.processes.push_back(summary);
+
+    // Traced durations sum across processes: the merged report answers
+    // "how much traced work happened", not "how long did the wall run"
+    // (that is info.wall_seconds, the coordinator's own measurement).
+    merged.run_span_ns += r.run_span_ns;
+    merged.total_span_ns += r.total_span_ns;
+    merged.window_ns = std::max(merged.window_ns, r.window_ns);
+
+    for (const StageSummary& stage : r.stages) {
+      StageSummary& acc = stages[static_cast<size_t>(stage.stage)];
+      acc.wall_ns += stage.wall_ns;
+      acc.cpu_ns += stage.cpu_ns;
+      acc.bytes += stage.bytes;
+      acc.count += stage.count;
+    }
+    for (WorkerSummary worker : r.workers) {
+      worker.proc = static_cast<int>(p);
+      merged.workers.push_back(std::move(worker));
+    }
+    for (Straggler straggler : r.stragglers) {
+      straggler.proc = static_cast<int>(p);
+      merged.stragglers.push_back(straggler);
+    }
+    for (const CounterSummary& counter : r.counters) {
+      bool found = false;
+      for (CounterSummary& acc : merged.counters) {
+        if (acc.stage == counter.stage && acc.name == counter.name) {
+          acc.ns += counter.ns;
+          acc.count += counter.count;
+          acc.bytes += counter.bytes;
+          found = true;
+          break;
+        }
+      }
+      if (!found) merged.counters.push_back(counter);
+    }
+    metrics::MergeMetricSamples(&merged.metrics, r.metrics);
+  }
+
+  for (const StageSummary& stage : stages) {
+    if (stage.count > 0) merged.stages.push_back(stage);
+  }
+  std::sort(merged.counters.begin(), merged.counters.end(),
+            [](const CounterSummary& a, const CounterSummary& b) {
+              if (a.stage != b.stage) return a.stage < b.stage;
+              return a.name < b.name;
+            });
+  std::sort(merged.stragglers.begin(), merged.stragglers.end(),
+            [](const Straggler& a, const Straggler& b) {
+              if (a.wall_ns != b.wall_ns) return a.wall_ns > b.wall_ns;
+              if (a.proc != b.proc) return a.proc < b.proc;
+              return a.group < b.group;
+            });
+  if (merged.stragglers.size() > max_stragglers) {
+    merged.stragglers.resize(max_stragglers);
+  }
+
+  // The coordinator's own registry (scatter frame/CRC/spawn counters)
+  // joins the per-worker snapshots.
+  metrics::MergeMetricSamples(&merged.metrics, metrics::SnapshotMetrics());
+
+  merged.cost_inputs.cpu_seconds = info.cpu_seconds;
+  merged.cost_inputs.storage_bytes = merged_scan.storage_bytes;
+  merged.cost_inputs.logical_bytes_bq = merged_scan.logical_bytes_bq;
+  int64_t row_groups = 0;
+  for (const StageSummary& stage : merged.stages) {
+    if (stage.stage == Stage::kRowGroup) {
+      row_groups = static_cast<int64_t>(stage.count);
+    }
+  }
+  merged.cost_inputs.row_groups =
+      static_cast<int>(std::max<int64_t>(row_groups, 1));
+  merged.cost_inputs.events = info.events_processed;
+  return merged;
+}
+
+std::string MultiProcessChromeTraceJson(
+    const std::vector<ProcessReport>& reports) {
+  // One shared epoch: the earliest session start across processes. The
+  // steady clock is machine-wide, so per-process offsets against it
+  // reproduce the real concurrency picture.
+  int64_t epoch = 0;
+  bool have_epoch = false;
+  size_t total_spans = 0;
+  for (const ProcessReport& process : reports) {
+    if (!process.received) continue;
+    if (!have_epoch || process.session_start_ns < epoch) {
+      epoch = process.session_start_ns;
+      have_epoch = true;
+    }
+    total_spans += process.spans.size();
+  }
+  std::string out;
+  out.reserve(total_spans * 128 + 512);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (size_t p = 0; p < reports.size(); ++p) {
+    const ProcessReport& process = reports[p];
+    if (!process.received) continue;
+    const int pid = static_cast<int>(p) + 1;
+    char buf[256];
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                  "\"args\":{\"name\":\"worker p%zu shards [%d,%d)\"}}",
+                  pid, p, process.shard_begin, process.shard_end);
+    out += buf;
+    int num_threads = 0;
+    for (const SpanRecord& span : process.spans) {
+      num_threads = std::max(num_threads,
+                             static_cast<int>(span.thread_index) + 1);
+    }
+    for (int t = 0; t < num_threads; ++t) {
+      out += ",";
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                    "\"tid\":%d,\"args\":{\"name\":\"p%zu-thread-%d\"}}",
+                    pid, t, p, t);
+      out += buf;
+    }
+    for (const SpanRecord& span : process.spans) {
+      out += ",";
+      std::snprintf(
+          buf, sizeof(buf),
+          "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+          "\"dur\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{",
+          span.name, StageName(span.stage),
+          static_cast<double>(span.start_ns - epoch) / 1e3,
+          static_cast<double>(span.duration_ns()) / 1e3, pid,
+          span.thread_index);
+      out += buf;
+      std::snprintf(buf, sizeof(buf),
+                    "\"worker\":%d,\"group\":%d,\"slot\":%d,\"leaf\":%d,"
+                    "\"bytes\":%llu,\"queue_us\":%.3f,\"cpu_us\":%.3f}}",
+                    span.worker, span.group, span.slot, span.leaf,
+                    static_cast<unsigned long long>(span.bytes),
+                    static_cast<double>(span.queue_ns) / 1e3,
+                    static_cast<double>(span.cpu_ns) / 1e3);
+      out += buf;
+    }
   }
   out += "]}\n";
   return out;

@@ -2,12 +2,14 @@
 #define HEPQUERY_OBS_REPORT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cloud/simulator.h"
 #include "core/status.h"
 #include "fileio/reader.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace hepq::obs {
@@ -46,6 +48,10 @@ struct StageSummary {
 /// the row-group spans (the scheduling envelope) stamped with its id.
 struct WorkerSummary {
   int worker = 0;  ///< runtime worker id (same numbering as stragglers)
+  /// Owning process index in a merged multi-process report (shard order),
+  /// 0 for single-process runs. The stable cross-process worker identity
+  /// is the pair `proc:worker`.
+  int proc = 0;
   int64_t busy_ns = 0;        ///< sum of row-group span durations
   int64_t idle_ns = 0;        ///< window minus busy
   double busy_fraction = 0.0; ///< busy / window
@@ -71,6 +77,7 @@ struct WorkerSummary {
 struct Straggler {
   int group = -1;
   int worker = -1;
+  int proc = 0;  ///< owning process in a merged report (see WorkerSummary)
   int slot = -1;
   int64_t wall_ns = 0;
   uint64_t bytes = 0;
@@ -96,7 +103,15 @@ struct RunReport {
   /// cache_bytes_served` reconciles by construction: every byte a query
   /// consumes was either decoded from storage this run or served from
   /// the process-wide chunk cache.
-  static constexpr int kSchemaVersion = 3;
+  /// v4: multi-process + metrics. Added `processes[]` (one entry per
+  /// scatter worker, shard order; empty for in-process runs), `partial` +
+  /// `warnings` (a worker whose kReport frame was lost degrades the
+  /// report, never the result), `proc` on workers/stragglers, and
+  /// `metrics` (the process-wide metrics registry snapshot). The
+  /// per-process decoded-byte and cache totals sum bit-exactly to the
+  /// top-level `scan` object: both sides add the same per-shard integer
+  /// counters, only in different orders.
+  static constexpr int kSchemaVersion = 4;
 
   RunInfo info;
   ScanStats scan;  ///< bit-copied from the engine result
@@ -106,9 +121,38 @@ struct RunReport {
   int64_t window_ns = 0;      ///< session start→stop window
 
   std::vector<StageSummary> stages;      ///< ordered by Stage enum
-  std::vector<WorkerSummary> workers;    ///< ordered by thread index
+  std::vector<WorkerSummary> workers;    ///< ordered by (proc, worker id)
   std::vector<Straggler> stragglers;     ///< slowest row groups, descending
   std::vector<CounterSummary> counters;  ///< stage/name-merged counters
+
+  /// One scatter worker process's contribution to a merged report, in
+  /// shard order. Empty for single-process runs.
+  struct ProcessSummary {
+    int proc = 0;         ///< index in shard order (== merge order)
+    int shard_begin = 0;  ///< global shard range [begin, end)
+    int shard_end = 0;
+    int threads = 1;
+    int64_t events = 0;
+    double wall_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    uint64_t storage_bytes = 0;
+    uint64_t decoded_bytes = 0;
+    uint64_t cache_bytes_served = 0;
+    /// False when the worker's kReport frame never arrived (its shard
+    /// results did — the report degrades, the histograms do not).
+    bool report_received = true;
+  };
+  std::vector<ProcessSummary> processes;
+
+  /// True when at least one worker's report is missing; `warnings` then
+  /// carries one deterministic line per missing worker (keyed by shard
+  /// range, never by pid — identical for any worker count).
+  bool partial = false;
+  std::vector<std::string> warnings;
+
+  /// Snapshot of the process-wide metrics registry at report-build time
+  /// (merged across processes in a multi-process report).
+  std::vector<metrics::MetricSample> metrics;
 
   /// Cost-model inputs, ready to feed cloud::Simulator — the bridge from
   /// a profiled run to the paper's price/performance projections.
@@ -141,7 +185,56 @@ RunReport BuildRunReport(const TraceSession& session, const RunInfo& info,
                          size_t max_timeline_entries = 512,
                          size_t max_stragglers = 5);
 
-/// The RunReport as a JSON document (schema_version 2; see DESIGN.md).
+// ---- cross-process reports (the scatter kReport frame body) --------------
+
+/// One worker process's complete observability payload: its aggregated
+/// RunReport over its shard range, plus the raw spans so the coordinator
+/// can stitch every process into one Chrome trace. Move-only: decoded
+/// span names live in `name_pool` (stable heap storage).
+struct ProcessReport {
+  int shard_begin = 0;  ///< global shard range [begin, end) this covers
+  int shard_end = 0;
+  /// False for a placeholder standing in for a worker whose kReport frame
+  /// was lost; such entries carry only the shard range.
+  bool received = true;
+  /// Session window in CLOCK_MONOTONIC ns. The clock is machine-wide, so
+  /// timestamps from co-located worker processes share an epoch and the
+  /// stitched trace aligns without clock translation.
+  int64_t session_start_ns = 0;
+  int64_t session_stop_ns = 0;
+  RunReport report;
+  /// All spans of the worker's session, merge-ordered. After wire decode,
+  /// `name` pointers point into `name_pool`.
+  std::vector<SpanRecord> spans;
+  std::vector<std::unique_ptr<std::string>> name_pool;
+
+  /// Interns `name` in the pool (dedup by value) and returns a pointer
+  /// valid for this ProcessReport's lifetime.
+  const char* InternName(const std::string& name);
+};
+
+/// Builds the kReport payload body for one worker: BuildRunReport over the
+/// worker's whole session plus the raw span list. `info`/`scan` are the
+/// worker's own aggregated totals over shards [shard_begin, shard_end).
+ProcessReport BuildProcessReport(const TraceSession& session,
+                                 const RunInfo& info, const ScanStats& scan,
+                                 int shard_begin, int shard_end);
+
+/// Deterministically merges per-worker reports (shard order — the order
+/// the coordinator spawned them) into one cross-process RunReport:
+/// workers/stragglers renumbered `proc:slot`, stages and counters summed,
+/// span times summed across processes, one ProcessSummary per worker, and
+/// a metrics section merged from every process plus the coordinator's own
+/// registry. `info` and `merged_scan` come from the coordinator's merged
+/// QueryRunOutput, so the report's headline totals are exactly what the
+/// run printed; per-process scan totals sum to them bit-exactly (integer
+/// sums of the same per-shard counters). A not-received entry yields a
+/// `partial` report with a deterministic warning keyed by shard range.
+RunReport MergeProcessReports(const RunInfo& info, const ScanStats& merged_scan,
+                              const std::vector<ProcessReport>& reports,
+                              size_t max_stragglers = 5);
+
+/// The RunReport as a JSON document (kSchemaVersion; see DESIGN.md).
 std::string ReportToJson(const RunReport& report);
 
 /// Human-readable per-stage/per-worker/per-leaf table for `--profile`.
@@ -151,6 +244,14 @@ std::string ReportToTable(const RunReport& report);
 /// in chrome://tracing and Perfetto. Timestamps are microseconds relative
 /// to the session start; tid is the dense per-session thread index.
 std::string ChromeTraceJson(const TraceSession& session);
+
+/// Every process's spans stitched into one Chrome trace: pid = process
+/// index (shard order) + 1, tid = per-process thread index, process_name
+/// metadata names the shard range. Timestamps are relative to the
+/// earliest session start across processes (one shared CLOCK_MONOTONIC
+/// epoch), so worker timelines line up as they ran.
+std::string MultiProcessChromeTraceJson(
+    const std::vector<ProcessReport>& reports);
 
 /// Writes `content` to `path` (overwrites).
 Status WriteTextFile(const std::string& path, const std::string& content);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "cache/cache.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "queries/builders.h"
 
@@ -136,6 +137,61 @@ Result<std::string> CanonicalPlanText(EngineKind engine, int q) {
   return Status::Invalid("unknown engine kind");
 }
 
+// Per-engine run/event counters. GetCounter wants a string literal per
+// metric, so the engine label is baked into the name here rather than
+// composed at runtime.
+obs::metrics::Counter& RunsCounterFor(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kRdf: {
+      static auto& c =
+          obs::metrics::GetCounter("hepq_queries_runs_total{engine=\"rdf\"}");
+      return c;
+    }
+    case EngineKind::kBigQueryShape: {
+      static auto& c =
+          obs::metrics::GetCounter("hepq_queries_runs_total{engine=\"bq\"}");
+      return c;
+    }
+    case EngineKind::kPrestoShape: {
+      static auto& c = obs::metrics::GetCounter(
+          "hepq_queries_runs_total{engine=\"presto\"}");
+      return c;
+    }
+    case EngineKind::kDoc:
+    default: {
+      static auto& c =
+          obs::metrics::GetCounter("hepq_queries_runs_total{engine=\"doc\"}");
+      return c;
+    }
+  }
+}
+
+obs::metrics::Counter& EventsCounterFor(EngineKind engine) {
+  switch (engine) {
+    case EngineKind::kRdf: {
+      static auto& c = obs::metrics::GetCounter(
+          "hepq_queries_events_total{engine=\"rdf\"}");
+      return c;
+    }
+    case EngineKind::kBigQueryShape: {
+      static auto& c =
+          obs::metrics::GetCounter("hepq_queries_events_total{engine=\"bq\"}");
+      return c;
+    }
+    case EngineKind::kPrestoShape: {
+      static auto& c = obs::metrics::GetCounter(
+          "hepq_queries_events_total{engine=\"presto\"}");
+      return c;
+    }
+    case EngineKind::kDoc:
+    default: {
+      static auto& c = obs::metrics::GetCounter(
+          "hepq_queries_events_total{engine=\"doc\"}");
+      return c;
+    }
+  }
+}
+
 }  // namespace
 
 Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
@@ -178,6 +234,8 @@ Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           lookup_start)
                 .count();
+        RunsCounterFor(engine).Add(1);
+        EventsCounterFor(engine).Add(out.events_processed);
         return out;
       }
     }
@@ -198,6 +256,8 @@ Result<QueryRunOutput> RunAdlQuery(EngineKind engine, int q,
   };
   QueryRunOutput out;
   HEPQ_ASSIGN_OR_RETURN(out, dispatch());
+  RunsCounterFor(engine).Add(1);
+  EventsCounterFor(engine).Add(out.events_processed);
 
   if (!fingerprint.empty()) {
     cache::CachedResult cached;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "obs/report.h"
 #include "queries/adl.h"
 
 namespace hepq::scatter {
@@ -22,14 +23,20 @@ namespace hepq::scatter {
 // cross-process merge is bit-identical to an in-process one.
 //
 // A healthy worker emits one kFragment frame per shard file of its range,
-// in shard order, then one kDone frame. A worker that fails on shard k
-// emits a kError frame naming k and exits; a crashed worker just stops
-// mid-stream. The coordinator turns either into a deterministic error
-// keyed by shard index (never by worker id), so the report is identical
-// for any worker count.
+// in shard order, then (when the coordinator asked for one) a kReport
+// frame carrying its full RunReport + raw spans, then one kDone frame. A
+// worker that fails on shard k emits a kError frame naming k and exits; a
+// crashed worker just stops mid-stream. The coordinator turns either into
+// a deterministic error keyed by shard index (never by worker id), so the
+// report is identical for any worker count. A lost or corrupt kReport
+// frame is never fatal: every fragment precedes it, so the histograms
+// still merge and only the merged RunReport is marked partial.
 
 inline constexpr uint32_t kFrameMagic = 0x48515346;  // "FSQH" on disk (LE)
-inline constexpr uint32_t kFrameVersion = 1;
+/// v2: kReport frames; fragment ScanStats carry the cache-hierarchy
+/// counters (footer/chunk hits+misses, cache_bytes_served, per-leaf
+/// cache_bytes_served) so cross-process cache totals reconcile too.
+inline constexpr uint32_t kFrameVersion = 2;
 /// Hard payload bound (1 GiB): a malformed length prefix must not make the
 /// coordinator try to buffer arbitrary garbage.
 inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
@@ -38,6 +45,7 @@ enum class FrameType : uint32_t {
   kFragment = 1,
   kDone = 2,
   kError = 3,
+  kReport = 4,
 };
 
 struct Frame {
@@ -81,6 +89,18 @@ Status DecodeErrorPayload(const std::vector<uint8_t>& payload,
 std::vector<uint8_t> EncodeDonePayload(int num_fragments);
 Status DecodeDonePayload(const std::vector<uint8_t>& payload,
                          int* num_fragments);
+
+/// kReport payload: the worker's full observability state — its
+/// aggregated RunReport (stages, workers, stragglers, counters, metrics
+/// snapshot) plus every raw span (names interned in a payload-local
+/// string table), so the coordinator can both merge the reports and
+/// stitch all processes into one Chrome trace. Doubles travel as raw
+/// IEEE-754 bits like fragments; the decoded report round-trips exactly.
+std::vector<uint8_t> EncodeReportPayload(const obs::ProcessReport& report);
+/// Inverse of EncodeReportPayload. Decoded span names point into the
+/// returned report's name_pool.
+Result<obs::ProcessReport> DecodeReportPayload(
+    const std::vector<uint8_t>& payload);
 
 }  // namespace hepq::scatter
 

@@ -11,6 +11,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace hepq::scatter {
 
 ShardRange ShardRangeFor(int num_files, int num_workers, int worker) {
@@ -39,7 +41,7 @@ Status WriteAll(int fd, const uint8_t* data, size_t size) {
 
 /// Parsed HEPQ_SCATTER_FAULT directive (test-only fault injection).
 struct FaultSpec {
-  enum class Kind { kNone, kKillBefore, kTruncate, kBadVersion };
+  enum class Kind { kNone, kKillBefore, kTruncate, kBadVersion, kBadReport };
   Kind kind = Kind::kNone;
   int shard = -1;
 };
@@ -49,6 +51,10 @@ FaultSpec ParseFault() {
   const char* env = std::getenv("HEPQ_SCATTER_FAULT");
   if (env == nullptr || env[0] == '\0') return fault;
   const std::string spec = env;
+  if (spec == "badreport") {
+    fault.kind = FaultSpec::Kind::kBadReport;
+    return fault;
+  }
   const size_t colon = spec.find(':');
   if (colon == std::string::npos) return fault;
   const std::string kind = spec.substr(0, colon);
@@ -69,7 +75,7 @@ Status RunWorker(
     const std::vector<std::string>& files, ShardRange range,
     const std::function<Result<queries::QueryRunOutput>(const std::string&)>&
         run,
-    int fd) {
+    int fd, const std::function<std::vector<uint8_t>()>& report_payload) {
   const FaultSpec fault = ParseFault();
   int emitted = 0;
   for (int shard = range.begin; shard < range.end; ++shard) {
@@ -111,6 +117,16 @@ Status RunWorker(
     }
     HEPQ_RETURN_NOT_OK(WriteAll(fd, frame.data(), frame.size()));
     ++emitted;
+  }
+  if (report_payload != nullptr) {
+    std::vector<uint8_t> frame =
+        EncodeFrame(FrameType::kReport, report_payload());
+    if (fault.kind == FaultSpec::Kind::kBadReport && frame.size() > 24) {
+      // Flip one payload byte so the frame CRC fails at the coordinator —
+      // the lost-report degradation path, with the histograms intact.
+      frame[24] ^= 0xff;
+    }
+    HEPQ_RETURN_NOT_OK(WriteAll(fd, frame.data(), frame.size()));
   }
   const std::vector<uint8_t> done =
       EncodeFrame(FrameType::kDone, EncodeDonePayload(emitted));
@@ -155,6 +171,13 @@ WorkerStream ParseWorkerStream(const uint8_t* data, size_t size) {
           return stream;
         }
         stream.errors.emplace_back(shard, message);
+        break;
+      }
+      case FrameType::kReport: {
+        // A report that fails to decode (future schema drift) is dropped,
+        // not fatal: observability frames must never doom the result.
+        Result<obs::ProcessReport> report = DecodeReportPayload(frame.payload);
+        if (report.ok()) stream.reports.push_back(std::move(*report));
         break;
       }
       case FrameType::kDone:
@@ -266,9 +289,16 @@ Result<queries::QueryRunOutput> MergeShardOutputs(
 
 Result<queries::QueryRunOutput> RunScattered(
     const std::vector<std::string>& files, int num_workers,
-    const std::function<std::vector<std::string>(ShardRange)>& make_argv) {
+    const std::function<std::vector<std::string>(ShardRange)>& make_argv,
+    std::vector<obs::ProcessReport>* reports) {
   if (files.empty()) return Status::Invalid("scatter over an empty dataset");
   if (num_workers < 1) num_workers = 1;
+  static auto& workers_spawned =
+      obs::metrics::GetCounter("hepq_scatter_workers_spawned_total");
+  static auto& worker_failures =
+      obs::metrics::GetCounter("hepq_scatter_worker_failures_total");
+  static auto& reports_missing =
+      obs::metrics::GetCounter("hepq_scatter_reports_missing_total");
 
   struct Worker {
     pid_t pid = -1;
@@ -311,6 +341,7 @@ Result<queries::QueryRunOutput> RunScattered(
       ::_exit(127);
     }
     ::close(pipe_fds[1]);
+    workers_spawned.Add(1);
     Worker worker;
     worker.pid = pid;
     worker.fd = pipe_fds[0];
@@ -351,6 +382,9 @@ Result<queries::QueryRunOutput> RunScattered(
     int wstatus = 0;
     while (::waitpid(worker.pid, &wstatus, 0) < 0 && errno == EINTR) {
     }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      worker_failures.Add(1);
+    }
   }
 
   std::vector<WorkerStream> streams;
@@ -360,6 +394,24 @@ Result<queries::QueryRunOutput> RunScattered(
         ParseWorkerStream(worker.buffer.data(), worker.buffer.size());
     stream.range = worker.range;
     streams.push_back(std::move(stream));
+  }
+  if (reports != nullptr) {
+    // One slot per spawned worker, in shard order; a worker that sent no
+    // decodable kReport leaves a placeholder carrying only its range, so
+    // the merged report can say exactly which shards lost attribution.
+    reports->clear();
+    for (WorkerStream& stream : streams) {
+      if (!stream.reports.empty()) {
+        reports->push_back(std::move(stream.reports.front()));
+      } else {
+        obs::ProcessReport placeholder;
+        placeholder.shard_begin = stream.range.begin;
+        placeholder.shard_end = stream.range.end;
+        placeholder.received = false;
+        reports->push_back(std::move(placeholder));
+        reports_missing.Add(1);
+      }
+    }
   }
   std::vector<ShardFragment> fragments;
   HEPQ_ASSIGN_OR_RETURN(fragments, CombineWorkerStreams(streams, files));

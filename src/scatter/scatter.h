@@ -34,17 +34,23 @@ ShardRange ShardRangeFor(int num_files, int num_workers, int worker);
 
 /// Runs the worker half: `run` once per shard in `range` (paths from
 /// `files`, the dataset's sorted shard list), writing one kFragment frame
-/// per shard and a final kDone frame to `fd`. A shard failure writes a
-/// kError frame naming the shard and stops. For fault-path tests the
-/// HEPQ_SCATTER_FAULT environment variable injects failures:
+/// per shard and a final kDone frame to `fd`. When `report_payload` is
+/// set it is invoked after the last shard (the caller stops its trace
+/// session and builds the kReport body there) and the returned bytes go
+/// out as one kReport frame between the fragments and kDone. A shard
+/// failure writes a kError frame naming the shard and stops. For
+/// fault-path tests the HEPQ_SCATTER_FAULT environment variable injects
+/// failures:
 ///   "kill_before:K"  exit(1) without a frame when shard K is reached
 ///   "truncate:K"     write only half of shard K's frame, then exit
 ///   "badversion:K"   write shard K's frame with a wrong version field
+///   "badreport"      corrupt the kReport frame's payload bytes
 Status RunWorker(
     const std::vector<std::string>& files, ShardRange range,
     const std::function<Result<queries::QueryRunOutput>(const std::string&)>&
         run,
-    int fd);
+    int fd,
+    const std::function<std::vector<uint8_t>()>& report_payload = nullptr);
 
 /// Parse state of one worker's gathered byte stream.
 struct WorkerStream {
@@ -53,6 +59,11 @@ struct WorkerStream {
   /// right shard, independent of worker count).
   ShardRange range;
   std::vector<ShardFragment> fragments;
+  /// Decoded kReport frames (at most one from a healthy worker). A
+  /// kReport whose payload fails to decode is dropped, not fatal: the
+  /// fragments around it still merge and the coordinator reports the
+  /// worker as sending no report.
+  std::vector<obs::ProcessReport> reports;
   /// Explicit kError frames (failing shard index + message).
   std::vector<std::pair<int, std::string>> errors;
   bool done = false;
@@ -88,9 +99,15 @@ Result<queries::QueryRunOutput> MergeShardOutputs(
 /// typically this binary re-invoked with --worker-shards=a:b), gathers
 /// their streams, and merges. Workers with an empty range are not
 /// spawned. `files` is the dataset's sorted shard list.
+///
+/// When `reports` is non-null it receives one ProcessReport per spawned
+/// worker, in shard order; a worker whose kReport frame never arrived (or
+/// failed to decode) yields a placeholder with `received = false` and its
+/// shard range, so the merged RunReport can degrade deterministically.
 Result<queries::QueryRunOutput> RunScattered(
     const std::vector<std::string>& files, int num_workers,
-    const std::function<std::vector<std::string>(ShardRange)>& make_argv);
+    const std::function<std::vector<std::string>(ShardRange)>& make_argv,
+    std::vector<obs::ProcessReport>* reports = nullptr);
 
 }  // namespace hepq::scatter
 

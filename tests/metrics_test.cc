@@ -1,0 +1,288 @@
+// Unit tests for the process-wide metrics registry: registration
+// identity, enabled gating, striped-counter exactness under concurrent
+// hammering (run under TSan in CI), bucket boundaries, snapshot/merge
+// determinism, exposition formats, and the zero-allocation warm path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook (same shape as obs_test.cc): every global
+// operator new bumps a counter so the warm-path test below can assert
+// that Add/Observe/Set allocate nothing after registration.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_heap_allocations{0};
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace hepq::obs::metrics {
+namespace {
+
+/// Every test starts from a clean, enabled registry and restores the
+/// process default (disabled) afterwards, so test order cannot leak
+/// accumulated values or the enabled flag.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ResetMetricsForTest();
+    SetMetricsEnabled(true);
+  }
+  void TearDown() override {
+    SetMetricsEnabled(false);
+    ResetMetricsForTest();
+  }
+};
+
+TEST_F(MetricsTest, SameNameReturnsSameInstance) {
+  Counter& a = GetCounter("test_identity_total");
+  Counter& b = GetCounter("test_identity_total");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = GetGauge("test_identity_gauge");
+  Gauge& g2 = GetGauge("test_identity_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Histogram& h1 = GetHistogram("test_identity_ns");
+  Histogram& h2 = GetHistogram("test_identity_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST_F(MetricsTest, DisabledInstrumentsAccumulateNothing) {
+  Counter& c = GetCounter("test_gated_total");
+  Gauge& g = GetGauge("test_gated_gauge");
+  Histogram& h = GetHistogram("test_gated_ns");
+  SetMetricsEnabled(false);
+  c.Add(7);
+  g.Set(42);
+  g.Add(1);
+  h.Observe(5000);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.TotalCount(), 0u);
+  SetMetricsEnabled(true);
+  c.Add(7);
+  g.Set(42);
+  h.Observe(5000);
+  EXPECT_EQ(c.Value(), 7u);
+  EXPECT_EQ(g.Value(), 42);
+  EXPECT_EQ(h.TotalCount(), 1u);
+}
+
+// The striped counter must lose no increments under maximal contention:
+// more threads than stripes, each adding a known total. Run under TSan in
+// CI, this also proves the stripe cells race-free.
+TEST_F(MetricsTest, ConcurrentIncrementsAreExact) {
+  Counter& c = GetCounter("test_hammer_total");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(),
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread));
+}
+
+TEST_F(MetricsTest, ConcurrentHistogramObservationsAreExact) {
+  Histogram& h = GetHistogram("test_hammer_ns");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(1000 + 1000 * t);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(),
+            static_cast<uint64_t>(kThreads) * static_cast<uint64_t>(kPerThread));
+  uint64_t bucket_sum = 0;
+  for (int b = 0; b <= kHistogramBuckets; ++b) bucket_sum += h.BucketCount(b);
+  EXPECT_EQ(bucket_sum, h.TotalCount());
+}
+
+TEST_F(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 holds everything up to 1024 ns inclusive (including <= 0).
+  EXPECT_EQ(Histogram::BucketFor(-5), 0);
+  EXPECT_EQ(Histogram::BucketFor(0), 0);
+  EXPECT_EQ(Histogram::BucketFor(1024), 0);
+  EXPECT_EQ(Histogram::BucketFor(1025), 1);
+  EXPECT_EQ(Histogram::BucketFor(2048), 1);
+  EXPECT_EQ(Histogram::BucketFor(2049), 2);
+  // Last finite bucket's bound, then overflow.
+  EXPECT_EQ(Histogram::BucketFor(HistogramBucketBoundNs(kHistogramBuckets - 1)),
+            kHistogramBuckets - 1);
+  EXPECT_EQ(
+      Histogram::BucketFor(HistogramBucketBoundNs(kHistogramBuckets - 1) + 1),
+      kHistogramBuckets);
+  EXPECT_EQ(Histogram::BucketFor(int64_t{1} << 62), kHistogramBuckets);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  GetCounter("test_zz_total").Add(1);
+  GetCounter("test_aa_total").Add(2);
+  GetGauge("test_mm_gauge").Set(3);
+  const std::vector<MetricSample> samples = SnapshotMetrics();
+  ASSERT_GE(samples.size(), 3u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
+  }
+}
+
+TEST_F(MetricsTest, MergeSumsByNameAndAppendsNew) {
+  std::vector<MetricSample> into;
+  {
+    MetricSample c;
+    c.name = "shared_total";
+    c.kind = MetricKind::kCounter;
+    c.value = 10;
+    into.push_back(c);
+  }
+  std::vector<MetricSample> from;
+  {
+    MetricSample c;
+    c.name = "shared_total";
+    c.kind = MetricKind::kCounter;
+    c.value = 32;
+    from.push_back(c);
+    MetricSample h;
+    h.name = "only_from_ns";
+    h.kind = MetricKind::kHistogram;
+    h.buckets.assign(kHistogramBuckets + 1, 0);
+    h.buckets[2] = 5;
+    h.observations = 5;
+    h.sum_ns = 12345;
+    from.push_back(h);
+  }
+  // `from` arrives sorted (snapshot order); `into` gains the union.
+  MergeMetricSamples(&into, from);
+  ASSERT_EQ(into.size(), 2u);
+  EXPECT_EQ(into[0].name, "only_from_ns");
+  EXPECT_EQ(into[0].observations, 5u);
+  EXPECT_EQ(into[0].buckets[2], 5u);
+  EXPECT_EQ(into[1].name, "shared_total");
+  EXPECT_EQ(into[1].value, 42);
+
+  // Merging the same samples again doubles the sums (associative fold).
+  MergeMetricSamples(&into, from);
+  EXPECT_EQ(into[1].value, 74);
+  EXPECT_EQ(into[0].observations, 10u);
+}
+
+TEST_F(MetricsTest, PrometheusExpositionShape) {
+  GetCounter("test_expo_total").Add(3);
+  GetGauge("test_expo_gauge").Set(-7);
+  GetHistogram("test_expo_ns").Observe(1500);  // bucket 1
+  const std::string text = MetricsToPrometheus(SnapshotMetrics());
+  EXPECT_NE(text.find("# TYPE test_expo_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_gauge -7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_expo_ns histogram"), std::string::npos);
+  // Cumulative buckets: the 1500ns observation is in every le >= 2048.
+  EXPECT_NE(text.find("test_expo_ns_bucket{le=\"1024\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_ns_bucket{le=\"2048\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_ns_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_expo_ns_sum 1500"), std::string::npos);
+  EXPECT_NE(text.find("test_expo_ns_count 1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, PrometheusLabeledCounterKeepsOneTypeLine) {
+  GetCounter("test_labeled_total{engine=\"rdf\"}").Add(1);
+  GetCounter("test_labeled_total{engine=\"doc\"}").Add(2);
+  const std::string text = MetricsToPrometheus(SnapshotMetrics());
+  // One TYPE comment for the base name, two labeled sample lines.
+  size_t type_count = 0;
+  for (size_t at = text.find("# TYPE test_labeled_total counter");
+       at != std::string::npos;
+       at = text.find("# TYPE test_labeled_total counter", at + 1)) {
+    ++type_count;
+  }
+  EXPECT_EQ(type_count, 1u);
+  EXPECT_NE(text.find("test_labeled_total{engine=\"doc\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_labeled_total{engine=\"rdf\"} 1"),
+            std::string::npos);
+}
+
+TEST_F(MetricsTest, JsonExpositionParsesShape) {
+  GetCounter("test_json_total").Add(9);
+  const std::string json = MetricsToJson(SnapshotMetrics());
+  EXPECT_NE(json.find("\"bucket_bounds_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_total\""), std::string::npos);
+}
+
+// The cost contract: after a site's one-time registration, Add/Observe/
+// Set heap-allocate nothing — enabled or not — and the disabled path is
+// just the atomic load.
+TEST_F(MetricsTest, WarmPathAllocatesNothing) {
+  Counter& c = GetCounter("test_noalloc_total");
+  Gauge& g = GetGauge("test_noalloc_gauge");
+  Histogram& h = GetHistogram("test_noalloc_ns");
+  // Warm the calling thread's stripe assignment (itself allocation-free,
+  // but keep the measured region minimal and unambiguous).
+  c.Add(1);
+  h.Observe(100);
+
+  const uint64_t before = g_heap_allocations.load();
+  for (int i = 0; i < 10000; ++i) {
+    c.Add(1);
+    g.Set(i);
+    g.Add(1);
+    h.Observe(1000 + i);
+  }
+  SetMetricsEnabled(false);
+  for (int i = 0; i < 10000; ++i) {
+    c.Add(1);
+    h.Observe(1000 + i);
+  }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(g_heap_allocations.load(), before);
+}
+
+TEST_F(MetricsTest, ResetZeroesValuesButKeepsRegistrations) {
+  Counter& c = GetCounter("test_reset_total");
+  c.Add(5);
+  EXPECT_EQ(c.Value(), 5u);
+  ResetMetricsForTest();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(&GetCounter("test_reset_total"), &c);
+}
+
+}  // namespace
+}  // namespace hepq::obs::metrics

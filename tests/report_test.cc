@@ -158,7 +158,7 @@ TEST(ReportJsonSchemaTest, RequiredKeysPresent) {
   const TracedRun run = RunTraced(EngineKind::kBigQueryShape, 5, 1);
   const std::string json = ReportToJson(run.report);
   for (const char* key :
-       {"\"schema_version\":3", "\"query\":\"Q5\"",
+       {"\"schema_version\":4", "\"query\":\"Q5\"",
         "\"cache\"", "\"footer_hits\"", "\"chunk_hits\"",
         "\"cache_bytes_served\"", "\"consumed_bytes\"",
         "\"engine\":\"bigquery-shape\"", "\"events_processed\"",
@@ -167,7 +167,8 @@ TEST(ReportJsonSchemaTest, RequiredKeysPresent) {
         "\"events_per_sec_per_core\"", "\"expr_vm\"", "\"vops_per_event\"",
         "\"fused_coverage\"", "\"scan\"", "\"decoded_bytes\"",
         "\"stages\"", "\"workers\"", "\"stragglers\"", "\"per_leaf\"",
-        "\"counters\"", "\"cost_inputs\""}) {
+        "\"counters\"", "\"cost_inputs\"", "\"processes\"", "\"partial\"",
+        "\"warnings\"", "\"metrics\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 }

@@ -32,6 +32,16 @@
 //   --worker-shards=a:b: worker mode (used by --procs; scriptable for
 //     debugging) — run shards [a, b) of the dataset and write result
 //     frames to stdout instead of human-readable output.
+//   --worker-report: worker mode only (added by a profiling coordinator)
+//     — trace the whole shard range under one session with the metrics
+//     registry on, and stream the aggregated ProcessReport back as a
+//     kReport frame. With --procs=P plus --profile/--trace the
+//     coordinator merges all P reports into ONE cross-process RunReport
+//     (per-process totals reconcile bit-exactly against the merged scan
+//     stats) and one stitched Chrome trace with a pid per worker.
+//   --metrics[=path]: turn the process-wide metrics registry on and dump
+//     the exposition after the run — Prometheus text to stderr, or to
+//     `path` (JSON when the path ends in .json).
 //   --cache[=BYTES]: enable the process-wide cache hierarchy for this
 //     invocation — a decoded-chunk LRU (BYTES budget, default 256 MiB)
 //     shared by every reader plus a query-fingerprint result cache.
@@ -56,10 +66,12 @@
 #include "cache/cache.h"
 #include "datagen/dataset.h"
 #include "fileio/dataset_reader.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "queries/adl.h"
 #include "queries/builders.h"
+#include "scatter/ipc.h"
 #include "scatter/scatter.h"
 
 using hepq::queries::EngineKind;
@@ -74,6 +86,30 @@ struct ProfileOptions {
   std::string report_path;    // --profile=path.json
   std::string trace_path;     // --trace=path.json
 };
+
+struct MetricsOptions {
+  bool enabled = false;  // --metrics given: registry on for the process
+  std::string path;      // --metrics=path: exposition file (else stderr)
+};
+
+/// Final metrics exposition for --metrics: Prometheus text to stderr, or
+/// to a file (JSON when the path says so).
+void DumpMetrics(const MetricsOptions& metrics) {
+  if (!metrics.enabled) return;
+  const auto samples = hepq::obs::metrics::SnapshotMetrics();
+  if (metrics.path.empty()) {
+    std::fputs(hepq::obs::metrics::MetricsToPrometheus(samples).c_str(),
+               stderr);
+    return;
+  }
+  const bool json = metrics.path.size() > 5 &&
+                    metrics.path.rfind(".json") == metrics.path.size() - 5;
+  hepq::obs::WriteTextFile(
+      metrics.path, json ? hepq::obs::metrics::MetricsToJson(samples)
+                         : hepq::obs::metrics::MetricsToPrometheus(samples))
+      .Check();
+  std::fprintf(stderr, "metrics: %s\n", metrics.path.c_str());
+}
 
 /// "report.json" -> "report.rdataframe.json" so engine=all runs do not
 /// overwrite one another's files.
@@ -244,10 +280,13 @@ hepq::Result<std::vector<std::string>> ShardFilesFor(const std::string& data) {
 }
 
 /// Worker half of --procs: run shards [range) and stream frames to
-/// stdout. Human output is suppressed — stdout is the wire.
+/// stdout. Human output is suppressed — stdout is the wire. With
+/// `worker_report` (set by a profiling coordinator) the whole range runs
+/// under one trace session with the metrics registry on, and the
+/// aggregated ProcessReport goes back as a kReport frame.
 int RunWorkerMode(EngineKind engine, int q, const std::string& data,
                   const hepq::queries::RunOptions& options,
-                  hepq::scatter::ShardRange range) {
+                  hepq::scatter::ShardRange range, bool worker_report) {
   auto files = ShardFilesFor(data);
   if (!files.ok()) {
     std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
@@ -260,12 +299,43 @@ int RunWorkerMode(EngineKind engine, int q, const std::string& data,
                  range.begin, range.end, files->size());
     return 1;
   }
+  hepq::obs::TraceSession session;
+  int64_t events = 0;
+  double wall = 0.0, cpu = 0.0;
+  hepq::ScanStats scan;
+  if (worker_report) {
+    hepq::obs::metrics::SetMetricsEnabled(true);
+    session.Start();
+  }
+  std::function<std::vector<uint8_t>()> report_payload;
+  if (worker_report) {
+    report_payload = [&]() {
+      session.Stop();
+      hepq::obs::RunInfo info;
+      info.query = "Q" + std::to_string(q);
+      info.engine = EngineKindName(engine);
+      info.threads = options.num_threads;
+      info.events_processed = events;
+      info.wall_seconds = wall;
+      info.cpu_seconds = cpu;
+      const hepq::obs::ProcessReport report = hepq::obs::BuildProcessReport(
+          session, info, scan, range.begin, range.end);
+      return hepq::scatter::EncodeReportPayload(report);
+    };
+  }
   const hepq::Status status = hepq::scatter::RunWorker(
       *files, range,
       [&](const std::string& shard) {
-        return RunAdlQuery(engine, q, shard, options);
+        auto result = RunAdlQuery(engine, q, shard, options);
+        if (result.ok()) {
+          events += result->events_processed;
+          wall += result->wall_seconds;
+          cpu += result->cpu_seconds;
+          scan.Add(result->scan);
+        }
+        return result;
       },
-      STDOUT_FILENO);
+      STDOUT_FILENO, report_payload);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
@@ -274,16 +344,22 @@ int RunWorkerMode(EngineKind engine, int q, const std::string& data,
 }
 
 /// Coordinator half of --procs: spawn workers (this binary re-invoked
-/// with --worker-shards), gather, merge in shard order, print.
+/// with --worker-shards), gather, merge in shard order, print. Under
+/// --profile/--trace/--metrics the workers also send kReport frames and
+/// the coordinator merges them into one cross-process RunReport (and one
+/// stitched Chrome trace).
 void RunScatteredOne(const char* self, EngineKind engine,
                      const std::string& engine_name, int q,
                      const std::string& data,
-                     const hepq::queries::RunOptions& options, int procs) {
+                     const hepq::queries::RunOptions& options, int procs,
+                     const ProfileOptions& profile, bool metrics_enabled,
+                     bool suffix_outputs) {
   auto files = ShardFilesFor(data);
   if (!files.ok()) {
     std::fprintf(stderr, "error: %s\n", files.status().ToString().c_str());
     std::exit(1);
   }
+  const bool want_reports = profile.enabled || metrics_enabled;
   auto make_argv = [&](hepq::scatter::ShardRange range) {
     std::vector<std::string> argv;
     argv.push_back(self);
@@ -295,16 +371,50 @@ void RunScatteredOne(const char* self, EngineKind engine,
                    hepq::queries::VexprTierName(options.vexpr_tier));
     if (!options.scan_pushdown) argv.push_back("--no-pushdown");
     if (!options.late_materialization) argv.push_back("--no-late-mat");
+    if (want_reports) argv.push_back("--worker-report");
     argv.push_back("--worker-shards=" + std::to_string(range.begin) + ":" +
                    std::to_string(range.end));
     return argv;
   };
-  auto result = hepq::scatter::RunScattered(*files, procs, make_argv);
+  std::vector<hepq::obs::ProcessReport> reports;
+  auto result = hepq::scatter::RunScattered(
+      *files, procs, make_argv, want_reports ? &reports : nullptr);
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     std::exit(1);
   }
   PrintRunOutput(engine, *result);
+
+  if (!profile.enabled) return;
+  hepq::obs::RunInfo info;
+  info.query = "Q";
+  info.query += std::to_string(q);
+  info.engine = EngineKindName(engine);
+  info.threads = options.num_threads;
+  info.events_processed = result->events_processed;
+  info.wall_seconds = result->wall_seconds;
+  info.cpu_seconds = result->cpu_seconds;
+  const hepq::obs::RunReport report =
+      hepq::obs::MergeProcessReports(info, result->scan, reports);
+  if (profile.table) {
+    std::fputs(hepq::obs::ReportToTable(report).c_str(), stderr);
+  }
+  if (!profile.report_path.empty()) {
+    const std::string out =
+        suffix_outputs ? WithEngineSuffix(profile.report_path, info.engine)
+                       : profile.report_path;
+    hepq::obs::WriteTextFile(out, hepq::obs::ReportToJson(report)).Check();
+    std::fprintf(stderr, "run report: %s\n", out.c_str());
+  }
+  if (!profile.trace_path.empty()) {
+    const std::string out =
+        suffix_outputs ? WithEngineSuffix(profile.trace_path, info.engine)
+                       : profile.trace_path;
+    hepq::obs::WriteTextFile(out,
+                             hepq::obs::MultiProcessChromeTraceJson(reports))
+        .Check();
+    std::fprintf(stderr, "chrome trace: %s\n", out.c_str());
+  }
 }
 
 }  // namespace
@@ -312,12 +422,14 @@ void RunScatteredOne(const char* self, EngineKind engine,
 int main(int argc, char** argv) {
   hepq::queries::RunOptions options;
   ProfileOptions profile;
+  MetricsOptions metrics;
   std::string data_path;
   int procs = 0;
   bool queries_all = false;
   int repeat = 1;
   hepq::scatter::ShardRange worker_shards;
   bool worker_mode = false;
+  bool worker_report = false;
   int kept = 1;  // strip option flags wherever they appear
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--data=", 7) == 0) {
@@ -405,9 +517,23 @@ int main(int argc, char** argv) {
       profile.trace_path = argv[i] + 8;
       continue;
     }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics.enabled = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics.enabled = true;
+      metrics.path = argv[i] + 10;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--worker-report") == 0) {
+      worker_report = true;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
+  if (metrics.enabled) hepq::obs::metrics::SetMetricsEnabled(true);
   if (argc < 2 && !queries_all) {
     std::fprintf(stderr, "usage: %s <query 1..8> [rdf|bigquery|presto|doc|all]"
                          " [events] [--threads=N]"
@@ -415,7 +541,8 @@ int main(int argc, char** argv) {
                          " [--no-pushdown]"
                          " [--no-late-mat] [--profile[=report.json]]"
                          " [--trace=trace.json] [--data=path.laq]"
-                         " [--cache[=BYTES]] [--queries=all] [--repeat=N]\n",
+                         " [--cache[=BYTES]] [--queries=all] [--repeat=N]"
+                         " [--metrics[=path]]\n",
                  argv[0]);
     return 2;
   }
@@ -475,6 +602,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown engine '%s'\n", engine_name.c_str());
       return 2;
     }
+    DumpMetrics(metrics);
     return 0;
   }
 
@@ -494,7 +622,8 @@ int main(int argc, char** argv) {
                    engine_name.c_str());
       return 2;
     }
-    return RunWorkerMode(engine, q, data, options, worker_shards);
+    return RunWorkerMode(engine, q, data, options, worker_shards,
+                         worker_report);
   }
 
   std::printf("Q%d: %s\ndata: %s\n\n", q, hepq::queries::AdlQueryTitle(q),
@@ -523,12 +652,13 @@ int main(int argc, char** argv) {
                    {EngineKind::kDoc, "doc"}};
     for (const auto& e : engines) {
       if (procs > 1) {
-        RunScatteredOne(argv[0], e.kind, e.cli_name, q, data, options,
-                        procs);
+        RunScatteredOne(argv[0], e.kind, e.cli_name, q, data, options, procs,
+                        profile, metrics.enabled, /*suffix_outputs=*/true);
       } else {
         RunOne(e.kind, q, data, options, profile, /*suffix_outputs=*/true);
       }
     }
+    DumpMetrics(metrics);
     return 0;
   }
   EngineKind engine;
@@ -545,9 +675,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (procs > 1) {
-    RunScatteredOne(argv[0], engine, engine_name, q, data, options, procs);
+    RunScatteredOne(argv[0], engine, engine_name, q, data, options, procs,
+                    profile, metrics.enabled, /*suffix_outputs=*/false);
   } else {
     RunOne(engine, q, data, options, profile, /*suffix_outputs=*/false);
   }
+  DumpMetrics(metrics);
   return 0;
 }

@@ -14,6 +14,8 @@
 // pipeable): the first walk banks every shard's validated footer, the
 // second is served from the cache — observable from tooling, not just
 // RunReports.
+// --metrics turns the process-wide metrics registry on for the run and
+// dumps the Prometheus-text exposition to stderr on exit.
 
 #include <algorithm>
 #include <cstdio>
@@ -26,8 +28,22 @@
 #include "fileio/dataset_reader.h"
 #include "fileio/layout_optimizer.h"
 #include "fileio/reader.h"
+#include "obs/metrics.h"
 
 namespace {
+
+/// --metrics epilogue: covers every return path of main by dumping the
+/// process-wide registry (Prometheus text, stderr) at scope exit.
+struct MetricsDumpAtExit {
+  bool enabled = false;
+  ~MetricsDumpAtExit() {
+    if (!enabled) return;
+    std::fputs(hepq::obs::metrics::MetricsToPrometheus(
+                   hepq::obs::metrics::SnapshotMetrics())
+                   .c_str(),
+               stderr);
+  }
+};
 
 /// The --cache-stats epilogue: one more metadata-only pass over every
 /// shard (footer-cache-served, no data bytes), then the process totals.
@@ -157,7 +173,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <file.laq | dataset-dir> [--chunks] [--pages]"
-                 " [--json] [--cache-stats]\n",
+                 " [--json] [--cache-stats] [--metrics]\n",
                  argv[0]);
     return 2;
   }
@@ -166,6 +182,7 @@ int main(int argc, char** argv) {
   bool show_pages = false;
   bool json = false;
   bool cache_stats = false;
+  MetricsDumpAtExit metrics_dump;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--chunks") == 0) show_chunks = true;
     if (std::strcmp(argv[i], "--pages") == 0) {
@@ -174,6 +191,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     if (std::strcmp(argv[i], "--cache-stats") == 0) cache_stats = true;
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      hepq::obs::metrics::SetMetricsEnabled(true);
+      metrics_dump.enabled = true;
+    }
   }
 
   if (hepq::IsDirectory(path)) return InspectDirectory(path, json, cache_stats);
